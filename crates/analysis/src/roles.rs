@@ -1,0 +1,303 @@
+//! Variable-role inference.
+//!
+//! The paper's operations-metadata gatherer statically inspects each kernel's
+//! AST to identify the stencil structure. The first step is recognizing what
+//! each kernel-local integer variable *means* relative to the CUDA grid: the
+//! canonical horizontal mapping declares
+//!
+//! ```c
+//! int i = blockIdx.x * blockDim.x + threadIdx.x;
+//! int j = blockIdx.y * blockDim.y + threadIdx.y;
+//! ```
+//!
+//! while vertical sweeps and inner (4th-dimension) loops introduce loop
+//! variables. Derived variables (`int ip = i + 1;`) inherit a role with an
+//! affine offset.
+
+use sf_minicuda::ast::*;
+use std::collections::HashMap;
+
+/// The role a kernel-local integer variable plays in the iteration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub enum Role {
+    /// Global x index: `blockIdx.x*blockDim.x + threadIdx.x + off`.
+    GlobalX { off: i64 },
+    /// Global y index.
+    GlobalY { off: i64 },
+    /// `threadIdx.x + off` (block-local; used for shared-tile indexing).
+    TidX { off: i64 },
+    /// `threadIdx.y + off`.
+    TidY { off: i64 },
+    /// Loop variable of a vertical sweep (`for (int k = ...)` at sweep
+    /// nesting level), plus affine offset for derived variables.
+    Vert { off: i64 },
+    /// Loop variable of an inner loop nested inside a sweep (deep nests /
+    /// 4-dimensional arrays), identified by the loop variable's own name.
+    Inner { var: String, off: i64 },
+}
+
+impl Role {
+    /// The same role shifted by a constant.
+    fn shifted(&self, d: i64) -> Role {
+        match self.clone() {
+            Role::GlobalX { off } => Role::GlobalX { off: off + d },
+            Role::GlobalY { off } => Role::GlobalY { off: off + d },
+            Role::TidX { off } => Role::TidX { off: off + d },
+            Role::TidY { off } => Role::TidY { off: off + d },
+            Role::Vert { off } => Role::Vert { off: off + d },
+            Role::Inner { var, off } => Role::Inner { var, off: off + d },
+        }
+    }
+}
+
+/// Mapping from variable names to inferred roles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoleMap {
+    map: HashMap<String, Role>,
+}
+
+impl RoleMap {
+    /// Look up the role of a variable.
+    pub fn get(&self, name: &str) -> Option<&Role> {
+        self.map.get(name)
+    }
+
+    /// Register a loop variable as a vertical sweep variable. Used by the
+    /// access analyzer as it descends into sweep loops.
+    pub fn set_vert(&mut self, var: &str) {
+        self.map.insert(var.to_string(), Role::Vert { off: 0 });
+    }
+
+    /// Register a loop variable as an inner loop variable.
+    pub fn set_inner(&mut self, var: &str) {
+        self.map.insert(
+            var.to_string(),
+            Role::Inner {
+                var: var.to_string(),
+                off: 0,
+            },
+        );
+    }
+
+    /// Remove a loop variable when leaving its loop.
+    pub fn unset(&mut self, var: &str) {
+        self.map.remove(var);
+    }
+
+    /// Number of variables with known roles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no roles are known.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Infer roles from the declarations in a kernel body (non-recursive
+    /// over control flow: mapping declarations appear at top level in the
+    /// supported kernel class; derived variables may appear anywhere and are
+    /// picked up by a follow-up pass inside the access analyzer).
+    pub fn infer(body: &[Stmt]) -> RoleMap {
+        let mut roles = RoleMap::default();
+        roles.scan(body);
+        roles
+    }
+
+    /// Scan a statement list for role-defining declarations, descending into
+    /// `if` bodies (guards) but not into loops (loop variables are
+    /// registered by the caller while descending).
+    pub fn scan(&mut self, body: &[Stmt]) {
+        for s in body {
+            match s {
+                Stmt::VarDecl {
+                    name,
+                    ty: ScalarType::I32,
+                    init: Some(e),
+                } => {
+                    if let Some(role) = self.classify(e) {
+                        self.map.insert(name.clone(), role);
+                    }
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.scan(then_body);
+                    self.scan(else_body);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Classify an initializer expression into a role, if it matches one of
+    /// the recognized affine forms.
+    pub fn classify(&self, e: &Expr) -> Option<Role> {
+        match e {
+            Expr::Builtin(Builtin::ThreadIdx(Axis::X)) => Some(Role::TidX { off: 0 }),
+            Expr::Builtin(Builtin::ThreadIdx(Axis::Y)) => Some(Role::TidY { off: 0 }),
+            Expr::Var(n) => self.get(n).cloned(),
+            Expr::Binary {
+                op: BinaryOp::Add,
+                lhs,
+                rhs,
+            } => {
+                // global mapping: blockIdx.a*blockDim.a + threadIdx.a
+                if let Some(axis) = global_mapping_axis(lhs, rhs) {
+                    return Some(match axis {
+                        Axis::X => Role::GlobalX { off: 0 },
+                        Axis::Y => Role::GlobalY { off: 0 },
+                        Axis::Z => return None,
+                    });
+                }
+                // var + const / const + var
+                match (&**lhs, &**rhs) {
+                    (other, Expr::Int(c)) => self.classify(other).map(|r| r.shifted(*c)),
+                    (Expr::Int(c), other) => self.classify(other).map(|r| r.shifted(*c)),
+                    _ => None,
+                }
+            }
+            Expr::Binary {
+                op: BinaryOp::Sub,
+                lhs,
+                rhs,
+            } => match (&**lhs, &**rhs) {
+                (other, Expr::Int(c)) => self.classify(other).map(|r| r.shifted(-*c)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Does `lhs + rhs` match `blockIdx.a*blockDim.a + threadIdx.a` (either
+/// operand order, either factor order)? Returns the axis if so.
+fn global_mapping_axis(lhs: &Expr, rhs: &Expr) -> Option<Axis> {
+    fn tid_axis(e: &Expr) -> Option<Axis> {
+        match e {
+            Expr::Builtin(Builtin::ThreadIdx(a)) => Some(*a),
+            _ => None,
+        }
+    }
+    fn block_product_axis(e: &Expr) -> Option<Axis> {
+        let Expr::Binary {
+            op: BinaryOp::Mul,
+            lhs,
+            rhs,
+        } = e
+        else {
+            return None;
+        };
+        match (&**lhs, &**rhs) {
+            (Expr::Builtin(Builtin::BlockIdx(a)), Expr::Builtin(Builtin::BlockDim(b)))
+            | (Expr::Builtin(Builtin::BlockDim(a)), Expr::Builtin(Builtin::BlockIdx(b)))
+                if a == b =>
+            {
+                Some(*a)
+            }
+            _ => None,
+        }
+    }
+    match (block_product_axis(lhs), tid_axis(rhs)) {
+        (Some(a), Some(b)) if a == b => return Some(a),
+        _ => {}
+    }
+    match (tid_axis(lhs), block_product_axis(rhs)) {
+        (Some(a), Some(b)) if a == b => Some(a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_minicuda::parse_kernel;
+
+    #[test]
+    fn infers_standard_mapping() {
+        let k = parse_kernel(
+            r#"
+__global__ void k(double* a, int nx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  int tx = threadIdx.x;
+  a[j][i] = 0.0;
+}
+"#,
+        )
+        .unwrap();
+        let roles = RoleMap::infer(&k.body);
+        assert_eq!(roles.get("i"), Some(&Role::GlobalX { off: 0 }));
+        assert_eq!(roles.get("j"), Some(&Role::GlobalY { off: 0 }));
+        assert_eq!(roles.get("tx"), Some(&Role::TidX { off: 0 }));
+    }
+
+    #[test]
+    fn infers_reversed_operand_order() {
+        let k = parse_kernel(
+            r#"
+__global__ void k(double* a, int nx) {
+  int i = threadIdx.x + blockDim.x * blockIdx.x;
+  a[i] = 0.0;
+}
+"#,
+        )
+        .unwrap();
+        let roles = RoleMap::infer(&k.body);
+        assert_eq!(roles.get("i"), Some(&Role::GlobalX { off: 0 }));
+    }
+
+    #[test]
+    fn derived_variables_inherit_with_offset() {
+        let k = parse_kernel(
+            r#"
+__global__ void k(double* a, int nx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int ip = i + 1;
+  int im = ip - 3;
+  a[im] = 0.0;
+}
+"#,
+        )
+        .unwrap();
+        let roles = RoleMap::infer(&k.body);
+        assert_eq!(roles.get("ip"), Some(&Role::GlobalX { off: 1 }));
+        assert_eq!(roles.get("im"), Some(&Role::GlobalX { off: -2 }));
+    }
+
+    #[test]
+    fn mismatched_axes_are_not_a_mapping() {
+        let k = parse_kernel(
+            r#"
+__global__ void k(double* a, int nx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.y;
+  a[i] = 0.0;
+}
+"#,
+        )
+        .unwrap();
+        let roles = RoleMap::infer(&k.body);
+        assert_eq!(roles.get("i"), None);
+    }
+
+    #[test]
+    fn guards_are_scanned() {
+        let k = parse_kernel(
+            r#"
+__global__ void k(double* a, int nx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+    int ii = i + 2;
+    a[ii] = 0.0;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let roles = RoleMap::infer(&k.body);
+        assert_eq!(roles.get("ii"), Some(&Role::GlobalX { off: 2 }));
+    }
+}

@@ -1,0 +1,79 @@
+//! MITgcm analog: an oceanic general circulation model in non-hydrostatic
+//! mode (§6.1.1). Paper attributes: 37 kernels, 29 arrays, 14 targets; the
+//! hotspot is a 3-D conjugate-gradient solver for surface pressure built
+//! from simple radius-1 stencils. Occupancy is already near-optimal
+//! (Table 2: 0.95 before tuning), so block tuning has little headroom.
+
+use crate::builder::{App, AppBuilder, AppConfig, PaperRow};
+
+/// Build the MITgcm analog.
+pub fn build(cfg: &AppConfig) -> App {
+    let mut b = AppBuilder::new(cfg, 0x317);
+
+    for a in ["pres", "uvel", "vvel", "wvel", "theta", "salt", "mask"] {
+        b.array(a);
+    }
+
+    // CG iterations for the non-hydrostatic pressure: laplacian → combine
+    // chains over p/r/q work vectors (simple radius-1 stencils).
+    let iters = cfg.stages(4);
+    for it in 0..iters {
+        b.lateral_stencil(&format!("cg_lap_{it}"), "cg_p", &["mask", "hfac"], &format!("cg_q_{it}"), 1);
+        b.interior_pointwise(&format!("cg_upd_x_{it}"), &["pres", "cg_p"], "pres");
+        b.interior_pointwise(
+            &format!("cg_upd_r_{it}"),
+            &["cg_r", &format!("cg_q_{it}")],
+            "cg_r",
+        );
+        b.interior_pointwise(&format!("cg_dir_{it}"), &["cg_r", "cg_p"], "cg_p");
+    }
+
+    // Momentum and tracer steps sharing velocity fields.
+    for f in ["uvel", "vvel", "wvel"] {
+        let cori = format!("cori_{f}");
+        b.pointwise(&format!("mom_rhs_{f}"), &[f, "pres", &cori, "taux"], &format!("gu_{f}"));
+        b.lateral_stencil(&format!("mom_adv_{f}"), &format!("gu_{f}"), &[], f, 1);
+    }
+    for t in ["theta", "salt"] {
+        let kappa = format!("kappa_{t}");
+        b.stencil(&format!("trc_{t}"), t, &["mask", &kappa], &format!("gt_{t}"), 1);
+    }
+
+    // Equation of state and vertical mixing: compute-bound (filtered).
+    for c in 0..cfg.stages(4) {
+        b.compute_bound(&format!("eos_{c}"), "theta", &format!("rho_{c}"));
+    }
+    // Boundary masks and open-boundary forcing (filtered).
+    for p in 0..cfg.stages(9) {
+        let f = ["uvel", "vvel", "theta", "pres"][p % 4];
+        b.boundary(&format!("obc_{p}"), f);
+    }
+
+    b.build(PaperRow {
+        name: "MITgcm",
+        original_kernels: 37,
+        arrays: 29,
+        target_kernels: 14,
+        new_kernels: 6,
+        speedup_low: 1.10,
+        speedup_high: 1.30,
+        fission_driven: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_attributes() {
+        let app = build(&AppConfig::full());
+        // 4*4 + 3*2 + 2 + 4 + 9 = 37
+        assert_eq!(app.program.kernels.len(), 37);
+        let plan =
+            sf_minicuda::host::ExecutablePlan::from_program(&app.program).unwrap();
+        // 7 fields + hfac + cg_p/cg_r + cg_q(4) + cori(3) + taux + gu(3)
+        // + kappa(2) + gt(2) + rho(4) = 29.
+        assert_eq!(plan.allocs.len(), 29, "{:?}", plan.allocs.len());
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure 6: runtime of the new (fused) SCALE-LES kernels, automated vs
+//! manual code generation, on the same fusion plan. A few kernels — the
+//! ones whose members have deep nested loops, which the automated generator
+//! concatenates instead of merging — contribute most of the difference
+//! (§6.2.2).
+
+fn main() {
+    sf_bench::per_kernel_compare("scale-les", "fig6");
+}

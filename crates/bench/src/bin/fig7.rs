@@ -1,0 +1,9 @@
+//! Figure 7: runtime of the new HOMME kernels, automated vs manual code
+//! generation. Unlike SCALE-LES, the gap is spread evenly across kernels
+//! and stems from intra-warp divergence: the automated generator emits one
+//! guard branch per fused segment while the expert coalesces identical
+//! guards (§6.2.2).
+
+fn main() {
+    sf_bench::per_kernel_compare("homme", "fig7");
+}

@@ -1,0 +1,62 @@
+//! Figure 8: speedups with automated vs manual target filtering. All
+//! applications match except Fluam, whose latency-bound kernels falsely
+//! appear memory-bound to the automated filter, bloat the search space and
+//! hurt convergence (§6.2.2).
+
+use sf_analysis::filter::FilterConfig;
+use sf_bench::bench_search;
+use sf_gpusim::device::DeviceSpec;
+use serde_json::json;
+use stencilfuse::{Pipeline, PipelineConfig};
+
+fn run(app: &sf_apps::App, device: DeviceSpec, manual_filter: bool) -> (f64, usize) {
+    let mut cfg = PipelineConfig {
+        search: bench_search(),
+        ..PipelineConfig::automated(device)
+    };
+    cfg.block_tuning = false;
+    cfg.filter = FilterConfig {
+        detect_latency_bound: manual_filter,
+        ..FilterConfig::default()
+    };
+    let pipeline = Pipeline::new(app.program.clone(), cfg).expect("valid app");
+    let r = pipeline.run().expect("pipeline completes");
+    sf_bench::require_verified(app, &r);
+    let targets = r.decisions.iter().filter(|d| d.is_target()).count();
+    (r.speedup, targets)
+}
+
+fn main() {
+    let cfg = sf_bench::app_config_from_args();
+    let device = sf_bench::device_from_args();
+    println!(
+        "Figure 8: automated vs manual kernel filtering ({})",
+        device.name
+    );
+    println!(
+        "{:<13} {:>10} {:>10} {:>12} {:>12}",
+        "app", "auto", "manual", "auto tgts", "manual tgts"
+    );
+    let mut rows = Vec::new();
+    for app in sf_apps::all_apps(&cfg) {
+        let (s_auto, t_auto) = run(&app, device.clone(), false);
+        let (s_manual, t_manual) = run(&app, device.clone(), true);
+        println!(
+            "{:<13} {:>10.3} {:>10.3} {:>12} {:>12}",
+            app.paper.name, s_auto, s_manual, t_auto, t_manual
+        );
+        rows.push(json!({
+            "app": app.paper.name,
+            "speedup_auto_filter": s_auto,
+            "speedup_manual_filter": s_manual,
+            "targets_auto": t_auto,
+            "targets_manual": t_manual,
+        }));
+    }
+    println!();
+    println!(
+        "shape check: automated and manual filtering agree for every app except Fluam, \
+         whose latency-bound kernels only the manual filter removes (paper §6.2.2)."
+    );
+    sf_bench::write_results("fig8", &json!({ "device": device.name, "rows": rows }));
+}

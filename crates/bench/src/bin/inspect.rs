@@ -1,0 +1,73 @@
+//! Inspection tool: run one application analog through the pipeline and
+//! dump what the programmer would look at in guided mode — stage reports,
+//! group structure, fallbacks, per-kernel cost breakdowns, and (optionally)
+//! the generated source of one kernel.
+//!
+//! ```sh
+//! cargo run --release -p sf-bench --bin inspect -- scale-les [test] [--kernel fused_3]
+//! ```
+
+use sf_bench::{run_variant, Variant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).cloned().unwrap_or_else(|| "mitgcm".into());
+    let cfg = sf_bench::app_config_from_args();
+    let device = sf_bench::device_from_args();
+    let app = sf_apps::app_by_name(&name, &cfg).unwrap_or_else(|| {
+        eprintln!("unknown app `{name}` (scale-les, homme, fluam, mitgcm, awp-odc, bcalm)");
+        std::process::exit(1);
+    });
+    let r = run_variant(&app, Variant::Full, device);
+
+    for rep in &r.reports {
+        print!("{rep}");
+    }
+    if let Some(t) = &r.transform {
+        println!("=== fusion groups ===");
+        for rep in &t.reports {
+            println!(
+                "  members {:?}: merged={} complex={} smem={}B staged={:?}",
+                rep.members,
+                rep.merged,
+                rep.complex,
+                rep.smem_bytes,
+                rep.staged
+                    .iter()
+                    .map(|s| (s.array.as_str(), s.flow, s.rx, s.ry))
+                    .collect::<Vec<_>>()
+            );
+        }
+        for (gi, why) in &t.fallbacks {
+            println!("  fallback group {gi}: {why}");
+        }
+    }
+    if let Some(prof) = &r.transformed_profile {
+        println!("=== hottest transformed kernels ===");
+        let mut rows: Vec<_> = prof.metadata.perf.iter().collect();
+        rows.sort_by(|a, b| b.runtime_us.partial_cmp(&a.runtime_us).expect("finite"));
+        for p in rows.iter().take(10) {
+            println!(
+                "  {:>9.1}us occ {:.2} dram {:>8.2}MB div {:>6}  {}",
+                p.runtime_us,
+                p.occupancy,
+                (p.dram_read_bytes + p.dram_write_bytes) as f64 / 1e6,
+                p.divergent_evals,
+                p.kernel
+            );
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--kernel") {
+        if let Some(kname) = args.get(pos + 1) {
+            match r.program.kernel(kname) {
+                Some(k) => println!("{}", sf_minicuda::printer::print_kernel(k)),
+                None => eprintln!("no kernel `{kname}` in the transformed program"),
+            }
+        }
+    }
+    println!(
+        "speedup {:.3}x verified={:?}",
+        r.speedup,
+        r.verification.map(|v| v.passed())
+    );
+}

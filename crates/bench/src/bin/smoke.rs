@@ -1,0 +1,29 @@
+//! Quick pipeline smoke run over all six apps (dev tool).
+use sf_apps::{all_apps, AppConfig};
+use sf_gpusim::device::DeviceSpec;
+use stencilfuse::{Pipeline, PipelineConfig};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "test".into());
+    let cfg = if scale == "full" { AppConfig::full() } else { AppConfig::test() };
+    for app in all_apps(&cfg) {
+        let t0 = std::time::Instant::now();
+        let pcfg = PipelineConfig::quick(DeviceSpec::k20x());
+        let pipeline = Pipeline::new(app.program.clone(), pcfg).unwrap();
+        match pipeline.run() {
+            Ok(r) => {
+                let v = r.verification.as_ref().map(|v| v.passed()).unwrap_or(false);
+                let fissions = r.search.as_ref().map(|s| s.fissions_per_generation).unwrap_or(0.0);
+                let groups = r.search.as_ref().map(|s| s.best.fusion_groups().len()).unwrap_or(0);
+                println!(
+                    "{:<12} speedup {:.3}x verified={} fusion_groups={} fissions/gen={:.3} launches {} -> {} ({:.1}s)",
+                    app.paper.name, r.speedup, v, groups, fissions,
+                    pipeline.plan.launches.len(),
+                    r.program.static_launches().len(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => println!("{:<12} ERROR: {e}", app.paper.name),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 1: application attributes and the effect of automated
+//! transformation — original kernels, data arrays, target kernels, new
+//! kernels, average fissions per GA generation, array sharing sets, and
+//! transformation wall time.
+
+use sf_bench::{run_variant, Variant};
+use serde_json::json;
+
+fn originals_launches(app: &sf_apps::App) -> usize {
+    app.program.static_launches().len()
+}
+
+fn main() {
+    let cfg = sf_bench::app_config_from_args();
+    let device = sf_bench::device_from_args();
+    println!(
+        "Table 1: Applications Attributes and the Effect of Automated Transformation ({}, scale {}x{}x{})",
+        device.name, cfg.nx, cfg.ny, cfg.nz
+    );
+    println!(
+        "{:<13} {:>8} {:>7} {:>8} {:>8} {:>13} {:>9} {:>9}",
+        "app", "kernels", "arrays", "targets", "new", "fissions/gen", "sharing", "time(s)"
+    );
+    let mut records = Vec::new();
+    for app in sf_apps::all_apps(&cfg) {
+        let t0 = std::time::Instant::now();
+        let r = run_variant(&app, Variant::Full, device.clone());
+        let wall = t0.elapsed().as_secs_f64();
+        sf_bench::require_verified(&app, &r);
+
+        let originals = app.program.kernels.len();
+        let arrays = sf_minicuda::host::ExecutablePlan::from_program(&app.program)
+            .expect("app plan")
+            .allocs
+            .len();
+        let targets = r.decisions.iter().filter(|d| d.is_target()).count();
+        // The paper's "new kernels" counts the kernels that replace the
+        // target kernels; non-target launches pass through 1:1.
+        let non_targets = originals_launches(&app) - targets;
+        let new_kernels = r.program.static_launches().len() - non_targets;
+        let search = r.search.as_ref().expect("search ran");
+        // Array sharing sets from the DDG (reported in the graphs stage).
+        let sharing = r
+            .reports
+            .iter()
+            .flat_map(|rep| rep.lines.iter())
+            .find_map(|l| {
+                l.strip_suffix(" array sharing sets")
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+            })
+            .unwrap_or(0);
+
+        println!(
+            "{:<13} {:>8} {:>7} {:>8} {:>8} {:>13.3} {:>9} {:>9.1}",
+            app.paper.name,
+            originals,
+            arrays,
+            targets,
+            new_kernels,
+            search.fissions_per_generation,
+            sharing,
+            wall
+        );
+        records.push(json!({
+            "app": app.paper.name,
+            "original_kernels": originals,
+            "arrays": arrays,
+            "target_kernels": targets,
+            "new_kernels": new_kernels,
+            "fissions_per_generation": search.fissions_per_generation,
+            "array_sharing_sets": sharing,
+            "transformation_seconds": wall,
+            "speedup": r.speedup,
+            "paper": {
+                "original_kernels": app.paper.original_kernels,
+                "arrays": app.paper.arrays,
+                "target_kernels": app.paper.target_kernels,
+                "new_kernels": app.paper.new_kernels,
+            },
+        }));
+    }
+    println!();
+    println!(
+        "shape checks: fission-driven apps (AWP-ODC-GPU, B-CALM) must show fissions/gen \
+         orders of magnitude above the fusion-driven apps (paper §6.2.1)."
+    );
+    sf_bench::write_results("table1", &json!({ "rows": records }));
+}

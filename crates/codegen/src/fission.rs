@@ -1,0 +1,286 @@
+//! Kernel fission (§4.1, Algorithm 2; Figure 3).
+//!
+//! A kernel is split along the connected components of its array-dependence
+//! graph: each product kernel keeps exactly the statements whose effects
+//! belong to one component, so the union of products reproduces the
+//! original and every data array (with all its operations) lives in exactly
+//! one product.
+
+use sf_analysis::dependence::{self, ArrayDependenceGraph};
+use sf_minicuda::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One kernel produced by fission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FissionProduct {
+    /// The generated product kernel.
+    pub kernel: Kernel,
+    /// The component arrays (parameter names) this product owns.
+    pub component: Vec<String>,
+    /// Indices into the original kernel's parameter list retained by this
+    /// product, in order — used to subset launch arguments.
+    pub kept_params: Vec<usize>,
+}
+
+/// Fission a kernel into its separable components. Returns `None` when the
+/// kernel has fewer than two components (nothing to split, §4.1: no
+/// separable data arrays).
+pub fn fission_kernel(kernel: &Kernel) -> Option<Vec<FissionProduct>> {
+    let graph = ArrayDependenceGraph::build(kernel);
+    let components = graph.components();
+    if components.len() < 2 {
+        return None;
+    }
+    let all_arrays: BTreeSet<String> = kernel
+        .array_params()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let taint = dependence::local_taint(&kernel.body, &all_arrays);
+
+    let mut products = Vec::with_capacity(components.len());
+    for (idx, comp) in components.iter().enumerate() {
+        let keep: BTreeSet<String> = comp.iter().cloned().collect();
+        let mut body = filter_stmts(&kernel.body, &keep, &taint, &all_arrays);
+        prune_unused_shared(&mut body);
+        let kept_params: Vec<usize> = kernel
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| match p {
+                Param::Array { name, .. } => keep.contains(name),
+                Param::Scalar { .. } => true,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let params: Vec<Param> = kept_params
+            .iter()
+            .map(|&i| kernel.params[i].clone())
+            .collect();
+        products.push(FissionProduct {
+            kernel: Kernel {
+                name: format!("{}_f{}", kernel.name, idx),
+                params,
+                body,
+            },
+            component: comp.clone(),
+            kept_params,
+        });
+    }
+    Some(products)
+}
+
+/// Keep the statements whose effects belong to the component `keep`.
+fn filter_stmts(
+    stmts: &[Stmt],
+    keep: &BTreeSet<String>,
+    taint: &BTreeMap<String, BTreeSet<String>>,
+    all_arrays: &BTreeSet<String>,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { name, init, .. } => {
+                // Keep declarations whose sources are inside the component
+                // (or source-free index math). Locals fed by other
+                // components are dropped along with their uses.
+                let sources = match init {
+                    Some(e) => dependence::expr_sources(e, all_arrays, taint),
+                    None => BTreeSet::new(),
+                };
+                let _ = name;
+                if sources.is_subset(keep) {
+                    out.push(s.clone());
+                }
+            }
+            Stmt::SharedDecl { .. } => out.push(s.clone()),
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    LValue::Index { array, .. } if all_arrays.contains(array) => {
+                        if keep.contains(array) {
+                            out.push(s.clone());
+                        }
+                    }
+                    LValue::Index { .. } => {
+                        // Shared-tile write: keep if its sources are ours.
+                        let sources = dependence::expr_sources(value, all_arrays, taint);
+                        if sources.is_subset(keep) {
+                            out.push(s.clone());
+                        }
+                    }
+                    LValue::Var(_) => {
+                        let sources = dependence::expr_sources(value, all_arrays, taint);
+                        if sources.is_subset(keep) {
+                            out.push(s.clone());
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_f = filter_stmts(then_body, keep, taint, all_arrays);
+                let else_f = filter_stmts(else_body, keep, taint, all_arrays);
+                if !then_f.is_empty() || !else_f.is_empty() {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_body: then_f,
+                        else_body: else_f,
+                    });
+                }
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let body_f = filter_stmts(body, keep, taint, all_arrays);
+                if !body_f.is_empty() {
+                    out.push(Stmt::For {
+                        var: var.clone(),
+                        init: init.clone(),
+                        cond: cond.clone(),
+                        step: step.clone(),
+                        body: body_f,
+                    });
+                }
+            }
+            Stmt::SyncThreads | Stmt::Return => out.push(s.clone()),
+        }
+    }
+    out
+}
+
+/// Drop `__shared__` declarations whose tile is never referenced.
+fn prune_unused_shared(body: &mut Vec<Stmt>) {
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    sf_minicuda::visit::walk_exprs(body, &mut |e| {
+        if let Expr::Index { array, .. } = e {
+            used.insert(array.clone());
+        }
+    });
+    sf_minicuda::visit::walk_stmts(body, &mut |s| {
+        if let Stmt::Assign {
+            target: LValue::Index { array, .. },
+            ..
+        } = s
+        {
+            used.insert(array.clone());
+        }
+    });
+    body.retain(|s| match s {
+        Stmt::SharedDecl { name, .. } => used.contains(name),
+        _ => true,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_minicuda::parse_kernel;
+
+    /// The paper's Figure 3 example shape.
+    const KERN_A: &str = r#"
+__global__ void kern_a(const double* __restrict__ s, const double* __restrict__ v,
+                       const double* __restrict__ t, const double* __restrict__ p,
+                       double* r, double* w, double* u, double* q,
+                       int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      r[k][j][i] = s[k][j][i] + c * v[k][j][i];
+      w[k][j][i] = s[k][j][i] - v[k][j][i];
+      u[k][j][i] = t[k][j][i] + c * p[k][j][i];
+      q[k][j][i] = t[k][j][i] - p[k][j][i];
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn splits_fig3_kernel_into_two() {
+        let k = parse_kernel(KERN_A).unwrap();
+        let products = fission_kernel(&k).unwrap();
+        assert_eq!(products.len(), 2);
+        let f0 = &products[0];
+        // Components are sorted; {p,q,t,u} and {r,s,v,w}.
+        let comp0: Vec<&str> = f0.component.iter().map(|s| s.as_str()).collect();
+        assert!(comp0 == ["p", "q", "t", "u"] || comp0 == ["r", "s", "v", "w"]);
+        // Each product keeps 4 array params + 4 scalars.
+        for p in &products {
+            assert_eq!(p.kernel.array_params().len(), 4);
+            assert_eq!(p.kernel.scalar_params().len(), 4);
+            // One For with exactly two assignments.
+            let text = sf_minicuda::printer::print_kernel(&p.kernel);
+            assert_eq!(text.matches("] = ").count(), 2, "{text}");
+        }
+    }
+
+    #[test]
+    fn products_union_covers_all_statements() {
+        let k = parse_kernel(KERN_A).unwrap();
+        let products = fission_kernel(&k).unwrap();
+        let mut writes = std::collections::BTreeSet::new();
+        for p in &products {
+            for w in sf_minicuda::visit::arrays_written(&p.kernel.body) {
+                writes.insert(w);
+            }
+        }
+        assert_eq!(
+            writes,
+            ["q", "r", "u", "w"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn kept_params_subset_launch_args() {
+        let k = parse_kernel(KERN_A).unwrap();
+        let products = fission_kernel(&k).unwrap();
+        for p in &products {
+            assert_eq!(p.kept_params.len(), p.kernel.params.len());
+            // Param indices are strictly increasing.
+            assert!(p.kept_params.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn tight_kernel_is_not_fissionable() {
+        let k = sf_minicuda::builder::jacobi3d_kernel("j", "u", "v");
+        assert!(fission_kernel(&k).is_none());
+    }
+
+    #[test]
+    fn locals_follow_their_component() {
+        let src = r#"
+__global__ void k(const double* __restrict__ a, double* b, double* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    double t = a[i] * 2.0;
+    b[i] = t;
+    c[i] = 1.0;
+  }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let products = fission_kernel(&k).unwrap();
+        assert_eq!(products.len(), 2);
+        let with_ab = products
+            .iter()
+            .find(|p| p.component.contains(&"a".to_string()))
+            .unwrap();
+        let text = sf_minicuda::printer::print_kernel(&with_ab.kernel);
+        assert!(text.contains("double t"));
+        let with_c = products
+            .iter()
+            .find(|p| p.component.contains(&"c".to_string()))
+            .unwrap();
+        let text_c = sf_minicuda::printer::print_kernel(&with_c.kernel);
+        assert!(!text_c.contains("double t"));
+        assert!(!text_c.contains("a[i]"));
+    }
+}

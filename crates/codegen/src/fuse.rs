@@ -1,0 +1,1334 @@
+//! Fusion code generation (§5.5).
+//!
+//! Given an ordered group of member kernels (with their launch records),
+//! generate one new kernel that aggregates their code:
+//!
+//! - **merged** path: all members are single-sweep stencils; their bodies
+//!   move into one shared vertical loop. Arrays read by several members are
+//!   staged through `__shared__` tiles (+halo); arrays *produced* by one
+//!   member and consumed by a later one (complex fusion) additionally get
+//!   halo *recomputation* — the temporal-blocking scheme of §5.5.3 — and
+//!   `__syncthreads()` barriers.
+//! - **fallback** path: members that cannot merge (deep nested loops,
+//!   multiple sweeps — exactly the cases §6.2.2 blames for the automated
+//!   framework's performance gap) are concatenated sweep-after-sweep into
+//!   one kernel: launch overhead is saved but inter-member reuse is not.
+//!
+//! The **manual oracle** mode ([`CodegenMode::Manual`]) applies the two
+//! hand optimizations the paper credits the expert with: merging members
+//! with deep nests into the shared loop anyway, and coalescing consecutive
+//! segments with identical guards into a single branch (fewer divergent
+//! warp branches).
+
+use crate::canon::{self, CanonMember, MemberStructure};
+use sf_analysis::access::{IdxBase, IdxPat};
+use sf_minicuda::ast::*;
+use sf_minicuda::builder as b;
+use sf_minicuda::host::{Dim3, HostValue, LaunchRecord, ResolvedArg};
+use sf_minicuda::visit;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Codegen failure: the group cannot be fused soundly (the caller treats
+/// the group as infeasible and falls back to unfused kernels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenError(pub String);
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<canon::CanonError> for CodegenError {
+    fn from(e: canon::CanonError) -> Self {
+        CodegenError(e.0)
+    }
+}
+
+/// Automated vs manual-oracle code generation (§6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodegenMode {
+    /// The automated generator, reproducing the paper's two documented
+    /// deficiencies (no deep-nest merging; per-segment guard branches).
+    Auto,
+    /// The expert-oracle generator the paper compares against.
+    Manual,
+}
+
+/// A staged array's tile description.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct StagedArray {
+    pub array: String,
+    pub rx: i64,
+    pub ry: i64,
+    pub tile_bytes: usize,
+    /// Produced within the group (complex fusion) vs read-only staging.
+    pub flow: bool,
+    /// Producing member index (for flow arrays).
+    pub producer: Option<usize>,
+}
+
+/// Report describing what the generator did for one group.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct FusionReport {
+    pub members: Vec<usize>,
+    pub staged: Vec<StagedArray>,
+    /// Complex fusion (barriers + halo recomputation) was required.
+    pub complex: bool,
+    /// Members merged into one shared sweep (vs fallback concatenation).
+    pub merged: bool,
+    pub smem_bytes: usize,
+    /// Human-readable notes for the stage report.
+    pub notes: Vec<String>,
+}
+
+/// The generated kernel plus its launch configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct FusedKernel {
+    pub kernel: Kernel,
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub args: Vec<ResolvedArg>,
+    pub report: FusionReport,
+}
+
+/// Per-read classification of a 3-D stencil access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReadOffset {
+    dk: i64,
+    dj: i64,
+    di: i64,
+    /// dk is an offset from the vertical loop variable (vs const plane).
+    vert: bool,
+}
+
+/// Fuse an ordered group of members into one kernel.
+///
+/// `members` pairs each kernel with the launch that invokes it, in host
+/// (OEG-compatible) order. `smem_limit` is the device's maximum static
+/// shared memory per block.
+pub fn fuse_group(
+    members: &[(&Kernel, LaunchRecord)],
+    block: Dim3,
+    mode: CodegenMode,
+    name: &str,
+    smem_limit: usize,
+) -> Result<FusedKernel, CodegenError> {
+    if members.len() < 2 {
+        return Err(CodegenError("fusion group needs at least 2 members".into()));
+    }
+    let mut canon_scalars: BTreeMap<String, HostValue> = BTreeMap::new();
+    let mut cms: Vec<CanonMember> = Vec::new();
+    for (idx, (k, l)) in members.iter().enumerate() {
+        cms.push(canon::canonicalize(k, l, idx, &mut canon_scalars)?);
+    }
+
+    let need_x = cms.iter().map(|m| m.launch_x).max().unwrap_or(1);
+    let need_y = cms.iter().map(|m| m.launch_y).max().unwrap_or(1);
+    let grid = Dim3::new(
+        (need_x as u32).div_ceil(block.x),
+        (need_y as u32).div_ceil(block.y),
+        1,
+    );
+    // Actual thread coverage after rounding the grid up — guards must be
+    // emitted against this, or a retuned (larger) block would run threads
+    // past the domain.
+    let cover_x = (grid.x * block.x) as i64;
+    let cover_y = (grid.y * block.y) as i64;
+
+    // Which members write / read each actual array (any sweep).
+    let mut writers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (mi, m) in cms.iter().enumerate() {
+        let mut w = BTreeSet::new();
+        let mut r = BTreeSet::new();
+        for sweep in &m.ka.sweeps {
+            for acc in &sweep.accesses {
+                if acc.is_write {
+                    w.insert(acc.array.clone());
+                } else {
+                    r.insert(acc.array.clone());
+                }
+            }
+        }
+        for a in w {
+            writers.entry(a).or_default().push(mi);
+        }
+        for a in r {
+            readers.entry(a).or_default().push(mi);
+        }
+    }
+
+    // Flow arrays: written by one member, read by a *later* member. A read
+    // by an *earlier* member would observe pre-launch values in the
+    // original program but mid-launch values here — the caller must order
+    // members producer-first (anti-ordered groups are unfusable).
+    let mut flow_arrays: BTreeMap<String, usize> = BTreeMap::new();
+    for (a, ws) in &writers {
+        if let Some(rs) = readers.get(a) {
+            for &w in ws {
+                if rs.iter().any(|&r| r < w) {
+                    return Err(CodegenError(format!(
+                        "member {w} overwrites `{a}` read by an earlier member;                          anti-ordered group is unfusable"
+                    )));
+                }
+                if rs.iter().any(|&r| r > w) {
+                    if ws.len() > 1 {
+                        return Err(CodegenError(format!(
+                            "array `{a}` produced by multiple members; unfusable"
+                        )));
+                    }
+                    flow_arrays.insert(a.clone(), w);
+                }
+            }
+        }
+    }
+
+    let merged_possible = cms.iter().all(|m| {
+        matches!(
+            &m.structure,
+            MemberStructure::SingleSweep { has_inner, .. }
+                if mode == CodegenMode::Manual || !has_inner
+        )
+    });
+
+    if !merged_possible {
+        return fallback_concat(
+            &cms,
+            &flow_arrays,
+            canon_scalars,
+            block,
+            grid,
+            name,
+            cover_x,
+            cover_y,
+        );
+    }
+    merged_fuse(
+        &cms,
+        &flow_arrays,
+        &readers,
+        &writers,
+        canon_scalars,
+        block,
+        grid,
+        mode,
+        name,
+        smem_limit,
+        cover_x,
+        cover_y,
+        need_x,
+        need_y,
+    )
+}
+
+/// Classify a member's reads of `array` across its sweeps.
+fn read_offsets(m: &CanonMember, array: &str) -> Result<Vec<ReadOffset>, CodegenError> {
+    let mut out = Vec::new();
+    for sweep in &m.ka.sweeps {
+        for acc in &sweep.accesses {
+            if acc.is_write || acc.array != array {
+                continue;
+            }
+            out.push(classify_3d(&acc.pats).ok_or_else(|| {
+                CodegenError(format!(
+                    "access to `{array}` in `{}` is not a canonical 3-D stencil access",
+                    m.name
+                ))
+            })?);
+        }
+    }
+    Ok(out)
+}
+
+fn classify_3d(pats: &[IdxPat]) -> Option<ReadOffset> {
+    // Rank 3 (k, j, i) or rank 4 with a leading inner-loop / constant axis
+    // (deep-nested tracer arrays): the stencil offsets live on the last
+    // three axes either way.
+    let tail = match pats.len() {
+        3 => &pats[..],
+        4 => {
+            if !matches!(pats[0].base, IdxBase::Inner(_) | IdxBase::Const) {
+                return None;
+            }
+            &pats[1..]
+        }
+        _ => return None,
+    };
+    let (k, j, i) = (&tail[0], &tail[1], &tail[2]);
+    let vert = match k.base {
+        IdxBase::Vert => true,
+        IdxBase::Const => false,
+        _ => return None,
+    };
+    if j.base != IdxBase::Y || i.base != IdxBase::X {
+        return None;
+    }
+    Some(ReadOffset {
+        dk: k.off,
+        dj: j.off,
+        di: i.off,
+        vert,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fallback: sweep-after-sweep concatenation
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn fallback_concat(
+    cms: &[CanonMember],
+    flow_arrays: &BTreeMap<String, usize>,
+    canon_scalars: BTreeMap<String, HostValue>,
+    block: Dim3,
+    grid: Dim3,
+    name: &str,
+    cover_x: i64,
+    cover_y: i64,
+) -> Result<FusedKernel, CodegenError> {
+    // Safety: inter-member flow is only column-local (di == dj == 0), since
+    // members execute their full sweeps one after another per thread.
+    for (a, &producer) in flow_arrays {
+        for (mi, m) in cms.iter().enumerate() {
+            if mi <= producer {
+                continue;
+            }
+            for r in read_offsets(m, a)? {
+                if r.di != 0 || r.dj != 0 {
+                    return Err(CodegenError(format!(
+                        "flow array `{a}` read with lateral offsets by `{}` cannot be \
+                         fused by concatenation",
+                        m.name
+                    )));
+                }
+            }
+        }
+    }
+    let mut body = b::thread_mapping_2d();
+    for m in cms {
+        // Re-impose the member's evaluated guard against the (possibly
+        // padded) fused coverage: the member's own textual guard may assume
+        // an exact-fit launch. Members containing barriers cannot be
+        // wrapped (the barrier would become divergent).
+        let mut has_barrier = false;
+        visit::walk_stmts(&m.full_body, &mut |s| {
+            if matches!(s, Stmt::SyncThreads) {
+                has_barrier = true;
+            }
+        });
+        match m.guard.condition(cover_x, cover_y) {
+            Some(cond) if !has_barrier => body.push(Stmt::If {
+                cond,
+                then_body: m.full_body.clone(),
+                else_body: Vec::new(),
+            }),
+            Some(_) => {
+                // A barrier cannot live inside a guard (it would diverge),
+                // and without the guard a padded coverage would run threads
+                // out of bounds.
+                return Err(CodegenError(format!(
+                    "member `{}` contains barriers but needs a bounds guard under \
+                     the fused coverage; unfusable",
+                    m.name
+                )));
+            }
+            None => body.extend(m.full_body.iter().cloned()),
+        }
+    }
+    let (params, args) = build_params(cms, &canon_scalars);
+    let report = FusionReport {
+        members: cms.iter().map(|m| m.seq).collect(),
+        staged: Vec::new(),
+        complex: !flow_arrays.is_empty(),
+        merged: false,
+        smem_bytes: 0,
+        notes: vec![
+            "members concatenated sweep-after-sweep (structures not mergeable); \
+             launch overhead saved but no inter-member reuse"
+                .into(),
+        ],
+    };
+    Ok(FusedKernel {
+        kernel: Kernel {
+            name: name.into(),
+            params,
+            body,
+        },
+        grid,
+        block,
+        args,
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Merged fusion
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn merged_fuse(
+    cms: &[CanonMember],
+    flow_arrays: &BTreeMap<String, usize>,
+    readers: &BTreeMap<String, Vec<usize>>,
+    writers: &BTreeMap<String, Vec<usize>>,
+    canon_scalars: BTreeMap<String, HostValue>,
+    block: Dim3,
+    grid: Dim3,
+    mode: CodegenMode,
+    name: &str,
+    smem_limit: usize,
+    cover_x: i64,
+    cover_y: i64,
+    need_x: i64,
+    need_y: i64,
+) -> Result<FusedKernel, CodegenError> {
+    let (bx, by) = (block.x as i64, block.y as i64);
+
+    // Shared vertical range.
+    let ranges: Vec<(i64, i64)> = cms
+        .iter()
+        .map(|m| match &m.structure {
+            MemberStructure::SingleSweep { k_lo, k_hi, .. } => (*k_lo, *k_hi),
+            MemberStructure::Fallback => unreachable!("merged_fuse requires single sweeps"),
+        })
+        .collect();
+    let k_lo = ranges.iter().map(|r| r.0).min().expect("non-empty group");
+    let k_hi = ranges.iter().map(|r| r.1).max().expect("non-empty group");
+
+    // ----- legality of flow (complex fusion) -----
+    for (a, &p) in flow_arrays {
+        let prod = &cms[p];
+        let (p_klo, p_khi) = ranges[p];
+        for (ci, cons) in cms.iter().enumerate() {
+            if ci <= p || !readers.get(a).map(|r| r.contains(&ci)).unwrap_or(false) {
+                continue;
+            }
+            let (c_klo, c_khi) = ranges[ci];
+            for r in read_offsets(cons, a)? {
+                if !r.vert {
+                    return Err(CodegenError(format!(
+                        "flow array `{a}` read at constant plane by `{}`; unfusable",
+                        cons.name
+                    )));
+                }
+                let lateral = r.di != 0 || r.dj != 0;
+                if r.dk > 0 {
+                    return Err(CodegenError(format!(
+                        "flow array `{a}` read at future plane (k+{}) by `{}`; unfusable",
+                        r.dk, cons.name
+                    )));
+                }
+                if r.dk < 0 && lateral {
+                    return Err(CodegenError(format!(
+                        "flow array `{a}` read at lateral offset of an earlier plane \
+                         by `{}`; unfusable",
+                        cons.name
+                    )));
+                }
+                if lateral {
+                    // Consumer's halo-shifted sites must lie inside the
+                    // producer's write domain.
+                    let g_c = &cons.guard;
+                    let g_p = &prod.guard;
+                    let inside = g_c.x_lo + r.di.min(0) >= g_p.x_lo
+                        && g_c.x_hi + r.di.max(0) <= g_p.x_hi
+                        && g_c.y_lo + r.dj.min(0) >= g_p.y_lo
+                        && g_c.y_hi + r.dj.max(0) <= g_p.y_hi;
+                    if !inside {
+                        return Err(CodegenError(format!(
+                            "consumer `{}` reads `{a}` outside producer domain; unfusable",
+                            cons.name
+                        )));
+                    }
+                }
+                // Producer must be active whenever the consumer needs it.
+                if c_klo + r.dk.min(0) < p_klo || c_khi > p_khi {
+                    return Err(CodegenError(format!(
+                        "consumer `{}` needs `{a}` outside producer's vertical range",
+                        cons.name
+                    )));
+                }
+            }
+        }
+        // No second-level halo: the producer may not read any group-produced
+        // array at a lateral offset.
+        for other in flow_arrays.keys() {
+            for r in read_offsets(&cms[p], other)? {
+                if r.di != 0 || r.dj != 0 {
+                    return Err(CodegenError(format!(
+                        "producer `{}` reads produced array `{other}` laterally; \
+                         second-level halo unsupported",
+                        cms[p].name
+                    )));
+                }
+            }
+        }
+    }
+
+    // ----- staging decisions -----
+    let mut staged: Vec<StagedArray> = Vec::new();
+    let lateral_radius = |a: &str| -> Result<(i64, i64), CodegenError> {
+        let mut rx = 0;
+        let mut ry = 0;
+        for m in cms {
+            for r in read_offsets(m, a)? {
+                if r.vert && r.dk == 0 {
+                    rx = rx.max(r.di.abs());
+                    ry = ry.max(r.dj.abs());
+                }
+            }
+        }
+        Ok((rx, ry))
+    };
+    // Flow arrays with lateral consumers must be staged.
+    for (a, &p) in flow_arrays {
+        let needs_tile = cms.iter().enumerate().skip(p + 1).any(|(_, m)| {
+            read_offsets(m, a)
+                .map(|rs| rs.iter().any(|r| r.vert && r.dk == 0 && (r.di != 0 || r.dj != 0)))
+                .unwrap_or(false)
+        });
+        if needs_tile {
+            // Tiling is only generated for rank-3 arrays.
+            let rank3 = cms.iter().all(|m| {
+                m.ka.sweeps.iter().all(|s| {
+                    s.accesses
+                        .iter()
+                        .filter(|acc| acc.array == *a)
+                        .all(|acc| acc.pats.len() == 3)
+                })
+            });
+            if !rank3 {
+                return Err(CodegenError(format!(
+                    "flow array `{a}` is not rank-3; lateral complex fusion unsupported"
+                )));
+            }
+            // Halo recomputation re-evaluates the producer's expression at
+            // laterally shifted sites. If the producer reads an array that
+            // some group member *writes*, the shifted read would cross into
+            // sites a neighboring block has not produced yet — unfusable.
+            let written_in_group: BTreeSet<&String> = writers.keys().collect();
+            for sweep in &cms[p].ka.sweeps {
+                for acc in &sweep.accesses {
+                    if !acc.is_write
+                        && acc.array != *a
+                        && written_in_group.contains(&acc.array)
+                    {
+                        return Err(CodegenError(format!(
+                            "producer `{}` of staged flow array `{a}` reads                              group-written array `{}`; halo recomputation would                              cross block boundaries — unfusable",
+                            cms[p].name, acc.array
+                        )));
+                    }
+                }
+            }
+            let (rx, ry) = lateral_radius(a)?;
+            staged.push(StagedArray {
+                array: a.clone(),
+                rx,
+                ry,
+                tile_bytes: ((bx + 2 * rx) * (by + 2 * ry) * 8) as usize,
+                flow: true,
+                producer: Some(p),
+            });
+        }
+    }
+    // Read-shared arrays (not written in the group) with ≥2 readers.
+    for (a, rs) in readers {
+        if writers.contains_key(a) || rs.len() < 2 {
+            continue;
+        }
+        // Only stage canonical rank-3 stencil reads at the current plane
+        // (4-D tracer arrays are never tiled).
+        let stageable = cms.iter().all(|m| {
+            m.ka.sweeps.iter().all(|s| {
+                s.accesses
+                    .iter()
+                    .filter(|acc| !acc.is_write && acc.array == *a)
+                    .all(|acc| acc.pats.len() == 3 && classify_3d(&acc.pats).is_some())
+            })
+        });
+        let any_current_plane = cms
+            .iter()
+            .any(|m| {
+                read_offsets(m, a)
+                    .map(|rs| rs.iter().any(|r| r.vert && r.dk == 0))
+                    .unwrap_or(false)
+            });
+        if stageable && any_current_plane {
+            let (rx, ry) = lateral_radius(a)?;
+            staged.push(StagedArray {
+                array: a.clone(),
+                rx,
+                ry,
+                tile_bytes: ((bx + 2 * rx) * (by + 2 * ry) * 8) as usize,
+                flow: false,
+                producer: None,
+            });
+        }
+    }
+    // Halo must fit in half a block on each side.
+    for st in &staged {
+        if st.rx * 2 > bx || st.ry * 2 > by {
+            return Err(CodegenError(format!(
+                "halo radius of `{}` too large for block {}x{}",
+                st.array, bx, by
+            )));
+        }
+    }
+    let smem_bytes: usize = staged.iter().map(|s| s.tile_bytes).sum();
+    if smem_bytes > smem_limit {
+        return Err(CodegenError(format!(
+            "group needs {smem_bytes} B shared memory, device limit {smem_limit} B"
+        )));
+    }
+
+    // Array extents for bounds clamping come from the canonical accesses at
+    // traffic time; codegen clamps against the member coverage instead
+    // (arrays in the supported class span the full domain).
+
+    // ----- body generation -----
+    let mut body: Vec<Stmt> = b::thread_mapping_2d();
+    body.push(decl_int("tx", Expr::Builtin(Builtin::ThreadIdx(Axis::X))));
+    body.push(decl_int("ty", Expr::Builtin(Builtin::ThreadIdx(Axis::Y))));
+    for m in cms {
+        body.extend(m.hoisted.iter().cloned());
+    }
+    for st in &staged {
+        body.push(Stmt::SharedDecl {
+            name: tile_name(&st.array),
+            ty: ScalarType::F64,
+            extents: vec![(by + 2 * st.ry) as usize, (bx + 2 * st.rx) as usize],
+        });
+    }
+
+    let mut loop_body: Vec<Stmt> = Vec::new();
+
+    // Stage read-only shared arrays.
+    let read_staged: Vec<&StagedArray> = staged.iter().filter(|s| !s.flow).collect();
+    for st in &read_staged {
+        loop_body.extend(stage_loads(st, bx, by, need_x, need_y));
+    }
+    if !read_staged.is_empty() {
+        loop_body.push(Stmt::SyncThreads);
+    }
+
+    // Member segments.
+    let mut pending: Vec<(Option<Expr>, Vec<Stmt>)> = Vec::new();
+    let flush_pending = |pending: &mut Vec<(Option<Expr>, Vec<Stmt>)>, out: &mut Vec<Stmt>| {
+        for (cond, stmts) in pending.drain(..) {
+            match cond {
+                Some(c) => out.push(Stmt::If {
+                    cond: c,
+                    then_body: stmts,
+                    else_body: Vec::new(),
+                }),
+                None => out.extend(stmts),
+            }
+        }
+    };
+
+    for (mi, m) in cms.iter().enumerate() {
+        let MemberStructure::SingleSweep { body: sbody, .. } = &m.structure else {
+            unreachable!()
+        };
+        let (m_klo, m_khi) = ranges[mi];
+        // Transform the sweep body: tile reads, producer instrumentation.
+        let mut seg = sbody.clone();
+        // Producer instrumentation first (operates on global-read form).
+        let mut halo_stmts: Vec<Stmt> = Vec::new();
+        for st in staged.iter().filter(|s| s.flow && s.producer == Some(mi)) {
+            instrument_producer(&mut seg, st, mi, m, bx, by, &mut halo_stmts)?;
+        }
+        // Tile-read rewriting (all staged arrays this member consumes).
+        for st in &staged {
+            // A producer's own segment must not read its tile (it writes it
+            // this iteration); consumers after the barrier may.
+            if st.producer == Some(mi) {
+                continue;
+            }
+            rewrite_tile_reads(&mut seg, st);
+        }
+
+        let mut cond_parts = Vec::new();
+        if let Some(g) = m.guard.condition(cover_x, cover_y) {
+            cond_parts.push(g);
+        }
+        if m_klo > k_lo {
+            cond_parts.push(b::ge(b::var("k"), b::int(m_klo)));
+        }
+        if m_khi < k_hi {
+            cond_parts.push(b::lt(b::var("k"), b::int(m_khi)));
+        }
+        let cond = if cond_parts.is_empty() {
+            None
+        } else {
+            Some(b::all(cond_parts))
+        };
+
+        let is_producer = !halo_stmts.is_empty()
+            || staged.iter().any(|s| s.flow && s.producer == Some(mi));
+
+        match mode {
+            CodegenMode::Manual => {
+                // Merge into the previous pending segment when the guard is
+                // identical and no barrier intervenes.
+                if let Some((prev_cond, prev_stmts)) = pending.last_mut() {
+                    if *prev_cond == cond {
+                        prev_stmts.extend(seg);
+                    } else {
+                        pending.push((cond.clone(), seg));
+                    }
+                } else {
+                    pending.push((cond.clone(), seg));
+                }
+            }
+            CodegenMode::Auto => pending.push((cond.clone(), seg)),
+        }
+
+        if is_producer {
+            flush_pending(&mut pending, &mut loop_body);
+            loop_body.extend(halo_stmts);
+            loop_body.push(Stmt::SyncThreads);
+        }
+    }
+    flush_pending(&mut pending, &mut loop_body);
+
+    body.push(Stmt::For {
+        var: "k".into(),
+        init: b::int(k_lo),
+        cond: b::lt(b::var("k"), b::int(k_hi)),
+        step: b::int(1),
+        body: loop_body,
+    });
+
+    let (params, args) = build_params(cms, &canon_scalars);
+    let complex = !flow_arrays.is_empty();
+    let report = FusionReport {
+        members: cms.iter().map(|m| m.seq).collect(),
+        staged: staged.clone(),
+        complex,
+        merged: true,
+        smem_bytes,
+        notes: vec![format!(
+            "{} fusion of {} members; {} staged arrays, {} B shared memory",
+            if complex { "complex" } else { "simple" },
+            cms.len(),
+            staged.len(),
+            smem_bytes
+        )],
+    };
+    Ok(FusedKernel {
+        kernel: Kernel {
+            name: name.into(),
+            params,
+            body,
+        },
+        grid,
+        block,
+        args,
+        report,
+    })
+}
+
+fn tile_name(array: &str) -> String {
+    format!("s_{array}")
+}
+
+fn decl_int(name: &str, init: Expr) -> Stmt {
+    Stmt::VarDecl {
+        name: name.into(),
+        ty: ScalarType::I32,
+        init: Some(init),
+    }
+}
+
+/// Parameters and launch args: arrays in first-use order, then scalars.
+fn build_params(
+    cms: &[CanonMember],
+    canon_scalars: &BTreeMap<String, HostValue>,
+) -> (Vec<Param>, Vec<ResolvedArg>) {
+    let mut order: Vec<String> = Vec::new();
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    for m in cms {
+        for ab in &m.arrays {
+            if !order.contains(&ab.actual) {
+                order.push(ab.actual.clone());
+            }
+            if ab.written {
+                written.insert(ab.actual.clone());
+            }
+        }
+    }
+    let mut params: Vec<Param> = order
+        .iter()
+        .map(|a| Param::Array {
+            name: a.clone(),
+            elem: ScalarType::F64,
+            is_const: !written.contains(a),
+        })
+        .collect();
+    let mut args: Vec<ResolvedArg> = order.iter().map(|a| ResolvedArg::Array(a.clone())).collect();
+    for (name, v) in canon_scalars {
+        let ty = match v {
+            HostValue::Int(_) => ScalarType::I32,
+            HostValue::Float(_) => ScalarType::F64,
+        };
+        params.push(Param::Scalar {
+            name: name.clone(),
+            ty,
+        });
+        args.push(ResolvedArg::Scalar(*v));
+    }
+    (params, args)
+}
+
+/// Bounds-clamped global read `(0 <= idx < cover) ? A[kk][jj][ii] : 0.0`.
+fn clamped_read(
+    array: &str,
+    kk: Expr,
+    jj: Expr,
+    ii: Expr,
+    cover_x: i64,
+    cover_y: i64,
+    needs_clamp: (bool, bool, bool, bool),
+) -> Expr {
+    let (left, right, low, high) = needs_clamp;
+    let mut conds = Vec::new();
+    if left {
+        conds.push(b::ge(ii.clone(), b::int(0)));
+    }
+    if right {
+        conds.push(b::lt(ii.clone(), b::int(cover_x)));
+    }
+    if low {
+        conds.push(b::ge(jj.clone(), b::int(0)));
+    }
+    if high {
+        conds.push(b::lt(jj.clone(), b::int(cover_y)));
+    }
+    let read = Expr::Index {
+        array: array.into(),
+        indices: vec![kk, jj, ii],
+    };
+    if conds.is_empty() {
+        read
+    } else {
+        Expr::Ternary {
+            cond: Box::new(b::all(conds)),
+            then_val: Box::new(read),
+            else_val: Box::new(b::flt(0.0)),
+        }
+    }
+}
+
+/// Staging loads (main + halo) for one read-only shared array.
+fn stage_loads(
+    st: &StagedArray,
+    bx: i64,
+    by: i64,
+    cover_x: i64,
+    cover_y: i64,
+) -> Vec<Stmt> {
+    let tile = tile_name(&st.array);
+    let (rx, ry) = (st.rx, st.ry);
+    let mut out = Vec::new();
+
+    let store = |sy: Expr, sx: Expr, val: Expr| Stmt::Assign {
+        target: LValue::Index {
+            array: tile.clone(),
+            indices: vec![sy, sx],
+        },
+        op: AssignOp::Assign,
+        value: val,
+    };
+    let guard_if = |cond: Expr, stmts: Vec<Stmt>| Stmt::If {
+        cond,
+        then_body: stmts,
+        else_body: Vec::new(),
+    };
+
+    // Main load: s[ty+ry][tx+rx] = A[k][j][i] (clamped at the grid edge).
+    out.push(store(
+        b::offset(b::var("ty"), ry),
+        b::offset(b::var("tx"), rx),
+        clamped_read(
+            &st.array,
+            b::var("k"),
+            b::var("j"),
+            b::var("i"),
+            cover_x,
+            cover_y,
+            (false, true, false, true),
+        ),
+    ));
+    if rx > 0 {
+        out.push(guard_if(
+            b::lt(b::var("tx"), b::int(rx)),
+            vec![store(
+                b::offset(b::var("ty"), ry),
+                b::var("tx"),
+                clamped_read(
+                    &st.array,
+                    b::var("k"),
+                    b::var("j"),
+                    b::offset(b::var("i"), -rx),
+                    cover_x,
+                    cover_y,
+                    (true, false, false, true),
+                ),
+            )],
+        ));
+        out.push(guard_if(
+            b::ge(b::var("tx"), b::int(bx - rx)),
+            vec![store(
+                b::offset(b::var("ty"), ry),
+                b::offset(b::var("tx"), 2 * rx),
+                clamped_read(
+                    &st.array,
+                    b::var("k"),
+                    b::var("j"),
+                    b::offset(b::var("i"), rx),
+                    cover_x,
+                    cover_y,
+                    (false, true, false, true),
+                ),
+            )],
+        ));
+    }
+    if ry > 0 {
+        out.push(guard_if(
+            b::lt(b::var("ty"), b::int(ry)),
+            vec![store(
+                b::var("ty"),
+                b::offset(b::var("tx"), rx),
+                clamped_read(
+                    &st.array,
+                    b::var("k"),
+                    b::offset(b::var("j"), -ry),
+                    b::var("i"),
+                    cover_x,
+                    cover_y,
+                    (false, true, true, false),
+                ),
+            )],
+        ));
+        out.push(guard_if(
+            b::ge(b::var("ty"), b::int(by - ry)),
+            vec![store(
+                b::offset(b::var("ty"), 2 * ry),
+                b::offset(b::var("tx"), rx),
+                clamped_read(
+                    &st.array,
+                    b::var("k"),
+                    b::offset(b::var("j"), ry),
+                    b::var("i"),
+                    cover_x,
+                    cover_y,
+                    (false, true, false, true),
+                ),
+            )],
+        ));
+    }
+    if rx > 0 && ry > 0 {
+        for (cx, cy) in [(-1i64, -1i64), (-1, 1), (1, -1), (1, 1)] {
+            let cond = b::and(
+                if cx < 0 {
+                    b::lt(b::var("tx"), b::int(rx))
+                } else {
+                    b::ge(b::var("tx"), b::int(bx - rx))
+                },
+                if cy < 0 {
+                    b::lt(b::var("ty"), b::int(ry))
+                } else {
+                    b::ge(b::var("ty"), b::int(by - ry))
+                },
+            );
+            let sx = if cx < 0 {
+                b::var("tx")
+            } else {
+                b::offset(b::var("tx"), 2 * rx)
+            };
+            let sy = if cy < 0 {
+                b::var("ty")
+            } else {
+                b::offset(b::var("ty"), 2 * ry)
+            };
+            out.push(guard_if(
+                cond,
+                vec![store(
+                    sy,
+                    sx,
+                    clamped_read(
+                        &st.array,
+                        b::var("k"),
+                        b::offset(b::var("j"), cy * ry),
+                        b::offset(b::var("i"), cx * rx),
+                        cover_x,
+                        cover_y,
+                        (true, true, true, true),
+                    ),
+                )],
+            ));
+        }
+    }
+    out
+}
+
+/// Rewrite `A[k][j+dj][i+di]` reads of a staged array into tile accesses
+/// `s_A[ty+ry+dj][tx+rx+di]` (current-plane reads only).
+fn rewrite_tile_reads(stmts: &mut [Stmt], st: &StagedArray) {
+    let tile = tile_name(&st.array);
+    visit::rewrite_exprs(stmts, &mut |e| {
+        let Expr::Index { array, indices } = e else {
+            return None;
+        };
+        if array != &st.array || indices.len() != 3 {
+            return None;
+        }
+        // Current plane: first index is exactly `k`.
+        if indices[0] != Expr::Var("k".into()) {
+            return None;
+        }
+        let dj = affine_off(&indices[1], "j")?;
+        let di = affine_off(&indices[2], "i")?;
+        if dj.abs() > st.ry || di.abs() > st.rx {
+            return None;
+        }
+        Some(Expr::Index {
+            array: tile.clone(),
+            indices: vec![
+                b::offset(b::var("ty"), st.ry + dj),
+                b::offset(b::var("tx"), st.rx + di),
+            ],
+        })
+    });
+}
+
+/// `v + c` / `v - c` / `v` → offset c, for the given base variable.
+fn affine_off(e: &Expr, base: &str) -> Option<i64> {
+    match e {
+        Expr::Var(v) if v == base => Some(0),
+        Expr::Binary { op, lhs, rhs } => {
+            let Expr::Var(v) = &**lhs else { return None };
+            if v != base {
+                return None;
+            }
+            let Expr::Int(c) = &**rhs else { return None };
+            match op {
+                BinaryOp::Add => Some(*c),
+                BinaryOp::Sub => Some(-*c),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Instrument the producer of a staged flow array: mirror its global write
+/// into the tile's main cell and emit halo *recomputation* statements (the
+/// temporal-blocking scheme: boundary threads recompute the producer's
+/// expression at shifted sites, guarded by the producer's domain).
+fn instrument_producer(
+    seg: &mut Vec<Stmt>,
+    st: &StagedArray,
+    mi: usize,
+    m: &CanonMember,
+    bx: i64,
+    by: i64,
+    halo_out: &mut Vec<Stmt>,
+) -> Result<(), CodegenError> {
+    // Find the unique statement writing the array at [k][j][i].
+    let mut rhs: Option<Expr> = None;
+    let mut count = 0usize;
+    find_write(seg, &st.array, &mut rhs, &mut count);
+    if count != 1 {
+        return Err(CodegenError(format!(
+            "producer `{}` writes `{}` {count} times; complex fusion needs exactly one",
+            m.name, st.array
+        )));
+    }
+    let rhs = rhs.expect("counted above");
+    // Halo recomputation re-evaluates the producer's expression at shifted
+    // sites. Locals computed inside the segment hold *center-site* values,
+    // so every segment-local reference in the RHS must be inlined (its
+    // definition substituted, transitively) before shifting. Reassigned
+    // locals cannot be inlined soundly.
+    let mut local_defs: Vec<(String, Expr)> = Vec::new();
+    let mut reassigned: Vec<String> = Vec::new();
+    visit::walk_stmts(seg, &mut |s| match s {
+        Stmt::VarDecl {
+            name,
+            init: Some(e),
+            ..
+        } => local_defs.push((name.clone(), e.clone())),
+        Stmt::Assign {
+            target: LValue::Var(n),
+            ..
+        } => reassigned.push(n.clone()),
+        _ => {}
+    });
+    let mut rhs = rhs;
+    for _ in 0..=local_defs.len() {
+        let mut still = false;
+        visit::rewrite_expr(&mut rhs, &mut |e| {
+            if let Expr::Var(n) = e {
+                if reassigned.contains(n) {
+                    return None;
+                }
+                if let Some((_, def)) = local_defs.iter().find(|(name, _)| name == n) {
+                    return Some(def.clone());
+                }
+            }
+            None
+        });
+        visit::walk_expr(&rhs, &mut |e| {
+            if let Expr::Var(n) = e {
+                if !reassigned.contains(n) && local_defs.iter().any(|(name, _)| name == n) {
+                    still = true;
+                }
+            }
+        });
+        if !still {
+            break;
+        }
+    }
+    let mut unresolved = None;
+    visit::walk_expr(&rhs, &mut |e| {
+        if let Expr::Var(n) = e {
+            if reassigned.contains(n) && local_defs.iter().any(|(name, _)| name == n) {
+                unresolved = Some(n.clone());
+            }
+        }
+    });
+    if let Some(n) = unresolved {
+        return Err(CodegenError(format!(
+            "producer `{}` feeds `{}` through reassigned local `{n}`; halo \
+             recomputation cannot inline it",
+            m.name, st.array
+        )));
+    }
+    let tmp = format!("t_{}_m{mi}", st.array);
+    replace_write(seg, &st.array, &tmp, st);
+
+    // Halo recomputation: for each halo region, recompute the producer RHS
+    // at the shifted site when that site is inside the producer's domain.
+    let g = &m.guard;
+    let mut region = |cond: Expr, sy: Expr, sx: Expr, dj: i64, di: i64| {
+        let shifted = shift_expr(&rhs, di, dj);
+        let ii = b::offset(b::var("i"), di);
+        let jj = b::offset(b::var("j"), dj);
+        let dom = b::all(vec![
+            b::ge(ii.clone(), b::int(g.x_lo)),
+            b::lt(ii.clone(), b::int(g.x_hi)),
+            b::ge(jj.clone(), b::int(g.y_lo)),
+            b::lt(jj.clone(), b::int(g.y_hi)),
+        ]);
+        let val = Expr::Ternary {
+            cond: Box::new(dom),
+            then_val: Box::new(shifted),
+            else_val: Box::new(b::flt(0.0)),
+        };
+        halo_out.push(Stmt::If {
+            cond,
+            then_body: vec![Stmt::Assign {
+                target: LValue::Index {
+                    array: tile_name(&st.array),
+                    indices: vec![sy, sx],
+                },
+                op: AssignOp::Assign,
+                value: val,
+            }],
+            else_body: Vec::new(),
+        });
+    };
+    let (rx, ry) = (st.rx, st.ry);
+    if rx > 0 {
+        region(
+            b::lt(b::var("tx"), b::int(rx)),
+            b::offset(b::var("ty"), ry),
+            b::var("tx"),
+            0,
+            -rx,
+        );
+        region(
+            b::ge(b::var("tx"), b::int(bx - rx)),
+            b::offset(b::var("ty"), ry),
+            b::offset(b::var("tx"), 2 * rx),
+            0,
+            rx,
+        );
+    }
+    if ry > 0 {
+        region(
+            b::lt(b::var("ty"), b::int(ry)),
+            b::var("ty"),
+            b::offset(b::var("tx"), rx),
+            -ry,
+            0,
+        );
+        region(
+            b::ge(b::var("ty"), b::int(by - ry)),
+            b::offset(b::var("ty"), 2 * ry),
+            b::offset(b::var("tx"), rx),
+            ry,
+            0,
+        );
+    }
+    if rx > 0 && ry > 0 {
+        for (cx, cy) in [(-1i64, -1i64), (-1, 1), (1, -1), (1, 1)] {
+            let cond = b::and(
+                if cx < 0 {
+                    b::lt(b::var("tx"), b::int(rx))
+                } else {
+                    b::ge(b::var("tx"), b::int(bx - rx))
+                },
+                if cy < 0 {
+                    b::lt(b::var("ty"), b::int(ry))
+                } else {
+                    b::ge(b::var("ty"), b::int(by - ry))
+                },
+            );
+            let sx = if cx < 0 {
+                b::var("tx")
+            } else {
+                b::offset(b::var("tx"), 2 * rx)
+            };
+            let sy = if cy < 0 {
+                b::var("ty")
+            } else {
+                b::offset(b::var("ty"), 2 * ry)
+            };
+            region(cond, sy, sx, cy * ry, cx * rx);
+        }
+    }
+    Ok(())
+}
+
+fn find_write(stmts: &[Stmt], array: &str, rhs: &mut Option<Expr>, count: &mut usize) {
+    for s in stmts {
+        match s {
+            Stmt::Assign {
+                target: LValue::Index { array: a, indices },
+                op: AssignOp::Assign,
+                value,
+            } if a == array => {
+                // Must be the canonical [k][j][i] site.
+                if indices.len() == 3
+                    && indices[0] == Expr::Var("k".into())
+                    && indices[1] == Expr::Var("j".into())
+                    && indices[2] == Expr::Var("i".into())
+                {
+                    *rhs = Some(value.clone());
+                }
+                *count += 1;
+            }
+            Stmt::Assign {
+                target: LValue::Index { array: a, .. },
+                ..
+            } if a == array => *count += 1,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                find_write(then_body, array, rhs, count);
+                find_write(else_body, array, rhs, count);
+            }
+            Stmt::For { body, .. } => find_write(body, array, rhs, count),
+            _ => {}
+        }
+    }
+}
+
+/// Replace `W[k][j][i] = rhs;` by temp + global store + tile main store.
+fn replace_write(stmts: &mut Vec<Stmt>, array: &str, tmp: &str, st: &StagedArray) {
+    let mut i = 0;
+    while i < stmts.len() {
+        let replace = matches!(
+            &stmts[i],
+            Stmt::Assign {
+                target: LValue::Index { array: a, indices },
+                op: AssignOp::Assign,
+                ..
+            } if a == array
+                && indices.len() == 3
+                && indices[0] == Expr::Var("k".into())
+                && indices[1] == Expr::Var("j".into())
+                && indices[2] == Expr::Var("i".into())
+        );
+        if replace {
+            let Stmt::Assign { value, .. } = stmts.remove(i) else {
+                unreachable!()
+            };
+            stmts.insert(
+                i,
+                Stmt::VarDecl {
+                    name: tmp.into(),
+                    ty: ScalarType::F64,
+                    init: Some(value),
+                },
+            );
+            stmts.insert(
+                i + 1,
+                Stmt::Assign {
+                    target: LValue::Index {
+                        array: array.into(),
+                        indices: vec![b::var("k"), b::var("j"), b::var("i")],
+                    },
+                    op: AssignOp::Assign,
+                    value: b::var(tmp),
+                },
+            );
+            stmts.insert(
+                i + 2,
+                Stmt::Assign {
+                    target: LValue::Index {
+                        array: tile_name(array),
+                        indices: vec![
+                            b::offset(b::var("ty"), st.ry),
+                            b::offset(b::var("tx"), st.rx),
+                        ],
+                    },
+                    op: AssignOp::Assign,
+                    value: b::var(tmp),
+                },
+            );
+            i += 3;
+            continue;
+        }
+        if let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &mut stmts[i]
+        {
+            replace_write(then_body, array, tmp, st);
+            replace_write(else_body, array, tmp, st);
+        } else if let Stmt::For { body, .. } = &mut stmts[i] {
+            replace_write(body, array, tmp, st);
+        }
+        i += 1;
+    }
+}
+
+/// Substitute `i → i+di`, `j → j+dj` in an expression (two-phase through
+/// placeholders so the inserted `i`/`j` are not re-substituted).
+fn shift_expr(e: &Expr, di: i64, dj: i64) -> Expr {
+    let mut out = e.clone();
+    visit::rewrite_expr(&mut out, &mut |n| match n {
+        Expr::Var(v) if v == "i" => Some(Expr::Var("__si".into())),
+        Expr::Var(v) if v == "j" => Some(Expr::Var("__sj".into())),
+        _ => None,
+    });
+    visit::rewrite_expr(&mut out, &mut |n| match n {
+        Expr::Var(v) if v == "__si" => Some(b::offset(b::var("i"), di)),
+        Expr::Var(v) if v == "__sj" => Some(b::offset(b::var("j"), dj)),
+        _ => None,
+    });
+    out
+}

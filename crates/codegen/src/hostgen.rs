@@ -1,0 +1,328 @@
+//! Whole-program assembly (§5.5.4): apply a transformation plan — groups of
+//! launches to fuse, kernels to fission, block tuning — and emit the new
+//! program: generated kernels plus a rewritten host section invoking them
+//! in the new order.
+//!
+//! The generator is defensive: a group the fusion code generator rejects
+//! (unsupported structure, oversized halo, shared-memory overflow) falls
+//! back to emitting its members unfused, with a note in the report — the
+//! transformed program is always valid.
+
+use crate::fission::{fission_kernel, FissionProduct};
+use crate::fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel, FusionReport};
+use crate::tuning::{fuse_group_tuned, TuneNote};
+use sf_gpusim::device::DeviceSpec;
+use sf_graphs::build::all_accesses_with_allocs;
+use sf_graphs::Ddg;
+use sf_minicuda::ast::*;
+use sf_minicuda::host::{
+    Dim3, ExecutablePlan, HostValue, LaunchRecord, ResolvedArg, TransferRecord,
+};
+use sf_minicuda::visit;
+use std::collections::BTreeMap;
+
+/// One member of a fusion group: an original launch, or one fission product
+/// of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemberRef {
+    /// Static launch id in the original plan.
+    pub seq: usize,
+    /// `Some(c)` selects component `c` of the kernel's fission.
+    pub fission_component: Option<usize>,
+}
+
+impl MemberRef {
+    /// An unfissioned original launch.
+    pub fn original(seq: usize) -> MemberRef {
+        MemberRef {
+            seq,
+            fission_component: None,
+        }
+    }
+
+    /// A fission product.
+    pub fn product(seq: usize, component: usize) -> MemberRef {
+        MemberRef {
+            seq,
+            fission_component: Some(component),
+        }
+    }
+}
+
+/// A group of members to fuse into one kernel (singletons pass through).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupSpec {
+    /// Members in execution order within the group.
+    pub members: Vec<MemberRef>,
+}
+
+/// The full transformation plan, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct TransformPlan {
+    pub groups: Vec<GroupSpec>,
+    pub mode: CodegenMode,
+    /// Tune thread-block sizes of fused kernels (§4.2).
+    pub block_tuning: bool,
+    pub device: DeviceSpec,
+}
+
+/// The transformed program plus reports.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct TransformOutput {
+    pub program: Program,
+    /// One report per fused group (singletons produce no report).
+    pub reports: Vec<FusionReport>,
+    /// Block-tuning notes per fused kernel.
+    pub tuning: Vec<TuneNote>,
+    /// Groups the fusion generator rejected, with the reason; their members
+    /// were emitted unfused.
+    pub fallbacks: Vec<(usize, String)>,
+    /// Number of kernels in the new program that replace the targets (the
+    /// Table 1 "new kernels" count).
+    pub new_kernel_count: usize,
+}
+
+/// Apply a transformation plan to a program.
+pub fn transform_program(
+    original: &Program,
+    plan: &ExecutablePlan,
+    tplan: &TransformPlan,
+) -> Result<TransformOutput, CodegenError> {
+    // Redundant array instances (§3.2.3): the DDG's instance numbering is
+    // materialized as real allocations so relaxed anti/output dependences
+    // stay sound. The *last* instance keeps the base name, so host D2H
+    // copies (and verification) observe the final values unchanged.
+    let accesses = all_accesses_with_allocs(original, plan).map_err(CodegenError)?;
+    let ddg = Ddg::build(&accesses);
+    let mut max_inst: BTreeMap<String, usize> = BTreeMap::new();
+    for ((_, name), &inst) in ddg.read_instance.iter().chain(ddg.write_instance.iter()) {
+        let e = max_inst.entry(name.clone()).or_insert(0);
+        *e = (*e).max(inst);
+    }
+    let storage = |name: &str, inst: usize| -> String {
+        if max_inst.get(name).copied().unwrap_or(0) == inst {
+            name.to_string()
+        } else {
+            format!("{name}__i{inst}")
+        }
+    };
+    // Rewrite a launch's array arguments to the instance storages.
+    let apply_instances = |kernel: &Kernel, launch: &mut LaunchRecord| {
+        let written = visit::arrays_written(&kernel.body);
+        for (p, a) in kernel.params.iter().zip(launch.args.iter_mut()) {
+            if let (Param::Array { name, .. }, ResolvedArg::Array(actual)) = (p, a) {
+                let inst = if written.contains(name) {
+                    ddg.write_instance
+                        .get(&(launch.seq, actual.clone()))
+                        .copied()
+                        .unwrap_or(0)
+                } else {
+                    ddg.read_instance
+                        .get(&(launch.seq, actual.clone()))
+                        .copied()
+                        .unwrap_or(0)
+                };
+                *actual = storage(actual, inst);
+            }
+        }
+    };
+
+    // Fission products, computed lazily per kernel name.
+    let mut fissions: BTreeMap<String, Vec<FissionProduct>> = BTreeMap::new();
+    let mut resolve =
+        |mref: &MemberRef| -> Result<(Kernel, LaunchRecord), CodegenError> {
+            let launch = plan
+                .launches
+                .get(mref.seq)
+                .ok_or_else(|| CodegenError(format!("unknown launch seq {}", mref.seq)))?;
+            let kernel = original
+                .kernel(&launch.kernel)
+                .ok_or_else(|| CodegenError(format!("unknown kernel `{}`", launch.kernel)))?;
+            match mref.fission_component {
+                None => {
+                    let mut l = launch.clone();
+                    apply_instances(kernel, &mut l);
+                    Ok((kernel.clone(), l))
+                }
+                Some(c) => {
+                    let prods = fissions
+                        .entry(kernel.name.clone())
+                        .or_insert_with(|| fission_kernel(kernel).unwrap_or_default());
+                    let p = prods.get(c).ok_or_else(|| {
+                        CodegenError(format!(
+                            "kernel `{}` has no fission component {c}",
+                            kernel.name
+                        ))
+                    })?;
+                    let args: Vec<ResolvedArg> = p
+                        .kept_params
+                        .iter()
+                        .map(|&i| launch.args[i].clone())
+                        .collect();
+                    let mut l = LaunchRecord {
+                        seq: launch.seq,
+                        kernel: p.kernel.name.clone(),
+                        grid: launch.grid,
+                        block: launch.block,
+                        args,
+                        repeat: launch.repeat,
+                    };
+                    apply_instances(&p.kernel, &mut l);
+                    Ok((p.kernel.clone(), l))
+                }
+            }
+        };
+
+    let mut new_kernels: Vec<Kernel> = Vec::new();
+    let mut new_launches: Vec<(String, Dim3, Dim3, Vec<ResolvedArg>)> = Vec::new();
+    let mut reports = Vec::new();
+    let mut tuning = Vec::new();
+    let mut fallbacks = Vec::new();
+
+    let push_kernel = |kernels: &mut Vec<Kernel>, k: Kernel| {
+        if !kernels.iter().any(|e| e.name == k.name) {
+            kernels.push(k);
+        }
+    };
+
+    for (gi, group) in tplan.groups.iter().enumerate() {
+        if group.members.is_empty() {
+            continue;
+        }
+        if group.members.len() == 1 {
+            let (k, l) = resolve(&group.members[0])?;
+            push_kernel(&mut new_kernels, k);
+            new_launches.push((l.kernel.clone(), l.grid, l.block, l.args.clone()));
+            continue;
+        }
+        // Multi-member group: fuse.
+        let resolved: Vec<(Kernel, LaunchRecord)> = group
+            .members
+            .iter()
+            .map(&mut resolve)
+            .collect::<Result<_, _>>()?;
+        let member_refs: Vec<(&Kernel, LaunchRecord)> =
+            resolved.iter().map(|(k, l)| (k, l.clone())).collect();
+        let name = format!("fused_{gi}");
+        let initial_block = resolved[0].1.block;
+        let fused: Result<(FusedKernel, Option<TuneNote>), CodegenError> = if tplan.block_tuning
+        {
+            fuse_group_tuned(&member_refs, initial_block, tplan.mode, &name, &tplan.device)
+                .map(|(f, n)| (f, Some(n)))
+        } else {
+            fuse_group(
+                &member_refs,
+                initial_block,
+                tplan.mode,
+                &name,
+                tplan.device.smem_per_block_max,
+            )
+            .map(|f| (f, None))
+        };
+        match fused {
+            Ok((fk, note)) => {
+                reports.push(fk.report.clone());
+                if let Some(n) = note {
+                    tuning.push(n);
+                }
+                push_kernel(&mut new_kernels, fk.kernel);
+                new_launches.push((name, fk.grid, fk.block, fk.args));
+            }
+            Err(e) => {
+                // Fall back: emit members unfused, in host (seq) order.
+                fallbacks.push((gi, e.0));
+                let mut resolved = resolved;
+                resolved.sort_by_key(|(_, l)| l.seq);
+                for (k, l) in resolved {
+                    push_kernel(&mut new_kernels, k);
+                    new_launches.push((l.kernel.clone(), l.grid, l.block, l.args));
+                }
+            }
+        }
+    }
+
+    let new_kernel_count = new_launches.len();
+    let host = build_host(plan, &new_launches, &max_inst);
+    Ok(TransformOutput {
+        program: Program {
+            kernels: new_kernels,
+            host,
+        },
+        reports,
+        tuning,
+        fallbacks,
+        new_kernel_count,
+    })
+}
+
+/// Rebuild the host section: literal allocations, H2D copies, the new
+/// launches in plan order, D2H copies. (Host time loops are not preserved;
+/// the supported transformation scope is a flat launch sequence, and
+/// iterative behavior is carried by the launch `repeat` weights.)
+fn build_host(
+    plan: &ExecutablePlan,
+    launches: &[(String, Dim3, Dim3, Vec<ResolvedArg>)],
+    max_inst: &BTreeMap<String, usize>,
+) -> Vec<HostStmt> {
+    let mut host = Vec::new();
+    for a in &plan.allocs {
+        host.push(HostStmt::Alloc {
+            name: a.name.clone(),
+            elem: a.elem,
+            extents: a.extents.iter().map(|&e| Expr::Int(e as i64)).collect(),
+        });
+        // Redundant instances share the base array's extents.
+        let n = max_inst.get(&a.name).copied().unwrap_or(0);
+        for inst in 0..n {
+            host.push(HostStmt::Alloc {
+                name: format!("{}__i{inst}", a.name),
+                elem: a.elem,
+                extents: a.extents.iter().map(|&e| Expr::Int(e as i64)).collect(),
+            });
+        }
+    }
+    for t in &plan.transfers {
+        if let TransferRecord::ToDevice { array, .. } = t {
+            // Initial data lands in the first instance (the one the first
+            // readers consume); the base name holds the final instance.
+            let n = max_inst.get(array).copied().unwrap_or(0);
+            let target = if n == 0 {
+                array.clone()
+            } else {
+                format!("{array}__i0")
+            };
+            host.push(HostStmt::CopyToDevice { array: target });
+        }
+    }
+    for (kernel, grid, block, args) in launches {
+        host.push(HostStmt::Launch {
+            kernel: kernel.clone(),
+            grid: dim3_expr(*grid),
+            block: dim3_expr(*block),
+            args: args
+                .iter()
+                .map(|a| match a {
+                    ResolvedArg::Array(n) => LaunchArg::Array(n.clone()),
+                    ResolvedArg::Scalar(HostValue::Int(v)) => LaunchArg::Scalar(Expr::Int(*v)),
+                    ResolvedArg::Scalar(HostValue::Float(v)) => {
+                        LaunchArg::Scalar(Expr::Float(*v))
+                    }
+                })
+                .collect(),
+        });
+    }
+    for t in &plan.transfers {
+        if let TransferRecord::ToHost { array, .. } = t {
+            host.push(HostStmt::CopyToHost {
+                array: array.clone(),
+            });
+        }
+    }
+    host
+}
+
+fn dim3_expr(d: Dim3) -> Dim3Expr {
+    Dim3Expr::literal(d.x as i64, d.y as i64, d.z as i64)
+}

@@ -1,0 +1,89 @@
+//! Thread-block-size tuning (§4.2).
+//!
+//! Tuning happens at code-generation time, never inside the optimization
+//! algorithm: for each fused kernel the tuner enumerates candidate block
+//! shapes, *regenerates* the kernel for each (shared-memory tiles depend on
+//! the block shape), evaluates the occupancy-calculator clone, and keeps
+//! the shape with the highest occupancy.
+
+use crate::fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel};
+use sf_analysis::access::KernelAccess;
+use sf_gpusim::device::DeviceSpec;
+use sf_gpusim::occupancy::{self};
+use sf_gpusim::profiler::estimate_regs_per_thread;
+use sf_minicuda::ast::Kernel;
+use sf_minicuda::host::{Dim3, LaunchRecord};
+
+/// The outcome of tuning one fused kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct TuneNote {
+    pub kernel: String,
+    pub occupancy_before: f64,
+    pub occupancy_after: f64,
+    pub block_before: Dim3,
+    pub block_after: Dim3,
+    /// Whether the tuner changed the block shape.
+    pub tuned: bool,
+}
+
+/// Occupancy of a generated kernel under a given launch block.
+pub fn kernel_occupancy(
+    kernel: &Kernel,
+    block: Dim3,
+    device: &DeviceSpec,
+) -> Result<f64, CodegenError> {
+    let ka = KernelAccess::analyze(kernel).map_err(|e| CodegenError(e.0))?;
+    let regs = estimate_regs_per_thread(kernel, &ka);
+    Ok(occupancy::occupancy(
+        device,
+        block.count() as u32,
+        regs,
+        ka.smem_bytes_per_block(),
+    )
+    .map(|o| o.occupancy)
+    .unwrap_or(0.0))
+}
+
+/// Generate a fused kernel at the occupancy-optimal block size. Starts from
+/// `initial_block` and enumerates the calculator's candidates, regenerating
+/// the fusion for each viable shape.
+pub fn fuse_group_tuned(
+    members: &[(&Kernel, LaunchRecord)],
+    initial_block: Dim3,
+    mode: CodegenMode,
+    name: &str,
+    device: &DeviceSpec,
+) -> Result<(FusedKernel, TuneNote), CodegenError> {
+    let base = fuse_group(members, initial_block, mode, name, device.smem_per_block_max)?;
+    let occ_before = kernel_occupancy(&base.kernel, initial_block, device)?;
+
+    let mut best = base;
+    let mut best_occ = occ_before;
+    let mut best_block = initial_block;
+    for cand in occupancy::candidate_blocks(device) {
+        if cand == initial_block {
+            continue;
+        }
+        let Ok(fk) = fuse_group(members, cand, mode, name, device.smem_per_block_max) else {
+            continue;
+        };
+        let Ok(occ) = kernel_occupancy(&fk.kernel, cand, device) else {
+            continue;
+        };
+        if occ > best_occ + 1e-9 {
+            best = fk;
+            best_occ = occ;
+            best_block = cand;
+        }
+    }
+    let note = TuneNote {
+        kernel: name.to_string(),
+        occupancy_before: occ_before,
+        occupancy_after: best_occ,
+        block_before: initial_block,
+        block_after: best_block,
+        tuned: best_block != initial_block,
+    };
+    Ok((best, note))
+}

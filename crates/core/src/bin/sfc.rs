@@ -1,0 +1,298 @@
+//! `sfc` — the stencilfuse source-to-source transformer CLI.
+//!
+//! The paper's framework is "intended to be used as a standalone
+//! source-to-source transformer" driven by command-line arguments that can
+//! run the workflow up to / from any stage and exchange intermediate
+//! artifacts as files (§3.2). This binary is that interface:
+//!
+//! ```sh
+//! sfc input.cu -o fused.cu --device k20x \
+//!     --emit-ddg ddg.dot --emit-oeg oeg.dot --emit-new-oeg new_oeg.dot \
+//!     --emit-metadata metadata.json --params ga_params.json --report
+//! ```
+//!
+//! Exit status is non-zero when parsing, transformation or output
+//! verification fails.
+
+use sf_gpusim::device::DeviceSpec;
+use stencilfuse::{Interventions, Pipeline, PipelineConfig, Stage};
+
+struct Args {
+    input: Option<String>,
+    output: Option<String>,
+    device: DeviceSpec,
+    manual: bool,
+    no_fission: bool,
+    no_tuning: bool,
+    until: Option<Stage>,
+    emit_ddg: Option<String>,
+    emit_oeg: Option<String>,
+    emit_new_oeg: Option<String>,
+    emit_metadata: Option<String>,
+    load_metadata: Option<String>,
+    params: Option<String>,
+    report: bool,
+    no_verify: bool,
+    quick: bool,
+}
+
+const USAGE: &str = "\
+usage: sfc INPUT.cu [options]
+  -o FILE             write the transformed program (default: stdout)
+  --device NAME       k20x (default) or k40
+  --mode auto|manual  code generator flavor (default auto)
+  --no-fission        disable the lazy-fission moves (fusion only)
+  --no-tuning         disable thread-block-size tuning
+  --until STAGE       stop after metadata|filter|graphs|search|new-graphs
+  --params FILE       GA parameter file (JSON; see --emit-params)
+  --emit-params FILE  write the default GA parameter file and exit
+  --emit-ddg FILE     write the data dependency graph as DOT
+  --emit-oeg FILE     write the order-of-execution graph as DOT
+  --emit-new-oeg FILE write the post-search OEG (fusion clusters) as DOT
+  --emit-metadata FILE write the metadata bundle as JSON
+  --metadata FILE     skip profiling; run from this (amended) metadata file
+  --report            print per-stage reports to stderr
+  --no-verify         skip output verification
+  --quick             scaled-down search budget (for quick experiments)
+";
+
+fn parse_stage(s: &str) -> Option<Stage> {
+    Some(match s {
+        "metadata" => Stage::Metadata,
+        "filter" => Stage::Filter,
+        "graphs" => Stage::Graphs,
+        "search" => Stage::Search,
+        "new-graphs" => Stage::NewGraphs,
+        "codegen" => Stage::Codegen,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        output: None,
+        device: DeviceSpec::k20x(),
+        manual: false,
+        no_fission: false,
+        no_tuning: false,
+        until: None,
+        emit_ddg: None,
+        emit_oeg: None,
+        emit_new_oeg: None,
+        emit_metadata: None,
+        load_metadata: None,
+        params: None,
+        report: false,
+        no_verify: false,
+        quick: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-o" => args.output = Some(take(&mut i)?),
+            "--device" => {
+                let name = take(&mut i)?;
+                args.device = DeviceSpec::by_name(&name)
+                    .ok_or_else(|| format!("unknown device `{name}`"))?;
+            }
+            "--mode" => {
+                let m = take(&mut i)?;
+                args.manual = match m.as_str() {
+                    "manual" => true,
+                    "auto" => false,
+                    _ => return Err(format!("unknown mode `{m}`")),
+                };
+            }
+            "--no-fission" => args.no_fission = true,
+            "--no-tuning" => args.no_tuning = true,
+            "--until" => {
+                let s = take(&mut i)?;
+                args.until =
+                    Some(parse_stage(&s).ok_or_else(|| format!("unknown stage `{s}`"))?);
+            }
+            "--params" => args.params = Some(take(&mut i)?),
+            "--emit-params" => {
+                let path = take(&mut i)?;
+                let text = serde_json::to_string_pretty(&sf_search::SearchConfig::default())
+                    .expect("serializable");
+                std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?;
+                println!("default GA parameter file written to {path}");
+                std::process::exit(0);
+            }
+            "--emit-ddg" => args.emit_ddg = Some(take(&mut i)?),
+            "--emit-oeg" => args.emit_oeg = Some(take(&mut i)?),
+            "--emit-new-oeg" => args.emit_new_oeg = Some(take(&mut i)?),
+            "--emit-metadata" => args.emit_metadata = Some(take(&mut i)?),
+            "--metadata" => args.load_metadata = Some(take(&mut i)?),
+            "--report" => args.report = true,
+            "--no-verify" => args.no_verify = true,
+            "--quick" => args.quick = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.input.is_none() => {
+                args.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sfc: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let Some(input) = &args.input else {
+        eprintln!("sfc: no input file\n{USAGE}");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfc: cannot read {input}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let program = match sf_minicuda::parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sfc: {input}:{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut config = if args.quick {
+        PipelineConfig::quick(args.device.clone())
+    } else {
+        PipelineConfig::automated(args.device.clone())
+    };
+    if args.manual {
+        config = config.manual_oracle();
+    }
+    if args.no_fission {
+        config = config.without_fission();
+    }
+    if args.no_tuning {
+        config = config.without_tuning();
+    }
+    if args.no_verify {
+        config.verify = false;
+    }
+    config.run_until = args.until;
+    if let Some(path) = &args.load_metadata {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sfc: cannot read metadata file {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(bundle) => config.preloaded_metadata = Some(bundle),
+            Err(e) => {
+                eprintln!("sfc: bad metadata file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &args.params {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sfc: cannot read parameter file {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match serde_json::from_str::<sf_search::SearchConfig>(&text) {
+            Ok(sc) => config.search = sc,
+            Err(e) => {
+                eprintln!("sfc: bad parameter file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pipeline = match Pipeline::new(program, config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sfc: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match pipeline.run_with(&Interventions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sfc: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if args.report {
+        for r in &result.reports {
+            eprint!("{r}");
+        }
+        eprintln!(
+            "speedup {:.3}x ({:.1} µs -> {:.1} µs)",
+            result.speedup, result.original_time_us, result.transformed_time_us
+        );
+    }
+
+    let write_file = |path: &Option<String>, contents: &str, what: &str| {
+        if let Some(p) = path {
+            if let Err(e) = std::fs::write(p, contents) {
+                eprintln!("sfc: cannot write {what} to {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    write_file(&args.emit_ddg, &result.ddg_dot, "DDG");
+    write_file(&args.emit_oeg, &result.oeg_dot, "OEG");
+    write_file(&args.emit_new_oeg, &result.new_oeg_dot, "new OEG");
+    if let Some(p) = &args.emit_metadata {
+        let text = result
+            .metadata
+            .as_ref()
+            .map(|m| serde_json::to_string_pretty(m).expect("serializable"))
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(p, text) {
+            eprintln!("sfc: cannot write metadata to {p}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(v) = &result.verification {
+        if !v.passed() {
+            eprintln!(
+                "sfc: VERIFICATION FAILED: max diff {} on {:?}; hazards {:?}",
+                v.max_abs_diff, v.worst_array, v.hazards
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let text = sf_minicuda::printer::print_program(&result.program);
+    match &args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("sfc: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{text}"),
+    }
+}

@@ -1,0 +1,134 @@
+//! Pipeline configuration.
+
+use sf_analysis::filter::FilterConfig;
+use sf_codegen::CodegenMode;
+use sf_gpusim::device::DeviceSpec;
+use sf_search::SearchConfig;
+
+/// The pipeline stages, in order (the paper's Figure 2 workflow). The
+/// programmer can execute up to / from any stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub enum Stage {
+    Metadata,
+    Filter,
+    Graphs,
+    Search,
+    NewGraphs,
+    Codegen,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Metadata,
+        Stage::Filter,
+        Stage::Graphs,
+        Stage::Search,
+        Stage::NewGraphs,
+        Stage::Codegen,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Metadata => "metadata",
+            Stage::Filter => "filter",
+            Stage::Graphs => "graphs",
+            Stage::Search => "search",
+            Stage::NewGraphs => "new-graphs",
+            Stage::Codegen => "codegen",
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct PipelineConfig {
+    pub device: DeviceSpec,
+    /// Automated vs manual-oracle code generation.
+    pub mode: CodegenMode,
+    /// Enable the lazy-fission moves in the search (§4.1).
+    pub enable_fission: bool,
+    /// Tune thread-block sizes of generated kernels (§4.2).
+    pub block_tuning: bool,
+    pub filter: FilterConfig,
+    pub search: SearchConfig,
+    /// Profile with a functional run (exact flops/divergence) vs analytic.
+    pub functional_profile: bool,
+    /// Skip stage 1 and use this metadata bundle instead (the paper's
+    /// "execute from a given stage" with programmer-amended metadata
+    /// files). Launch costs are reconstructed from the bundle's runtimes.
+    pub preloaded_metadata: Option<sf_analysis::metadata::MetadataBundle>,
+    /// Verify the transformed program's output against the original.
+    pub verify: bool,
+    /// Stop after this stage (None = run to completion).
+    pub run_until: Option<Stage>,
+}
+
+impl PipelineConfig {
+    /// The paper's fully automated configuration (fission + tuning on).
+    pub fn automated(device: DeviceSpec) -> PipelineConfig {
+        PipelineConfig {
+            device,
+            mode: CodegenMode::Auto,
+            enable_fission: true,
+            block_tuning: true,
+            filter: FilterConfig::default(),
+            search: SearchConfig::default(),
+            functional_profile: true,
+            verify: true,
+            run_until: None,
+            preloaded_metadata: None,
+        }
+    }
+
+    /// Automated, with the scaled-down search used by tests and examples.
+    pub fn quick(device: DeviceSpec) -> PipelineConfig {
+        PipelineConfig {
+            search: SearchConfig::quick(),
+            ..PipelineConfig::automated(device)
+        }
+    }
+
+    /// Fusion-only ablation (no fission moves).
+    pub fn without_fission(mut self) -> PipelineConfig {
+        self.enable_fission = false;
+        self.search = self.search.without_fission();
+        self
+    }
+
+    /// Disable block tuning.
+    pub fn without_tuning(mut self) -> PipelineConfig {
+        self.block_tuning = false;
+        self
+    }
+
+    /// Use the manual-oracle code generator (the paper's hand-fused
+    /// comparison baseline).
+    pub fn manual_oracle(mut self) -> PipelineConfig {
+        self.mode = CodegenMode::Manual;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order() {
+        assert!(Stage::Metadata < Stage::Codegen);
+        assert_eq!(Stage::ALL.len(), 6);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = PipelineConfig::automated(DeviceSpec::k20x()).without_fission();
+        assert!(!c.enable_fission);
+        assert_eq!(c.search.p_fission, 0.0);
+        let c2 = PipelineConfig::automated(DeviceSpec::k20x()).manual_oracle();
+        assert_eq!(c2.mode, CodegenMode::Manual);
+    }
+}

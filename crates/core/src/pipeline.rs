@@ -1,0 +1,534 @@
+//! The staged transformation pipeline with programmer intervention points.
+
+use crate::config::{PipelineConfig, Stage};
+use crate::report::StageReport;
+use crate::verify::{verify_equivalence, Verification};
+use sf_analysis::filter::{identify_targets, FilterDecision};
+use sf_analysis::metadata::MetadataBundle;
+use sf_codegen::{transform_program, GroupSpec, TransformOutput, TransformPlan};
+use sf_gpusim::profiler::{Profiler, ProgramProfile};
+use sf_graphs::build::all_accesses_with_allocs;
+use sf_graphs::{dot, Ddg, Oeg};
+use sf_minicuda::host::ExecutablePlan;
+use sf_minicuda::Program;
+use sf_search::{search, SearchConfig, SearchResult, SearchSpace};
+use std::fmt;
+
+/// A pipeline failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError(pub String);
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+macro_rules! impl_from_err {
+    ($t:ty) => {
+        impl From<$t> for PipelineError {
+            fn from(e: $t) -> Self {
+                PipelineError(e.to_string())
+            }
+        }
+    };
+}
+impl_from_err!(sf_gpusim::profiler::ProfileError);
+impl_from_err!(sf_codegen::CodegenError);
+impl_from_err!(sf_minicuda::host::HostEvalError);
+
+/// Programmer intervention hooks, applied to each stage's artifact before
+/// the next stage consumes it (§3.2: "the programmer can intervene by
+/// changing the output of any given stage before passing it to the next").
+#[derive(Default)]
+pub struct Interventions<'a> {
+    /// Amend the metadata bundle after stage 1.
+    pub amend_metadata: Option<Box<dyn Fn(&mut MetadataBundle) + 'a>>,
+    /// Amend the target-filter decisions after stage 2 (e.g. exclude the
+    /// latency-bound Fluam kernels, §6.2.2).
+    pub amend_decisions: Option<Box<dyn Fn(&mut Vec<FilterDecision>) + 'a>>,
+    /// Amend the GA parameter file before the search runs.
+    pub amend_search_config: Option<Box<dyn Fn(&mut SearchConfig) + 'a>>,
+    /// Amend the winning grouping (the "new OEG") before code generation.
+    pub amend_groups: Option<Box<dyn Fn(&mut Vec<GroupSpec>) + 'a>>,
+}
+
+/// The end-to-end result.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct TransformResult {
+    /// The transformed program (equals the original if the pipeline stopped
+    /// before codegen).
+    pub program: Program,
+    /// Modeled end-to-end device time of the original program, µs.
+    pub original_time_us: f64,
+    /// Modeled time of the transformed program, µs.
+    pub transformed_time_us: f64,
+    /// `original / transformed` (1.0 when codegen did not run).
+    pub speedup: f64,
+    /// Output verification (when enabled and codegen ran).
+    pub verification: Option<Verification>,
+    /// Per-stage reports with inefficiency hints.
+    pub reports: Vec<StageReport>,
+    /// Stage artifacts.
+    pub metadata: Option<MetadataBundle>,
+    pub decisions: Vec<FilterDecision>,
+    pub ddg_dot: String,
+    pub oeg_dot: String,
+    /// The new OEG (winning grouping rendered with fusion clusters).
+    pub new_oeg_dot: String,
+    pub search: Option<SearchResult>,
+    pub transform: Option<TransformOutput>,
+    /// Profiles of both programs (same profiler settings).
+    pub original_profile: Option<ProgramProfile>,
+    pub transformed_profile: Option<ProgramProfile>,
+}
+
+/// The pipeline driver.
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct Pipeline {
+    pub program: Program,
+    pub plan: ExecutablePlan,
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline for a program.
+    pub fn new(program: Program, config: PipelineConfig) -> Result<Pipeline, PipelineError> {
+        let plan = ExecutablePlan::from_program(&program)?;
+        if plan.launches.is_empty() {
+            return Err(PipelineError("program has no kernel launches".into()));
+        }
+        Ok(Pipeline {
+            program,
+            plan,
+            config,
+        })
+    }
+
+    /// Fully automated run (no interventions).
+    pub fn run(&self) -> Result<TransformResult, PipelineError> {
+        self.run_with(&Interventions::default())
+    }
+
+    /// Run with programmer interventions.
+    pub fn run_with(&self, hooks: &Interventions) -> Result<TransformResult, PipelineError> {
+        let cfg = &self.config;
+        let mut reports = Vec::new();
+        let stop_after = |s: Stage| cfg.run_until.map_or(false, |u| u <= s);
+
+        // ---------------- stage 1: metadata ----------------
+        let profiler = if cfg.functional_profile {
+            Profiler::new(cfg.device.clone())
+        } else {
+            Profiler::analytic(cfg.device.clone())
+        };
+        let original_profile = match &cfg.preloaded_metadata {
+            // "Execute from" the metadata stage: trust the (possibly
+            // programmer-amended) bundle and reconstruct the end-to-end
+            // time from its per-launch runtimes.
+            Some(bundle) => {
+                if bundle.perf.len() != self.plan.launches.len() {
+                    return Err(PipelineError(format!(
+                        "preloaded metadata describes {} launches, program has {}",
+                        bundle.perf.len(),
+                        self.plan.launches.len()
+                    )));
+                }
+                let total: f64 = bundle
+                    .perf
+                    .iter()
+                    .zip(&self.plan.launches)
+                    .map(|(p, l)| p.runtime_us * l.repeat as f64)
+                    .sum();
+                ProgramProfile {
+                    metadata: bundle.clone(),
+                    costs: Vec::new(),
+                    total_runtime_us: total,
+                    hazards: Vec::new(),
+                }
+            }
+            None => profiler.profile_with_plan(&self.program, &self.plan)?,
+        };
+        let mut metadata = original_profile.metadata.clone();
+        if let Some(f) = &hooks.amend_metadata {
+            f(&mut metadata);
+        }
+        {
+            let mut r = StageReport::new(Stage::Metadata);
+            r.line(format!(
+                "{} kernel invocations profiled on {}; modeled device time {:.1} µs",
+                metadata.perf.len(),
+                metadata.device.name,
+                original_profile.total_runtime_us
+            ));
+            for h in &original_profile.hazards {
+                r.hint(format!("hazard in original program: {h}"));
+            }
+            reports.push(r);
+        }
+        if stop_after(Stage::Metadata) {
+            return Ok(self.partial(reports, Some(metadata), Vec::new(), original_profile));
+        }
+
+        // ---------------- stage 2: filter ----------------
+        let mut decisions =
+            identify_targets(&metadata.perf, &metadata.ops, &metadata.device, &cfg.filter);
+        if let Some(f) = &hooks.amend_decisions {
+            f(&mut decisions);
+        }
+        {
+            let mut r = StageReport::new(Stage::Filter);
+            let targets = decisions.iter().filter(|d| d.is_target()).count();
+            r.line(format!(
+                "{targets} of {} invocations are fusion targets",
+                decisions.len()
+            ));
+            for d in &decisions {
+                if !d.is_target() {
+                    r.line(format!(
+                        "excluded {}#{}: {:?} (OI {:.3})",
+                        d.kernel, d.seq, d.reason, d.oi
+                    ));
+                }
+            }
+            // Inefficiency hint: suspiciously slow memory-bound kernels.
+            for (d, p) in decisions.iter().zip(&metadata.perf) {
+                if d.is_target()
+                    && sf_analysis::roofline::is_latency_bound(p, &metadata.device, 4.0)
+                {
+                    r.hint(format!(
+                        "{}#{} may be latency-bound (runtime far above roofline bound); \
+                         consider excluding it in guided mode",
+                        d.kernel, d.seq
+                    ));
+                }
+            }
+            reports.push(r);
+        }
+        if stop_after(Stage::Filter) {
+            return Ok(self.partial(reports, Some(metadata), decisions, original_profile));
+        }
+
+        // ---------------- stage 3: graphs ----------------
+        let accesses =
+            all_accesses_with_allocs(&self.program, &self.plan).map_err(PipelineError)?;
+        let ddg = Ddg::build(&accesses);
+        let kernel_names: Vec<String> = self
+            .plan
+            .launches
+            .iter()
+            .map(|l| l.kernel.clone())
+            .collect();
+        let oeg = Oeg::build(kernel_names.clone(), &accesses, &ddg, &self.plan.transfers);
+        let name_of = |seq: usize| kernel_names[seq].clone();
+        let ddg_dot = dot::ddg_to_dot(&ddg, &name_of);
+        let oeg_dot = dot::oeg_to_dot(&oeg.transitive_reduction(), None);
+        {
+            let mut r = StageReport::new(Stage::Graphs);
+            r.line(format!(
+                "DDG: {} kernel nodes, {} array nodes, {} edges; OEG: {} edges",
+                ddg.kernel_count(),
+                ddg.array_count(),
+                ddg.edges.len(),
+                oeg.edges.len()
+            ));
+            r.line(format!(
+                "{} array sharing sets",
+                ddg.array_sharing_sets().len()
+            ));
+            for line in &ddg.report {
+                r.line(format!("graph optimization: {line}"));
+            }
+            reports.push(r);
+        }
+        if stop_after(Stage::Graphs) {
+            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+            out.ddg_dot = ddg_dot;
+            out.oeg_dot = oeg_dot;
+            return Ok(out);
+        }
+
+        // ---------------- stage 4: search ----------------
+        // The search consumes the (possibly programmer-amended) metadata.
+        let search_profile = ProgramProfile {
+            metadata: metadata.clone(),
+            costs: original_profile.costs.clone(),
+            total_runtime_us: original_profile.total_runtime_us,
+            hazards: Vec::new(),
+        };
+        let space = SearchSpace::build(
+            &self.program,
+            &self.plan,
+            &search_profile,
+            &decisions,
+            cfg.device.clone(),
+        )?;
+        let mut search_cfg = cfg.search.clone();
+        if !cfg.enable_fission {
+            search_cfg = search_cfg.without_fission();
+        }
+        if let Some(f) = &hooks.amend_search_config {
+            f(&mut search_cfg);
+        }
+        let result = search(&space, &search_cfg);
+        {
+            let mut r = StageReport::new(Stage::Search);
+            r.line(format!(
+                "GGA ran {} generations, {} evaluations; projection {:.2} → {:.2} GFLOPS",
+                result.generations_run,
+                result.evaluations,
+                result.baseline_gflops,
+                result.best_gflops
+            ));
+            r.line(format!(
+                "{} fusion groups; {:.3} fissions per generation",
+                result.best.fusion_groups().len(),
+                result.fissions_per_generation
+            ));
+            if result.best_gflops <= result.baseline_gflops * 1.001 {
+                r.hint("search found no grouping better than the original program");
+            }
+            reports.push(r);
+        }
+        let mut groups = result.groups.clone();
+        if stop_after(Stage::Search) {
+            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+            out.search = Some(result);
+            out.ddg_dot = ddg_dot;
+            out.oeg_dot = oeg_dot;
+            return Ok(out);
+        }
+
+        // ---------------- stage 5: new graphs ----------------
+        if let Some(f) = &hooks.amend_groups {
+            f(&mut groups);
+        }
+        // Render the new OEG: original nodes with fusion clusters.
+        let new_oeg_dot = {
+            let mut group_of: Vec<usize> = (0..self.plan.launches.len()).collect();
+            for (gi, g) in groups.iter().enumerate() {
+                for m in &g.members {
+                    group_of[m.seq] = self.plan.launches.len() + gi;
+                }
+            }
+            dot::oeg_to_dot(&oeg.transitive_reduction(), Some(&group_of))
+        };
+        {
+            let mut r = StageReport::new(Stage::NewGraphs);
+            r.line(format!(
+                "new program: {} launches ({} in the original)",
+                groups.len(),
+                self.plan.launches.len()
+            ));
+            reports.push(r);
+        }
+        if stop_after(Stage::NewGraphs) {
+            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+            out.search = Some(result);
+            out.ddg_dot = ddg_dot;
+            out.oeg_dot = oeg_dot;
+            out.new_oeg_dot = new_oeg_dot;
+            return Ok(out);
+        }
+
+        // ---------------- stage 6: codegen ----------------
+        let tplan = TransformPlan {
+            groups,
+            mode: cfg.mode,
+            block_tuning: cfg.block_tuning,
+            device: cfg.device.clone(),
+        };
+        let transform = transform_program(&self.program, &self.plan, &tplan)?;
+        let transformed_profile = profiler.profile(&transform.program)?;
+        {
+            let mut r = StageReport::new(Stage::Codegen);
+            r.line(format!(
+                "{} new kernels generated; modeled device time {:.1} µs",
+                transform.new_kernel_count, transformed_profile.total_runtime_us
+            ));
+            for (gi, why) in &transform.fallbacks {
+                r.hint(format!(
+                    "group {gi} could not be fused and fell back to unfused members: {why}"
+                ));
+            }
+            for rep in &transform.reports {
+                if !rep.merged {
+                    r.hint(format!(
+                        "group {:?} was concatenated without sweep merging (deep nested \
+                         loops / mismatched structure): no inter-member reuse generated",
+                        rep.members
+                    ));
+                }
+            }
+            for t in &transform.tuning {
+                if t.tuned {
+                    r.line(format!(
+                        "tuned `{}` block {} → {} (occupancy {:.2} → {:.2})",
+                        t.kernel,
+                        t.block_before,
+                        t.block_after,
+                        t.occupancy_before,
+                        t.occupancy_after
+                    ));
+                }
+            }
+            reports.push(r);
+        }
+
+        let verification = if cfg.verify {
+            Some(
+                verify_equivalence(&self.program, &transform.program, 99)
+                    .map_err(PipelineError)?,
+            )
+        } else {
+            None
+        };
+
+        let original_time = original_profile.total_runtime_us;
+        let transformed_time = transformed_profile.total_runtime_us;
+        Ok(TransformResult {
+            program: transform.program.clone(),
+            original_time_us: original_time,
+            transformed_time_us: transformed_time,
+            speedup: original_time / transformed_time.max(1e-12),
+            verification,
+            reports,
+            metadata: Some(metadata),
+            decisions,
+            ddg_dot,
+            oeg_dot,
+            new_oeg_dot,
+            search: Some(result),
+            transform: Some(transform),
+            original_profile: Some(original_profile),
+            transformed_profile: Some(transformed_profile),
+        })
+    }
+
+    fn partial(
+        &self,
+        reports: Vec<StageReport>,
+        metadata: Option<MetadataBundle>,
+        decisions: Vec<FilterDecision>,
+        original_profile: ProgramProfile,
+    ) -> TransformResult {
+        TransformResult {
+            program: self.program.clone(),
+            original_time_us: original_profile.total_runtime_us,
+            transformed_time_us: original_profile.total_runtime_us,
+            speedup: 1.0,
+            verification: None,
+            reports,
+            metadata,
+            decisions,
+            ddg_dot: String::new(),
+            oeg_dot: String::new(),
+            new_oeg_dot: String::new(),
+            search: None,
+            transform: None,
+            original_profile: Some(original_profile),
+            transformed_profile: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use sf_gpusim::device::DeviceSpec;
+    use sf_minicuda::parse_program;
+
+    const APP: &str = r#"
+__global__ void stage1(const double* __restrict__ u, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { a[k][j][i] = u[k][j][i] * 2.0; } }
+}
+__global__ void stage2(const double* __restrict__ u, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = u[k][j][i] + 1.0; } }
+}
+__global__ void stage3(const double* __restrict__ a, const double* __restrict__ b, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = a[k][j][i] - b[k][j][i]; } }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 8;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  cudaMemcpyH2D(u);
+  stage1<<<dim3(4, 4), dim3(16, 8)>>>(u, a, nx, ny, nz);
+  stage2<<<dim3(4, 4), dim3(16, 8)>>>(u, b, nx, ny, nz);
+  stage3<<<dim3(4, 4), dim3(16, 8)>>>(a, b, c, nx, ny, nz);
+  cudaMemcpyD2H(c);
+}
+"#;
+
+    #[test]
+    fn end_to_end_automated_transformation() {
+        let p = parse_program(APP).unwrap();
+        let pipeline = Pipeline::new(p, PipelineConfig::quick(DeviceSpec::k20x())).unwrap();
+        let result = pipeline.run().unwrap();
+        assert!(result.speedup > 1.0, "speedup was {:.3}", result.speedup);
+        let v = result.verification.as_ref().unwrap();
+        assert!(v.passed(), "verification failed: {v:?}");
+        assert_eq!(result.reports.len(), 6);
+        assert!(result.new_oeg_dot.contains("cluster"));
+        // Fewer launches than the original.
+        let new_launches = result.program.static_launches().len();
+        assert!(new_launches < 3);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let p = parse_program(APP).unwrap();
+        let mut cfg = PipelineConfig::quick(DeviceSpec::k20x());
+        cfg.run_until = Some(Stage::Filter);
+        let pipeline = Pipeline::new(p.clone(), cfg).unwrap();
+        let result = pipeline.run().unwrap();
+        assert_eq!(result.speedup, 1.0);
+        assert_eq!(result.program, p);
+        assert!(result.search.is_none());
+        assert_eq!(result.reports.len(), 2);
+    }
+
+    #[test]
+    fn guided_intervention_changes_outcome() {
+        let p = parse_program(APP).unwrap();
+        let pipeline = Pipeline::new(p, PipelineConfig::quick(DeviceSpec::k20x())).unwrap();
+        // Intervene: mark stage2 ineligible. The search must then leave it
+        // out of any fusion group.
+        let hooks = Interventions {
+            amend_decisions: Some(Box::new(|ds: &mut Vec<FilterDecision>| {
+                for d in ds.iter_mut() {
+                    if d.kernel == "stage2" {
+                        d.reason = sf_analysis::filter::FilterReason::ComputeBound;
+                    }
+                }
+            })),
+            ..Interventions::default()
+        };
+        let result = pipeline.run_with(&hooks).unwrap();
+        let search = result.search.as_ref().unwrap();
+        for group in search.best.fusion_groups() {
+            for u in group {
+                assert_ne!(u, 1, "stage2 must stay unfused after intervention");
+            }
+        }
+        assert!(result.verification.unwrap().passed());
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let p = parse_program("void host() { int n = 4; double* a = cudaAlloc1D(n); }").unwrap();
+        assert!(Pipeline::new(p, PipelineConfig::quick(DeviceSpec::k20x())).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Stage reports: "the programmer is provided with a report on the output
+//! of each phase including hints of possible inefficiencies" (§1).
+
+use crate::config::Stage;
+use std::fmt;
+
+/// A human-readable report emitted after one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct StageReport {
+    pub stage: Stage,
+    /// Summary lines.
+    pub lines: Vec<String>,
+    /// Possible-inefficiency hints the programmer may act on in guided mode.
+    pub hints: Vec<String>,
+}
+
+impl StageReport {
+    /// New empty report for a stage.
+    pub fn new(stage: Stage) -> StageReport {
+        StageReport {
+            stage,
+            lines: Vec::new(),
+            hints: Vec::new(),
+        }
+    }
+
+    /// Append a summary line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Append an inefficiency hint.
+    pub fn hint(&mut self, s: impl Into<String>) {
+        self.hints.push(s.into());
+    }
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== stage: {} ===", self.stage.name())?;
+        for l in &self.lines {
+            writeln!(f, "  {l}")?;
+        }
+        for h in &self.hints {
+            writeln!(f, "  hint: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_lines_and_hints() {
+        let mut r = StageReport::new(Stage::Filter);
+        r.line("3 targets");
+        r.hint("kernel k7 looks latency-bound");
+        let text = r.to_string();
+        assert!(text.contains("stage: filter"));
+        assert!(text.contains("3 targets"));
+        assert!(text.contains("hint: kernel k7"));
+    }
+}

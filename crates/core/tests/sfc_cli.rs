@@ -1,0 +1,133 @@
+//! End-to-end tests of the `sfc` command-line transformer.
+
+use std::process::Command;
+
+const DEMO: &str = r#"
+__global__ void flux(const double* __restrict__ q, double* f, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) { f[k][j][i] = 0.5 * q[k][j][i] * q[k][j][i]; }
+  }
+}
+__global__ void upd(const double* __restrict__ f, double* d, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 0; k < nz; k++) { d[k][j][i] = f[k][j][i+1] - f[k][j][i-1]; }
+  }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 8;
+  double* q = cudaAlloc3D(nz, ny, nx);
+  double* f = cudaAlloc3D(nz, ny, nx);
+  double* d = cudaAlloc3D(nz, ny, nx);
+  cudaMemcpyH2D(q);
+  flux<<<dim3(4, 4), dim3(16, 8)>>>(q, f, nx, ny, nz);
+  upd<<<dim3(4, 4), dim3(16, 8)>>>(f, d, nx, ny, nz);
+  cudaMemcpyD2H(d);
+}
+"#;
+
+fn sfc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfc"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sfc-cli-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn transforms_emits_artifacts_and_verifies() {
+    let input = tmp("demo.cu");
+    std::fs::write(&input, DEMO).unwrap();
+    let out_cu = tmp("demo_fused.cu");
+    let ddg = tmp("demo_ddg.dot");
+    let md = tmp("demo_md.json");
+    let status = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "-o",
+            out_cu.to_str().unwrap(),
+            "--emit-ddg",
+            ddg.to_str().unwrap(),
+            "--emit-metadata",
+            md.to_str().unwrap(),
+        ])
+        .status()
+        .expect("sfc runs");
+    assert!(status.success());
+    let fused = std::fs::read_to_string(&out_cu).unwrap();
+    assert!(fused.contains("__global__ void fused_0"));
+    // Generated source is valid minicuda.
+    sf_minicuda::parse_program(&fused).expect("emitted source parses");
+    let dot = std::fs::read_to_string(&ddg).unwrap();
+    assert!(dot.starts_with("digraph DDG"));
+    let bundle: sf_analysis::metadata::MetadataBundle =
+        serde_json::from_str(&std::fs::read_to_string(&md).unwrap()).unwrap();
+    assert_eq!(bundle.perf.len(), 2);
+}
+
+#[test]
+fn metadata_round_trip_via_cli() {
+    let input = tmp("demo2.cu");
+    std::fs::write(&input, DEMO).unwrap();
+    let md = tmp("demo2_md.json");
+    // First run: metadata only.
+    let status = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "--until",
+            "metadata",
+            "--emit-metadata",
+            md.to_str().unwrap(),
+            "-o",
+            tmp("demo2_null.cu").to_str().unwrap(),
+        ])
+        .status()
+        .expect("sfc runs");
+    assert!(status.success());
+    // Second run: from the emitted metadata.
+    let out = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "--metadata",
+            md.to_str().unwrap(),
+            "-o",
+            tmp("demo2_fused.cu").to_str().unwrap(),
+        ])
+        .status()
+        .expect("sfc runs");
+    assert!(out.success());
+}
+
+#[test]
+fn rejects_bad_input_with_nonzero_exit() {
+    let input = tmp("bad.cu");
+    std::fs::write(&input, "__global__ void broken(").unwrap();
+    let status = sfc()
+        .arg(input.to_str().unwrap())
+        .output()
+        .expect("sfc runs");
+    assert!(!status.status.success());
+    let err = String::from_utf8_lossy(&status.stderr);
+    assert!(err.contains("sfc:"), "{err}");
+}
+
+#[test]
+fn emit_params_writes_default_file() {
+    let path = tmp("params.json");
+    let status = sfc()
+        .args(["--emit-params", path.to_str().unwrap()])
+        .status()
+        .expect("sfc runs");
+    assert!(status.success());
+    let cfg: sf_search::SearchConfig =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(cfg.population, 100);
+}

@@ -1,0 +1,390 @@
+//! Kernel compilation: resolve variable names to slot indices and array
+//! names to table indices once per (kernel, launch), so the functional
+//! interpreter executes without any hashing in the hot path.
+
+use crate::interp::ExecError;
+use sf_minicuda::ast::*;
+use std::collections::HashMap;
+
+/// A compiled expression with all names resolved.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CExpr {
+    I(i64),
+    F(f64),
+    /// Local variable / scalar parameter slot.
+    Slot(u16),
+    Builtin(Builtin),
+    /// Global array element (index into the launch's bound-array table).
+    Global { array: u16, idx: Vec<CExpr> },
+    /// Shared tile element (index into the block's tile table).
+    Shared { tile: u16, idx: Vec<CExpr> },
+    Un {
+        op: UnaryOp,
+        e: Box<CExpr>,
+    },
+    Bin {
+        op: BinaryOp,
+        l: Box<CExpr>,
+        r: Box<CExpr>,
+    },
+    Call {
+        fun: Intrinsic,
+        args: Vec<CExpr>,
+    },
+    Ternary {
+        c: Box<CExpr>,
+        t: Box<CExpr>,
+        e: Box<CExpr>,
+    },
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CStmt {
+    SetSlot {
+        slot: u16,
+        ty: ScalarType,
+        e: Option<CExpr>,
+    },
+    StoreGlobal {
+        array: u16,
+        idx: Vec<CExpr>,
+        op: AssignOp,
+        e: CExpr,
+    },
+    StoreShared {
+        tile: u16,
+        idx: Vec<CExpr>,
+        op: AssignOp,
+        e: CExpr,
+    },
+    If {
+        cond: CExpr,
+        then_body: Vec<CStmt>,
+        else_body: Vec<CStmt>,
+    },
+    For {
+        slot: u16,
+        init: CExpr,
+        cond: CExpr,
+        step: CExpr,
+        body: Vec<CStmt>,
+    },
+    Sync,
+    Return,
+}
+
+/// A compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct CompiledKernel {
+    pub name: String,
+    /// Number of value slots per thread (locals + scalar params).
+    pub nslots: usize,
+    /// Scalar parameter slots in parameter order.
+    pub scalar_param_slots: Vec<(u16, ScalarType)>,
+    /// Array parameter names in parameter order (bound at launch).
+    pub array_params: Vec<String>,
+    /// Shared tiles: (extents, element count).
+    pub tiles: Vec<(Vec<usize>, usize)>,
+    pub body: Vec<CStmt>,
+}
+
+struct Compiler<'k> {
+    kernel: &'k Kernel,
+    slots: HashMap<String, u16>,
+    arrays: HashMap<String, u16>,
+    tiles: HashMap<String, u16>,
+    tile_shapes: Vec<(Vec<usize>, usize)>,
+}
+
+impl<'k> Compiler<'k> {
+    fn slot(&mut self, name: &str) -> Result<u16, ExecError> {
+        if let Some(&s) = self.slots.get(name) {
+            return Ok(s);
+        }
+        let s = self.slots.len() as u16;
+        if self.slots.len() >= u16::MAX as usize {
+            return Err(ExecError(format!(
+                "too many locals in `{}`",
+                self.kernel.name
+            )));
+        }
+        self.slots.insert(name.to_string(), s);
+        Ok(s)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<CExpr, ExecError> {
+        Ok(match e {
+            Expr::Int(v) => CExpr::I(*v),
+            Expr::Float(v) => CExpr::F(*v),
+            Expr::Var(n) => {
+                let Some(&s) = self.slots.get(n) else {
+                    return Err(ExecError(format!(
+                        "unknown variable `{n}` in `{}`",
+                        self.kernel.name
+                    )));
+                };
+                CExpr::Slot(s)
+            }
+            Expr::Builtin(b) => CExpr::Builtin(*b),
+            Expr::Index { array, indices } => {
+                let idx = indices
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?;
+                if let Some(&a) = self.arrays.get(array) {
+                    CExpr::Global { array: a, idx }
+                } else if let Some(&t) = self.tiles.get(array) {
+                    CExpr::Shared { tile: t, idx }
+                } else {
+                    return Err(ExecError(format!(
+                        "read of unknown array `{array}` in `{}`",
+                        self.kernel.name
+                    )));
+                }
+            }
+            Expr::Unary { op, operand } => CExpr::Un {
+                op: *op,
+                e: Box::new(self.expr(operand)?),
+            },
+            Expr::Binary { op, lhs, rhs } => CExpr::Bin {
+                op: *op,
+                l: Box::new(self.expr(lhs)?),
+                r: Box::new(self.expr(rhs)?),
+            },
+            Expr::Call { fun, args } => CExpr::Call {
+                fun: *fun,
+                args: args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?,
+            },
+            Expr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => CExpr::Ternary {
+                c: Box::new(self.expr(cond)?),
+                t: Box::new(self.expr(then_val)?),
+                e: Box::new(self.expr(else_val)?),
+            },
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<CStmt>, ExecError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            match s {
+                Stmt::VarDecl { name, ty, init } => {
+                    let e = match init {
+                        Some(e) => Some(self.expr(e)?),
+                        None => None,
+                    };
+                    let slot = self.slot(name)?;
+                    out.push(CStmt::SetSlot { slot, ty: *ty, e });
+                }
+                Stmt::SharedDecl { name, ty, extents } => {
+                    let _ = ty;
+                    let t = self.tile_shapes.len() as u16;
+                    self.tiles.insert(name.clone(), t);
+                    self.tile_shapes
+                        .push((extents.clone(), extents.iter().product()));
+                }
+                Stmt::Assign { target, op, value } => {
+                    let e = self.expr(value)?;
+                    match target {
+                        LValue::Var(n) => {
+                            let Some(&slot) = self.slots.get(n) else {
+                                return Err(ExecError(format!(
+                                    "assignment to undeclared variable `{n}` in `{}`",
+                                    self.kernel.name
+                                )));
+                            };
+                            // Scalar assignment compiles to SetSlot with a
+                            // synthetic compound expression when needed.
+                            let e = match op {
+                                AssignOp::Assign => e,
+                                AssignOp::AddAssign => CExpr::Bin {
+                                    op: BinaryOp::Add,
+                                    l: Box::new(CExpr::Slot(slot)),
+                                    r: Box::new(e),
+                                },
+                                AssignOp::SubAssign => CExpr::Bin {
+                                    op: BinaryOp::Sub,
+                                    l: Box::new(CExpr::Slot(slot)),
+                                    r: Box::new(e),
+                                },
+                                AssignOp::MulAssign => CExpr::Bin {
+                                    op: BinaryOp::Mul,
+                                    l: Box::new(CExpr::Slot(slot)),
+                                    r: Box::new(e),
+                                },
+                            };
+                            out.push(CStmt::SetSlot {
+                                slot,
+                                ty: ScalarType::F64,
+                                e: Some(e),
+                            });
+                        }
+                        LValue::Index { array, indices } => {
+                            let idx: Vec<CExpr> = indices
+                                .iter()
+                                .map(|i| self.expr(i))
+                                .collect::<Result<_, _>>()?;
+                            if let Some(&a) = self.arrays.get(array) {
+                                out.push(CStmt::StoreGlobal {
+                                    array: a,
+                                    idx,
+                                    op: *op,
+                                    e,
+                                });
+                            } else if let Some(&t) = self.tiles.get(array) {
+                                out.push(CStmt::StoreShared {
+                                    tile: t,
+                                    idx,
+                                    op: *op,
+                                    e,
+                                });
+                            } else {
+                                return Err(ExecError(format!(
+                                    "write to unknown array `{array}` in `{}`",
+                                    self.kernel.name
+                                )));
+                            }
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let cond = self.expr(cond)?;
+                    let then_body = self.stmts(then_body)?;
+                    let else_body = self.stmts(else_body)?;
+                    out.push(CStmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    let init = self.expr(init)?;
+                    let slot = self.slot(var)?;
+                    let cond = self.expr(cond)?;
+                    let step = self.expr(step)?;
+                    let body = self.stmts(body)?;
+                    out.push(CStmt::For {
+                        slot,
+                        init,
+                        cond,
+                        step,
+                        body,
+                    });
+                }
+                Stmt::SyncThreads => out.push(CStmt::Sync),
+                Stmt::Return => out.push(CStmt::Return),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Compile a kernel.
+pub fn compile(kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
+    let mut c = Compiler {
+        kernel,
+        slots: HashMap::new(),
+        arrays: HashMap::new(),
+        tiles: HashMap::new(),
+        tile_shapes: Vec::new(),
+    };
+    let mut scalar_param_slots = Vec::new();
+    let mut array_params = Vec::new();
+    for p in &kernel.params {
+        match p {
+            Param::Array { name, .. } => {
+                c.arrays.insert(name.clone(), array_params.len() as u16);
+                array_params.push(name.clone());
+            }
+            Param::Scalar { name, ty } => {
+                let slot = c.slot(name)?;
+                scalar_param_slots.push((slot, *ty));
+            }
+        }
+    }
+    let body = c.stmts(&kernel.body)?;
+    Ok(CompiledKernel {
+        name: kernel.name.clone(),
+        nslots: c.slots.len(),
+        scalar_param_slots,
+        array_params,
+        tiles: c.tile_shapes,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_minicuda::parse_kernel;
+
+    #[test]
+    fn compiles_stencil_kernel() {
+        let k = parse_kernel(
+            r#"
+__global__ void s(const double* __restrict__ u, double* v, int nx, double c) {
+  __shared__ double t[16];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+    t[threadIdx.x] = u[i];
+    __syncthreads();
+    v[i] = c * t[threadIdx.x];
+  }
+}
+"#,
+        )
+        .unwrap();
+        let c = compile(&k).unwrap();
+        assert_eq!(c.array_params, vec!["u", "v"]);
+        assert_eq!(c.scalar_param_slots.len(), 2); // nx, c
+        assert_eq!(c.tiles.len(), 1);
+        // slots: nx, c, i
+        assert_eq!(c.nslots, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let k = parse_kernel(
+            "__global__ void b(double* a, int n) { a[0] = zzz; }",
+        )
+        .unwrap();
+        assert!(compile(&k).is_err());
+    }
+
+    #[test]
+    fn compound_scalar_assign_compiles() {
+        let k = parse_kernel(
+            r#"
+__global__ void c(double* a, int n) {
+  double acc = 0.0;
+  acc += 2.0;
+  acc *= 3.0;
+  a[0] = acc;
+}
+"#,
+        )
+        .unwrap();
+        let c = compile(&k).unwrap();
+        assert_eq!(c.nslots, 2); // n, acc
+    }
+}

@@ -1,0 +1,193 @@
+//! Device descriptors for the simulated GPUs.
+//!
+//! Parameters follow the published Kepler datasheets (the two boards the
+//! paper's evaluation uses) plus model knobs that have no hardware
+//! counterpart (bandwidth-saturation occupancy, divergence weight).
+
+use serde::{Deserialize, Serialize};
+use sf_analysis::metadata::DeviceMetadata;
+
+/// A simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct DeviceSpec {
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    pub warp_size: u32,
+    pub max_threads_per_sm: u32,
+    pub max_blocks_per_sm: u32,
+    pub max_threads_per_block: u32,
+    /// Register file per SM (32-bit registers).
+    pub regs_per_sm: u32,
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity per warp.
+    pub reg_alloc_granularity: u32,
+    /// Shared memory per SM, bytes (Kepler: 48 KiB in the largest split).
+    pub smem_per_sm: usize,
+    /// Maximum static shared memory per block, bytes.
+    pub smem_per_block_max: usize,
+    /// Shared memory allocation granularity, bytes.
+    pub smem_alloc_granularity: usize,
+    /// Peak double-precision throughput, GFLOPS.
+    pub peak_dp_gflops: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Kernel launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+    /// Occupancy at which DRAM bandwidth saturates: below this, effective
+    /// bandwidth scales down linearly (Kepler needs roughly half the
+    /// maximum resident warps in flight to cover DRAM latency).
+    pub bw_saturation_occupancy: f64,
+    /// Fraction of peak effective bandwidth reachable by a fully-saturated
+    /// kernel (ECC and DRAM inefficiency).
+    pub bw_efficiency: f64,
+    /// Seconds of execution per warp-instruction issue — the latency term
+    /// that makes low-parallelism kernels latency-bound.
+    pub issue_latency_us: f64,
+}
+
+impl DeviceSpec {
+    /// Tesla K20X (GK110): 14 SMs, 6 GB GDDR5 at 250 GB/s, 1.31 TFLOPS DP.
+    pub fn k20x() -> DeviceSpec {
+        DeviceSpec {
+            name: "K20X".into(),
+            sm_count: 14,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 48 * 1024,
+            smem_per_block_max: 48 * 1024,
+            smem_alloc_granularity: 256,
+            peak_dp_gflops: 1310.0,
+            mem_bw_gbps: 250.0,
+            launch_overhead_us: 6.0,
+            bw_saturation_occupancy: 0.5,
+            bw_efficiency: 0.75,
+            issue_latency_us: 0.0009,
+        }
+    }
+
+    /// Tesla K40 (GK110B): 15 SMs, 12 GB GDDR5 at 288 GB/s, 1.43 TFLOPS DP.
+    pub fn k40() -> DeviceSpec {
+        DeviceSpec {
+            name: "K40".into(),
+            sm_count: 15,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 48 * 1024,
+            smem_per_block_max: 48 * 1024,
+            smem_alloc_granularity: 256,
+            peak_dp_gflops: 1430.0,
+            mem_bw_gbps: 288.0,
+            launch_overhead_us: 6.0,
+            bw_saturation_occupancy: 0.5,
+            bw_efficiency: 0.75,
+            issue_latency_us: 0.0009,
+        }
+    }
+
+    /// Look up a device by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<DeviceSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "k20x" => Some(DeviceSpec::k20x()),
+            "k40" => Some(DeviceSpec::k40()),
+            _ => None,
+        }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Export the device-metadata "file" (§3.2.1, `deviceQuery` analog).
+    pub fn metadata(&self) -> DeviceMetadata {
+        DeviceMetadata {
+            name: self.name.clone(),
+            sm_count: self.sm_count,
+            warp_size: self.warp_size,
+            max_threads_per_sm: self.max_threads_per_sm,
+            max_blocks_per_sm: self.max_blocks_per_sm,
+            max_threads_per_block: self.max_threads_per_block,
+            regs_per_sm: self.regs_per_sm,
+            max_regs_per_thread: self.max_regs_per_thread,
+            smem_per_sm: self.smem_per_sm,
+            smem_per_block_max: self.smem_per_block_max,
+            peak_dp_gflops: self.peak_dp_gflops,
+            mem_bw_gbps: self.mem_bw_gbps,
+            launch_overhead_us: self.launch_overhead_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_parameters() {
+        let d = DeviceSpec::k20x();
+        assert_eq!(d.max_warps_per_sm(), 64);
+        assert!(d.metadata().ridge_flop_per_byte() > 5.0);
+        let d40 = DeviceSpec::k40();
+        assert!(d40.mem_bw_gbps > d.mem_bw_gbps);
+        assert!(d40.peak_dp_gflops > d.peak_dp_gflops);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DeviceSpec::by_name("K20X").unwrap().sm_count, 14);
+        assert_eq!(DeviceSpec::by_name("k40").unwrap().sm_count, 15);
+        assert!(DeviceSpec::by_name("h100").is_none());
+    }
+}
+
+#[cfg(test)]
+mod metadata_tests {
+    use super::*;
+
+    #[test]
+    fn metadata_exports_all_fields() {
+        let d = DeviceSpec::k20x();
+        let md = d.metadata();
+        assert_eq!(md.sm_count, d.sm_count);
+        assert_eq!(md.smem_per_block_max, d.smem_per_block_max);
+        assert_eq!(md.peak_dp_gflops, d.peak_dp_gflops);
+        assert_eq!(md.launch_overhead_us, d.launch_overhead_us);
+    }
+
+    #[test]
+    fn k40_is_uniformly_faster() {
+        // Both resources grow K20X → K40, so any launch should cost less.
+        use crate::timing::{LaunchProfile, TimingModel};
+        let p = LaunchProfile {
+            dram_bytes: 50_000_000,
+            flops: 20_000_000,
+            blocks: 1024,
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            smem_per_block: 4096,
+            divergent_evals: 100,
+            depth: 16,
+        };
+        let t20 = TimingModel::new(DeviceSpec::k20x())
+            .launch_cost(&p)
+            .unwrap()
+            .total_us();
+        let t40 = TimingModel::new(DeviceSpec::k40())
+            .launch_cost(&p)
+            .unwrap()
+            .total_us();
+        assert!(t40 < t20, "K40 {t40} should beat K20X {t20}");
+    }
+}

@@ -1,0 +1,1226 @@
+//! Functional SIMT interpreter.
+//!
+//! Executes a kernel launch block-by-block. Within a block, all threads run
+//! in lockstep one statement at a time with **two-phase commit** (every
+//! active thread evaluates its right-hand side and target address before
+//! any thread writes), which realizes warp-synchronous parallel semantics
+//! across the whole block. `__syncthreads()` is legal only in uniform
+//! control flow (as in CUDA); divergent branches execute both paths under
+//! active masks and are counted per warp for the divergence statistics the
+//! timing model consumes.
+//!
+//! Kernels are compiled ([`crate::compile`]) to slot-resolved form before
+//! execution, so the hot path performs no name lookups; bound arrays are
+//! checked out of [`GlobalMemory`] for the duration of a launch.
+//!
+//! The interpreter also performs the checks the paper relies on:
+//! - output verification — callers compare memory images of original vs
+//!   transformed programs;
+//! - shared-memory race detection (conflicting writes from different warps
+//!   between barriers);
+//! - cross-block global hazards (a block reading an element written by a
+//!   different block in the same launch — invalid inter-block communication
+//!   that temporal blocking must avoid).
+
+use crate::compile::{compile, CExpr, CStmt, CompiledKernel};
+use crate::memory::{DeviceArray, GlobalMemory};
+use sf_minicuda::ast::*;
+use sf_minicuda::host::{Dim3, ExecutablePlan, HostValue, LaunchRecord, ResolvedArg};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime error during simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError(pub String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub enum Value {
+    I(i64),
+    F(f64),
+}
+
+impl Value {
+    fn as_f64(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+
+    fn as_i64(self) -> Result<i64, ExecError> {
+        match self {
+            Value::I(v) => Ok(v),
+            Value::F(v) => Err(ExecError(format!("expected integer value, got {v}"))),
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// Counters from executing one launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct LaunchStats {
+    /// Floating-point operations executed (intrinsics weighted).
+    pub flops: u64,
+    /// Global-memory element reads / writes (raw access counts).
+    pub global_reads: u64,
+    pub global_writes: u64,
+    /// Shared-memory element reads / writes.
+    pub shared_reads: u64,
+    pub shared_writes: u64,
+    /// Statements issued per warp (instruction proxy).
+    pub warp_instructions: u64,
+    /// Conditional-branch evaluations per warp, and how many were divergent.
+    pub branch_evals: u64,
+    pub divergent_evals: u64,
+    /// Threads launched.
+    pub threads: u64,
+    /// Unique global elements read / written per (block, sweep) window —
+    /// the footprint the DRAM traffic model predicts (tracked only when
+    /// `track_footprint` is set).
+    pub footprint_read_elems: u64,
+    pub footprint_write_elems: u64,
+    /// Race / hazard reports (capped at 16).
+    pub hazards: Vec<String>,
+}
+
+impl LaunchStats {
+    /// Fraction of branch evaluations that diverged.
+    pub fn divergence_fraction(&self) -> f64 {
+        if self.branch_evals == 0 {
+            0.0
+        } else {
+            self.divergent_evals as f64 / self.branch_evals as f64
+        }
+    }
+
+    fn add_hazard(&mut self, msg: String) {
+        if self.hazards.len() < 16 {
+            self.hazards.push(msg);
+        }
+    }
+}
+
+/// The interpreter for one program.
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    /// Track per-(block, sweep) unique-element footprints (slower; used by
+    /// validation tests on small grids).
+    pub track_footprint: bool,
+    /// Detect cross-block read-after-write hazards (slower).
+    pub detect_hazards: bool,
+    compiled: RefCell<HashMap<String, Rc<CompiledKernel>>>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Create an interpreter over a program.
+    pub fn new(program: &'p Program) -> Interpreter<'p> {
+        Interpreter {
+            program,
+            track_footprint: false,
+            detect_hazards: false,
+            compiled: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn compiled_kernel(&self, name: &str) -> Result<Rc<CompiledKernel>, ExecError> {
+        if let Some(c) = self.compiled.borrow().get(name) {
+            return Ok(c.clone());
+        }
+        let kernel = self
+            .program
+            .kernel(name)
+            .ok_or_else(|| ExecError(format!("unknown kernel `{name}`")))?;
+        let c = Rc::new(compile(kernel)?);
+        self.compiled
+            .borrow_mut()
+            .insert(name.to_string(), c.clone());
+        Ok(c)
+    }
+
+    /// Execute the full dynamic trace of a plan against a memory image.
+    /// Returns per-static-launch aggregated stats (summed over trace
+    /// occurrences).
+    pub fn run_plan(
+        &self,
+        plan: &ExecutablePlan,
+        memory: &mut GlobalMemory,
+    ) -> Result<Vec<LaunchStats>, ExecError> {
+        let mut stats: Vec<LaunchStats> = vec![LaunchStats::default(); plan.launches.len()];
+        for &seq in &plan.trace {
+            let launch = &plan.launches[seq];
+            let s = self.run_launch(launch, memory)?;
+            merge_stats(&mut stats[seq], s);
+        }
+        Ok(stats)
+    }
+
+    /// Execute one launch.
+    pub fn run_launch(
+        &self,
+        launch: &LaunchRecord,
+        memory: &mut GlobalMemory,
+    ) -> Result<LaunchStats, ExecError> {
+        let ck = self.compiled_kernel(&launch.kernel)?;
+        if ck.array_params.len() + ck.scalar_param_slots.len() != launch.args.len() {
+            return Err(ExecError(format!(
+                "kernel `{}` takes {} params, launch passes {}",
+                launch.kernel,
+                ck.array_params.len() + ck.scalar_param_slots.len(),
+                launch.args.len()
+            )));
+        }
+        // Bind arguments: scalars into the base slot image, arrays checked
+        // out of global memory.
+        let mut base_slots = vec![Value::F(0.0); ck.nslots];
+        let mut bound: Vec<(String, DeviceArray)> = Vec::with_capacity(ck.array_params.len());
+        let mut scalar_iter = ck.scalar_param_slots.iter();
+        let mut ok: Result<(), ExecError> = Ok(());
+        for a in &launch.args {
+            match a {
+                ResolvedArg::Array(actual) => {
+                    if bound.iter().any(|(n, _)| n == actual) {
+                        ok = Err(ExecError(format!(
+                            "array `{actual}` passed twice to `{}` (aliasing is not \
+                             supported)",
+                            launch.kernel
+                        )));
+                        break;
+                    }
+                    match memory.take(actual) {
+                        Some(arr) => bound.push((actual.clone(), arr)),
+                        None => {
+                            ok = Err(ExecError(format!("unknown array `{actual}`")));
+                            break;
+                        }
+                    }
+                }
+                ResolvedArg::Scalar(v) => {
+                    let Some(&(slot, ty)) = scalar_iter.next() else {
+                        ok = Err(ExecError(format!(
+                            "too many scalar args for `{}`",
+                            launch.kernel
+                        )));
+                        break;
+                    };
+                    base_slots[slot as usize] = match (ty, v) {
+                        (ScalarType::I32, HostValue::Int(i)) => Value::I(*i),
+                        (ScalarType::I32, HostValue::Float(f)) => Value::I(*f as i64),
+                        (_, v) => Value::F(v.as_f64()),
+                    };
+                }
+            }
+        }
+
+        let result = if ok.is_ok() {
+            self.exec_launch(&ck, launch, &base_slots, &mut bound)
+        } else {
+            Err(ok.unwrap_err())
+        };
+        for (name, arr) in bound {
+            memory.put(name, arr);
+        }
+        result
+    }
+
+    fn exec_launch(
+        &self,
+        ck: &CompiledKernel,
+        launch: &LaunchRecord,
+        base_slots: &[Value],
+        bound: &mut [(String, DeviceArray)],
+    ) -> Result<LaunchStats, ExecError> {
+        let mut stats = LaunchStats::default();
+        stats.threads = launch.grid.count() * launch.block.count();
+        let mut writers: HashMap<(u16, usize), u64> = HashMap::new();
+        let nthreads = launch.block.count() as usize;
+
+        let mut machine = Machine {
+            ck,
+            kernel_name: &launch.kernel,
+            arrays: bound,
+            stats: &mut stats,
+            writers: &mut writers,
+            block_linear: 0,
+            block_idx: Dim3::new(0, 0, 0),
+            block_dim: launch.block,
+            grid_dim: launch.grid,
+            slots: Vec::new(),
+            alive: Vec::new(),
+            tiles: Vec::new(),
+            epoch: 0,
+            shared_writes: HashMap::new(),
+            fp_read: HashSet::new(),
+            fp_write: HashSet::new(),
+            track_footprint: self.track_footprint,
+            detect_hazards: self.detect_hazards,
+            scratch: Vec::new(),
+        };
+
+        let mut block_linear = 0u64;
+        for bz in 0..launch.grid.z {
+            for by in 0..launch.grid.y {
+                for bx in 0..launch.grid.x {
+                    machine.reset_block(
+                        Dim3::new(bx, by, bz),
+                        block_linear,
+                        nthreads,
+                        base_slots,
+                    );
+                    let mask = vec![true; nthreads];
+                    machine.exec_stmts(&ck.body, &mask, true)?;
+                    if machine.track_footprint {
+                        machine.flush_footprint();
+                    }
+                    block_linear += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+fn merge_stats(into: &mut LaunchStats, from: LaunchStats) {
+    into.flops += from.flops;
+    into.global_reads += from.global_reads;
+    into.global_writes += from.global_writes;
+    into.shared_reads += from.shared_reads;
+    into.shared_writes += from.shared_writes;
+    into.warp_instructions += from.warp_instructions;
+    into.branch_evals += from.branch_evals;
+    into.divergent_evals += from.divergent_evals;
+    into.threads += from.threads;
+    into.footprint_read_elems += from.footprint_read_elems;
+    into.footprint_write_elems += from.footprint_write_elems;
+    for h in from.hazards {
+        into.add_hazard(h);
+    }
+}
+
+/// Execution engine; fields are reused across blocks of one launch.
+struct Machine<'a> {
+    ck: &'a CompiledKernel,
+    kernel_name: &'a str,
+    arrays: &'a mut [(String, DeviceArray)],
+    stats: &'a mut LaunchStats,
+    writers: &'a mut HashMap<(u16, usize), u64>,
+    block_linear: u64,
+    block_idx: Dim3,
+    block_dim: Dim3,
+    grid_dim: Dim3,
+    /// Flat per-thread slots: `slots[t * nslots + s]`.
+    slots: Vec<Value>,
+    alive: Vec<bool>,
+    tiles: Vec<Vec<f64>>,
+    epoch: u64,
+    shared_writes: HashMap<(u16, usize), (u64, usize)>,
+    fp_read: HashSet<(u16, usize)>,
+    fp_write: HashSet<(u16, usize)>,
+    track_footprint: bool,
+    detect_hazards: bool,
+    /// Two-phase store scratch: (thread, offset, value).
+    scratch: Vec<(usize, usize, f64)>,
+}
+
+impl Machine<'_> {
+    fn reset_block(
+        &mut self,
+        block_idx: Dim3,
+        block_linear: u64,
+        nthreads: usize,
+        base_slots: &[Value],
+    ) {
+        self.block_idx = block_idx;
+        self.block_linear = block_linear;
+        self.alive.clear();
+        self.alive.resize(nthreads, true);
+        self.slots.clear();
+        self.slots.reserve(nthreads * base_slots.len());
+        for _ in 0..nthreads {
+            self.slots.extend_from_slice(base_slots);
+        }
+        self.tiles.clear();
+        for (_, len) in &self.ck.tiles {
+            self.tiles.push(vec![0.0; *len]);
+        }
+        self.epoch = 0;
+        self.shared_writes.clear();
+    }
+
+    #[inline]
+    fn slot(&self, t: usize, s: u16) -> Value {
+        self.slots[t * self.ck.nslots + s as usize]
+    }
+
+    #[inline]
+    fn set_slot(&mut self, t: usize, s: u16, v: Value) {
+        self.slots[t * self.ck.nslots + s as usize] = v;
+    }
+
+    fn tid3(&self, t: usize) -> (u32, u32, u32) {
+        let x = (t as u32) % self.block_dim.x;
+        let y = (t as u32 / self.block_dim.x) % self.block_dim.y;
+        let z = t as u32 / (self.block_dim.x * self.block_dim.y);
+        (x, y, z)
+    }
+
+    fn count_warp_issue(&mut self, mask: &[bool]) {
+        let ws = 32usize;
+        for w in 0..mask.len().div_ceil(ws) {
+            if mask[w * ws..((w + 1) * ws).min(mask.len())]
+                .iter()
+                .any(|&m| m)
+            {
+                self.stats.warp_instructions += 1;
+            }
+        }
+    }
+
+    /// Record whether a branch diverged within any warp.
+    fn record_branch(&mut self, active: &[bool], taken: &[bool]) -> bool {
+        let ws = 32usize;
+        let mut any_div = false;
+        for w in 0..active.len().div_ceil(ws) {
+            let range = w * ws..((w + 1) * ws).min(active.len());
+            let mut saw_active = false;
+            let mut saw_taken = false;
+            let mut saw_not = false;
+            for t in range {
+                if active[t] {
+                    saw_active = true;
+                    if taken[t] {
+                        saw_taken = true;
+                    } else {
+                        saw_not = true;
+                    }
+                }
+            }
+            if saw_active {
+                self.stats.branch_evals += 1;
+                if saw_taken && saw_not {
+                    self.stats.divergent_evals += 1;
+                    any_div = true;
+                }
+            }
+        }
+        any_div
+    }
+
+    fn flush_footprint(&mut self) {
+        self.stats.footprint_read_elems += self.fp_read.len() as u64;
+        self.stats.footprint_write_elems += self.fp_write.len() as u64;
+        self.fp_read.clear();
+        self.fp_write.clear();
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[CStmt],
+        mask: &[bool],
+        uniform: bool,
+    ) -> Result<(), ExecError> {
+        for s in stmts {
+            self.exec_stmt(s, mask, uniform)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &CStmt, mask: &[bool], uniform: bool) -> Result<(), ExecError> {
+        // Combine the control mask with liveness.
+        let active: Vec<bool> = mask
+            .iter()
+            .zip(&self.alive)
+            .map(|(&m, &a)| m && a)
+            .collect();
+        if !active.iter().any(|&a| a) {
+            return Ok(());
+        }
+        match s {
+            CStmt::SetSlot { slot, ty, e } => {
+                self.count_warp_issue(&active);
+                for t in 0..active.len() {
+                    if active[t] {
+                        let v = match e {
+                            Some(e) => coerce(self.eval(e, t)?, *ty),
+                            None => Value::F(0.0),
+                        };
+                        self.set_slot(t, *slot, v);
+                    }
+                }
+            }
+            CStmt::StoreGlobal { array, idx, op, e } => {
+                self.count_warp_issue(&active);
+                self.store_global(*array, idx, *op, e, &active)?;
+            }
+            CStmt::StoreShared { tile, idx, op, e } => {
+                self.count_warp_issue(&active);
+                self.store_shared(*tile, idx, *op, e, &active)?;
+            }
+            CStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.count_warp_issue(&active);
+                let mut then_mask = vec![false; active.len()];
+                let mut else_mask = vec![false; active.len()];
+                for t in 0..active.len() {
+                    if active[t] {
+                        if self.eval(cond, t)?.truthy() {
+                            then_mask[t] = true;
+                        } else {
+                            else_mask[t] = true;
+                        }
+                    }
+                }
+                let divergent = self.record_branch(&active, &then_mask);
+                let sub_uniform = uniform && !divergent;
+                if then_mask.iter().any(|&m| m) {
+                    self.exec_stmts(then_body, &then_mask, sub_uniform)?;
+                }
+                if else_mask.iter().any(|&m| m) {
+                    self.exec_stmts(else_body, &else_mask, sub_uniform)?;
+                }
+            }
+            CStmt::For {
+                slot,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.count_warp_issue(&active);
+                for t in 0..active.len() {
+                    if active[t] {
+                        let v = self.eval(init, t)?;
+                        self.set_slot(t, *slot, v);
+                    }
+                }
+                // A new top-level sweep: reset the footprint window.
+                if uniform && self.track_footprint {
+                    self.flush_footprint();
+                }
+                let mut live = active.clone();
+                loop {
+                    let mut iter_mask = vec![false; live.len()];
+                    let mut any = false;
+                    for t in 0..live.len() {
+                        if live[t] && self.alive[t] {
+                            if self.eval(cond, t)?.truthy() {
+                                iter_mask[t] = true;
+                                any = true;
+                            } else {
+                                live[t] = false;
+                            }
+                        }
+                    }
+                    let divergent = self.record_branch(&active, &iter_mask);
+                    if !any {
+                        break;
+                    }
+                    self.exec_stmts(body, &iter_mask, uniform && !divergent)?;
+                    for t in 0..iter_mask.len() {
+                        if iter_mask[t] && self.alive[t] {
+                            let d = self.eval(step, t)?.as_i64()?;
+                            let cur = self.slot(t, *slot).as_i64()?;
+                            self.set_slot(t, *slot, Value::I(cur + d));
+                        }
+                    }
+                }
+                if uniform && self.track_footprint {
+                    self.flush_footprint();
+                }
+            }
+            CStmt::Sync => {
+                if !uniform {
+                    return Err(ExecError(
+                        "__syncthreads() reached in divergent control flow".into(),
+                    ));
+                }
+                self.count_warp_issue(&active);
+                self.epoch += 1;
+            }
+            CStmt::Return => {
+                for t in 0..active.len() {
+                    if active[t] {
+                        self.alive[t] = false;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn global_offset(&mut self, array: u16, idx: &[CExpr], t: usize) -> Result<usize, ExecError> {
+        // Evaluate up to 4 indices without allocating.
+        let mut vals = [0i64; 4];
+        if idx.len() > 4 {
+            return Err(ExecError("arrays of rank > 4 are not supported".into()));
+        }
+        for (n, e) in idx.iter().enumerate() {
+            vals[n] = self.eval_imm(e, t)?.as_i64()?;
+        }
+        let arr = &self.arrays[array as usize].1;
+        arr.offset(&vals[..idx.len()]).ok_or_else(|| {
+            ExecError(format!(
+                "out-of-bounds access {}{:?} (extents {:?}) in `{}`",
+                self.arrays[array as usize].0,
+                &vals[..idx.len()],
+                arr.info.extents,
+                self.kernel_name
+            ))
+        })
+    }
+
+    fn shared_offset(&mut self, tile: u16, idx: &[CExpr], t: usize) -> Result<usize, ExecError> {
+        let extents = &self.ck.tiles[tile as usize].0;
+        if idx.len() != extents.len() {
+            return Err(ExecError(format!(
+                "shared tile rank mismatch in `{}`",
+                self.kernel_name
+            )));
+        }
+        let mut off = 0usize;
+        for (e, &extent) in idx.iter().zip(extents) {
+            let i = self.eval_imm(e, t)?.as_i64()?;
+            if i < 0 || i as usize >= extent {
+                return Err(ExecError(format!(
+                    "out-of-bounds shared access index {i} (extent {extent}) in `{}`",
+                    self.kernel_name
+                )));
+            }
+            off = off * extent + i as usize;
+        }
+        Ok(off)
+    }
+
+    /// Two-phase global store.
+    fn store_global(
+        &mut self,
+        array: u16,
+        idx: &[CExpr],
+        op: AssignOp,
+        e: &CExpr,
+        active: &[bool],
+    ) -> Result<(), ExecError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for t in 0..active.len() {
+            if !active[t] {
+                continue;
+            }
+            let rhs = self.eval(e, t)?;
+            let off = self.global_offset(array, idx, t)?;
+            let v = if op == AssignOp::Assign {
+                rhs.as_f64()
+            } else {
+                let old = self.arrays[array as usize].1.data[off];
+                self.note_global_read(array, off);
+                apply_assign(op, old, rhs.as_f64())
+            };
+            scratch.push((t, off, v));
+        }
+        for &(_, off, v) in &scratch {
+            if self.detect_hazards {
+                self.writers.insert((array, off), self.block_linear);
+            }
+            if self.track_footprint {
+                self.fp_write.insert((array, off));
+            }
+            self.arrays[array as usize].1.data[off] = v;
+            self.stats.global_writes += 1;
+        }
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    /// Two-phase shared store with write-write race detection.
+    fn store_shared(
+        &mut self,
+        tile: u16,
+        idx: &[CExpr],
+        op: AssignOp,
+        e: &CExpr,
+        active: &[bool],
+    ) -> Result<(), ExecError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for t in 0..active.len() {
+            if !active[t] {
+                continue;
+            }
+            let rhs = self.eval(e, t)?;
+            let off = self.shared_offset(tile, idx, t)?;
+            let v = if op == AssignOp::Assign {
+                rhs.as_f64()
+            } else {
+                self.stats.shared_reads += 1;
+                apply_assign(op, self.tiles[tile as usize][off], rhs.as_f64())
+            };
+            // Same-epoch write from a different warp → race.
+            let warp = t / 32;
+            if let Some(&(epoch, w)) = self.shared_writes.get(&(tile, off)) {
+                if epoch == self.epoch && w != warp {
+                    self.stats.add_hazard(format!(
+                        "shared write-write race on tile {tile}[{off}] in `{}`",
+                        self.kernel_name
+                    ));
+                }
+            }
+            self.shared_writes.insert((tile, off), (self.epoch, warp));
+            scratch.push((t, off, v));
+        }
+        for &(_, off, v) in &scratch {
+            self.tiles[tile as usize][off] = v;
+            self.stats.shared_writes += 1;
+        }
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    fn note_global_read(&mut self, array: u16, off: usize) {
+        self.stats.global_reads += 1;
+        if self.detect_hazards {
+            if let Some(&writer) = self.writers.get(&(array, off)) {
+                if writer != self.block_linear {
+                    self.stats.add_hazard(format!(
+                        "cross-block read-after-write hazard on {}[{off}] in `{}`",
+                        self.arrays[array as usize].0, self.kernel_name
+                    ));
+                }
+            }
+        }
+        if self.track_footprint {
+            self.fp_read.insert((array, off));
+        }
+    }
+
+    /// Evaluate without side effects on counters other than reads/flops —
+    /// used for index expressions (integer math is free anyway).
+    #[inline]
+    fn eval_imm(&mut self, e: &CExpr, t: usize) -> Result<Value, ExecError> {
+        self.eval(e, t)
+    }
+
+    fn eval(&mut self, e: &CExpr, t: usize) -> Result<Value, ExecError> {
+        Ok(match e {
+            CExpr::I(v) => Value::I(*v),
+            CExpr::F(v) => Value::F(*v),
+            CExpr::Slot(s) => self.slot(t, *s),
+            CExpr::Builtin(b) => {
+                let (tx, ty, tz) = self.tid3(t);
+                let v = match b {
+                    Builtin::ThreadIdx(Axis::X) => tx,
+                    Builtin::ThreadIdx(Axis::Y) => ty,
+                    Builtin::ThreadIdx(Axis::Z) => tz,
+                    Builtin::BlockIdx(Axis::X) => self.block_idx.x,
+                    Builtin::BlockIdx(Axis::Y) => self.block_idx.y,
+                    Builtin::BlockIdx(Axis::Z) => self.block_idx.z,
+                    Builtin::BlockDim(Axis::X) => self.block_dim.x,
+                    Builtin::BlockDim(Axis::Y) => self.block_dim.y,
+                    Builtin::BlockDim(Axis::Z) => self.block_dim.z,
+                    Builtin::GridDim(Axis::X) => self.grid_dim.x,
+                    Builtin::GridDim(Axis::Y) => self.grid_dim.y,
+                    Builtin::GridDim(Axis::Z) => self.grid_dim.z,
+                };
+                Value::I(v as i64)
+            }
+            CExpr::Global { array, idx } => {
+                let off = self.global_offset(*array, idx, t)?;
+                let v = self.arrays[*array as usize].1.data[off];
+                self.note_global_read(*array, off);
+                Value::F(v)
+            }
+            CExpr::Shared { tile, idx } => {
+                let off = self.shared_offset(*tile, idx, t)?;
+                self.stats.shared_reads += 1;
+                Value::F(self.tiles[*tile as usize][off])
+            }
+            CExpr::Un { op, e } => {
+                let v = self.eval(e, t)?;
+                match op {
+                    UnaryOp::Neg => {
+                        self.stats.flops += 1;
+                        match v {
+                            Value::I(i) => Value::I(-i),
+                            Value::F(f) => Value::F(-f),
+                        }
+                    }
+                    UnaryOp::Not => Value::I(!v.truthy() as i64),
+                }
+            }
+            CExpr::Bin { op, l, r } => {
+                let a = self.eval(l, t)?;
+                let b = self.eval(r, t)?;
+                self.eval_binary(*op, a, b)?
+            }
+            CExpr::Call { fun, args } => {
+                let mut vals = [0.0f64; 3];
+                for (n, a) in args.iter().enumerate() {
+                    vals[n] = self.eval(a, t)?.as_f64();
+                }
+                self.stats.flops += fun.flop_cost();
+                Value::F(match fun {
+                    Intrinsic::Sqrt => vals[0].sqrt(),
+                    Intrinsic::Exp => vals[0].exp(),
+                    Intrinsic::Log => vals[0].ln(),
+                    Intrinsic::Fabs => vals[0].abs(),
+                    Intrinsic::Min => vals[0].min(vals[1]),
+                    Intrinsic::Max => vals[0].max(vals[1]),
+                    Intrinsic::Pow => vals[0].powf(vals[1]),
+                    Intrinsic::Fma => vals[0].mul_add(vals[1], vals[2]),
+                    Intrinsic::Sin => vals[0].sin(),
+                    Intrinsic::Cos => vals[0].cos(),
+                })
+            }
+            CExpr::Ternary { c, t: tv, e: ev } => {
+                if self.eval(c, t)?.truthy() {
+                    self.eval(tv, t)?
+                } else {
+                    self.eval(ev, t)?
+                }
+            }
+        })
+    }
+
+    fn eval_binary(&mut self, op: BinaryOp, a: Value, b: Value) -> Result<Value, ExecError> {
+        use BinaryOp::*;
+        if let (Value::I(x), Value::I(y)) = (a, b) {
+            return Ok(match op {
+                Add => Value::I(x.wrapping_add(y)),
+                Sub => Value::I(x.wrapping_sub(y)),
+                Mul => Value::I(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return Err(ExecError("integer division by zero".into()));
+                    }
+                    Value::I(x / y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(ExecError("integer remainder by zero".into()));
+                    }
+                    Value::I(x % y)
+                }
+                Lt => Value::I((x < y) as i64),
+                Le => Value::I((x <= y) as i64),
+                Gt => Value::I((x > y) as i64),
+                Ge => Value::I((x >= y) as i64),
+                Eq => Value::I((x == y) as i64),
+                Ne => Value::I((x != y) as i64),
+                And => Value::I((x != 0 && y != 0) as i64),
+                Or => Value::I((x != 0 || y != 0) as i64),
+            });
+        }
+        let x = a.as_f64();
+        let y = b.as_f64();
+        if op.is_arithmetic() {
+            self.stats.flops += 1;
+        }
+        Ok(match op {
+            Add => Value::F(x + y),
+            Sub => Value::F(x - y),
+            Mul => Value::F(x * y),
+            Div => Value::F(x / y),
+            Rem => Value::F(x % y),
+            Lt => Value::I((x < y) as i64),
+            Le => Value::I((x <= y) as i64),
+            Gt => Value::I((x > y) as i64),
+            Ge => Value::I((x >= y) as i64),
+            Eq => Value::I((x == y) as i64),
+            Ne => Value::I((x != y) as i64),
+            And | Or => return Err(ExecError("logical op on float".into())),
+        })
+    }
+}
+
+fn coerce(v: Value, ty: ScalarType) -> Value {
+    match ty {
+        ScalarType::I32 => match v {
+            Value::I(_) => v,
+            Value::F(f) => Value::I(f as i64),
+        },
+        ScalarType::F32 | ScalarType::F64 => Value::F(v.as_f64()),
+    }
+}
+
+fn apply_assign(op: AssignOp, old: f64, rhs: f64) -> f64 {
+    match op {
+        AssignOp::Assign => rhs,
+        AssignOp::AddAssign => old + rhs,
+        AssignOp::SubAssign => old - rhs,
+        AssignOp::MulAssign => old * rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_minicuda::builder::{jacobi3d_kernel, simple_host};
+    use sf_minicuda::parse_program;
+    use sf_minicuda::Program;
+
+    fn run(src: &str) -> (GlobalMemory, Vec<LaunchStats>) {
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        mem.seed_all(42);
+        let interp = Interpreter::new(&p);
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        (mem, stats)
+    }
+
+    #[test]
+    fn executes_saxpy() {
+        let src = r#"
+__global__ void saxpy(const double* __restrict__ x, double* y, int n, double a) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { y[i] = a * x[i] + y[i]; }
+}
+void host() {
+  int n = 100;
+  double* x = cudaAlloc1D(n);
+  double* y = cudaAlloc1D(n);
+  saxpy<<<(n + 31) / 32, 32>>>(x, y, n, 2.0);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        mem.fill_with("x", |i| i as f64);
+        mem.fill_with("y", |i| 1.0 + i as f64);
+        let interp = Interpreter::new(&p);
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        let y = &mem.get("y").unwrap().data;
+        for i in 0..100 {
+            assert_eq!(y[i], 2.0 * i as f64 + 1.0 + i as f64);
+        }
+        assert_eq!(stats[0].flops, 200);
+        assert_eq!(stats[0].global_writes, 100);
+    }
+
+    #[test]
+    fn jacobi_matches_reference() {
+        let p = Program {
+            kernels: vec![jacobi3d_kernel("jacobi", "u", "v")],
+            host: simple_host(
+                &["u", "v"],
+                &[("jacobi", vec!["u", "v"])],
+                (16, 8, 8),
+                (8, 4),
+            ),
+        };
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        mem.seed_all(1);
+        let u: Vec<f64> = mem.get("u").unwrap().data.clone();
+        let interp = Interpreter::new(&p);
+        interp.run_plan(&plan, &mut mem).unwrap();
+        let v = &mem.get("v").unwrap().data;
+        let (nx, ny) = (16usize, 8usize);
+        let at = |k: usize, j: usize, i: usize| u[(k * ny + j) * nx + i];
+        let expect = 0.4 * at(1, 1, 1)
+            + 0.1 * (at(1, 1, 2) + at(1, 1, 0) + at(1, 2, 1) + at(1, 0, 1) + at(2, 1, 1)
+                + at(0, 1, 1));
+        let got = v[(1 * ny + 1) * nx + 1];
+        assert!((got - expect).abs() < 1e-12, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn shared_memory_and_barrier() {
+        let src = r#"
+__global__ void rev(const double* __restrict__ a, double* b, int n) {
+  __shared__ double s[32];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  s[threadIdx.x] = a[i];
+  __syncthreads();
+  b[i] = s[31 - threadIdx.x];
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  double* b = cudaAlloc1D(n);
+  rev<<<2, 32>>>(a, b, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        mem.fill_with("a", |i| i as f64);
+        Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap();
+        let b = &mem.get("b").unwrap().data;
+        assert_eq!(b[0], 31.0);
+        assert_eq!(b[31], 0.0);
+        assert_eq!(b[32], 63.0);
+    }
+
+    #[test]
+    fn two_phase_commit_allows_parallel_shift() {
+        let src = r#"
+__global__ void shift(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n - 1) { a[i] = a[i + 1]; }
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc1D(n);
+  shift<<<1, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        mem.fill_with("a", |i| i as f64);
+        Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap();
+        let a = &mem.get("a").unwrap().data;
+        for i in 0..31 {
+            assert_eq!(a[i], (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let src = r#"
+__global__ void bad(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i + 1] = 0.0;
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc1D(n);
+  bad<<<1, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let err = Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap_err();
+        assert!(err.0.contains("out-of-bounds"), "{err}");
+    }
+
+    #[test]
+    fn memory_restored_after_error() {
+        // Even when a launch fails mid-way, the bound arrays must be put
+        // back into global memory.
+        let src = r#"
+__global__ void bad(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i + 1] = 0.0;
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc1D(n);
+  bad<<<1, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let _ = Interpreter::new(&p).run_plan(&plan, &mut mem);
+        assert!(mem.get("a").is_some());
+    }
+
+    #[test]
+    fn rejects_divergent_barrier() {
+        let src = r#"
+__global__ void div(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < 16) {
+    __syncthreads();
+    a[i] = 1.0;
+  }
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc1D(n);
+  div<<<1, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let err = Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap_err();
+        assert!(err.0.contains("divergent"), "{err}");
+    }
+
+    #[test]
+    fn counts_divergence_per_warp() {
+        let src = r#"
+__global__ void g(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = 1.0; }
+}
+void host() {
+  int n = 100;
+  double* a = cudaAlloc1D(n);
+  g<<<1, 128>>>(a, n);
+}
+"#;
+        let (_, stats) = run(src);
+        assert_eq!(stats[0].branch_evals, 4);
+        assert_eq!(stats[0].divergent_evals, 1);
+        assert!((stats[0].divergence_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_cross_block_hazard() {
+        let src = r#"
+__global__ void haz(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = a[(i + 32) % n];
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  haz<<<2, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.detect_hazards = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        assert!(!stats[0].hazards.is_empty());
+    }
+
+    #[test]
+    fn early_return_deactivates_threads() {
+        let src = r#"
+__global__ void ret(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) { return; }
+  a[i] = 2.0;
+}
+void host() {
+  int n = 20;
+  double* a = cudaAlloc1D(n);
+  ret<<<1, 32>>>(a, n);
+}
+"#;
+        let (mem, stats) = run(src);
+        assert_eq!(stats[0].global_writes, 20);
+        assert_eq!(mem.get("a").unwrap().data[19], 2.0);
+    }
+
+    #[test]
+    fn footprint_tracks_unique_elements_per_sweep() {
+        let src = r#"
+__global__ void two(const double* __restrict__ u, double* v, double* w, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) { v[k][j][i] = u[k][j][i] * 2.0; }
+    for (int k = 0; k < nz; k++) { w[k][j][i] = u[k][j][i] + 1.0; }
+  }
+}
+void host() {
+  int nx = 16; int ny = 8; int nz = 4;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* v = cudaAlloc3D(nz, ny, nx);
+  double* w = cudaAlloc3D(nz, ny, nx);
+  two<<<dim3(2, 2), dim3(8, 4)>>>(u, v, w, nx, ny, nz);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.track_footprint = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        let total = 16 * 8 * 4u64;
+        assert_eq!(stats[0].footprint_read_elems, 2 * total);
+        assert_eq!(stats[0].footprint_write_elems, 2 * total);
+    }
+
+    #[test]
+    fn aliased_arrays_rejected() {
+        let src = r#"
+__global__ void k(const double* __restrict__ a, double* b, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { b[i] = a[i]; }
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc1D(n);
+  k<<<1, 32>>>(a, a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let err = Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap_err();
+        assert!(err.0.contains("aliasing"), "{err}");
+        assert!(mem.get("a").is_some());
+    }
+}
+
+#[cfg(test)]
+mod grid_z_tests {
+    use super::*;
+    use sf_minicuda::parse_program;
+
+    #[test]
+    fn three_dimensional_grids_execute() {
+        // Grid z > 1: every (block z, y, x) must execute.
+        let src = r#"
+__global__ void fill(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int plane = blockIdx.z;
+  a[plane][0][i] = 1.0 + plane;
+}
+void host() {
+  int n = 32;
+  double* a = cudaAlloc3D(4, 1, n);
+  fill<<<dim3(1, 1, 4), dim3(32, 1, 1)>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let stats = Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap();
+        assert_eq!(stats[0].global_writes, 4 * 32);
+        let a = &mem.get("a").unwrap().data;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[3 * 32], 4.0);
+    }
+
+    #[test]
+    fn block_z_threads_execute() {
+        let src = r#"
+__global__ void fill(double* a, int n) {
+  int i = threadIdx.x;
+  int z = threadIdx.z;
+  a[z][0][i] = 7.0;
+}
+void host() {
+  int n = 16;
+  double* a = cudaAlloc3D(2, 1, n);
+  fill<<<dim3(1), dim3(16, 1, 2)>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap();
+        assert!(mem.get("a").unwrap().data.iter().all(|&v| v == 7.0));
+    }
+}

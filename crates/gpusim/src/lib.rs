@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # sf-gpusim
+//!
+//! A GPU execution substrate standing in for the Kepler K20X / K40 boards
+//! the paper evaluates on. Three cooperating pieces:
+//!
+//! - [`device`] — device descriptors with the published Kepler parameters
+//!   (the `deviceQuery` analog) and [`occupancy`] — a clone of the CUDA
+//!   occupancy calculator used by the paper's thread-block tuner (§4.2).
+//! - [`interp`] — a *functional* SIMT interpreter: executes minicuda
+//!   kernels block-by-block with warp-level lockstep semantics, shared
+//!   memory tiles, `__syncthreads()` barriers, divergence accounting, and
+//!   cross-block race detection. Used to verify that transformed programs
+//!   produce the same output as the originals (the paper verifies every
+//!   run) and to cross-validate the analytic counters.
+//! - [`timing`] — an analytic timing model: per-launch runtime from DRAM
+//!   traffic (sweep-level footprints from `sf-analysis`), flop throughput,
+//!   occupancy-dependent effective bandwidth, divergence penalties and
+//!   launch overhead. The paper's measured speedups are driven by exactly
+//!   these mechanisms.
+//! - [`profiler`] — runs a program on a device and emits the per-kernel
+//!   performance metadata (the `nvprof` analog feeding §3.2.1).
+
+pub mod compile;
+pub mod device;
+pub mod interp;
+pub mod memory;
+pub mod occupancy;
+pub mod profiler;
+pub mod timing;
+
+pub use device::DeviceSpec;
+pub use interp::{ExecError, Interpreter, LaunchStats};
+pub use memory::GlobalMemory;
+pub use occupancy::OccupancyResult;
+pub use timing::TimingModel;

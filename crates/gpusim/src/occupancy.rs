@@ -1,0 +1,230 @@
+//! A clone of the CUDA occupancy calculator.
+//!
+//! Active blocks per SM are limited by four resources: the block slots, the
+//! thread slots, the register file, and shared memory. The paper's
+//! thread-block tuner (§4.2) "enumerates all possible sizes of thread block
+//! and substitutes in a series of equations using the same method as in the
+//! CUDA occupancy calculator tool"; [`best_block_size`] is that enumeration.
+
+use crate::device::DeviceSpec;
+use sf_minicuda::host::Dim3;
+
+/// The result of an occupancy computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct OccupancyResult {
+    /// Active blocks per SM.
+    pub active_blocks_per_sm: u32,
+    /// Active warps per SM.
+    pub active_warps_per_sm: u32,
+    /// Occupancy = active warps / max warps, in [0, 1].
+    pub occupancy: f64,
+    /// Which resource limits the block count.
+    pub limiter: Limiter,
+}
+
+/// The resource limiting occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub enum Limiter {
+    BlockSlots,
+    ThreadSlots,
+    Registers,
+    SharedMemory,
+}
+
+fn round_up(v: u32, granularity: u32) -> u32 {
+    if granularity == 0 {
+        v
+    } else {
+        v.div_ceil(granularity) * granularity
+    }
+}
+
+/// Compute occupancy for a block of `threads_per_block` threads using
+/// `regs_per_thread` registers and `smem_per_block` bytes of static shared
+/// memory. Returns `None` for configurations that cannot launch at all.
+pub fn occupancy(
+    device: &DeviceSpec,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    smem_per_block: usize,
+) -> Option<OccupancyResult> {
+    if threads_per_block == 0
+        || threads_per_block > device.max_threads_per_block
+        || regs_per_thread > device.max_regs_per_thread
+        || smem_per_block > device.smem_per_block_max
+    {
+        return None;
+    }
+    let warps_per_block = threads_per_block.div_ceil(device.warp_size);
+
+    let by_blocks = device.max_blocks_per_sm;
+    let by_threads = device.max_warps_per_sm() / warps_per_block;
+    // Registers are allocated per warp with granularity.
+    let regs_per_warp = round_up(
+        regs_per_thread.max(1) * device.warp_size,
+        device.reg_alloc_granularity,
+    );
+    let by_regs = device.regs_per_sm / (regs_per_warp * warps_per_block);
+    let smem_alloc = if smem_per_block == 0 {
+        0
+    } else {
+        round_up(
+            smem_per_block as u32,
+            device.smem_alloc_granularity as u32,
+        ) as usize
+    };
+    let by_smem = if smem_alloc == 0 {
+        u32::MAX
+    } else {
+        (device.smem_per_sm / smem_alloc) as u32
+    };
+
+    let (active, limiter) = [
+        (by_blocks, Limiter::BlockSlots),
+        (by_threads, Limiter::ThreadSlots),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|(v, _)| *v)
+    .expect("non-empty limiter list");
+
+    if active == 0 {
+        return None;
+    }
+    let active_warps = active * warps_per_block;
+    Some(OccupancyResult {
+        active_blocks_per_sm: active,
+        active_warps_per_sm: active_warps,
+        occupancy: active_warps as f64 / device.max_warps_per_sm() as f64,
+        limiter,
+    })
+}
+
+/// Candidate 2-D block shapes enumerated by the tuner. The x extent stays a
+/// multiple of the warp size where possible (coalescing); the supported
+/// stencil class maps x to the contiguous axis. Halo-friendly shapes (wider
+/// y) come first: the tuner takes the first *strict* occupancy improvement,
+/// and among equal-occupancy shapes a thin y extent multiplies per-block
+/// halo traffic.
+pub fn candidate_blocks(device: &DeviceSpec) -> Vec<Dim3> {
+    let mut out = Vec::new();
+    for &by in &[8u32, 4, 16, 2, 32, 1] {
+        for &bx in &[32u32, 64, 128, 256, 16, 8] {
+            let t = bx * by;
+            if t >= 32 && t <= device.max_threads_per_block {
+                out.push(Dim3::new(bx, by, 1));
+            }
+        }
+    }
+    out
+}
+
+/// Pick the block size with the highest occupancy for the given per-thread
+/// register and per-block shared-memory usage, where shared memory may
+/// depend on the block shape (tile = block + halo). The original block is
+/// kept unless a candidate *strictly* improves occupancy — occupancy is a
+/// utilization proxy, not performance (§4.2), and a same-occupancy shape
+/// change can inflate per-block halo traffic.
+pub fn best_block_size(
+    device: &DeviceSpec,
+    original: Dim3,
+    regs_per_thread: u32,
+    smem_of_block: &dyn Fn(Dim3) -> usize,
+) -> (Dim3, OccupancyResult) {
+    let orig_occ = occupancy(
+        device,
+        (original.count() as u32).max(1),
+        regs_per_thread,
+        smem_of_block(original),
+    );
+    let mut best: Option<(Dim3, OccupancyResult)> = orig_occ.map(|o| (original, o));
+    for cand in candidate_blocks(device) {
+        let Some(occ) = occupancy(
+            device,
+            cand.x * cand.y,
+            regs_per_thread,
+            smem_of_block(cand),
+        ) else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some((_, cur_occ)) => occ.occupancy > cur_occ.occupancy + 1e-9,
+        };
+        if better {
+            best = Some((cand, occ));
+        }
+    }
+    best.expect("at least one candidate block size must be launchable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_small_footprint() {
+        let d = DeviceSpec::k20x();
+        let o = occupancy(&d, 256, 32, 0).unwrap();
+        // 2048/256 = 8 blocks, 64 warps → occupancy 1.0
+        assert_eq!(o.active_blocks_per_sm, 8);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let d = DeviceSpec::k20x();
+        let o = occupancy(&d, 256, 128, 0).unwrap();
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!(o.occupancy < 0.5);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let d = DeviceSpec::k20x();
+        // 24 KiB per block → 2 blocks per SM regardless of threads.
+        let o = occupancy(&d, 128, 24, 24 * 1024).unwrap();
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert_eq!(o.active_blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn oversized_block_cannot_launch() {
+        let d = DeviceSpec::k20x();
+        assert!(occupancy(&d, 2048, 32, 0).is_none());
+        assert!(occupancy(&d, 256, 32, 64 * 1024).is_none());
+    }
+
+    #[test]
+    fn tuner_improves_poor_block_choice() {
+        let d = DeviceSpec::k20x();
+        // An 8x2 block (16 threads) wastes thread slots badly.
+        let (best, occ) = best_block_size(&d, Dim3::new(8, 2, 1), 32, &|_| 0);
+        assert!(occ.occupancy > 0.9);
+        assert!(best.count() >= 128);
+    }
+
+    #[test]
+    fn tuner_respects_shape_dependent_smem() {
+        let d = DeviceSpec::k20x();
+        // Tile of (bx+2)(by+2) doubles: large blocks pay more shared memory.
+        let smem = |b: Dim3| ((b.x + 2) * (b.y + 2) * 8 * 3) as usize;
+        let (best, occ) = best_block_size(&d, Dim3::new(32, 4, 1), 40, &smem);
+        assert!(occ.occupancy > 0.0);
+        assert!(smem(best) <= d.smem_per_block_max);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_registers() {
+        let d = DeviceSpec::k20x();
+        let mut last = 2.0;
+        for regs in [16u32, 32, 64, 96, 128, 192, 255] {
+            let o = occupancy(&d, 256, regs, 0).unwrap();
+            assert!(o.occupancy <= last + 1e-12);
+            last = o.occupancy;
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The profiler: the framework's `nvprof` + instrumentation analog.
+//!
+//! Profiling a program produces the per-launch performance metadata and
+//! operations metadata bundles of §3.2.1. A *functional* profile actually
+//! executes the program on the simulator (one instrumented run, as in the
+//! paper) to measure flops and warp divergence exactly; an analytic profile
+//! skips execution and uses the static estimates (useful for large
+//! problem sizes).
+
+use crate::device::DeviceSpec;
+use crate::interp::{ExecError, Interpreter, LaunchStats};
+use crate::memory::GlobalMemory;
+use crate::timing::{LaunchCost, LaunchProfile, TimingModel};
+use sf_analysis::access::{self, KernelAccess};
+use sf_analysis::metadata::{MetadataBundle, OpsMetadata, PerfMetadata};
+use sf_analysis::{flops, stencil};
+use sf_minicuda::ast::{Kernel, Program};
+use sf_minicuda::host::ExecutablePlan;
+use std::collections::HashMap;
+
+/// A profiling error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileError(pub String);
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<ExecError> for ProfileError {
+    fn from(e: ExecError) -> Self {
+        ProfileError(e.0)
+    }
+}
+
+impl From<access::AccessError> for ProfileError {
+    fn from(e: access::AccessError) -> Self {
+        ProfileError(e.0)
+    }
+}
+
+/// The result of profiling a program on a device.
+#[derive(Debug, Clone)]
+pub struct ProgramProfile {
+    /// The §3.2.1 metadata bundle (perf + ops + device).
+    pub metadata: MetadataBundle,
+    /// Per-static-launch modeled cost breakdowns.
+    pub costs: Vec<LaunchCost>,
+    /// Modeled end-to-end device time (costs weighted by repeat counts), µs.
+    pub total_runtime_us: f64,
+    /// Hazards reported by the functional run, if any.
+    pub hazards: Vec<String>,
+}
+
+impl ProgramProfile {
+    /// Modeled runtime of one static launch (single execution), µs.
+    pub fn runtime_us(&self, seq: usize) -> f64 {
+        self.costs[seq].total_us()
+    }
+}
+
+/// Estimate registers per thread from kernel structure: a base cost plus
+/// pressure from live array pointers, local scalars and shared tiles. This
+/// reproduces the fused-kernel register-pressure effect that constrains
+/// occupancy.
+pub fn estimate_regs_per_thread(kernel: &Kernel, ka: &KernelAccess) -> u32 {
+    let arrays = kernel.array_params().len() as u32;
+    let locals = ka.local_decls as u32;
+    let tiles = ka.shared_tiles.len() as u32;
+    (16 + 2 * arrays + (3 * locals) / 2 + 2 * tiles).min(255)
+}
+
+/// The profiler.
+pub struct Profiler {
+    /// The device to model.
+    pub device: DeviceSpec,
+    /// Run the program functionally (measured flops/divergence, hazard
+    /// checks) in addition to the static analysis.
+    pub functional: bool,
+    /// Seed for the functional run's input data.
+    pub seed: u64,
+}
+
+impl Profiler {
+    /// A functional profiler on the given device.
+    pub fn new(device: DeviceSpec) -> Profiler {
+        Profiler {
+            device,
+            functional: true,
+            seed: 42,
+        }
+    }
+
+    /// Analytic-only profiler (no execution).
+    pub fn analytic(device: DeviceSpec) -> Profiler {
+        Profiler {
+            device,
+            functional: false,
+            seed: 42,
+        }
+    }
+
+    /// Profile a program: one instrumented run plus static analysis.
+    pub fn profile(&self, program: &Program) -> Result<ProgramProfile, ProfileError> {
+        let plan = ExecutablePlan::from_program(program)
+            .map_err(|e| ProfileError(e.to_string()))?;
+        self.profile_with_plan(program, &plan)
+    }
+
+    /// Profile with a pre-computed plan.
+    pub fn profile_with_plan(
+        &self,
+        program: &Program,
+        plan: &ExecutablePlan,
+    ) -> Result<ProgramProfile, ProfileError> {
+        // Optional functional run (exact flops + divergence + hazards).
+        let mut measured: Option<Vec<LaunchStats>> = None;
+        let mut hazards = Vec::new();
+        if self.functional {
+            let mut mem = GlobalMemory::from_plan(plan);
+            mem.seed_all(self.seed);
+            let mut interp = Interpreter::new(program);
+            interp.detect_hazards = true;
+            let stats = interp.run_plan(plan, &mut mem)?;
+            for s in &stats {
+                hazards.extend(s.hazards.iter().cloned());
+            }
+            measured = Some(stats);
+        }
+        // Occurrences of each static launch in the dynamic trace.
+        let mut occurrences: Vec<u64> = vec![0; plan.launches.len()];
+        for &seq in &plan.trace {
+            occurrences[seq] += 1;
+        }
+
+        // Analyze each distinct kernel once.
+        let mut analyses: HashMap<String, KernelAccess> = HashMap::new();
+        for k in &program.kernels {
+            analyses.insert(k.name.clone(), KernelAccess::analyze(k)?);
+        }
+
+        // Which actual arrays are used by more than one static launch.
+        let mut users: HashMap<String, Vec<usize>> = HashMap::new();
+        for l in &plan.launches {
+            for a in l.array_args() {
+                users.entry(a.to_string()).or_default().push(l.seq);
+            }
+        }
+
+        let model = TimingModel::new(self.device.clone());
+        let alloc_of = |n: &str| plan.alloc(n).cloned();
+
+        let mut perf = Vec::new();
+        let mut ops = Vec::new();
+        let mut costs = Vec::new();
+        let mut total_us = 0.0;
+
+        for launch in &plan.launches {
+            let kernel = program
+                .kernel(&launch.kernel)
+                .ok_or_else(|| ProfileError(format!("unknown kernel `{}`", launch.kernel)))?;
+            let ka = &analyses[&launch.kernel];
+            let traffic = access::launch_traffic(ka, kernel, launch, &alloc_of)?;
+            let (scalars, _) = access::bind_launch(kernel, launch)?;
+
+            let regs = estimate_regs_per_thread(kernel, ka);
+            let smem = ka.smem_bytes_per_block();
+
+            // Loop sizes and chain depth.
+            let mut loop_sizes = Vec::new();
+            let mut depth = 0u64;
+            for s in &ka.sweeps {
+                let ext = match &s.k_range {
+                    Some((lo, hi)) => (hi.eval(&scalars)? - lo.eval(&scalars)?).max(0),
+                    None => 0,
+                };
+                loop_sizes.push(ext);
+                depth += ext as u64;
+            }
+            let nest_depth = 1 + ka
+                .sweeps
+                .iter()
+                .map(|s| s.inner_loops.len())
+                .max()
+                .unwrap_or(0);
+
+            // Measured or estimated divergence / flops.
+            let (flops_exec, divergent_evals, div_fraction) = match &measured {
+                Some(stats) => {
+                    let occ = occurrences[launch.seq].max(1);
+                    let s = &stats[launch.seq];
+                    (s.flops / occ, s.divergent_evals / occ, s.divergence_fraction())
+                }
+                None => (traffic.flops, 0, 0.0),
+            };
+
+            let profile = LaunchProfile {
+                dram_bytes: traffic.total_bytes(),
+                flops: flops_exec,
+                blocks: launch.grid.count(),
+                threads_per_block: launch.block.count() as u32,
+                regs_per_thread: regs,
+                smem_per_block: smem,
+                divergent_evals,
+                depth,
+            };
+            let cost = model.launch_cost(&profile).ok_or_else(|| {
+                ProfileError(format!(
+                    "launch of `{}` cannot execute on {} (block {} with {} B shared, {} regs)",
+                    launch.kernel,
+                    self.device.name,
+                    launch.block,
+                    smem,
+                    regs
+                ))
+            })?;
+            let runtime_us = cost.total_us();
+            total_us += runtime_us * launch.repeat as f64;
+
+            perf.push(PerfMetadata {
+                kernel: launch.kernel.clone(),
+                seq: launch.seq,
+                runtime_us,
+                gflops: flops_exec as f64 / runtime_us.max(1e-12) / 1e3,
+                eff_bw_gbps: traffic.total_bytes() as f64 / runtime_us.max(1e-12) / 1e3,
+                smem_per_block: smem,
+                regs_per_thread: regs,
+                active_threads: launch.grid.count() * launch.block.count(),
+                active_blocks_per_sm: cost.active_blocks_per_sm,
+                occupancy: cost.occupancy,
+                dram_read_bytes: traffic.read_bytes,
+                dram_write_bytes: traffic.write_bytes,
+                flops: flops_exec,
+                divergent_evals,
+                divergence: div_fraction,
+            });
+            ops.push(OpsMetadata {
+                kernel: launch.kernel.clone(),
+                seq: launch.seq,
+                shapes: stencil::stencil_shapes(ka),
+                sweeps: ka.sweeps.len(),
+                loop_sizes,
+                nest_depth,
+                sites: traffic.sites,
+                shared_arrays: launch
+                    .array_args()
+                    .iter()
+                    .filter(|a| users.get(**a).map(|u| u.len() > 1).unwrap_or(false))
+                    .map(|a| a.to_string())
+                    .collect(),
+                flops_per_array: flops::flops_per_array(kernel),
+                access_stride: 1,
+                bytes_per_array: traffic
+                    .per_array
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            });
+            costs.push(cost);
+        }
+
+        Ok(ProgramProfile {
+            metadata: MetadataBundle {
+                perf,
+                ops,
+                device: self.device.metadata(),
+            },
+            costs,
+            total_runtime_us: total_us,
+            hazards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_minicuda::builder::{jacobi3d_kernel, simple_host};
+    use sf_minicuda::Program;
+
+    fn jacobi_program() -> Program {
+        Program {
+            kernels: vec![
+                jacobi3d_kernel("step1", "u", "v"),
+                jacobi3d_kernel("step2", "v", "w"),
+            ],
+            host: simple_host(
+                &["u", "v", "w"],
+                &[("step1", vec!["u", "v"]), ("step2", vec!["v", "w"])],
+                (64, 32, 16),
+                (16, 8),
+            ),
+        }
+    }
+
+    #[test]
+    fn profiles_program() {
+        let p = jacobi_program();
+        let prof = Profiler::new(DeviceSpec::k20x());
+        let out = prof.profile(&p).unwrap();
+        assert_eq!(out.metadata.perf.len(), 2);
+        assert_eq!(out.metadata.ops.len(), 2);
+        assert!(out.total_runtime_us > 0.0);
+        assert!(out.hazards.is_empty());
+        let p0 = &out.metadata.perf[0];
+        assert!(p0.runtime_us > 0.0);
+        assert!(p0.occupancy > 0.0);
+        assert!(p0.dram_read_bytes > 0);
+        // Memory-bound stencil: OI well under the Kepler ridge (~5.2).
+        assert!(p0.operational_intensity() < 5.0);
+    }
+
+    #[test]
+    fn shared_arrays_detected() {
+        let p = jacobi_program();
+        let out = Profiler::new(DeviceSpec::k20x()).profile(&p).unwrap();
+        // v is written by step1 and read by step2.
+        assert_eq!(out.metadata.ops[0].shared_arrays, vec!["v".to_string()]);
+        assert_eq!(out.metadata.ops[1].shared_arrays, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn analytic_and_functional_agree_on_traffic() {
+        let p = jacobi_program();
+        let f = Profiler::new(DeviceSpec::k20x()).profile(&p).unwrap();
+        let a = Profiler::analytic(DeviceSpec::k20x()).profile(&p).unwrap();
+        for (pf, pa) in f.metadata.perf.iter().zip(&a.metadata.perf) {
+            assert_eq!(pf.dram_read_bytes, pa.dram_read_bytes);
+            assert_eq!(pf.dram_write_bytes, pa.dram_write_bytes);
+        }
+    }
+
+    #[test]
+    fn measured_flops_close_to_analytic() {
+        let p = jacobi_program();
+        let f = Profiler::new(DeviceSpec::k20x()).profile(&p).unwrap();
+        let a = Profiler::analytic(DeviceSpec::k20x()).profile(&p).unwrap();
+        for (pf, pa) in f.metadata.perf.iter().zip(&a.metadata.perf) {
+            let ratio = pf.flops as f64 / pa.flops as f64;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "measured {} vs analytic {}",
+                pf.flops,
+                pa.flops
+            );
+        }
+    }
+
+    #[test]
+    fn register_estimate_grows_with_kernel_size() {
+        let k1 = jacobi3d_kernel("a", "u", "v");
+        let ka1 = KernelAccess::analyze(&k1).unwrap();
+        let r1 = estimate_regs_per_thread(&k1, &ka1);
+        // A kernel with more arrays should estimate more registers.
+        let src = r#"
+__global__ void big(const double* __restrict__ a, const double* __restrict__ b,
+                    const double* __restrict__ c, const double* __restrict__ d,
+                    double* e, double* f, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      double t1 = a[k][j][i] + b[k][j][i];
+      double t2 = c[k][j][i] + d[k][j][i];
+      e[k][j][i] = t1 * t2;
+      f[k][j][i] = t1 - t2;
+    }
+  }
+}
+"#;
+        let k2 = sf_minicuda::parse_kernel(src).unwrap();
+        let ka2 = KernelAccess::analyze(&k2).unwrap();
+        let r2 = estimate_regs_per_thread(&k2, &ka2);
+        assert!(r2 > r1);
+    }
+}

@@ -1,0 +1,484 @@
+//! The Order-of-Execution Graph.
+//!
+//! Nodes are kernel invocations (static launch ids); a directed edge i→j
+//! says j must execute after i. Each edge records *why*, per shared array:
+//!
+//! - `flow` (read-after-write): fusable — complex fusion inserts barriers
+//!   and halo loads (§5.5.3);
+//! - `anti` (write-after-read) and `output` (write-after-write): hard
+//!   precedence — fusing across them would let the overwrite race the
+//!   neighboring-site reads of other threads;
+//! - `transfer`: a host D2H/H2D copy pins the order — kernels on opposite
+//!   sides cannot fuse.
+//!
+//! The grouped GA consults [`Oeg::quotient_feasible`]: a candidate grouping
+//! is legal iff no hard edge joins two members of one group and the
+//! quotient graph stays acyclic (fusing across a path through an outside
+//! kernel would deadlock the order).
+
+use crate::build::LaunchAccesses;
+use crate::ddg::Ddg;
+use serde::{Deserialize, Serialize};
+use sf_minicuda::host::TransferRecord;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why an OEG edge exists (one reason per array; an edge aggregates them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub enum EdgeKind {
+    Flow,
+    Anti,
+    Output,
+    Transfer,
+}
+
+/// Aggregated dependence information on one OEG edge.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EdgeInfo {
+    /// Arrays flowing (producer → consumer) along this edge.
+    pub flow: BTreeSet<String>,
+    /// Arrays with anti dependence.
+    pub anti: BTreeSet<String>,
+    /// Arrays with output dependence.
+    pub output: BTreeSet<String>,
+    /// Arrays pinned by a host transfer between the two launches.
+    pub transfer: BTreeSet<String>,
+}
+
+impl EdgeInfo {
+    /// Hard edges cannot be fused across.
+    pub fn is_hard(&self) -> bool {
+        !self.anti.is_empty() || !self.output.is_empty() || !self.transfer.is_empty()
+    }
+
+    /// True when the edge exists only because of data flow (fusable).
+    pub fn is_flow_only(&self) -> bool {
+        !self.flow.is_empty() && !self.is_hard()
+    }
+
+    /// The strongest kind, for display.
+    pub fn kind(&self) -> EdgeKind {
+        if !self.transfer.is_empty() {
+            EdgeKind::Transfer
+        } else if !self.output.is_empty() {
+            EdgeKind::Output
+        } else if !self.anti.is_empty() {
+            EdgeKind::Anti
+        } else {
+            EdgeKind::Flow
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.flow.is_empty()
+            && self.anti.is_empty()
+            && self.output.is_empty()
+            && self.transfer.is_empty()
+    }
+}
+
+/// The order-of-execution graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Oeg {
+    /// Kernel name per launch seq (node count = `kernels.len()`).
+    pub kernels: Vec<String>,
+    /// Edges i→j with i < j (host order resolves the direction, §3.2.3).
+    pub edges: BTreeMap<(usize, usize), EdgeInfo>,
+}
+
+impl Oeg {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Build the OEG from access sets (at DDG array-instance granularity so
+    /// redundant instances relax false dependences) and host transfers.
+    pub fn build(
+        kernels: Vec<String>,
+        accesses: &[LaunchAccesses],
+        ddg: &Ddg,
+        transfers: &[TransferRecord],
+    ) -> Oeg {
+        let n = accesses.len();
+        assert_eq!(kernels.len(), n);
+        let mut edges: BTreeMap<(usize, usize), EdgeInfo> = BTreeMap::new();
+
+        let read_inst = |seq: usize, a: &String| {
+            ddg.read_instance
+                .get(&(seq, a.clone()))
+                .copied()
+                .unwrap_or(0)
+        };
+        let write_inst = |seq: usize, a: &String| {
+            ddg.write_instance
+                .get(&(seq, a.clone()))
+                .copied()
+                .unwrap_or(0)
+        };
+
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut info = EdgeInfo::default();
+                // Flow: i writes instance that j reads.
+                for a in accesses[i].writes.intersection(&accesses[j].reads) {
+                    if write_inst(i, a) == read_inst(j, a) {
+                        info.flow.insert(a.clone());
+                    }
+                }
+                // Anti: i reads instance that j overwrites.
+                for a in accesses[i].reads.intersection(&accesses[j].writes) {
+                    if read_inst(i, a) == write_inst(j, a) {
+                        info.anti.insert(a.clone());
+                    }
+                }
+                // Output: both write the same instance.
+                for a in accesses[i].writes.intersection(&accesses[j].writes) {
+                    if write_inst(i, a) == write_inst(j, a) {
+                        info.output.insert(a.clone());
+                    }
+                }
+                if !info.is_empty() {
+                    edges.insert((i, j), info);
+                }
+            }
+        }
+
+        // Transfers pin order across the copy point.
+        for t in transfers {
+            let (array, pos) = match t {
+                TransferRecord::ToDevice { array, before_seq } => (array, *before_seq),
+                TransferRecord::ToHost { array, after_seq } => (array, *after_seq),
+            };
+            for i in 0..pos.min(n) {
+                if !accesses[i].touched().contains(array) {
+                    continue;
+                }
+                for j in pos..n {
+                    if !accesses[j].touched().contains(array) {
+                        continue;
+                    }
+                    edges
+                        .entry((i, j))
+                        .or_default()
+                        .transfer
+                        .insert(array.clone());
+                }
+            }
+        }
+
+        Oeg { kernels, edges }
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .range((i, 0)..(i + 1, 0))
+            .map(|(&(_, j), _)| j)
+    }
+
+    /// Is there a path i ⇝ j (i must be < j since edges go forward)?
+    pub fn has_path(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return true;
+        }
+        if i > j {
+            return false;
+        }
+        let mut stack = vec![i];
+        let mut seen = vec![false; self.len()];
+        while let Some(v) = stack.pop() {
+            if v == j {
+                return true;
+            }
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            for s in self.successors(v) {
+                if s <= j {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Check a grouping for fusion legality. `group_of[seq]` assigns every
+    /// node to a group id. Legal iff (a) no hard edge joins two nodes of
+    /// one group, and (b) the quotient graph is acyclic.
+    pub fn quotient_feasible(&self, group_of: &[usize]) -> bool {
+        assert_eq!(group_of.len(), self.len());
+        for (&(i, j), info) in &self.edges {
+            if group_of[i] == group_of[j] && info.is_hard() {
+                return false;
+            }
+        }
+        self.quotient_topo_order(group_of).is_some()
+    }
+
+    /// Topological order of the quotient graph's groups; `None` if cyclic.
+    /// Ties break by smallest member seq, giving a deterministic host order
+    /// for the rewritten program.
+    pub fn quotient_topo_order(&self, group_of: &[usize]) -> Option<Vec<usize>> {
+        assert_eq!(group_of.len(), self.len());
+        let groups: BTreeSet<usize> = group_of.iter().copied().collect();
+        let gidx: BTreeMap<usize, usize> =
+            groups.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let m = groups.len();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+        let mut indeg = vec![0usize; m];
+        for (&(i, j), _) in &self.edges {
+            let (gi, gj) = (gidx[&group_of[i]], gidx[&group_of[j]]);
+            if gi != gj && adj[gi].insert(gj) {
+                indeg[gj] += 1;
+            }
+        }
+        // Smallest member seq per group, for deterministic tie-breaking.
+        let mut min_seq = vec![usize::MAX; m];
+        for (seq, &g) in group_of.iter().enumerate() {
+            let gi = gidx[&g];
+            min_seq[gi] = min_seq[gi].min(seq);
+        }
+        let group_ids: Vec<usize> = groups.into_iter().collect();
+        let mut ready: BTreeSet<(usize, usize)> = (0..m)
+            .filter(|&g| indeg[g] == 0)
+            .map(|g| (min_seq[g], g))
+            .collect();
+        let mut order = Vec::with_capacity(m);
+        while let Some(&(ms, g)) = ready.iter().next() {
+            ready.remove(&(ms, g));
+            order.push(group_ids[g]);
+            for &s in &adj[g] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.insert((min_seq[s], s));
+                }
+            }
+        }
+        (order.len() == m).then_some(order)
+    }
+
+    /// Transitive reduction (for readable DOT output): drop an edge i→j if
+    /// another path i ⇝ j exists.
+    pub fn transitive_reduction(&self) -> Oeg {
+        let mut reduced = self.clone();
+        let keys: Vec<(usize, usize)> = self.edges.keys().copied().collect();
+        for &(i, j) in &keys {
+            // Temporarily remove and test for an alternative path.
+            let info = reduced.edges.remove(&(i, j)).expect("edge exists");
+            if !reduced.has_path(i, j) {
+                reduced.edges.insert((i, j), info);
+            }
+        }
+        reduced
+    }
+
+    /// Arrays flowing from node `i` to node `j`, if an edge exists.
+    pub fn flow_arrays(&self, i: usize, j: usize) -> BTreeSet<String> {
+        self.edges
+            .get(&(i, j))
+            .map(|e| e.flow.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::LaunchAccesses;
+
+    fn acc(reads: &[&str], writes: &[&str]) -> LaunchAccesses {
+        LaunchAccesses {
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            full_writes: writes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn build(accs: Vec<LaunchAccesses>) -> Oeg {
+        let names = (0..accs.len()).map(|i| format!("k{i}")).collect();
+        let ddg = Ddg::build(&accs);
+        Oeg::build(names, &accs, &ddg, &[])
+    }
+
+    #[test]
+    fn flow_edge_detected() {
+        let oeg = build(vec![acc(&["u"], &["v"]), acc(&["v"], &["w"])]);
+        let e = &oeg.edges[&(0, 1)];
+        assert!(e.is_flow_only());
+        assert!(e.flow.contains("v"));
+    }
+
+    #[test]
+    fn independent_kernels_have_no_edge() {
+        let oeg = build(vec![acc(&["u"], &["v"]), acc(&["u"], &["w"])]);
+        assert!(oeg.edges.is_empty());
+        // Fusing them is legal.
+        assert!(oeg.quotient_feasible(&[0, 0]));
+    }
+
+    #[test]
+    fn anti_edge_is_hard() {
+        let oeg = build(vec![acc(&["x"], &["y"]), acc(&["z", "x"], &["x"])]);
+        // k1 reads and writes x (accumulate): same instance → anti vs k0.
+        let e = &oeg.edges[&(0, 1)];
+        assert!(e.is_hard());
+        assert!(!oeg.quotient_feasible(&[0, 0]));
+        assert!(oeg.quotient_feasible(&[0, 1]));
+    }
+
+    #[test]
+    fn instance_splitting_relaxes_output_dep() {
+        // k0 writes tmp, k1 reads tmp, k2 overwrites tmp.
+        let oeg = build(vec![
+            acc(&["a"], &["tmp"]),
+            acc(&["tmp"], &["b"]),
+            acc(&["c"], &["tmp"]),
+        ]);
+        // k0→k2 output dependence removed by instance split, but k1→k2 anti
+        // (k1 reads instance 0, k2 writes instance 1 → different instances,
+        // so no edge at all).
+        assert!(!oeg.edges.contains_key(&(0, 2)));
+        assert!(!oeg.edges.contains_key(&(1, 2)));
+    }
+
+    #[test]
+    fn path_through_outsider_blocks_fusion() {
+        // k0 → k1 → k2 (flow chain). Fusing {k0, k2} leaving k1 out would
+        // create a cycle in the quotient.
+        let oeg = build(vec![
+            acc(&["a"], &["b"]),
+            acc(&["b"], &["c"]),
+            acc(&["c"], &["d"]),
+        ]);
+        assert!(!oeg.quotient_feasible(&[0, 1, 0]));
+        // Fusing the whole chain is fine (flow edges only).
+        assert!(oeg.quotient_feasible(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn transfer_pins_order() {
+        let accs = vec![acc(&["a"], &["b"]), acc(&["a"], &["c"])];
+        let names = vec!["k0".to_string(), "k1".to_string()];
+        let ddg = Ddg::build(&accs);
+        // D2H copy of `a` between the launches — both touch `a`.
+        let transfers = vec![TransferRecord::ToHost {
+            array: "a".into(),
+            after_seq: 1,
+        }];
+        let oeg = Oeg::build(names, &accs, &ddg, &transfers);
+        let e = &oeg.edges[&(0, 1)];
+        assert!(e.transfer.contains("a"));
+        assert!(!oeg.quotient_feasible(&[0, 0]));
+    }
+
+    #[test]
+    fn topo_order_respects_edges_and_ties() {
+        let oeg = build(vec![
+            acc(&["a"], &["b"]),
+            acc(&["b"], &["c"]),
+            acc(&["a"], &["d"]),
+        ]);
+        let order = oeg.quotient_topo_order(&[0, 1, 2]).unwrap();
+        // k0 before k1; k2 anywhere — deterministic order by min seq.
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn transitive_reduction_drops_implied_edges() {
+        // Chain a→b→c plus direct a→c flow (k0 writes x read by both).
+        let oeg = build(vec![
+            acc(&["a"], &["x"]),
+            acc(&["x"], &["y"]),
+            acc(&["x", "y"], &["z"]),
+        ]);
+        assert!(oeg.edges.contains_key(&(0, 2)));
+        let red = oeg.transitive_reduction();
+        assert!(!red.edges.contains_key(&(0, 2)));
+        assert!(red.edges.contains_key(&(0, 1)));
+        assert!(red.edges.contains_key(&(1, 2)));
+    }
+
+    #[test]
+    fn has_path_transitive() {
+        let oeg = build(vec![
+            acc(&["a"], &["b"]),
+            acc(&["b"], &["c"]),
+            acc(&["c"], &["d"]),
+        ]);
+        assert!(oeg.has_path(0, 2));
+        assert!(!oeg.has_path(2, 0));
+    }
+}
+
+#[cfg(test)]
+mod quotient_property_tests {
+    use super::*;
+    use crate::build::LaunchAccesses;
+    use crate::ddg::Ddg;
+    use proptest::prelude::*;
+
+    fn acc(reads: &[usize], writes: &[usize]) -> LaunchAccesses {
+        LaunchAccesses {
+            reads: reads.iter().map(|i| format!("a{i}")).collect(),
+            writes: writes.iter().map(|i| format!("a{i}")).collect(),
+            full_writes: writes.iter().map(|i| format!("a{i}")).collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For random small dependence structures: the all-singleton
+        /// grouping is always feasible, the all-one-group grouping is
+        /// feasible iff no hard edge exists, and feasibility of a random
+        /// grouping implies a valid topological order whose positions
+        /// respect every edge.
+        #[test]
+        fn quotient_feasibility_invariants(
+            edges in proptest::collection::vec((0usize..5, 0usize..5), 0..8),
+            grouping in proptest::collection::vec(0usize..3, 6),
+        ) {
+            // Build a 6-launch program: launch i writes a{i}; dependence
+            // (i, j) with i < j is induced by making j read a{i}.
+            let mut accs: Vec<(Vec<usize>, Vec<usize>)> =
+                (0..6).map(|i| (vec![], vec![i])).collect();
+            for (x, y) in &edges {
+                let (i, j) = (*x.min(y), *x.max(y) + 1);
+                if j < 6 && i != j {
+                    accs[j].0.push(i);
+                }
+            }
+            let accesses: Vec<LaunchAccesses> = accs
+                .iter()
+                .map(|(r, w)| acc(r, w))
+                .collect();
+            let ddg = Ddg::build(&accesses);
+            let names = (0..6).map(|i| format!("k{i}")).collect();
+            let oeg = Oeg::build(names, &accesses, &ddg, &[]);
+
+            // Singletons always feasible.
+            let singles: Vec<usize> = (0..6).collect();
+            prop_assert!(oeg.quotient_feasible(&singles));
+
+            // If a random grouping is feasible, its topological order must
+            // respect every edge at group granularity.
+            if oeg.quotient_feasible(&grouping) {
+                let order = oeg.quotient_topo_order(&grouping).expect("feasible ⇒ ordered");
+                let pos = |g: usize| order.iter().position(|&x| x == g).expect("present");
+                for (&(i, j), _) in &oeg.edges {
+                    let (gi, gj) = (grouping[i], grouping[j]);
+                    if gi != gj {
+                        prop_assert!(pos(gi) < pos(gj), "edge {i}->{j} violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing minicuda source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based source line of the offending token.
+    pub line: u32,
+    /// 1-based source column of the offending token.
+    pub col: u32,
+}
+
+impl ParseError {
+    /// Construct an error at the given position.
+    pub fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias used across the frontend.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,434 @@
+//! Hand-written lexer for minicuda source.
+//!
+//! The lexer resolves the classic `>>>` ambiguity the same way real CUDA
+//! frontends do in launch position: `<<<` and `>>>` are produced as single
+//! tokens. minicuda has no shift operators, so the greedy rule is safe.
+
+use crate::error::{ParseError, Result};
+use crate::token::{SpannedTok, Tok};
+
+/// Tokenize an entire source string. `//` line comments and `/* */` block
+/// comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new("unterminated block comment", l, c))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedTok>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(SpannedTok {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit()
+                || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.lex_number()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_word()
+            } else {
+                self.lex_punct()?
+            };
+            out.push(SpannedTok { tok, line, col });
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == '.' && !is_float {
+                is_float = true;
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                self.bump(); // e
+                self.bump(); // sign or first digit
+                while self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    self.bump();
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        // Optional float suffix (`f`), kept for CUDA-source compatibility.
+        if self.peek() == Some('f') {
+            is_float = true;
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .filter(|&&c| c != 'f')
+            .collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.err(format!("bad float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.err(format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> Tok {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match word.as_str() {
+            "__global__" => Tok::KwGlobal,
+            "__shared__" => Tok::KwShared,
+            "__restrict__" => Tok::KwRestrict,
+            "__syncthreads" => Tok::KwSyncthreads,
+            "void" => Tok::KwVoid,
+            "const" => Tok::KwConst,
+            "double" => Tok::KwDouble,
+            "float" => Tok::KwFloat,
+            "int" => Tok::KwInt,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "for" => Tok::KwFor,
+            "return" => Tok::KwReturn,
+            "dim3" => Tok::KwDim3,
+            "host" => Tok::KwHost,
+            _ => Tok::Ident(word),
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<Tok> {
+        let c = self.bump().expect("lex_punct called at EOF");
+        let t = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            '.' => Tok::Dot,
+            '?' => Tok::Question,
+            ':' => Tok::Colon,
+            '+' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::PlusEq
+                }
+                Some('+') => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                _ => Tok::Plus,
+            },
+            '-' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::MinusEq
+                }
+                Some('-') => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                _ => Tok::Minus,
+            },
+            '*' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::StarEq
+                } else {
+                    Tok::Star
+                }
+            }
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '<' => {
+                if self.peek() == Some('<') && self.peek2() == Some('<') {
+                    self.bump();
+                    self.bump();
+                    Tok::LaunchOpen
+                } else if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') && self.peek2() == Some('>') {
+                    self.bump();
+                    self.bump();
+                    Tok::LaunchClose
+                } else if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    Tok::Not
+                }
+            }
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(self.err("single `&` is not a minicuda operator"));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(self.err("single `|` is not a minicuda operator"));
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{other}`")));
+            }
+        };
+        let _ = self.src;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("__global__ void foo"),
+            vec![
+                Tok::KwGlobal,
+                Tok::KwVoid,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.5 1e-3 2.0f"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1e-3),
+                Tok::Float(2.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_launch_chevrons() {
+        assert_eq!(
+            toks("k<<<g, b>>>"),
+            vec![
+                Tok::Ident("k".into()),
+                Tok::LaunchOpen,
+                Tok::Ident("g".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::LaunchClose,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_vs_launch() {
+        assert_eq!(
+            toks("a < b <= c >= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Lt,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a // line\n/* block\nmore */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn compound_assignment_tokens() {
+        assert_eq!(
+            toks("x += 1; y -= 2; z *= 3;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::PlusEq,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Ident("y".into()),
+                Tok::MinusEq,
+                Tok::Int(2),
+                Tok::Semi,
+                Tok::Ident("z".into()),
+                Tok::StarEq,
+                Tok::Int(3),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn increment_tokens() {
+        assert_eq!(
+            toks("i++ j--"),
+            vec![
+                Tok::Ident("i".into()),
+                Tok::PlusPlus,
+                Tok::Ident("j".into()),
+                Tok::MinusMinus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+}

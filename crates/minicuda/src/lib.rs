@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # sf-minicuda
+//!
+//! A frontend for a CUDA-C subset ("minicuda") sufficient to express the
+//! class of stencil programs supported by the HPDC'15 automated kernel
+//! transformation framework: dense multidimensional Cartesian-grid stencils
+//! with the common horizontal thread mapping (`i`,`j` from block/thread
+//! indices) and a vertical `k` loop.
+//!
+//! The crate stands in for the ROSE compiler infrastructure used by the
+//! paper: it parses CUDA-like source into a typed AST, supports programmatic
+//! AST construction and transformation, and unparses the AST back to
+//! readable source.
+//!
+//! Main entry points:
+//! - [`parse_program`] — parse a full translation unit (kernels + host code).
+//! - [`Program`] — the AST root.
+//! - [`printer::print_program`] — unparse an AST back to minicuda source.
+//! - [`host::ExecutablePlan`] — host code resolved to concrete allocations
+//!   and launch configurations.
+//!
+//! ## Deviations from real CUDA C
+//!
+//! - Device arrays are indexed multidimensionally (`a[k][j][i]`) against
+//!   extents declared at host allocation time (`cudaAlloc3D(nz,ny,nx)`).
+//!   This makes dependence analysis exact; it mirrors the index-expression
+//!   recovery ROSE performs on linearized accesses.
+//! - The host section is a single `void host() { ... }` function containing
+//!   allocations, H2D/D2H copies and kernel launches.
+//! - Pointer aliasing is disallowed (the paper imposes the same
+//!   restriction): every pointer parameter binds a distinct device array.
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod host;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod visit;
+
+pub use ast::*;
+pub use error::{ParseError, Result};
+pub use host::{ExecutablePlan, HostEvalError};
+
+/// Parse a complete minicuda translation unit (any number of `__global__`
+/// kernels followed by an optional `void host() { ... }` section).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = lexer::lex(src)?;
+    parser::Parser::new(tokens).parse_program()
+}
+
+/// Parse a single kernel definition.
+pub fn parse_kernel(src: &str) -> Result<Kernel> {
+    let tokens = lexer::lex(src)?;
+    parser::Parser::new(tokens).parse_single_kernel()
+}
+
+/// Parse source, unparse it, and parse again; used to check round-tripping.
+pub fn reparse(program: &Program) -> Result<Program> {
+    parse_program(&printer::print_program(program))
+}

@@ -1,0 +1,382 @@
+//! AST walkers used by static analysis and the transformation passes.
+//!
+//! Two styles are provided:
+//! - callback walkers ([`walk_exprs`], [`walk_stmts`]) for read-only
+//!   analysis;
+//! - an in-place rewriter ([`rewrite_exprs`]) for index-offsetting and
+//!   renaming passes in `sf-codegen`.
+
+use crate::ast::*;
+
+/// Visit every expression in a statement list (pre-order), including
+/// sub-expressions of conditions, bounds, indices and values.
+pub fn walk_exprs<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    for s in stmts {
+        walk_stmt_exprs(s, f);
+    }
+}
+
+fn walk_stmt_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match s {
+        Stmt::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::SharedDecl { .. } | Stmt::SyncThreads | Stmt::Return => {}
+        Stmt::Assign { target, value, .. } => {
+            if let LValue::Index { indices, .. } = target {
+                for i in indices {
+                    walk_expr(i, f);
+                }
+            }
+            walk_expr(value, f);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            walk_expr(cond, f);
+            walk_exprs(then_body, f);
+            walk_exprs(else_body, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            walk_expr(init, f);
+            walk_expr(cond, f);
+            walk_expr(step, f);
+            walk_exprs(body, f);
+        }
+    }
+}
+
+/// Visit an expression tree pre-order.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+        Expr::Index { indices, .. } => {
+            for i in indices {
+                walk_expr(i, f);
+            }
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            walk_expr(cond, f);
+            walk_expr(then_val, f);
+            walk_expr(else_val, f);
+        }
+    }
+}
+
+/// Visit every statement in a body, recursively (pre-order).
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            Stmt::For { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Rewrite every expression in a statement list bottom-up in place.
+/// The callback receives each node after its children were rewritten and may
+/// replace it by returning `Some(new_expr)`.
+pub fn rewrite_exprs(stmts: &mut [Stmt], f: &mut impl FnMut(&Expr) -> Option<Expr>) {
+    for s in stmts {
+        rewrite_stmt(s, f);
+    }
+}
+
+fn rewrite_stmt(s: &mut Stmt, f: &mut impl FnMut(&Expr) -> Option<Expr>) {
+    match s {
+        Stmt::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                rewrite_expr(e, f);
+            }
+        }
+        Stmt::SharedDecl { .. } | Stmt::SyncThreads | Stmt::Return => {}
+        Stmt::Assign { target, value, .. } => {
+            if let LValue::Index { indices, .. } = target {
+                for i in indices {
+                    rewrite_expr(i, f);
+                }
+            }
+            rewrite_expr(value, f);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            rewrite_expr(cond, f);
+            rewrite_exprs(then_body, f);
+            rewrite_exprs(else_body, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            rewrite_expr(init, f);
+            rewrite_expr(cond, f);
+            rewrite_expr(step, f);
+            rewrite_exprs(body, f);
+        }
+    }
+}
+
+/// Rewrite an expression tree bottom-up in place.
+pub fn rewrite_expr(e: &mut Expr, f: &mut impl FnMut(&Expr) -> Option<Expr>) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+        Expr::Index { indices, .. } => {
+            for i in indices {
+                rewrite_expr(i, f);
+            }
+        }
+        Expr::Unary { operand, .. } => rewrite_expr(operand, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            rewrite_expr(lhs, f);
+            rewrite_expr(rhs, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                rewrite_expr(a, f);
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            rewrite_expr(cond, f);
+            rewrite_expr(then_val, f);
+            rewrite_expr(else_val, f);
+        }
+    }
+    if let Some(new) = f(e) {
+        *e = new;
+    }
+}
+
+/// Rename every reference to variable `from` (as `Expr::Var` and loop
+/// variables are not renamed here — only value uses) to `to`.
+pub fn rename_var(stmts: &mut [Stmt], from: &str, to: &str) {
+    rewrite_exprs(stmts, &mut |e| match e {
+        Expr::Var(n) if n == from => Some(Expr::Var(to.to_string())),
+        _ => None,
+    });
+    // Also rename declaration sites and assignment targets.
+    for s in stmts.iter_mut() {
+        rename_var_stmt(s, from, to);
+    }
+}
+
+fn rename_var_stmt(s: &mut Stmt, from: &str, to: &str) {
+    match s {
+        Stmt::VarDecl { name, .. } if name == from => *name = to.to_string(),
+        Stmt::Assign { target, .. } => {
+            if let LValue::Var(n) = target {
+                if n == from {
+                    *n = to.to_string();
+                }
+            }
+        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            for t in then_body.iter_mut().chain(else_body.iter_mut()) {
+                rename_var_stmt(t, from, to);
+            }
+        }
+        Stmt::For { var, body, .. } => {
+            if var == from {
+                *var = to.to_string();
+            }
+            for t in body.iter_mut() {
+                rename_var_stmt(t, from, to);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rename every access (read and write) to array `from` to array `to`.
+pub fn rename_array(stmts: &mut [Stmt], from: &str, to: &str) {
+    rewrite_exprs(stmts, &mut |e| match e {
+        Expr::Index { array, indices } if array == from => Some(Expr::Index {
+            array: to.to_string(),
+            indices: indices.clone(),
+        }),
+        _ => None,
+    });
+    for s in stmts.iter_mut() {
+        rename_array_targets(s, from, to);
+    }
+}
+
+fn rename_array_targets(s: &mut Stmt, from: &str, to: &str) {
+    match s {
+        Stmt::Assign { target, .. } => {
+            if let LValue::Index { array, .. } = target {
+                if array == from {
+                    *array = to.to_string();
+                }
+            }
+        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            for t in then_body.iter_mut().chain(else_body.iter_mut()) {
+                rename_array_targets(t, from, to);
+            }
+        }
+        Stmt::For { body, .. } => {
+            for t in body.iter_mut() {
+                rename_array_targets(t, from, to);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collect the names of all arrays read in the statements (appearing in
+/// `Expr::Index` on the right-hand side or in indices/conditions).
+pub fn arrays_read(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_exprs(stmts, &mut |e| {
+        if let Expr::Index { array, .. } = e {
+            if !out.contains(array) {
+                out.push(array.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Collect the names of all arrays written (assignment targets). Compound
+/// assignments (`+=` etc.) both read and write; they are included here.
+pub fn arrays_written(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_stmts(stmts, &mut |s| {
+        if let Stmt::Assign {
+            target: LValue::Index { array, .. },
+            ..
+        } = s
+        {
+            if !out.contains(array) {
+                out.push(array.clone());
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_kernel;
+
+    const SRC: &str = r#"
+__global__ void k(const double* __restrict__ u, double* v, double* w, int nx) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+    v[i] = u[i] + u[i+1];
+    w[i] += v[i];
+  }
+}
+"#;
+
+    #[test]
+    fn reads_and_writes() {
+        let k = parse_kernel(SRC).unwrap();
+        let mut r = arrays_read(&k.body);
+        r.sort();
+        assert_eq!(r, vec!["u", "v"]);
+        let w = arrays_written(&k.body);
+        assert_eq!(w, vec!["v", "w"]);
+    }
+
+    #[test]
+    fn rename_array_rewrites_reads_and_writes() {
+        let mut k = parse_kernel(SRC).unwrap();
+        rename_array(&mut k.body, "v", "v2");
+        let r = arrays_read(&k.body);
+        assert!(r.contains(&"v2".to_string()) && !r.contains(&"v".to_string()));
+        let w = arrays_written(&k.body);
+        assert!(w.contains(&"v2".to_string()) && !w.contains(&"v".to_string()));
+    }
+
+    #[test]
+    fn rename_var_rewrites_decl_and_uses() {
+        let mut k = parse_kernel(SRC).unwrap();
+        rename_var(&mut k.body, "i", "gi");
+        let text = crate::printer::print_kernel(&k);
+        assert!(text.contains("int gi ="));
+        assert!(text.contains("v[gi]"));
+        assert!(!text.contains("[i]"));
+    }
+
+    #[test]
+    fn rewrite_offsets_indices() {
+        let mut k = parse_kernel(SRC).unwrap();
+        // Shift every index on `u` by +3.
+        rewrite_exprs(&mut k.body, &mut |e| match e {
+            Expr::Index { array, indices } if array == "u" => Some(Expr::Index {
+                array: array.clone(),
+                indices: indices
+                    .iter()
+                    .map(|i| Expr::bin(BinaryOp::Add, i.clone(), Expr::Int(3)))
+                    .collect(),
+            }),
+            _ => None,
+        });
+        let text = crate::printer::print_kernel(&k);
+        assert!(text.contains("u[i + 3]"));
+        assert!(text.contains("u[i + 1 + 3]") || text.contains("u[(i + 1) + 3]"));
+    }
+
+    #[test]
+    fn walk_counts_nodes() {
+        let k = parse_kernel(SRC).unwrap();
+        let mut stmts = 0;
+        walk_stmts(&k.body, &mut |_| stmts += 1);
+        // 1 decl + if + 2 assigns
+        assert_eq!(stmts, 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! The grouping genome and its feasibility rules.
+//!
+//! An individual is (a) the set of originals currently replaced by their
+//! fission products, and (b) a partition of the active units into groups.
+//! Groups are the genes of a grouped GA: operators act on whole groups.
+
+use crate::space::SearchSpace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One candidate solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Individual {
+    /// Original unit ids replaced by their products.
+    pub fissioned: BTreeSet<usize>,
+    /// Group id per active unit.
+    pub group_of: BTreeMap<usize, usize>,
+}
+
+impl Individual {
+    /// The all-singletons individual over the original units.
+    pub fn singletons(space: &SearchSpace) -> Individual {
+        let mut group_of = BTreeMap::new();
+        for u in &space.units {
+            if u.parent.is_none() {
+                group_of.insert(u.id, u.id);
+            }
+        }
+        Individual {
+            fissioned: BTreeSet::new(),
+            group_of,
+        }
+    }
+
+    /// Active unit ids (originals not fissioned + products of fissioned).
+    pub fn active_units(&self) -> Vec<usize> {
+        self.group_of.keys().copied().collect()
+    }
+
+    /// Members per group id.
+    pub fn groups(&self) -> BTreeMap<usize, Vec<usize>> {
+        let mut out: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (&u, &g) in &self.group_of {
+            out.entry(g).or_default().push(u);
+        }
+        out
+    }
+
+    /// Groups with at least two members.
+    pub fn fusion_groups(&self) -> Vec<Vec<usize>> {
+        self.groups()
+            .into_values()
+            .filter(|m| m.len() > 1)
+            .collect()
+    }
+
+    /// A fresh group id not currently in use.
+    pub fn fresh_group_id(&self) -> usize {
+        self.group_of.values().max().map_or(0, |m| m + 1)
+    }
+
+    /// Replace an original unit by its fission products (each initially a
+    /// singleton). No-op if the unit has no products or is already split.
+    pub fn fission(&mut self, space: &SearchSpace, unit: usize) {
+        let u = &space.units[unit];
+        if u.products.is_empty() || self.fissioned.contains(&unit) {
+            return;
+        }
+        self.group_of.remove(&unit);
+        self.fissioned.insert(unit);
+        let mut g = self.fresh_group_id();
+        for &p in &u.products {
+            self.group_of.insert(p, g);
+            g += 1;
+        }
+    }
+
+    /// Put a fissioned original back, removing its products.
+    pub fn defission(&mut self, space: &SearchSpace, unit: usize) {
+        if !self.fissioned.remove(&unit) {
+            return;
+        }
+        for &p in &space.units[unit].products {
+            self.group_of.remove(&p);
+        }
+        let g = self.fresh_group_id();
+        self.group_of.insert(unit, g);
+    }
+
+    /// OEG feasibility: no hard edge inside a group, and the quotient of
+    /// the precedence subgraph over active units is acyclic.
+    pub fn feasible(&self, space: &SearchSpace) -> bool {
+        // Hard edges within a group.
+        for (&(a, b), e) in &space.edges {
+            if !e.hard {
+                continue;
+            }
+            if let (Some(ga), Some(gb)) = (self.group_of.get(&a), self.group_of.get(&b)) {
+                if ga == gb {
+                    return false;
+                }
+            }
+        }
+        self.topo_order(space).is_some()
+    }
+
+    /// Topological order of the groups (by min member unit id on ties);
+    /// `None` when the quotient has a cycle.
+    pub fn topo_order(&self, space: &SearchSpace) -> Option<Vec<usize>> {
+        let groups = self.groups();
+        let gids: Vec<usize> = groups.keys().copied().collect();
+        let gidx: BTreeMap<usize, usize> = gids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let m = gids.len();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+        let mut indeg = vec![0usize; m];
+        for (&(a, b), _) in &space.edges {
+            let (Some(&ga), Some(&gb)) = (self.group_of.get(&a), self.group_of.get(&b)) else {
+                continue;
+            };
+            if ga == gb {
+                continue;
+            }
+            let (ia, ib) = (gidx[&ga], gidx[&gb]);
+            if adj[ia].insert(ib) {
+                indeg[ib] += 1;
+            }
+        }
+        let min_member: Vec<usize> = gids
+            .iter()
+            .map(|g| *groups[g].iter().min().expect("non-empty group"))
+            .collect();
+        let mut ready: BTreeSet<(usize, usize)> = (0..m)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| (min_member[i], i))
+            .collect();
+        let mut order = Vec::with_capacity(m);
+        while let Some(&(mm, i)) = ready.iter().next() {
+            ready.remove(&(mm, i));
+            order.push(gids[i]);
+            for &s in &adj[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.insert((min_member[s], s));
+                }
+            }
+        }
+        (order.len() == m).then_some(order)
+    }
+
+    /// Try to merge the groups of units `a` and `b`; reverts and returns
+    /// false if the result is infeasible.
+    pub fn try_merge(&mut self, space: &SearchSpace, a: usize, b: usize) -> bool {
+        let (Some(&ga), Some(&gb)) = (self.group_of.get(&a), self.group_of.get(&b)) else {
+            return false;
+        };
+        if ga == gb {
+            return false;
+        }
+        // Ineligible units stay singletons.
+        let groups = self.groups();
+        for &u in groups[&ga].iter().chain(&groups[&gb]) {
+            if !space.units[u].eligible {
+                return false;
+            }
+        }
+        let saved = self.group_of.clone();
+        for u in &groups[&gb] {
+            self.group_of.insert(*u, ga);
+        }
+        if self.feasible(space) {
+            true
+        } else {
+            self.group_of = saved;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::tests::space_for;
+
+    const CHAIN: &str = r#"
+__global__ void k1(const double* __restrict__ a, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = a[k][j][i] + 1.0; } }
+}
+__global__ void k2(const double* __restrict__ b, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = b[k][j][i] * 2.0; } }
+}
+__global__ void k3(const double* __restrict__ c, double* d, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { d[k][j][i] = c[k][j][i] - 3.0; } }
+}
+void host() {
+  int nx = 32; int ny = 16; int nz = 8;
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  double* d = cudaAlloc3D(nz, ny, nx);
+  k1<<<dim3(2, 2), dim3(16, 8)>>>(a, b, nx, ny, nz);
+  k2<<<dim3(2, 2), dim3(16, 8)>>>(b, c, nx, ny, nz);
+  k3<<<dim3(2, 2), dim3(16, 8)>>>(c, d, nx, ny, nz);
+}
+"#;
+
+    #[test]
+    fn singletons_are_feasible() {
+        let space = space_for(CHAIN);
+        let ind = Individual::singletons(&space);
+        assert!(ind.feasible(&space));
+        assert_eq!(ind.active_units().len(), 3);
+    }
+
+    #[test]
+    fn skip_fusion_creates_quotient_cycle() {
+        let space = space_for(CHAIN);
+        let mut ind = Individual::singletons(&space);
+        // Grouping k1 with k3 while k2 stays outside: infeasible.
+        assert!(!ind.try_merge(&space, 0, 2));
+        // State reverted.
+        assert!(ind.feasible(&space));
+        assert_eq!(ind.fusion_groups().len(), 0);
+        // Chain fusion k1+k2 then +k3 is fine.
+        assert!(ind.try_merge(&space, 0, 1));
+        assert!(ind.try_merge(&space, 0, 2));
+        assert_eq!(ind.fusion_groups().len(), 1);
+    }
+
+    #[test]
+    fn topo_order_follows_flow() {
+        let space = space_for(CHAIN);
+        let mut ind = Individual::singletons(&space);
+        assert!(ind.try_merge(&space, 1, 2));
+        let order = ind.topo_order(&space).unwrap();
+        // k1's group before the {k2,k3} group.
+        let g1 = ind.group_of[&0];
+        let g23 = ind.group_of[&1];
+        let p1 = order.iter().position(|&g| g == g1).unwrap();
+        let p23 = order.iter().position(|&g| g == g23).unwrap();
+        assert!(p1 < p23);
+    }
+
+    #[test]
+    fn fission_and_defission_round_trip() {
+        let space = space_for(
+            r#"
+__global__ void pair(const double* __restrict__ x, const double* __restrict__ y,
+                     double* a, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      a[k][j][i] = x[k][j][i] * 2.0;
+      b[k][j][i] = y[k][j][i] + 1.0;
+    }
+  }
+}
+void host() {
+  int nx = 32; int ny = 16; int nz = 8;
+  double* x = cudaAlloc3D(nz, ny, nx);
+  double* y = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  pair<<<dim3(2, 2), dim3(16, 8)>>>(x, y, a, b, nx, ny, nz);
+}
+"#,
+        );
+        let mut ind = Individual::singletons(&space);
+        let before = ind.clone();
+        ind.fission(&space, 0);
+        assert!(!ind.group_of.contains_key(&0));
+        assert_eq!(ind.active_units().len(), 2);
+        assert!(ind.feasible(&space));
+        ind.defission(&space, 0);
+        assert_eq!(ind.active_units(), before.active_units());
+    }
+}

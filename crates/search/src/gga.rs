@@ -1,0 +1,561 @@
+//! The grouped genetic algorithm (§5.4).
+//!
+//! Falkenauer-style GGA: chromosomes are partitions; crossover injects
+//! whole groups from one parent into the other with repair; mutations
+//! merge/split/move at group granularity; fission/defission moves realize
+//! the lazy-fission relaxation. Objective evaluation — >90% of the
+//! search runtime in the paper — is parallelized with rayon (the paper's
+//! implementation is OpenMP-parallel).
+
+use crate::genome::Individual;
+use crate::objective::{self, Penalty};
+use crate::params::SearchConfig;
+use crate::space::SearchSpace;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use sf_codegen::GroupSpec;
+
+/// The outcome of a search run.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct SearchResult {
+    pub best: Individual,
+    /// The winning grouping in quotient-topological (execution) order,
+    /// ready for the code generator.
+    pub groups: Vec<GroupSpec>,
+    /// Best fitness per generation.
+    pub history: Vec<f64>,
+    /// Projected GFLOPS of the all-singletons baseline and of the winner.
+    pub baseline_gflops: f64,
+    pub best_gflops: f64,
+    /// Average number of fissioned kernels retained in the generation-best
+    /// individual (the Table 1 "avg fissions per generation" analog: how
+    /// actively the winning lineage uses fission).
+    pub fissions_per_generation: f64,
+    /// Raw fission moves applied across all offspring, per generation
+    /// (churn, including moves selection later discards).
+    pub fission_moves_per_generation: f64,
+    pub generations_run: usize,
+    pub evaluations: u64,
+}
+
+/// Run the search.
+pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let penalty = Penalty {
+        soft: config.penalty_soft,
+        hard: config.penalty_hard,
+    };
+    let eligible = space.eligible_originals();
+
+    // ---- initial population ----
+    let singles = Individual::singletons(space);
+    let baseline_gflops = objective::fitness(space, &singles, &penalty);
+    let mut population: Vec<Individual> = Vec::with_capacity(config.population);
+    population.push(singles.clone());
+    while population.len() < config.population {
+        let mut ind = singles.clone();
+        for _ in 0..config.init_merges {
+            mutate_merge(space, &mut ind, &eligible, &mut rng);
+        }
+        population.push(ind);
+    }
+
+    let mut evaluations = 0u64;
+    let mut scores: Vec<f64> = evaluate(space, &population, &penalty, &mut evaluations);
+    let mut history = Vec::with_capacity(config.generations);
+    let mut fission_moves = 0u64;
+    let mut retained_fissions = 0u64;
+    let mut best_idx = argmax(&scores);
+    let mut stagnant = 0usize;
+    let mut generations_run = 0usize;
+
+    for _gen in 0..config.generations {
+        generations_run += 1;
+        let prev_best = scores[best_idx];
+
+        // Elites survive unchanged.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite fitness"));
+        let mut next: Vec<Individual> = order
+            .iter()
+            .take(config.elites.min(population.len()))
+            .map(|&i| population[i].clone())
+            .collect();
+
+        while next.len() < config.population {
+            let a = tournament(&scores, config.tournament, &mut rng);
+            let mut child = if rng.gen_bool(config.crossover_rate) {
+                let b = tournament(&scores, config.tournament, &mut rng);
+                crossover(space, &population[a], &population[b], &mut rng)
+            } else {
+                population[a].clone()
+            };
+            // Mutations.
+            if rng.gen_bool(config.p_merge) {
+                mutate_merge(space, &mut child, &eligible, &mut rng);
+            }
+            if rng.gen_bool(config.p_split) {
+                mutate_split(space, &mut child, &mut rng);
+            }
+            if rng.gen_bool(config.p_move) {
+                mutate_move(space, &mut child, &mut rng);
+            }
+            if config.p_fission > 0.0 && rng.gen_bool(config.p_fission) {
+                if mutate_fission(space, &mut child, &penalty, &mut rng) {
+                    fission_moves += 1;
+                }
+            }
+            if config.p_defission > 0.0 && rng.gen_bool(config.p_defission) {
+                mutate_defission(space, &mut child, &mut rng);
+            }
+            debug_assert!(child.feasible(space));
+            next.push(child);
+        }
+        population = next;
+        scores = evaluate(space, &population, &penalty, &mut evaluations);
+        best_idx = argmax(&scores);
+        history.push(scores[best_idx]);
+        retained_fissions += population[best_idx].fissioned.len() as u64;
+
+        if config.stagnation_window > 0 {
+            if scores[best_idx] <= prev_best + 1e-12 {
+                stagnant += 1;
+                if stagnant >= config.stagnation_window {
+                    break;
+                }
+            } else {
+                stagnant = 0;
+            }
+        }
+    }
+
+    let best = population[best_idx].clone();
+    let best_gflops = scores[best_idx];
+    let groups = groups_in_order(space, &best);
+    SearchResult {
+        best,
+        groups,
+        history,
+        baseline_gflops,
+        best_gflops,
+        fissions_per_generation: retained_fissions as f64 / generations_run.max(1) as f64,
+        fission_moves_per_generation: fission_moves as f64 / generations_run.max(1) as f64,
+        generations_run,
+        evaluations,
+    }
+}
+
+/// Convert the winning individual into ordered `GroupSpec`s.
+pub fn groups_in_order(space: &SearchSpace, ind: &Individual) -> Vec<GroupSpec> {
+    let order = ind
+        .topo_order(space)
+        .expect("winning individual must be feasible");
+    let groups = ind.groups();
+    order
+        .iter()
+        .map(|g| {
+            // Members must be in *execution* order: products carry their
+            // parent's seq (unit ids do not reflect host order).
+            let mut members: Vec<_> =
+                groups[g].iter().map(|&u| space.units[u].mref).collect();
+            members.sort_by_key(|m| (m.seq, m.fission_component));
+            GroupSpec { members }
+        })
+        .collect()
+}
+
+fn evaluate(
+    space: &SearchSpace,
+    population: &[Individual],
+    penalty: &Penalty,
+    evaluations: &mut u64,
+) -> Vec<f64> {
+    *evaluations += population.len() as u64;
+    population
+        .par_iter()
+        .map(|ind| objective::fitness(space, ind, penalty))
+        .collect()
+}
+
+fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+        .map(|(i, _)| i)
+        .expect("non-empty population")
+}
+
+fn tournament(scores: &[f64], k: usize, rng: &mut SmallRng) -> usize {
+    let mut best = rng.gen_range(0..scores.len());
+    for _ in 1..k.max(1) {
+        let c = rng.gen_range(0..scores.len());
+        if scores[c] > scores[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Group-injection crossover: clone A, then try to impose a random fusion
+/// group of B onto the clone (re-grouping those members together when
+/// every one of them is active and the result stays feasible).
+fn crossover(
+    space: &SearchSpace,
+    a: &Individual,
+    b: &Individual,
+    rng: &mut SmallRng,
+) -> Individual {
+    let mut child = a.clone();
+    let b_groups = b.fusion_groups();
+    if b_groups.is_empty() {
+        return child;
+    }
+    let donor = &b_groups[rng.gen_range(0..b_groups.len())];
+    // All donor members must be active in the child (same fission state).
+    if !donor.iter().all(|u| child.group_of.contains_key(u)) {
+        return child;
+    }
+    let saved = child.clone();
+    let g = child.fresh_group_id();
+    for &u in donor {
+        child.group_of.insert(u, g);
+    }
+    if child.feasible(space) {
+        child
+    } else {
+        saved
+    }
+}
+
+fn mutate_merge(
+    space: &SearchSpace,
+    ind: &mut Individual,
+    _eligible: &[usize],
+    rng: &mut SmallRng,
+) {
+    let active: Vec<usize> = ind
+        .active_units()
+        .into_iter()
+        .filter(|&u| space.units[u].eligible)
+        .collect();
+    if active.len() < 2 {
+        return;
+    }
+    // A few attempts to find a feasible merge.
+    for _ in 0..4 {
+        let x = active[rng.gen_range(0..active.len())];
+        let y = active[rng.gen_range(0..active.len())];
+        if x != y && ind.try_merge(space, x, y) {
+            return;
+        }
+    }
+}
+
+fn mutate_split(space: &SearchSpace, ind: &mut Individual, rng: &mut SmallRng) {
+    let groups = ind.fusion_groups();
+    if groups.is_empty() {
+        return;
+    }
+    let g = &groups[rng.gen_range(0..groups.len())];
+    // Move a random member out into a fresh singleton. Splitting the middle
+    // of a flow chain out of its group creates a quotient cycle (the two
+    // remaining halves wrap around the singleton), so check and revert.
+    let &victim = g.choose(rng).expect("non-empty group");
+    let saved = ind.group_of.get(&victim).copied();
+    let fresh = ind.fresh_group_id();
+    ind.group_of.insert(victim, fresh);
+    if !ind.feasible(space) {
+        if let Some(old) = saved {
+            ind.group_of.insert(victim, old);
+        }
+    }
+}
+
+fn mutate_move(space: &SearchSpace, ind: &mut Individual, rng: &mut SmallRng) {
+    let groups = ind.fusion_groups();
+    if groups.is_empty() {
+        return;
+    }
+    let g = &groups[rng.gen_range(0..groups.len())];
+    let &victim = g.choose(rng).expect("non-empty group");
+    let active: Vec<usize> = ind
+        .active_units()
+        .into_iter()
+        .filter(|&u| u != victim && space.units[u].eligible)
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    let target = active[rng.gen_range(0..active.len())];
+    let saved = ind.group_of.clone();
+    let fresh = ind.fresh_group_id();
+    ind.group_of.insert(victim, fresh);
+    if !ind.try_merge(space, victim, target) {
+        ind.group_of = saved;
+    }
+}
+
+/// The lazy-fission move: preferentially split a member of a group whose
+/// shared-memory demand violates the capacity constraint (the dynamic
+/// penalty's relaxation); falls back to a random fissionable unit.
+fn mutate_fission(
+    space: &SearchSpace,
+    ind: &mut Individual,
+    _penalty: &Penalty,
+    rng: &mut SmallRng,
+) -> bool {
+    let model = sf_gpusim::timing::TimingModel::new(space.device.clone());
+    // Find violating groups first.
+    let mut candidates: Vec<usize> = Vec::new();
+    for (_, members) in ind.groups() {
+        let cost = objective::group_cost(space, &members, &model);
+        if cost.smem_violation {
+            for &m in &members {
+                if space.units[m].parent.is_none() && space.units[m].fissionable() {
+                    candidates.push(m);
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        candidates = ind
+            .active_units()
+            .into_iter()
+            .filter(|&u| space.units[u].parent.is_none() && space.units[u].fissionable())
+            .collect();
+    }
+    if candidates.is_empty() {
+        return false;
+    }
+    let victim = candidates[rng.gen_range(0..candidates.len())];
+    // Remember the victim's group so products can rejoin it.
+    let old_group = ind.group_of.get(&victim).copied();
+    let saved = ind.clone();
+    ind.fission(space, victim);
+    if !ind.feasible(space) {
+        *ind = saved;
+        return false;
+    }
+    // Try to put each product back into the old group (keeps the locality
+    // the group had, minus the separable parts).
+    if let Some(g) = old_group {
+        if let Some(rep) = ind
+            .group_of
+            .iter()
+            .find(|(_, &gg)| gg == g)
+            .map(|(&u, _)| u)
+        {
+            let products = space.units[victim].products.clone();
+            for p in products {
+                let _ = ind.try_merge(space, rep, p);
+            }
+        }
+    }
+    true
+}
+
+fn mutate_defission(space: &SearchSpace, ind: &mut Individual, rng: &mut SmallRng) {
+    let fissioned: Vec<usize> = ind.fissioned.iter().copied().collect();
+    if fissioned.is_empty() {
+        return;
+    }
+    let victim = fissioned[rng.gen_range(0..fissioned.len())];
+    // Only when all products are singletons (nothing is lost).
+    let all_single = space.units[victim].products.iter().all(|p| {
+        let g = ind.group_of[p];
+        ind.group_of.values().filter(|&&x| x == g).count() == 1
+    });
+    if all_single {
+        // The reunified original carries the union of its products' edges,
+        // which can re-create a quotient cycle the split avoided — check
+        // and revert.
+        let saved = ind.clone();
+        ind.defission(space, victim);
+        if !ind.feasible(space) {
+            *ind = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::tests::space_for;
+
+    const CHAIN4: &str = r#"
+__global__ void k1(const double* __restrict__ u, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { a[k][j][i] = u[k][j][i] * 2.0; } }
+}
+__global__ void k2(const double* __restrict__ u, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = u[k][j][i] + 1.0; } }
+}
+__global__ void k3(const double* __restrict__ a, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = a[k][j][i] - 3.0; } }
+}
+__global__ void k4(const double* __restrict__ b, double* d, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { d[k][j][i] = b[k][j][i] * 0.5; } }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 16;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  double* d = cudaAlloc3D(nz, ny, nx);
+  k1<<<dim3(4, 4), dim3(16, 8)>>>(u, a, nx, ny, nz);
+  k2<<<dim3(4, 4), dim3(16, 8)>>>(u, b, nx, ny, nz);
+  k3<<<dim3(4, 4), dim3(16, 8)>>>(a, c, nx, ny, nz);
+  k4<<<dim3(4, 4), dim3(16, 8)>>>(b, d, nx, ny, nz);
+}
+"#;
+
+    #[test]
+    fn search_finds_fusions_and_improves_projection() {
+        let space = space_for(CHAIN4);
+        let result = search(&space, &SearchConfig::quick());
+        assert!(result.best_gflops > result.baseline_gflops);
+        assert!(result.best.fusion_groups().len() >= 1);
+        assert!(result.best.feasible(&space));
+        assert_eq!(result.history.len(), result.generations_run);
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let space = space_for(CHAIN4);
+        let a = search(&space, &SearchConfig::quick());
+        let b = search(&space, &SearchConfig::quick());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_gflops, b.best_gflops);
+        let c = search(
+            &space,
+            &SearchConfig {
+                seed: 7,
+                ..SearchConfig::quick()
+            },
+        );
+        // Different seed may differ (not asserted equal), but must be valid.
+        assert!(c.best.feasible(&space));
+    }
+
+    #[test]
+    fn groups_come_out_in_execution_order() {
+        let space = space_for(CHAIN4);
+        let result = search(&space, &SearchConfig::quick());
+        // Every group's members exist; flattened members cover all units
+        // exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for g in &result.groups {
+            for m in &g.members {
+                assert!(seen.insert((m.seq, m.fission_component)));
+            }
+        }
+    }
+
+    #[test]
+    fn fission_disabled_means_no_fission_moves() {
+        let space = space_for(CHAIN4);
+        let result = search(&space, &SearchConfig::quick().without_fission());
+        assert_eq!(result.fissions_per_generation, 0.0);
+        assert!(result.best.fissioned.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod operator_tests {
+    use super::*;
+    use crate::space::tests::space_for;
+    use rand::SeedableRng;
+
+    const PAIRS: &str = r#"
+__global__ void p1(const double* __restrict__ u, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { a[k][j][i] = u[k][j][i] * 2.0; } }
+}
+__global__ void p2(const double* __restrict__ u, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = u[k][j][i] + 1.0; } }
+}
+__global__ void p3(const double* __restrict__ v, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = v[k][j][i] - 1.0; } }
+}
+__global__ void p4(const double* __restrict__ v, double* d, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { d[k][j][i] = v[k][j][i] * 0.5; } }
+}
+void host() {
+  int nx = 64; int ny = 16; int nz = 8;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* v = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  double* d = cudaAlloc3D(nz, ny, nx);
+  p1<<<dim3(4, 2), dim3(16, 8)>>>(u, a, nx, ny, nz);
+  p2<<<dim3(4, 2), dim3(16, 8)>>>(u, b, nx, ny, nz);
+  p3<<<dim3(4, 2), dim3(16, 8)>>>(v, c, nx, ny, nz);
+  p4<<<dim3(4, 2), dim3(16, 8)>>>(v, d, nx, ny, nz);
+}
+"#;
+
+    #[test]
+    fn crossover_transplants_a_donor_group() {
+        let space = space_for(PAIRS);
+        let mut a = Individual::singletons(&space);
+        let mut b = Individual::singletons(&space);
+        assert!(b.try_merge(&space, 2, 3)); // donor group {p3, p4}
+        let mut rng = SmallRng::seed_from_u64(1);
+        let child = crossover(&space, &a, &b, &mut rng);
+        assert!(child.feasible(&space));
+        assert_eq!(child.group_of[&2], child.group_of[&3]);
+        // Crossover must not disturb unrelated units.
+        assert_ne!(child.group_of[&0], child.group_of[&1]);
+        // And it is not destructive of the recipient's own groups:
+        assert!(a.try_merge(&space, 0, 1));
+        let child2 = crossover(&space, &a, &b, &mut rng);
+        assert_eq!(child2.group_of[&0], child2.group_of[&1]);
+        assert_eq!(child2.group_of[&2], child2.group_of[&3]);
+    }
+
+    #[test]
+    fn merge_mutation_respects_eligibility() {
+        let space = space_for(PAIRS);
+        let mut ind = Individual::singletons(&space);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            mutate_merge(&space, &mut ind, &space.eligible_originals(), &mut rng);
+            assert!(ind.feasible(&space));
+        }
+        // With 4 eligible independent units, merges must have happened.
+        assert!(ind.fusion_groups().len() >= 1);
+    }
+
+    #[test]
+    fn split_mutation_never_leaves_infeasible_state() {
+        let space = space_for(PAIRS);
+        let mut ind = Individual::singletons(&space);
+        assert!(ind.try_merge(&space, 0, 1));
+        assert!(ind.try_merge(&space, 2, 3));
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            mutate_split(&space, &mut ind, &mut rng);
+            assert!(ind.feasible(&space));
+        }
+    }
+}

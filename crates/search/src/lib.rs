@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # sf-search
+//!
+//! The customized Grouped Genetic Algorithm (GGA) that identifies the best
+//! kernel fissions/fusions (§3.2.4, §5.4), with the two automation-enabled
+//! improvements of §4:
+//!
+//! - **lazy fission** (§4.1): every fissionable target kernel is split in a
+//!   pre-step and its products are profiled, so the codeless objective has
+//!   metadata for them; the search starts from the original kernels and
+//!   applies fission on demand when candidate solutions press against the
+//!   shared-memory capacity boundary (via the dynamic penalty function);
+//! - a **codeless performance-projection objective** ([`objective`]): the
+//!   projected GFLOPS of a candidate grouping, computed purely from
+//!   per-launch metadata (bytes per array, flops, register/shared-memory
+//!   estimates) and the device model — no code is generated during the
+//!   search.
+//!
+//! The search space ([`space`]) is built from the profile metadata, the
+//!   filter decisions and the unit-level order-of-execution graph; the GA
+//!   ([`gga`]) uses Falkenauer-style group-level operators with
+//!   feasibility-preserving repair.
+
+pub mod genome;
+pub mod gga;
+pub mod objective;
+pub mod params;
+pub mod space;
+
+pub use genome::Individual;
+pub use gga::{search, SearchResult};
+pub use params::SearchConfig;
+pub use space::{SearchSpace, Unit};

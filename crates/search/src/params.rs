@@ -1,0 +1,110 @@
+//! The GA parameter file (§3.2.4): "a parameter input file for the
+//! optimization algorithm is required. The parameter file configures the
+//! population, genetic operators, generations, and constraints. There is a
+//! default parameter file provided."
+//!
+//! `SearchConfig` serializes to/from JSON so the pipeline can emit the
+//! default file and the programmer can amend it between stages.
+
+use serde::{Deserialize, Serialize};
+
+/// GA configuration. Defaults follow the paper's evaluation settings
+/// (population 100, 500 generations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct SearchConfig {
+    pub population: usize,
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Number of elites copied unchanged each generation.
+    pub elites: usize,
+    /// Probability of applying group-injection crossover to an offspring.
+    pub crossover_rate: f64,
+    /// Per-offspring mutation probabilities.
+    pub p_merge: f64,
+    pub p_split: f64,
+    pub p_move: f64,
+    /// Lazy fission / defission move probabilities (0 disables fission).
+    pub p_fission: f64,
+    pub p_defission: f64,
+    /// Penalty multipliers (soft = with fission escape, hard = without).
+    pub penalty_soft: f64,
+    pub penalty_hard: f64,
+    /// Random-merge steps used to seed each initial individual.
+    pub init_merges: usize,
+    /// RNG seed (the framework is deterministic given a seed).
+    pub seed: u64,
+    /// Stop early when the best fitness has not improved for this many
+    /// generations (0 disables early stopping).
+    pub stagnation_window: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            population: 100,
+            generations: 500,
+            tournament: 3,
+            elites: 4,
+            crossover_rate: 0.7,
+            p_merge: 0.5,
+            p_split: 0.15,
+            p_move: 0.25,
+            p_fission: 0.15,
+            p_defission: 0.05,
+            penalty_soft: 0.85,
+            penalty_hard: 0.40,
+            init_merges: 3,
+            seed: 20150615, // HPDC'15
+            stagnation_window: 0,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A scaled-down configuration for unit tests and examples.
+    pub fn quick() -> SearchConfig {
+        SearchConfig {
+            population: 24,
+            generations: 60,
+            stagnation_window: 20,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Disable kernel fission entirely (the "fusion only" ablation of
+    /// Figures 4–5).
+    pub fn without_fission(mut self) -> SearchConfig {
+        self.p_fission = 0.0;
+        self.p_defission = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_as_parameter_file() {
+        let c = SearchConfig::default();
+        let text = serde_json::to_string_pretty(&c).unwrap();
+        let c2: SearchConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SearchConfig::default();
+        assert_eq!(c.population, 100);
+        assert_eq!(c.generations, 500);
+    }
+
+    #[test]
+    fn without_fission_zeroes_moves() {
+        let c = SearchConfig::default().without_fission();
+        assert_eq!(c.p_fission, 0.0);
+        assert_eq!(c.p_defission, 0.0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The search space: units (original target launches plus their precomputed
+//! fission products), their metadata, and the unit-level precedence graph.
+//!
+//! The *lazy fission pre-step* lives here: every eligible launch whose
+//! kernel has separable data arrays is fissioned once, the products are
+//! profiled (analytically — the codeless objective only needs metadata),
+//! and the products join the unit list. The GA starts with the originals
+//! active; a fission move swaps an original for its products.
+
+use sf_analysis::filter::FilterDecision;
+use sf_analysis::metadata::{OpsMetadata, PerfMetadata};
+use sf_codegen::{transform_program, CodegenMode, GroupSpec, MemberRef, TransformPlan};
+use sf_gpusim::device::DeviceSpec;
+use sf_gpusim::profiler::{ProfileError, Profiler, ProgramProfile};
+use sf_graphs::build::{all_accesses, all_accesses_with_allocs, LaunchAccesses};
+use sf_graphs::Ddg;
+use sf_minicuda::ast::Program;
+use sf_minicuda::host::ExecutablePlan;
+use std::collections::BTreeMap;
+
+/// One schedulable unit: an original launch or a fission product.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct Unit {
+    /// Index in `SearchSpace::units`.
+    pub id: usize,
+    /// Display label.
+    pub label: String,
+    /// How the code generator addresses this unit.
+    pub mref: MemberRef,
+    /// For products: the unit id of the original launch.
+    pub parent: Option<usize>,
+    /// For originals: unit ids of this launch's fission products.
+    pub products: Vec<usize>,
+    /// Eligible for fusion (target kernel)?
+    pub eligible: bool,
+    /// Per-launch performance metadata (one execution).
+    pub perf: PerfMetadata,
+    /// Operations metadata.
+    pub ops: OpsMetadata,
+    /// Read/write sets (actual arrays).
+    pub accesses: LaunchAccesses,
+    /// Launch shape.
+    pub blocks: u64,
+    pub threads_per_block: u32,
+    /// Times this launch executes (host repeat weight).
+    pub repeat: u64,
+}
+
+impl Unit {
+    /// Whether this original unit can be fissioned.
+    pub fn fissionable(&self) -> bool {
+        !self.products.is_empty()
+    }
+}
+
+/// Strip a redundant-instance storage suffix (`x__i3` → `x`).
+fn debase(name: &str) -> String {
+    if let Some(pos) = name.rfind("__i") {
+        if name[pos + 3..].chars().all(|c| c.is_ascii_digit())
+            && !name[pos + 3..].is_empty()
+        {
+            return name[..pos].to_string();
+        }
+    }
+    name.to_string()
+}
+
+/// A precedence edge between units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitEdge {
+    /// Fusing across this edge is impossible (anti/output/transfer).
+    pub hard: bool,
+}
+
+/// The complete search space.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct SearchSpace {
+    pub units: Vec<Unit>,
+    /// Precedence edges (i → j with i earlier), unit ids.
+    pub edges: BTreeMap<(usize, usize), UnitEdge>,
+    pub device: DeviceSpec,
+    /// Shared-memory capacity per block, bytes.
+    pub smem_limit: usize,
+}
+
+impl SearchSpace {
+    /// Ids of units eligible for fusion (originals only; products inherit
+    /// their parent's eligibility).
+    pub fn eligible_originals(&self) -> Vec<usize> {
+        self.units
+            .iter()
+            .filter(|u| u.parent.is_none() && u.eligible)
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// Build the space from a profiled program and its filter decisions.
+    ///
+    /// `decisions` must be parallel to `plan.launches`.
+    pub fn build(
+        program: &Program,
+        plan: &ExecutablePlan,
+        profile: &ProgramProfile,
+        decisions: &[FilterDecision],
+        device: DeviceSpec,
+    ) -> Result<SearchSpace, ProfileError> {
+        assert_eq!(decisions.len(), plan.launches.len());
+        let accesses = all_accesses_with_allocs(program, plan).map_err(ProfileError)?;
+
+        let mut units: Vec<Unit> = Vec::new();
+        for launch in &plan.launches {
+            let seq = launch.seq;
+            units.push(Unit {
+                id: seq,
+                label: format!("{}#{}", launch.kernel, seq),
+                mref: MemberRef::original(seq),
+                parent: None,
+                products: Vec::new(),
+                eligible: decisions[seq].is_target(),
+                perf: profile.metadata.perf[seq].clone(),
+                ops: profile.metadata.ops[seq].clone(),
+                accesses: accesses[seq].clone(),
+                blocks: launch.grid.count(),
+                threads_per_block: launch.block.count() as u32,
+                repeat: launch.repeat,
+            });
+        }
+
+        // ---- lazy fission pre-step ----
+        // Build one synthetic program with every fissionable target split,
+        // profile it analytically, and register the products as units.
+        let mut fission_groups: Vec<GroupSpec> = Vec::new();
+        let mut product_owner: Vec<Option<(usize, usize)>> = Vec::new(); // per synthetic launch: (parent seq, component)
+        for launch in &plan.launches {
+            let seq = launch.seq;
+            let kernel = program.kernel(&launch.kernel).expect("kernel exists");
+            let can_split = decisions[seq].is_target()
+                && sf_codegen::fission_kernel(kernel).is_some();
+            if can_split {
+                let n = sf_codegen::fission_kernel(kernel).expect("checked").len();
+                for c in 0..n {
+                    fission_groups.push(GroupSpec {
+                        members: vec![MemberRef::product(seq, c)],
+                    });
+                    product_owner.push(Some((seq, c)));
+                }
+            } else {
+                fission_groups.push(GroupSpec {
+                    members: vec![MemberRef::original(seq)],
+                });
+                product_owner.push(None);
+            }
+        }
+        let any_products = product_owner.iter().any(|o| o.is_some());
+        if any_products {
+            let tplan = TransformPlan {
+                groups: fission_groups,
+                mode: CodegenMode::Auto,
+                block_tuning: false,
+                device: device.clone(),
+            };
+            let out = transform_program(program, plan, &tplan)
+                .map_err(|e| ProfileError(e.0))?;
+            let fission_plan = ExecutablePlan::from_program(&out.program)
+                .map_err(|e| ProfileError(e.to_string()))?;
+            let fission_profile =
+                Profiler::analytic(device.clone()).profile_with_plan(&out.program, &fission_plan)?;
+            let fission_accesses = all_accesses(&out.program, &fission_plan.launches)
+                .map_err(ProfileError)?;
+            for (idx, owner) in product_owner.iter().enumerate() {
+                let Some((parent_seq, component)) = owner else {
+                    continue;
+                };
+                let launch = &fission_plan.launches[idx];
+                let id = units.len();
+                units[*parent_seq].products.push(id);
+                // The pre-step program has redundant-instance storage names
+                // (`x__i0`); normalize back to base names so product units
+                // compare like-for-like with original units.
+                let mut ops = fission_profile.metadata.ops[idx].clone();
+                ops.bytes_per_array = ops
+                    .bytes_per_array
+                    .into_iter()
+                    .map(|(k, v)| (debase(&k), v))
+                    .collect();
+                for sh in &mut ops.shapes {
+                    sh.array = debase(&sh.array);
+                }
+                let acc = &fission_accesses[idx];
+                let accesses = LaunchAccesses {
+                    reads: acc.reads.iter().map(|a| debase(a)).collect(),
+                    writes: acc.writes.iter().map(|a| debase(a)).collect(),
+                    full_writes: acc.full_writes.iter().map(|a| debase(a)).collect(),
+                };
+                units.push(Unit {
+                    id,
+                    label: format!("{}#{}", launch.kernel, parent_seq),
+                    mref: MemberRef::product(*parent_seq, *component),
+                    parent: Some(*parent_seq),
+                    products: Vec::new(),
+                    eligible: true,
+                    perf: fission_profile.metadata.perf[idx].clone(),
+                    ops,
+                    accesses,
+                    blocks: launch.grid.count(),
+                    threads_per_block: launch.block.count() as u32,
+                    repeat: units[*parent_seq].repeat,
+                });
+            }
+        }
+
+        // ---- unit-level precedence graph ----
+        // Pairwise dependence over units, ordered by original launch seq
+        // (fission products occupy their parent's position). A parent and
+        // its own products — or two siblings — are never simultaneously
+        // active, so those pairs carry no edge. A full DDG/OEG build over
+        // all units would mis-apply the redundant-instance optimization to
+        // the parent/product aliases, so the pairwise form is used here.
+        let seq_of = |u: &Unit| u.parent.unwrap_or(u.mref.seq);
+        // Array-instance numbering at original-launch granularity: the
+        // DDG's redundant-instance optimization (§3.2.3) relaxes the false
+        // anti/output dependences created by scratch-array reuse. Products
+        // inherit their parent's instances.
+        let base_ddg = Ddg::build(&accesses);
+        let read_inst = |u: &Unit, a: &str| {
+            base_ddg
+                .read_instance
+                .get(&(seq_of(u), a.to_string()))
+                .copied()
+                .unwrap_or(0)
+        };
+        let write_inst = |u: &Unit, a: &str| {
+            base_ddg
+                .write_instance
+                .get(&(seq_of(u), a.to_string()))
+                .copied()
+                .unwrap_or(0)
+        };
+        let mut edges = BTreeMap::new();
+        for a in 0..units.len() {
+            for b in 0..units.len() {
+                let (ua, ub) = (&units[a], &units[b]);
+                let (sa, sb) = (seq_of(ua), seq_of(ub));
+                if sa >= sb {
+                    continue; // products share their parent's seq: no intra-family edges
+                }
+                let flow = ua
+                    .accesses
+                    .writes
+                    .intersection(&ub.accesses.reads)
+                    .any(|x| write_inst(ua, x) == read_inst(ub, x));
+                let anti = ua
+                    .accesses
+                    .reads
+                    .intersection(&ub.accesses.writes)
+                    .any(|x| read_inst(ua, x) == write_inst(ub, x));
+                let output = ua
+                    .accesses
+                    .writes
+                    .intersection(&ub.accesses.writes)
+                    .any(|x| write_inst(ua, x) == write_inst(ub, x));
+                if flow || anti || output {
+                    edges.insert(
+                        (a, b),
+                        UnitEdge {
+                            hard: anti || output,
+                        },
+                    );
+                }
+            }
+        }
+        // Host transfers pin order across the copy point.
+        for t in &plan.transfers {
+            let (array, pos) = match t {
+                sf_minicuda::host::TransferRecord::ToDevice { array, before_seq } => {
+                    (array, *before_seq)
+                }
+                sf_minicuda::host::TransferRecord::ToHost { array, after_seq } => {
+                    (array, *after_seq)
+                }
+            };
+            for a in 0..units.len() {
+                if seq_of(&units[a]) >= pos || !units[a].accesses.touched().contains(array) {
+                    continue;
+                }
+                for b in 0..units.len() {
+                    if seq_of(&units[b]) < pos || !units[b].accesses.touched().contains(array)
+                    {
+                        continue;
+                    }
+                    edges.insert((a, b), UnitEdge { hard: true });
+                }
+            }
+        }
+
+        let smem_limit = device.smem_per_block_max;
+        Ok(SearchSpace {
+            units,
+            edges,
+            device,
+            smem_limit,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use sf_analysis::filter::{identify_targets, FilterConfig};
+    use sf_minicuda::parse_program;
+
+    const SRC: &str = r#"
+__global__ void pair(const double* __restrict__ x, const double* __restrict__ y,
+                     double* a, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      a[k][j][i] = x[k][j][i] * 2.0;
+      b[k][j][i] = y[k][j][i] + 1.0;
+    }
+  }
+}
+__global__ void reader(const double* __restrict__ a, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      c[k][j][i] = a[k][j][i] - 5.0;
+    }
+  }
+}
+void host() {
+  int nx = 32; int ny = 16; int nz = 8;
+  double* x = cudaAlloc3D(nz, ny, nx);
+  double* y = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  pair<<<dim3(2, 2), dim3(16, 8)>>>(x, y, a, b, nx, ny, nz);
+  reader<<<dim3(2, 2), dim3(16, 8)>>>(a, c, nx, ny, nz);
+}
+"#;
+
+    pub(crate) fn space_for(src: &str) -> SearchSpace {
+        let p = parse_program(src).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let device = DeviceSpec::k20x();
+        let profile = Profiler::analytic(device.clone()).profile(&p).unwrap();
+        let decisions = identify_targets(
+            &profile.metadata.perf,
+            &profile.metadata.ops,
+            &profile.metadata.device,
+            &FilterConfig::default(),
+        );
+        SearchSpace::build(&p, &plan, &profile, &decisions, device).unwrap()
+    }
+
+    #[test]
+    fn builds_units_and_products() {
+        let space = space_for(SRC);
+        // 2 originals + 2 products of `pair`.
+        assert_eq!(space.units.len(), 4);
+        let pair = &space.units[0];
+        assert_eq!(pair.products.len(), 2);
+        assert!(pair.fissionable());
+        let prod = &space.units[pair.products[0]];
+        assert_eq!(prod.parent, Some(0));
+        assert!(prod.perf.dram_read_bytes > 0);
+        assert!(prod.perf.dram_read_bytes < pair.perf.dram_read_bytes);
+    }
+
+    #[test]
+    fn product_edges_connect_to_consumers() {
+        let space = space_for(SRC);
+        // The product owning `a` must have a flow edge to `reader` (unit 1);
+        // the other product must not.
+        let pair = &space.units[0];
+        let mut saw_flow = 0;
+        for &pid in &pair.products {
+            if space.edges.contains_key(&(pid, 1)) {
+                saw_flow += 1;
+            }
+        }
+        assert_eq!(saw_flow, 1);
+        // Parent-product and sibling edges are dropped.
+        for &pid in &pair.products {
+            assert!(!space.edges.contains_key(&(0, pid)));
+            assert!(!space.edges.contains_key(&(pid, 0)));
+        }
+        assert!(!space
+            .edges
+            .contains_key(&(pair.products[0], pair.products[1])));
+    }
+
+    #[test]
+    fn original_flow_edge_exists() {
+        let space = space_for(SRC);
+        assert!(space.edges.contains_key(&(0, 1)));
+        assert!(!space.edges[&(0, 1)].hard);
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace umbrella crate: re-exports for the examples and the
+//! cross-crate integration tests under `tests/`. The real functionality
+//! lives in the `crates/` members; see the README for the map.
+
+pub use sf_analysis as analysis;
+pub use sf_apps as apps;
+pub use sf_codegen as codegen;
+pub use sf_gpusim as gpusim;
+pub use sf_graphs as graphs;
+pub use sf_minicuda as minicuda;
+pub use sf_search as search;
+pub use stencilfuse as pipeline;
