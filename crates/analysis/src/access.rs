@@ -304,7 +304,6 @@ impl KernelAccess {
             &floats,
             &mut out,
             &Guard::default(),
-            true,
         )?;
         // Kernel-level guard summary: exact when all sweeps agree, loosest
         // cover otherwise (kernels produced by fallback concatenation have
@@ -331,7 +330,6 @@ fn walk_sweep_level(
     floats: &std::collections::HashSet<String>,
     out: &mut KernelAccess,
     guard: &Guard,
-    top: bool,
 ) -> Result<(), AccessError> {
     let mut flat = Sweep {
         guard: guard.clone(),
@@ -357,9 +355,7 @@ fn walk_sweep_level(
                 if else_body.is_empty() {
                     if let Some(g) = parse_guard(cond, roles) {
                         let merged = guard.intersect(&g);
-                        walk_sweep_level(
-                            then_body, roles, arrays, floats, out, &merged, top,
-                        )?;
+                        walk_sweep_level(then_body, roles, arrays, floats, out, &merged)?;
                         continue;
                     }
                 }
@@ -826,12 +822,17 @@ impl Traffic {
     }
 }
 
+/// Scalar bindings (param name → value) of one launch.
+pub type ScalarBindings = HashMap<String, i64>;
+/// Array bindings (param name → actual device array) of one launch.
+pub type ArrayBindings = HashMap<String, String>;
+
 /// Bind launch arguments to kernel parameters: scalar values and
 /// param-name → actual-array mappings.
 pub fn bind_launch(
     kernel: &Kernel,
     launch: &LaunchRecord,
-) -> Result<(HashMap<String, i64>, HashMap<String, String>), AccessError> {
+) -> Result<(ScalarBindings, ArrayBindings), AccessError> {
     if kernel.params.len() != launch.args.len() {
         return Err(AccessError(format!(
             "launch of `{}` passes {} args for {} params",

@@ -21,15 +21,18 @@ pub fn flops_per_array(kernel: &Kernel) -> BTreeMap<String, u64> {
     let _roles = RoleMap::infer(&kernel.body);
     let floats = crate::access::float_locals(&kernel.body);
     visit::walk_stmts(&kernel.body, &mut |s| {
-        if let Stmt::Assign { target, op, value } = s {
-            if let LValue::Index { array, .. } = target {
-                if arrays.contains(array) {
-                    let mut flops = crate::access::expr_flops(value, &floats);
-                    if *op != AssignOp::Assign {
-                        flops += 1;
-                    }
-                    *out.entry(array.clone()).or_insert(0) += flops;
+        if let Stmt::Assign {
+            target: LValue::Index { array, .. },
+            op,
+            value,
+        } = s
+        {
+            if arrays.contains(array) {
+                let mut flops = crate::access::expr_flops(value, &floats);
+                if *op != AssignOp::Assign {
+                    flops += 1;
                 }
+                *out.entry(array.clone()).or_insert(0) += flops;
             }
         }
     });

@@ -255,15 +255,14 @@ pub fn canonicalize(
     // 3. Suffix-rename all remaining locals and loop variables.
     let mut local_names: Vec<String> = Vec::new();
     visit::walk_stmts(&body, &mut |s| match s {
-        Stmt::VarDecl { name, .. } => {
-            if !local_names.contains(name) && !["i", "j", "tx", "ty"].contains(&name.as_str()) {
-                local_names.push(name.clone());
-            }
+        Stmt::VarDecl { name, .. }
+            if !local_names.contains(name)
+                && !["i", "j", "tx", "ty"].contains(&name.as_str()) =>
+        {
+            local_names.push(name.clone());
         }
-        Stmt::For { var, .. } => {
-            if !local_names.contains(var) {
-                local_names.push(var.clone());
-            }
+        Stmt::For { var, .. } if !local_names.contains(var) => {
+            local_names.push(var.clone());
         }
         _ => {}
     });

@@ -251,7 +251,7 @@ fn classify_3d(pats: &[IdxPat]) -> Option<ReadOffset> {
     // (deep-nested tracer arrays): the stencil offsets live on the last
     // three axes either way.
     let tail = match pats.len() {
-        3 => &pats[..],
+        3 => pats,
         4 => {
             if !matches!(pats[0].base, IdxBase::Inner(_) | IdxBase::Const) {
                 return None;

@@ -12,6 +12,8 @@ use crate::fission::{fission_kernel, FissionProduct};
 use crate::fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel, FusionReport};
 use crate::tuning::{fuse_group_tuned, TuneNote};
 use sf_gpusim::device::DeviceSpec;
+use sf_gpusim::isolate::isolated;
+use std::collections::BTreeSet;
 use sf_graphs::build::all_accesses_with_allocs;
 use sf_graphs::Ddg;
 use sf_minicuda::ast::*;
@@ -67,6 +69,41 @@ pub struct TransformPlan {
     pub device: DeviceSpec,
 }
 
+/// How a fusion attempt for one group failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupFailure {
+    /// The fusion generator returned an error (infeasible structure,
+    /// oversized halo, shared-memory overflow, injected rejection).
+    Rejected,
+    /// The fusion generator panicked; the panic was caught at the per-group
+    /// isolation boundary.
+    Panicked,
+}
+
+/// One recorded step down the degradation ladder for a fusion group:
+/// complex (tuned) fusion → simple (untuned) fusion → unfused copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDegradation {
+    /// Group index in the transformation plan.
+    pub group: usize,
+    /// What the generator emitted instead of the failed rung.
+    pub action: String,
+    /// Why the higher rung failed.
+    pub reason: String,
+    /// Failure mode of the highest rung that failed.
+    pub failure: GroupFailure,
+}
+
+/// Injected codegen faults (deterministic testing of the degradation
+/// ladder). Production callers pass [`CodegenFaults::default`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodegenFaults {
+    /// Group indices whose fusion attempts are rejected with an error.
+    pub reject_groups: BTreeSet<usize>,
+    /// Group indices whose fusion attempts panic.
+    pub panic_groups: BTreeSet<usize>,
+}
+
 /// The transformed program plus reports.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
@@ -79,6 +116,9 @@ pub struct TransformOutput {
     /// Groups the fusion generator rejected, with the reason; their members
     /// were emitted unfused.
     pub fallbacks: Vec<(usize, String)>,
+    /// Every step down the degradation ladder taken while generating code
+    /// (includes the groups in `fallbacks`, plus tuned→untuned descents).
+    pub degradations: Vec<GroupDegradation>,
     /// Number of kernels in the new program that replace the targets (the
     /// Table 1 "new kernels" count).
     pub new_kernel_count: usize,
@@ -89,6 +129,21 @@ pub fn transform_program(
     original: &Program,
     plan: &ExecutablePlan,
     tplan: &TransformPlan,
+) -> Result<TransformOutput, CodegenError> {
+    transform_program_with(original, plan, tplan, &CodegenFaults::default())
+}
+
+/// Apply a transformation plan, with fault injection at the per-group
+/// isolation boundary. Each multi-member group walks the degradation
+/// ladder: complex (tuned) fusion → simple (untuned) fusion → unfused
+/// members; a panic or rejection on one rung drops to the next, and every
+/// descent is recorded in [`TransformOutput::degradations`]. The emitted
+/// program is always valid.
+pub fn transform_program_with(
+    original: &Program,
+    plan: &ExecutablePlan,
+    tplan: &TransformPlan,
+    faults: &CodegenFaults,
 ) -> Result<TransformOutput, CodegenError> {
     // Redundant array instances (§3.2.3): the DDG's instance numbering is
     // materialized as real allocations so relaxed anti/output dependences
@@ -180,6 +235,7 @@ pub fn transform_program(
     let mut reports = Vec::new();
     let mut tuning = Vec::new();
     let mut fallbacks = Vec::new();
+    let mut degradations: Vec<GroupDegradation> = Vec::new();
 
     let push_kernel = |kernels: &mut Vec<Kernel>, k: Kernel| {
         if !kernels.iter().any(|e| e.name == k.name) {
@@ -207,22 +263,78 @@ pub fn transform_program(
             resolved.iter().map(|(k, l)| (k, l.clone())).collect();
         let name = format!("fused_{gi}");
         let initial_block = resolved[0].1.block;
-        let fused: Result<(FusedKernel, Option<TuneNote>), CodegenError> = if tplan.block_tuning
-        {
-            fuse_group_tuned(&member_refs, initial_block, tplan.mode, &name, &tplan.device)
-                .map(|(f, n)| (f, Some(n)))
-        } else {
-            fuse_group(
-                &member_refs,
-                initial_block,
-                tplan.mode,
-                &name,
-                tplan.device.smem_per_block_max,
-            )
-            .map(|f| (f, None))
+        // One isolated fusion attempt: injected faults fire here, and a
+        // panic anywhere below poisons only this rung of this group.
+        let attempt = |tuned: bool| -> Result<(FusedKernel, Option<TuneNote>), (GroupFailure, String)> {
+            let run = isolated(|| {
+                if faults.panic_groups.contains(&gi) {
+                    panic!("injected codegen panic in group {gi}");
+                }
+                if faults.reject_groups.contains(&gi) {
+                    return Err(CodegenError(format!(
+                        "injected codegen rejection in group {gi}"
+                    )));
+                }
+                if tuned {
+                    fuse_group_tuned(
+                        &member_refs,
+                        initial_block,
+                        tplan.mode,
+                        &name,
+                        &tplan.device,
+                    )
+                    .map(|(f, n)| (f, Some(n)))
+                } else {
+                    fuse_group(
+                        &member_refs,
+                        initial_block,
+                        tplan.mode,
+                        &name,
+                        tplan.device.smem_per_block_max,
+                    )
+                    .map(|f| (f, None))
+                }
+            });
+            match run {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(e)) => Err((GroupFailure::Rejected, e.0)),
+                Err(panic_msg) => Err((GroupFailure::Panicked, panic_msg)),
+            }
         };
+
+        // Walk the ladder: complex (tuned) fusion → simple fusion → unfused.
+        let rungs: &[bool] = if tplan.block_tuning {
+            &[true, false]
+        } else {
+            &[false]
+        };
+        let mut fused: Option<(FusedKernel, Option<TuneNote>)> = None;
+        let mut first_failure: Option<(GroupFailure, String)> = None;
+        for (ri, &tuned) in rungs.iter().enumerate() {
+            match attempt(tuned) {
+                Ok(v) => {
+                    if ri > 0 {
+                        let (failure, reason) =
+                            first_failure.clone().expect("a prior rung failed");
+                        degradations.push(GroupDegradation {
+                            group: gi,
+                            action: "fell back to simple (untuned) fusion".into(),
+                            reason,
+                            failure,
+                        });
+                    }
+                    fused = Some(v);
+                    break;
+                }
+                Err(f) => {
+                    if first_failure.is_none() {
+                        first_failure = Some(f);
+                    }
+                }
+            }
+        }
         match fused {
-            Ok((fk, note)) => {
+            Some((fk, note)) => {
                 reports.push(fk.report.clone());
                 if let Some(n) = note {
                     tuning.push(n);
@@ -230,9 +342,16 @@ pub fn transform_program(
                 push_kernel(&mut new_kernels, fk.kernel);
                 new_launches.push((name, fk.grid, fk.block, fk.args));
             }
-            Err(e) => {
-                // Fall back: emit members unfused, in host (seq) order.
-                fallbacks.push((gi, e.0));
+            None => {
+                // Bottom rung: emit members unfused, in host (seq) order.
+                let (failure, reason) = first_failure.expect("every rung failed");
+                fallbacks.push((gi, reason.clone()));
+                degradations.push(GroupDegradation {
+                    group: gi,
+                    action: "emitted members unfused".into(),
+                    reason,
+                    failure,
+                });
                 let mut resolved = resolved;
                 resolved.sort_by_key(|(_, l)| l.seq);
                 for (k, l) in resolved {
@@ -253,6 +372,7 @@ pub fn transform_program(
         reports,
         tuning,
         fallbacks,
+        degradations,
         new_kernel_count,
     })
 }

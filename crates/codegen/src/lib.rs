@@ -28,4 +28,7 @@ pub mod tuning;
 
 pub use fission::{fission_kernel, FissionProduct};
 pub use fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel};
-pub use hostgen::{transform_program, GroupSpec, MemberRef, TransformOutput, TransformPlan};
+pub use hostgen::{
+    transform_program, transform_program_with, CodegenFaults, GroupDegradation, GroupFailure,
+    GroupSpec, MemberRef, TransformOutput, TransformPlan,
+};

@@ -11,11 +11,41 @@
 //!     --emit-metadata metadata.json --params ga_params.json --report
 //! ```
 //!
-//! Exit status is non-zero when parsing, transformation or output
-//! verification fails.
+//! Exit codes identify the failure class so scripted callers can react
+//! without scraping stderr:
+//!
+//! | code | meaning                                          |
+//! |------|--------------------------------------------------|
+//! | 0    | success                                          |
+//! | 1    | unclassified failure                             |
+//! | 2    | usage error or file I/O failure                  |
+//! | 3    | the input program did not parse / evaluate       |
+//! | 4    | analysis failed (metadata, filter, graphs)       |
+//! | 5    | the search failed                                |
+//! | 6    | code generation failed                           |
+//! | 7    | output verification failed                       |
 
 use sf_gpusim::device::DeviceSpec;
-use stencilfuse::{Interventions, Pipeline, PipelineConfig, Stage};
+use stencilfuse::{ErrorKind, Interventions, Pipeline, PipelineConfig, PipelineError, Stage};
+
+const EXIT_USAGE: i32 = 2;
+const EXIT_PARSE: i32 = 3;
+const EXIT_ANALYSIS: i32 = 4;
+const EXIT_SEARCH: i32 = 5;
+const EXIT_CODEGEN: i32 = 6;
+const EXIT_VERIFY: i32 = 7;
+
+/// Map a structured pipeline error to the exit-code taxonomy: the error
+/// kind wins when it names a failure class, the stage decides otherwise.
+fn exit_code_for(e: &PipelineError) -> i32 {
+    match (&e.kind, e.stage) {
+        (ErrorKind::Parse(_) | ErrorKind::HostEval(_), _) => EXIT_PARSE,
+        (ErrorKind::Verify(_), _) => EXIT_VERIFY,
+        (_, Stage::Metadata | Stage::Filter | Stage::Graphs) => EXIT_ANALYSIS,
+        (_, Stage::Search) => EXIT_SEARCH,
+        (_, Stage::NewGraphs | Stage::Codegen) => EXIT_CODEGEN,
+    }
+}
 
 struct Args {
     input: Option<String>,
@@ -34,6 +64,7 @@ struct Args {
     report: bool,
     no_verify: bool,
     quick: bool,
+    strict: bool,
 }
 
 const USAGE: &str = "\
@@ -54,6 +85,8 @@ usage: sfc INPUT.cu [options]
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
+  --strict            fail on the first degradable error instead of
+                      walking the degradation ladder
 ";
 
 fn parse_stage(s: &str) -> Option<Stage> {
@@ -86,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         no_verify: false,
         quick: false,
+        strict: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -135,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
             "--quick" => args.quick = true,
+            "--strict" => args.strict = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -172,7 +207,8 @@ fn main() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("sfc: {input}:{e}");
-            std::process::exit(1);
+            eprint!("{}", e.render(&source));
+            std::process::exit(EXIT_PARSE);
         }
     };
 
@@ -192,6 +228,9 @@ fn main() {
     }
     if args.no_verify {
         config.verify = false;
+    }
+    if args.strict {
+        config = config.strict();
     }
     config.run_until = args.until;
     if let Some(path) = &args.load_metadata {
@@ -231,16 +270,22 @@ fn main() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("sfc: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     };
     let result = match pipeline.run_with(&Interventions::default()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sfc: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(&e));
         }
     };
+
+    // Degradations always go to stderr, with or without --report: the run
+    // succeeded, but not at the rung the search selected.
+    for d in result.degradations() {
+        eprintln!("sfc: degraded: {d}");
+    }
 
     if args.report {
         for r in &result.reports {
@@ -256,7 +301,7 @@ fn main() {
         if let Some(p) = path {
             if let Err(e) = std::fs::write(p, contents) {
                 eprintln!("sfc: cannot write {what} to {p}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_USAGE);
             }
         }
     };
@@ -271,7 +316,7 @@ fn main() {
             .unwrap_or_default();
         if let Err(e) = std::fs::write(p, text) {
             eprintln!("sfc: cannot write metadata to {p}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_USAGE);
         }
     }
 
@@ -281,7 +326,7 @@ fn main() {
                 "sfc: VERIFICATION FAILED: max diff {} on {:?}; hazards {:?}",
                 v.max_abs_diff, v.worst_array, v.hazards
             );
-            std::process::exit(1);
+            std::process::exit(EXIT_VERIFY);
         }
     }
 
@@ -290,7 +335,7 @@ fn main() {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &text) {
                 eprintln!("sfc: cannot write {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_USAGE);
             }
         }
         None => print!("{text}"),

@@ -42,6 +42,19 @@ impl Stage {
     }
 }
 
+/// How the pipeline reacts to degradable failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Walk the degradation ladder (complex fusion → simple fusion →
+    /// unfused copies → original program) and record each step, so a run
+    /// always produces a valid result. The default.
+    #[default]
+    Degrade,
+    /// Surface the first degradable failure as an error instead of
+    /// degrading (for CI and debugging).
+    Strict,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
@@ -65,6 +78,13 @@ pub struct PipelineConfig {
     pub verify: bool,
     /// Stop after this stage (None = run to completion).
     pub run_until: Option<Stage>,
+    /// Degrade-or-fail policy for recoverable errors.
+    pub degrade: DegradePolicy,
+    /// Bounded retries for transient profiler failures.
+    pub profile_retries: u32,
+    /// Deterministic fault injection at stage boundaries (testing only;
+    /// `None` disables the injector entirely).
+    pub faults: Option<crate::faults::FaultPlan>,
 }
 
 impl PipelineConfig {
@@ -81,6 +101,9 @@ impl PipelineConfig {
             verify: true,
             run_until: None,
             preloaded_metadata: None,
+            degrade: DegradePolicy::Degrade,
+            profile_retries: 2,
+            faults: None,
         }
     }
 
@@ -109,6 +132,18 @@ impl PipelineConfig {
     /// comparison baseline).
     pub fn manual_oracle(mut self) -> PipelineConfig {
         self.mode = CodegenMode::Manual;
+        self
+    }
+
+    /// Fail on the first degradable error instead of walking the ladder.
+    pub fn strict(mut self) -> PipelineConfig {
+        self.degrade = DegradePolicy::Strict;
+        self
+    }
+
+    /// Arm the deterministic fault injector with a plan.
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> PipelineConfig {
+        self.faults = Some(plan);
         self
     }
 }

@@ -1,0 +1,281 @@
+//! Structured pipeline errors.
+//!
+//! Every failure the pipeline can surface carries (a) the [`Stage`] it
+//! occurred in, (b) the offending kernel / fusion group / array when one is
+//! known, (c) a [`Recoverability`] class that tells the driver how to react,
+//! and (d) an [`ErrorKind`] that preserves the typed source error losslessly
+//! (reachable through [`std::error::Error::source`]).
+
+use crate::config::Stage;
+use std::fmt;
+
+/// How the pipeline is allowed to react to an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recoverability {
+    /// No valid result can be produced; the run must stop.
+    Fatal,
+    /// A degraded-but-valid result exists: the driver walks the degradation
+    /// ladder (complex fusion → simple fusion → unfused copies → original
+    /// program) instead of failing, unless running under
+    /// [`crate::config::DegradePolicy::Strict`].
+    Degradable,
+    /// Retrying the same operation may succeed (e.g. profiler noise); the
+    /// driver retries a bounded number of times before giving up.
+    Transient,
+}
+
+impl Recoverability {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Recoverability::Fatal => "fatal",
+            Recoverability::Degradable => "degradable",
+            Recoverability::Transient => "transient",
+        }
+    }
+}
+
+/// What failed. Variants that originate in another crate hold that crate's
+/// error type unmodified, so no information is lost in the conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// Frontend rejected the source (carries line/column).
+    Parse(sf_minicuda::ParseError),
+    /// Host-code evaluation failed while building the executable plan.
+    HostEval(sf_minicuda::HostEvalError),
+    /// The profiler (functional or analytic) failed.
+    Profile(sf_gpusim::profiler::ProfileError),
+    /// Code generation rejected or failed on a fusion group.
+    Codegen(sf_codegen::CodegenError),
+    /// DDG/OEG construction failed.
+    Graph(String),
+    /// The search could not run or returned no usable grouping.
+    Search(String),
+    /// Output verification could not run or flagged a mismatch.
+    Verify(String),
+    /// The configuration is inconsistent with the program.
+    Config(String),
+    /// Injected by a [`crate::faults::FaultPlan`] at a stage boundary.
+    Injected(String),
+    /// A panic caught at an isolation boundary (per-group codegen,
+    /// per-candidate evaluation).
+    Panic(String),
+}
+
+impl ErrorKind {
+    /// Short label for the failure class (stable; used by `sfc` exit codes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse(_) => "parse",
+            ErrorKind::HostEval(_) => "host-eval",
+            ErrorKind::Profile(_) => "profile",
+            ErrorKind::Codegen(_) => "codegen",
+            ErrorKind::Graph(_) => "graph",
+            ErrorKind::Search(_) => "search",
+            ErrorKind::Verify(_) => "verify",
+            ErrorKind::Config(_) => "config",
+            ErrorKind::Injected(_) => "injected-fault",
+            ErrorKind::Panic(_) => "panic",
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            ErrorKind::Parse(e) => e.to_string(),
+            ErrorKind::HostEval(e) => e.to_string(),
+            ErrorKind::Profile(e) => e.to_string(),
+            ErrorKind::Codegen(e) => e.to_string(),
+            ErrorKind::Graph(s)
+            | ErrorKind::Search(s)
+            | ErrorKind::Verify(s)
+            | ErrorKind::Config(s)
+            | ErrorKind::Injected(s)
+            | ErrorKind::Panic(s) => s.clone(),
+        }
+    }
+}
+
+/// A structured pipeline failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError {
+    /// Stage the error occurred in.
+    pub stage: Stage,
+    /// How the driver may react.
+    pub class: Recoverability,
+    /// The failure itself, with its typed source preserved.
+    pub kind: ErrorKind,
+    /// Offending kernel, when known.
+    pub kernel: Option<String>,
+    /// Offending fusion group index, when known.
+    pub group: Option<usize>,
+    /// Offending device array, when known.
+    pub array: Option<String>,
+}
+
+impl PipelineError {
+    /// New error with no kernel/group/array attribution.
+    pub fn new(stage: Stage, class: Recoverability, kind: ErrorKind) -> PipelineError {
+        PipelineError {
+            stage,
+            class,
+            kind,
+            kernel: None,
+            group: None,
+            array: None,
+        }
+    }
+
+    /// Fatal error at `stage`.
+    pub fn fatal(stage: Stage, kind: ErrorKind) -> PipelineError {
+        PipelineError::new(stage, Recoverability::Fatal, kind)
+    }
+
+    /// Degradable error at `stage`.
+    pub fn degradable(stage: Stage, kind: ErrorKind) -> PipelineError {
+        PipelineError::new(stage, Recoverability::Degradable, kind)
+    }
+
+    /// Transient error at `stage`.
+    pub fn transient(stage: Stage, kind: ErrorKind) -> PipelineError {
+        PipelineError::new(stage, Recoverability::Transient, kind)
+    }
+
+    /// Re-attribute to a different stage (e.g. a profile error raised while
+    /// evaluating search candidates belongs to the search stage).
+    pub fn at(mut self, stage: Stage) -> PipelineError {
+        self.stage = stage;
+        self
+    }
+
+    /// Attach the offending kernel.
+    pub fn for_kernel(mut self, kernel: impl Into<String>) -> PipelineError {
+        self.kernel = Some(kernel.into());
+        self
+    }
+
+    /// Attach the offending fusion group.
+    pub fn for_group(mut self, group: usize) -> PipelineError {
+        self.group = Some(group);
+        self
+    }
+
+    /// Attach the offending array.
+    pub fn for_array(mut self, array: impl Into<String>) -> PipelineError {
+        self.array = Some(array.into());
+        self
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline error [{} stage, {}, {}]",
+            self.stage.name(),
+            self.kind.label(),
+            self.class.name()
+        )?;
+        if let Some(k) = &self.kernel {
+            write!(f, " kernel `{k}`")?;
+        }
+        if let Some(g) = &self.group {
+            write!(f, " group {g}")?;
+        }
+        if let Some(a) = &self.array {
+            write!(f, " array `{a}`")?;
+        }
+        write!(f, ": {}", self.kind.message())
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ErrorKind::Parse(e) => Some(e),
+            ErrorKind::HostEval(e) => Some(e),
+            ErrorKind::Profile(e) => Some(e),
+            ErrorKind::Codegen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// Lossless conversions from the typed stage errors. Each default placement
+// and class reflects where the error type is ordinarily raised; callers that
+// hit one elsewhere re-attribute with [`PipelineError::at`].
+
+/// Parse errors are raised by the frontend before any stage can recover.
+impl From<sf_minicuda::ParseError> for PipelineError {
+    fn from(e: sf_minicuda::ParseError) -> Self {
+        PipelineError::fatal(Stage::Metadata, ErrorKind::Parse(e))
+    }
+}
+
+/// Host evaluation failures mean no executable plan exists at all.
+impl From<sf_minicuda::HostEvalError> for PipelineError {
+    fn from(e: sf_minicuda::HostEvalError) -> Self {
+        PipelineError::fatal(Stage::Metadata, ErrorKind::HostEval(e))
+    }
+}
+
+/// Profiling is the classic transient failure: rerunning it may succeed.
+impl From<sf_gpusim::profiler::ProfileError> for PipelineError {
+    fn from(e: sf_gpusim::profiler::ProfileError) -> Self {
+        PipelineError::transient(Stage::Metadata, ErrorKind::Profile(e))
+    }
+}
+
+/// A codegen rejection is degradable: the group can fall down the ladder.
+impl From<sf_codegen::CodegenError> for PipelineError {
+    fn from(e: sf_codegen::CodegenError) -> Self {
+        PipelineError::degradable(Stage::Codegen, ErrorKind::Codegen(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_preserve_source_and_defaults() {
+        let e: PipelineError = sf_gpusim::profiler::ProfileError("sim diverged".into()).into();
+        assert_eq!(e.stage, Stage::Metadata);
+        assert_eq!(e.class, Recoverability::Transient);
+        let src = e.source().expect("typed source retained");
+        assert_eq!(src.to_string(), "profile error: sim diverged");
+
+        let e: PipelineError = sf_codegen::CodegenError("bad group".into()).into();
+        assert_eq!(e.class, Recoverability::Degradable);
+        assert_eq!(e.stage, Stage::Codegen);
+        assert_eq!(e.kind.label(), "codegen");
+
+        let e: PipelineError = sf_minicuda::ParseError::new("expected `;`", 3, 14).into();
+        assert_eq!(e.class, Recoverability::Fatal);
+        assert!(e.to_string().contains("3:14"));
+    }
+
+    #[test]
+    fn builder_attribution_and_display() {
+        let e = PipelineError::degradable(
+            Stage::Codegen,
+            ErrorKind::Panic("index out of bounds".into()),
+        )
+        .for_kernel("fused_k2_k3")
+        .for_group(2)
+        .for_array("flux");
+        assert_eq!(e.kernel.as_deref(), Some("fused_k2_k3"));
+        let text = e.to_string();
+        assert!(text.contains("codegen stage"));
+        assert!(text.contains("degradable"));
+        assert!(text.contains("group 2"));
+        assert!(text.contains("array `flux`"));
+        assert!(text.contains("index out of bounds"));
+    }
+
+    #[test]
+    fn reattribution_moves_stage() {
+        let e: PipelineError = sf_gpusim::profiler::ProfileError("noise".into()).into();
+        assert_eq!(e.at(Stage::Search).stage, Stage::Search);
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic fault injection at stage boundaries.
+//!
+//! A [`FaultPlan`] describes *which* faults to inject; it is plain data, so a
+//! failing run can be reproduced exactly by re-running with the same plan
+//! (and the same seed when the plan was derived with [`FaultPlan::seeded`]).
+//! The pipeline consults a [`FaultInjector`] at each stage boundary; under
+//! [`crate::config::DegradePolicy::Degrade`] every injected fault must
+//! degrade into a valid result — either a verified transformed program or
+//! the original program unchanged — never a panic or an invalid program.
+
+use sf_analysis::metadata::MetadataBundle;
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+/// A deterministic set of faults to inject into one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Corrupt the metadata bundle after stage 1 (non-finite runtimes), as
+    /// if the profiler or a programmer amendment produced garbage.
+    pub corrupt_metadata: bool,
+    /// Fail this many profiler invocations (transient errors) before
+    /// letting them succeed.
+    pub profiler_failures: u32,
+    /// Reject code generation for these fusion-group indices, as if the
+    /// fuser found them infeasible.
+    pub reject_groups: BTreeSet<usize>,
+    /// Panic inside per-group code generation for these group indices
+    /// (exercises the `catch_unwind` isolation boundary).
+    pub panic_groups: BTreeSet<usize>,
+    /// Panic inside the objective evaluation for these evaluation indices
+    /// (a "poisoned candidate" in the genetic search).
+    pub poison_evaluations: BTreeSet<u64>,
+    /// Make the verification interpreter trap instead of producing output.
+    pub interpreter_trap: bool,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Derive a pseudo-random fault mix from a seed. Same seed, same plan —
+    /// the harness logs only the seed to reproduce a failure.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        // SplitMix64: tiny, deterministic, no external dependency.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan {
+            corrupt_metadata: next() % 4 == 0,
+            profiler_failures: (next() % 3) as u32,
+            interpreter_trap: next() % 5 == 0,
+            ..FaultPlan::default()
+        };
+        for _ in 0..next() % 3 {
+            plan.reject_groups.insert((next() % 4) as usize);
+        }
+        for _ in 0..next() % 3 {
+            plan.panic_groups.insert((next() % 4) as usize);
+        }
+        for _ in 0..next() % 4 {
+            plan.poison_evaluations.insert(next() % 200);
+        }
+        plan
+    }
+}
+
+/// Runtime side of a [`FaultPlan`]: tracks how many injections have fired.
+/// Interior mutability keeps the pipeline driver's `&self` signature.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    profiler_failures_left: Cell<u32>,
+}
+
+impl FaultInjector {
+    /// Arm an injector for one run.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let left = plan.profiler_failures;
+        FaultInjector {
+            plan,
+            profiler_failures_left: Cell::new(left),
+        }
+    }
+
+    /// Disarmed injector (no faults).
+    pub fn inactive() -> FaultInjector {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Should the next profiler invocation fail? Consumes one budgeted
+    /// failure per call, so bounded retry eventually succeeds.
+    pub fn take_profiler_failure(&self) -> bool {
+        let left = self.profiler_failures_left.get();
+        if left > 0 {
+            self.profiler_failures_left.set(left - 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Corrupt `metadata` in place when the plan asks for it. Returns true
+    /// when a corruption was applied.
+    pub fn corrupt_metadata(&self, metadata: &mut MetadataBundle) -> bool {
+        if !self.plan.corrupt_metadata {
+            return false;
+        }
+        for p in metadata.perf.iter_mut() {
+            p.runtime_us = f64::NAN;
+            p.occupancy = -1.0;
+        }
+        true
+    }
+
+    /// Group indices whose codegen must be rejected.
+    pub fn reject_groups(&self) -> &BTreeSet<usize> {
+        &self.plan.reject_groups
+    }
+
+    /// Group indices whose codegen must panic.
+    pub fn panic_groups(&self) -> &BTreeSet<usize> {
+        &self.plan.panic_groups
+    }
+
+    /// Evaluation indices whose objective evaluation must panic.
+    pub fn poison_evaluations(&self) -> &BTreeSet<u64> {
+        &self.plan.poison_evaluations
+    }
+
+    /// Should verification trap?
+    pub fn interpreter_trap(&self) -> bool {
+        self.plan.interpreter_trap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
+        }
+        // Different seeds produce different mixes somewhere in this range.
+        assert!((0..64).any(|s| FaultPlan::seeded(s) != FaultPlan::seeded(s + 64)));
+    }
+
+    #[test]
+    fn profiler_failures_are_consumed() {
+        let inj = FaultInjector::new(FaultPlan {
+            profiler_failures: 2,
+            ..FaultPlan::default()
+        });
+        assert!(inj.take_profiler_failure());
+        assert!(inj.take_profiler_failure());
+        assert!(!inj.take_profiler_failure());
+    }
+
+    #[test]
+    fn inactive_injects_nothing() {
+        let inj = FaultInjector::inactive();
+        assert!(!inj.take_profiler_failure());
+        assert!(!inj.interpreter_trap());
+        assert!(inj.plan().is_empty());
+    }
+}

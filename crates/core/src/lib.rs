@@ -39,11 +39,15 @@
 //! ```
 
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod pipeline;
 pub mod report;
 pub mod verify;
 
-pub use config::{PipelineConfig, Stage};
-pub use pipeline::{Interventions, Pipeline, PipelineError, TransformResult};
-pub use report::StageReport;
+pub use config::{DegradePolicy, PipelineConfig, Stage};
+pub use error::{ErrorKind, PipelineError, Recoverability};
+pub use faults::{FaultInjector, FaultPlan};
+pub use pipeline::{Interventions, Pipeline, TransformResult};
+pub use report::{Degradation, StageReport};
 pub use verify::{verify_equivalence, Verification};

@@ -1,43 +1,32 @@
 //! The staged transformation pipeline with programmer intervention points.
+//!
+//! The driver maintains an *always-valid* invariant: under the default
+//! [`DegradePolicy::Degrade`] it returns either a verified transformed
+//! program or the original program unchanged. Recoverable failures walk a
+//! degradation ladder (complex fusion → simple fusion → unfused copies →
+//! original program) and every step is recorded in the stage reports;
+//! [`DegradePolicy::Strict`] surfaces the first degradable error instead.
 
-use crate::config::{PipelineConfig, Stage};
+use crate::config::{DegradePolicy, PipelineConfig, Stage};
+use crate::error::{ErrorKind, PipelineError};
+use crate::faults::FaultInjector;
 use crate::report::StageReport;
 use crate::verify::{verify_equivalence, Verification};
 use sf_analysis::filter::{identify_targets, FilterDecision};
 use sf_analysis::metadata::MetadataBundle;
-use sf_codegen::{transform_program, GroupSpec, TransformOutput, TransformPlan};
-use sf_gpusim::profiler::{Profiler, ProgramProfile};
+use sf_codegen::{
+    transform_program_with, CodegenFaults, GroupFailure, GroupSpec, TransformOutput,
+    TransformPlan,
+};
+use sf_gpusim::profiler::{ProfileError, Profiler, ProgramProfile};
 use sf_graphs::build::all_accesses_with_allocs;
 use sf_graphs::{dot, Ddg, Oeg};
 use sf_minicuda::host::ExecutablePlan;
 use sf_minicuda::Program;
-use sf_search::{search, SearchConfig, SearchResult, SearchSpace};
-use std::fmt;
+use sf_search::{search_with_faults, SearchConfig, SearchResult, SearchSpace};
 
-/// A pipeline failure.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PipelineError(pub String);
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pipeline error: {}", self.0)
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-macro_rules! impl_from_err {
-    ($t:ty) => {
-        impl From<$t> for PipelineError {
-            fn from(e: $t) -> Self {
-                PipelineError(e.to_string())
-            }
-        }
-    };
-}
-impl_from_err!(sf_gpusim::profiler::ProfileError);
-impl_from_err!(sf_codegen::CodegenError);
-impl_from_err!(sf_minicuda::host::HostEvalError);
+/// An intervention hook amending one stage artifact in place.
+pub type Hook<'a, T> = Option<Box<dyn Fn(&mut T) + 'a>>;
 
 /// Programmer intervention hooks, applied to each stage's artifact before
 /// the next stage consumes it (§3.2: "the programmer can intervene by
@@ -45,14 +34,14 @@ impl_from_err!(sf_minicuda::host::HostEvalError);
 #[derive(Default)]
 pub struct Interventions<'a> {
     /// Amend the metadata bundle after stage 1.
-    pub amend_metadata: Option<Box<dyn Fn(&mut MetadataBundle) + 'a>>,
+    pub amend_metadata: Hook<'a, MetadataBundle>,
     /// Amend the target-filter decisions after stage 2 (e.g. exclude the
     /// latency-bound Fluam kernels, §6.2.2).
-    pub amend_decisions: Option<Box<dyn Fn(&mut Vec<FilterDecision>) + 'a>>,
+    pub amend_decisions: Hook<'a, Vec<FilterDecision>>,
     /// Amend the GA parameter file before the search runs.
-    pub amend_search_config: Option<Box<dyn Fn(&mut SearchConfig) + 'a>>,
+    pub amend_search_config: Hook<'a, SearchConfig>,
     /// Amend the winning grouping (the "new OEG") before code generation.
-    pub amend_groups: Option<Box<dyn Fn(&mut Vec<GroupSpec>) + 'a>>,
+    pub amend_groups: Hook<'a, Vec<GroupSpec>>,
 }
 
 /// The end-to-end result.
@@ -60,7 +49,7 @@ pub struct Interventions<'a> {
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
 pub struct TransformResult {
     /// The transformed program (equals the original if the pipeline stopped
-    /// before codegen).
+    /// before codegen, or if a degradation kept the original).
     pub program: Program,
     /// Modeled end-to-end device time of the original program, µs.
     pub original_time_us: f64,
@@ -70,7 +59,7 @@ pub struct TransformResult {
     pub speedup: f64,
     /// Output verification (when enabled and codegen ran).
     pub verification: Option<Verification>,
-    /// Per-stage reports with inefficiency hints.
+    /// Per-stage reports with inefficiency hints and degradations.
     pub reports: Vec<StageReport>,
     /// Stage artifacts.
     pub metadata: Option<MetadataBundle>,
@@ -86,7 +75,18 @@ pub struct TransformResult {
     pub transformed_profile: Option<ProgramProfile>,
 }
 
+impl TransformResult {
+    /// All degradations recorded across the stage reports, in stage order.
+    pub fn degradations(&self) -> Vec<&crate::report::Degradation> {
+        self.reports
+            .iter()
+            .flat_map(|r| r.degradations.iter())
+            .collect()
+    }
+}
+
 /// The pipeline driver.
+#[derive(Debug)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
 pub struct Pipeline {
     pub program: Program,
@@ -94,12 +94,71 @@ pub struct Pipeline {
     pub config: PipelineConfig,
 }
 
+/// Sanity-check a metadata bundle before the analysis stages consume it.
+fn validate_metadata(metadata: &MetadataBundle, launches: usize) -> Result<(), String> {
+    if metadata.perf.len() != launches {
+        return Err(format!(
+            "metadata describes {} launches, program has {launches}",
+            metadata.perf.len()
+        ));
+    }
+    for p in &metadata.perf {
+        if !p.runtime_us.is_finite() || p.runtime_us < 0.0 {
+            return Err(format!(
+                "kernel `{}` #{}: non-finite or negative runtime {:?} µs",
+                p.kernel, p.seq, p.runtime_us
+            ));
+        }
+        if !p.occupancy.is_finite() || p.occupancy < 0.0 {
+            return Err(format!(
+                "kernel `{}` #{}: invalid occupancy {:?}",
+                p.kernel, p.seq, p.occupancy
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Profile with bounded retry for transient failures (including injected
+/// ones). Returns the profile and how many retries were needed.
+fn profile_with_retry(
+    profile: impl Fn() -> Result<ProgramProfile, ProfileError>,
+    injector: &FaultInjector,
+    retries: u32,
+    stage: Stage,
+) -> Result<(ProgramProfile, u32), PipelineError> {
+    let mut last: Option<PipelineError> = None;
+    for attempt in 0..=retries {
+        let injected = injector.take_profiler_failure();
+        let outcome = if injected {
+            Err(ProfileError("injected transient profiler failure".into()))
+        } else {
+            profile()
+        };
+        match outcome {
+            Ok(p) => return Ok((p, attempt)),
+            Err(e) => {
+                let kind = if injected {
+                    ErrorKind::Injected(e.to_string())
+                } else {
+                    ErrorKind::Profile(e)
+                };
+                last = Some(PipelineError::transient(stage, kind));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt was made"))
+}
+
 impl Pipeline {
     /// Create a pipeline for a program.
     pub fn new(program: Program, config: PipelineConfig) -> Result<Pipeline, PipelineError> {
         let plan = ExecutablePlan::from_program(&program)?;
         if plan.launches.is_empty() {
-            return Err(PipelineError("program has no kernel launches".into()));
+            return Err(PipelineError::fatal(
+                Stage::Metadata,
+                ErrorKind::Config("program has no kernel launches".into()),
+            ));
         }
         Ok(Pipeline {
             program,
@@ -116,8 +175,13 @@ impl Pipeline {
     /// Run with programmer interventions.
     pub fn run_with(&self, hooks: &Interventions) -> Result<TransformResult, PipelineError> {
         let cfg = &self.config;
+        let strict = cfg.degrade == DegradePolicy::Strict;
+        let injector = match &cfg.faults {
+            Some(plan) => FaultInjector::new(plan.clone()),
+            None => FaultInjector::inactive(),
+        };
         let mut reports = Vec::new();
-        let stop_after = |s: Stage| cfg.run_until.map_or(false, |u| u <= s);
+        let stop_after = |s: Stage| cfg.run_until.is_some_and(|u| u <= s);
 
         // ---------------- stage 1: metadata ----------------
         let profiler = if cfg.functional_profile {
@@ -125,17 +189,21 @@ impl Pipeline {
         } else {
             Profiler::analytic(cfg.device.clone())
         };
+        let mut meta_report = StageReport::new(Stage::Metadata);
         let original_profile = match &cfg.preloaded_metadata {
             // "Execute from" the metadata stage: trust the (possibly
             // programmer-amended) bundle and reconstruct the end-to-end
             // time from its per-launch runtimes.
             Some(bundle) => {
                 if bundle.perf.len() != self.plan.launches.len() {
-                    return Err(PipelineError(format!(
-                        "preloaded metadata describes {} launches, program has {}",
-                        bundle.perf.len(),
-                        self.plan.launches.len()
-                    )));
+                    return Err(PipelineError::fatal(
+                        Stage::Metadata,
+                        ErrorKind::Config(format!(
+                            "preloaded metadata describes {} launches, program has {}",
+                            bundle.perf.len(),
+                            self.plan.launches.len()
+                        )),
+                    ));
                 }
                 let total: f64 = bundle
                     .perf
@@ -150,25 +218,94 @@ impl Pipeline {
                     hazards: Vec::new(),
                 }
             }
-            None => profiler.profile_with_plan(&self.program, &self.plan)?,
+            None => {
+                let attempt = profile_with_retry(
+                    || profiler.profile_with_plan(&self.program, &self.plan),
+                    &injector,
+                    cfg.profile_retries,
+                    Stage::Metadata,
+                );
+                match attempt {
+                    Ok((p, used)) => {
+                        if used > 0 {
+                            meta_report.line(format!(
+                                "profiler recovered after {used} transient failure(s)"
+                            ));
+                        }
+                        p
+                    }
+                    Err(e) => {
+                        if strict {
+                            return Err(e);
+                        }
+                        // Last rung of the ladder: with no profile at all,
+                        // the only valid result is the original program.
+                        meta_report.degrade(
+                            "pipeline",
+                            "kept the original program (no profile available)",
+                            e.to_string(),
+                        );
+                        reports.push(meta_report);
+                        return Ok(TransformResult {
+                            program: self.program.clone(),
+                            original_time_us: 0.0,
+                            transformed_time_us: 0.0,
+                            speedup: 1.0,
+                            verification: None,
+                            reports,
+                            metadata: None,
+                            decisions: Vec::new(),
+                            ddg_dot: String::new(),
+                            oeg_dot: String::new(),
+                            new_oeg_dot: String::new(),
+                            search: None,
+                            transform: None,
+                            original_profile: None,
+                            transformed_profile: None,
+                        });
+                    }
+                }
+            }
         };
         let mut metadata = original_profile.metadata.clone();
         if let Some(f) = &hooks.amend_metadata {
             f(&mut metadata);
         }
-        {
-            let mut r = StageReport::new(Stage::Metadata);
-            r.line(format!(
-                "{} kernel invocations profiled on {}; modeled device time {:.1} µs",
-                metadata.perf.len(),
-                metadata.device.name,
-                original_profile.total_runtime_us
-            ));
-            for h in &original_profile.hazards {
-                r.hint(format!("hazard in original program: {h}"));
+        let corrupted_by_injection = injector.corrupt_metadata(&mut metadata);
+        if let Err(why) = validate_metadata(&metadata, self.plan.launches.len()) {
+            let kind = if corrupted_by_injection {
+                ErrorKind::Injected(why.clone())
+            } else {
+                ErrorKind::Config(why.clone())
+            };
+            if strict {
+                return Err(PipelineError::degradable(Stage::Metadata, kind));
             }
-            reports.push(r);
+            // Degrade: discard the corrupt amendments and restore the
+            // bundle the profiler produced.
+            metadata = original_profile.metadata.clone();
+            if let Err(still_bad) = validate_metadata(&metadata, self.plan.launches.len()) {
+                return Err(PipelineError::fatal(
+                    Stage::Metadata,
+                    ErrorKind::Config(still_bad),
+                ));
+            }
+            meta_report.degrade(
+                "metadata bundle",
+                "discarded corrupt metadata; restored the profiled bundle",
+                why,
+            );
         }
+        meta_report.line(format!(
+            "{} kernel invocations profiled on {}; modeled device time {:.1} µs",
+            metadata.perf.len(),
+            metadata.device.name,
+            original_profile.total_runtime_us
+        ));
+        for h in &original_profile.hazards {
+            meta_report.hint(format!("hazard in original program: {h}"));
+        }
+        reports.push(meta_report);
         if stop_after(Stage::Metadata) {
             return Ok(self.partial(reports, Some(metadata), Vec::new(), original_profile));
         }
@@ -213,8 +350,8 @@ impl Pipeline {
         }
 
         // ---------------- stage 3: graphs ----------------
-        let accesses =
-            all_accesses_with_allocs(&self.program, &self.plan).map_err(PipelineError)?;
+        let accesses = all_accesses_with_allocs(&self.program, &self.plan)
+            .map_err(|e| PipelineError::fatal(Stage::Graphs, ErrorKind::Graph(e)))?;
         let ddg = Ddg::build(&accesses);
         let kernel_names: Vec<String> = self
             .plan
@@ -265,7 +402,8 @@ impl Pipeline {
             &search_profile,
             &decisions,
             cfg.device.clone(),
-        )?;
+        )
+        .map_err(|e| PipelineError::from(e).at(Stage::Search))?;
         let mut search_cfg = cfg.search.clone();
         if !cfg.enable_fission {
             search_cfg = search_cfg.without_fission();
@@ -273,7 +411,16 @@ impl Pipeline {
         if let Some(f) = &hooks.amend_search_config {
             f(&mut search_cfg);
         }
-        let result = search(&space, &search_cfg);
+        let result = search_with_faults(&space, &search_cfg, injector.poison_evaluations());
+        if strict && result.poisoned_evaluations > 0 {
+            return Err(PipelineError::degradable(
+                Stage::Search,
+                ErrorKind::Panic(format!(
+                    "{} candidate evaluation(s) panicked and were scored as poisoned",
+                    result.poisoned_evaluations
+                )),
+            ));
+        }
         {
             let mut r = StageReport::new(Stage::Search);
             r.line(format!(
@@ -284,12 +431,23 @@ impl Pipeline {
                 result.best_gflops
             ));
             r.line(format!(
-                "{} fusion groups; {:.3} fissions per generation",
+                "{} fusion groups; {:.3} fissions per generation; stop reason: {}",
                 result.best.fusion_groups().len(),
-                result.fissions_per_generation
+                result.fissions_per_generation,
+                result.stop_reason.name()
             ));
             if result.best_gflops <= result.baseline_gflops * 1.001 {
                 r.hint("search found no grouping better than the original program");
+            }
+            if result.poisoned_evaluations > 0 {
+                r.degrade(
+                    "candidate evaluations",
+                    format!(
+                        "scored {} poisoned candidate(s) with penalty fitness",
+                        result.poisoned_evaluations
+                    ),
+                    "objective evaluation panicked (caught at the isolation boundary)",
+                );
             }
             reports.push(r);
         }
@@ -341,54 +499,209 @@ impl Pipeline {
             block_tuning: cfg.block_tuning,
             device: cfg.device.clone(),
         };
-        let transform = transform_program(&self.program, &self.plan, &tplan)?;
-        let transformed_profile = profiler.profile(&transform.program)?;
+        let cg_faults = CodegenFaults {
+            reject_groups: injector.reject_groups().clone(),
+            panic_groups: injector.panic_groups().clone(),
+        };
+        let mut cg_report = StageReport::new(Stage::Codegen);
+        // The keep-original rung: everything the pipeline learned so far is
+        // preserved, but the emitted program is the unchanged original.
+        let keep_original = |mut cg_report: StageReport,
+                             mut reports: Vec<StageReport>,
+                             result: SearchResult,
+                             scope: &str,
+                             action: &str,
+                             reason: String|
+         -> TransformResult {
+            cg_report.degrade(scope, action, reason);
+            reports.push(cg_report);
+            let mut out = self.partial(
+                reports,
+                Some(metadata.clone()),
+                decisions.clone(),
+                original_profile.clone(),
+            );
+            out.search = Some(result);
+            out.ddg_dot = ddg_dot.clone();
+            out.oeg_dot = oeg_dot.clone();
+            out.new_oeg_dot = new_oeg_dot.clone();
+            out
+        };
+
+        let transform = match transform_program_with(&self.program, &self.plan, &tplan, &cg_faults)
         {
-            let mut r = StageReport::new(Stage::Codegen);
-            r.line(format!(
-                "{} new kernels generated; modeled device time {:.1} µs",
-                transform.new_kernel_count, transformed_profile.total_runtime_us
-            ));
-            for (gi, why) in &transform.fallbacks {
-                r.hint(format!(
-                    "group {gi} could not be fused and fell back to unfused members: {why}"
+            Ok(t) => t,
+            Err(e) => {
+                let err = PipelineError::from(e);
+                if strict {
+                    return Err(err);
+                }
+                return Ok(keep_original(
+                    cg_report,
+                    reports,
+                    result,
+                    "pipeline",
+                    "kept the original program (code generation failed)",
+                    err.to_string(),
                 ));
             }
-            for rep in &transform.reports {
-                if !rep.merged {
-                    r.hint(format!(
-                        "group {:?} was concatenated without sweep merging (deep nested \
-                         loops / mismatched structure): no inter-member reuse generated",
-                        rep.members
-                    ));
-                }
+        };
+        // Per-group degradation-ladder steps recorded by the generator.
+        for d in &transform.degradations {
+            if strict {
+                let kind = match d.failure {
+                    GroupFailure::Panicked => ErrorKind::Panic(d.reason.clone()),
+                    GroupFailure::Rejected => {
+                        ErrorKind::Codegen(sf_codegen::CodegenError(d.reason.clone()))
+                    }
+                };
+                return Err(PipelineError::degradable(Stage::Codegen, kind).for_group(d.group));
             }
-            for t in &transform.tuning {
-                if t.tuned {
-                    r.line(format!(
-                        "tuned `{}` block {} → {} (occupancy {:.2} → {:.2})",
-                        t.kernel,
-                        t.block_before,
-                        t.block_after,
-                        t.occupancy_before,
-                        t.occupancy_after
-                    ));
+            cg_report.degrade(format!("group {}", d.group), d.action.clone(), d.reason.clone());
+        }
+
+        let transformed_profile = match profile_with_retry(
+            || profiler.profile(&transform.program),
+            &injector,
+            cfg.profile_retries,
+            Stage::Codegen,
+        ) {
+            Ok((p, used)) => {
+                if used > 0 {
+                    cg_report
+                        .line(format!("profiler recovered after {used} transient failure(s)"));
                 }
+                p
             }
-            reports.push(r);
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                return Ok(keep_original(
+                    cg_report,
+                    reports,
+                    result,
+                    "pipeline",
+                    "kept the original program (transformed program could not be profiled)",
+                    e.to_string(),
+                ));
+            }
+        };
+        cg_report.line(format!(
+            "{} new kernels generated; modeled device time {:.1} µs",
+            transform.new_kernel_count, transformed_profile.total_runtime_us
+        ));
+        for (gi, why) in &transform.fallbacks {
+            cg_report.hint(format!(
+                "group {gi} could not be fused and fell back to unfused members: {why}"
+            ));
+        }
+        for rep in &transform.reports {
+            if !rep.merged {
+                cg_report.hint(format!(
+                    "group {:?} was concatenated without sweep merging (deep nested \
+                     loops / mismatched structure): no inter-member reuse generated",
+                    rep.members
+                ));
+            }
+        }
+        for t in &transform.tuning {
+            if t.tuned {
+                cg_report.line(format!(
+                    "tuned `{}` block {} → {} (occupancy {:.2} → {:.2})",
+                    t.kernel,
+                    t.block_before,
+                    t.block_after,
+                    t.occupancy_before,
+                    t.occupancy_after
+                ));
+            }
         }
 
         let verification = if cfg.verify {
-            Some(
+            let outcome = if injector.interpreter_trap() {
+                Err("injected interpreter trap during verification".to_string())
+            } else {
                 verify_equivalence(&self.program, &transform.program, 99)
-                    .map_err(PipelineError)?,
-            )
+            };
+            match outcome {
+                Ok(v) if v.passed() => Some(v),
+                Ok(v) => {
+                    let why = format!(
+                        "output mismatch: max abs diff {:e} in {:?}; {} hazard(s)",
+                        v.max_abs_diff,
+                        v.worst_array,
+                        v.hazards.len()
+                    );
+                    if strict {
+                        return Err(PipelineError::degradable(
+                            Stage::Codegen,
+                            ErrorKind::Verify(why),
+                        ));
+                    }
+                    return Ok(keep_original(
+                        cg_report,
+                        reports,
+                        result,
+                        "pipeline",
+                        "kept the original program (verification failed)",
+                        why,
+                    ));
+                }
+                Err(msg) => {
+                    let kind = if injector.interpreter_trap() {
+                        ErrorKind::Injected(msg.clone())
+                    } else {
+                        ErrorKind::Verify(msg.clone())
+                    };
+                    if strict {
+                        return Err(PipelineError::degradable(Stage::Codegen, kind));
+                    }
+                    return Ok(keep_original(
+                        cg_report,
+                        reports,
+                        result,
+                        "pipeline",
+                        "kept the original program (verification could not run)",
+                        msg,
+                    ));
+                }
+            }
         } else {
             None
         };
 
         let original_time = original_profile.total_runtime_us;
         let transformed_time = transformed_profile.total_runtime_us;
+        if !strict && transformed_time > original_time {
+            // Always-valid invariant: never adopt a transform whose modeled
+            // time is worse than the original's. The verified transform and
+            // its profile stay available as artifacts.
+            cg_report.degrade(
+                "pipeline",
+                "kept the original program (transform modeled slower)",
+                format!("{transformed_time:.1} µs vs original {original_time:.1} µs"),
+            );
+            reports.push(cg_report);
+            return Ok(TransformResult {
+                program: self.program.clone(),
+                original_time_us: original_time,
+                transformed_time_us: original_time,
+                speedup: 1.0,
+                verification,
+                reports,
+                metadata: Some(metadata),
+                decisions,
+                ddg_dot,
+                oeg_dot,
+                new_oeg_dot,
+                search: Some(result),
+                transform: Some(transform),
+                original_profile: Some(original_profile),
+                transformed_profile: Some(transformed_profile),
+            });
+        }
+        reports.push(cg_report);
         Ok(TransformResult {
             program: transform.program.clone(),
             original_time_us: original_time,
@@ -439,6 +752,7 @@ impl Pipeline {
 mod tests {
     use super::*;
     use crate::config::PipelineConfig;
+    use crate::faults::FaultPlan;
     use sf_gpusim::device::DeviceSpec;
     use sf_minicuda::parse_program;
 
@@ -482,6 +796,7 @@ void host() {
         assert!(v.passed(), "verification failed: {v:?}");
         assert_eq!(result.reports.len(), 6);
         assert!(result.new_oeg_dot.contains("cluster"));
+        assert!(result.degradations().is_empty());
         // Fewer launches than the original.
         let new_launches = result.program.static_launches().len();
         assert!(new_launches < 3);
@@ -529,6 +844,123 @@ void host() {
     #[test]
     fn empty_program_is_rejected() {
         let p = parse_program("void host() { int n = 4; double* a = cudaAlloc1D(n); }").unwrap();
-        assert!(Pipeline::new(p, PipelineConfig::quick(DeviceSpec::k20x())).is_err());
+        let err = Pipeline::new(p, PipelineConfig::quick(DeviceSpec::k20x())).unwrap_err();
+        assert_eq!(err.stage, Stage::Metadata);
+        assert_eq!(err.class, crate::error::Recoverability::Fatal);
+    }
+
+    #[test]
+    fn injected_codegen_panic_degrades_to_a_valid_program() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            panic_groups: (0..8).collect(),
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_faults(faults);
+        let result = Pipeline::new(p, cfg).unwrap().run().unwrap();
+        // Every fusion attempt panicked, so all groups degraded to unfused
+        // members — still a valid, verified (or original) program.
+        assert!(!result.degradations().is_empty());
+        assert!(result.speedup >= 1.0);
+        if let Some(v) = &result.verification {
+            assert!(v.passed());
+        }
+    }
+
+    #[test]
+    fn strict_mode_surfaces_the_injected_panic() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            panic_groups: (0..8).collect(),
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_faults(faults)
+            .strict();
+        let err = Pipeline::new(p, cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.stage, Stage::Codegen);
+        assert_eq!(err.class, crate::error::Recoverability::Degradable);
+        assert!(matches!(err.kind, ErrorKind::Panic(_)), "kind: {:?}", err.kind);
+    }
+
+    #[test]
+    fn corrupt_metadata_is_restored_in_degrade_mode() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            corrupt_metadata: true,
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_faults(faults.clone());
+        let result = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert!(result
+            .degradations()
+            .iter()
+            .any(|d| d.stage == Stage::Metadata));
+        assert!(result.speedup > 1.0, "restored metadata still transforms");
+        assert!(result.verification.unwrap().passed());
+
+        let strict_cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_faults(faults)
+            .strict();
+        let err = Pipeline::new(p, strict_cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.stage, Stage::Metadata);
+        assert!(matches!(err.kind, ErrorKind::Injected(_)));
+    }
+
+    #[test]
+    fn interpreter_trap_keeps_the_original_program() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            interpreter_trap: true,
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_faults(faults);
+        let result = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert_eq!(result.program, p);
+        assert_eq!(result.speedup, 1.0);
+        assert!(result
+            .degradations()
+            .iter()
+            .any(|d| d.stage == Stage::Codegen));
+    }
+
+    #[test]
+    fn transient_profiler_failures_are_retried() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            profiler_failures: 2,
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_faults(faults);
+        assert_eq!(cfg.profile_retries, 2);
+        let result = Pipeline::new(p, cfg).unwrap().run().unwrap();
+        // Retries absorbed the transient failures: full transform, no
+        // degradation.
+        assert!(result.speedup > 1.0);
+        assert!(result.degradations().is_empty());
+        assert!(result.reports[0]
+            .lines
+            .iter()
+            .any(|l| l.contains("transient failure")));
+    }
+
+    #[test]
+    fn exhausted_profiler_retries_degrade_to_original() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            profiler_failures: 10,
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_faults(faults.clone());
+        let result = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert_eq!(result.program, p);
+        assert_eq!(result.speedup, 1.0);
+        assert!(!result.degradations().is_empty());
+
+        let strict_cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_faults(faults)
+            .strict();
+        let err = Pipeline::new(p, strict_cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.class, crate::error::Recoverability::Transient);
     }
 }

@@ -4,6 +4,34 @@
 use crate::config::Stage;
 use std::fmt;
 
+/// One recorded degradation: the stage hit a recoverable failure and
+/// substituted a valid lower rung of the degradation ladder instead of
+/// stopping the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Stage that degraded.
+    pub stage: Stage,
+    /// What was affected, e.g. `group 2`, `kernel \`flux\``, `pipeline`.
+    pub scope: String,
+    /// What the stage emitted instead.
+    pub action: String,
+    /// Why the higher rung failed.
+    pub reason: String,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} ({})",
+            self.stage.name(),
+            self.scope,
+            self.action,
+            self.reason
+        )
+    }
+}
+
 /// A human-readable report emitted after one pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
@@ -13,6 +41,8 @@ pub struct StageReport {
     pub lines: Vec<String>,
     /// Possible-inefficiency hints the programmer may act on in guided mode.
     pub hints: Vec<String>,
+    /// Degradations this stage performed to keep the run valid.
+    pub degradations: Vec<Degradation>,
 }
 
 impl StageReport {
@@ -22,6 +52,7 @@ impl StageReport {
             stage,
             lines: Vec::new(),
             hints: Vec::new(),
+            degradations: Vec::new(),
         }
     }
 
@@ -34,6 +65,21 @@ impl StageReport {
     pub fn hint(&mut self, s: impl Into<String>) {
         self.hints.push(s.into());
     }
+
+    /// Record a degradation performed by this stage.
+    pub fn degrade(
+        &mut self,
+        scope: impl Into<String>,
+        action: impl Into<String>,
+        reason: impl Into<String>,
+    ) {
+        self.degradations.push(Degradation {
+            stage: self.stage,
+            scope: scope.into(),
+            action: action.into(),
+            reason: reason.into(),
+        });
+    }
 }
 
 impl fmt::Display for StageReport {
@@ -44,6 +90,9 @@ impl fmt::Display for StageReport {
         }
         for h in &self.hints {
             writeln!(f, "  hint: {h}")?;
+        }
+        for d in &self.degradations {
+            writeln!(f, "  degraded: {d}")?;
         }
         Ok(())
     }
@@ -62,5 +111,15 @@ mod tests {
         assert!(text.contains("stage: filter"));
         assert!(text.contains("3 targets"));
         assert!(text.contains("hint: kernel k7"));
+    }
+
+    #[test]
+    fn renders_degradations() {
+        let mut r = StageReport::new(Stage::Codegen);
+        r.degrade("group 1", "emitted members unfused", "injected panic");
+        assert_eq!(r.degradations.len(), 1);
+        let text = r.to_string();
+        assert!(text.contains("degraded: [codegen] group 1: emitted members unfused"));
+        assert!(text.contains("injected panic"));
     }
 }

@@ -128,4 +128,84 @@ void host() {
         assert!(!v.passed());
         assert_eq!(v.worst_array.as_deref(), Some("a"));
     }
+
+    /// Mutation test: corrupt exactly one output array element in the
+    /// "transformed" program and assert the verifier flags it.
+    #[test]
+    fn single_corrupted_output_element_is_flagged() {
+        use sf_minicuda::ast::{BinaryOp, Expr, Stmt};
+        let src = r#"
+__global__ void k(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = a[i] * 2.0;
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  k<<<2, 32>>>(a, n);
+}
+"#;
+        let original = parse_program(src).unwrap();
+        let mut mutant = original.clone();
+        let kernel = mutant.kernel_mut("k").unwrap();
+        let Some(Stmt::Assign { value, .. }) = kernel.body.get_mut(1) else {
+            panic!("expected the array store at body[1], got {:?}", kernel.body);
+        };
+        // a[7] gets an extra +1.0; every other element is untouched.
+        *value = Expr::Ternary {
+            cond: Box::new(Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(Expr::Var("i".into())),
+                rhs: Box::new(Expr::Int(7)),
+            }),
+            then_val: Box::new(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(value.clone()),
+                rhs: Box::new(Expr::Float(1.0)),
+            }),
+            else_val: Box::new(value.clone()),
+        };
+        let v = verify_equivalence(&original, &mutant, 3).unwrap();
+        assert!(!v.passed(), "one corrupted element must fail verification");
+        assert_eq!(v.worst_array.as_deref(), Some("a"));
+        assert_eq!(v.max_abs_diff, 1.0);
+    }
+
+    /// Mutation test: swap the array bindings of one launch and assert the
+    /// verifier flags the resulting dataflow change.
+    #[test]
+    fn corrupted_launch_binding_is_flagged() {
+        use sf_minicuda::ast::{HostStmt, LaunchArg};
+        let src = r#"
+__global__ void k(const double* __restrict__ a, double* b, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  b[i] = a[i] + 1.0;
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  double* b = cudaAlloc1D(n);
+  cudaMemcpyH2D(a);
+  k<<<2, 32>>>(a, b, n);
+  cudaMemcpyD2H(b);
+}
+"#;
+        let original = parse_program(src).unwrap();
+        let mut mutant = original.clone();
+        let launch = mutant
+            .host
+            .iter_mut()
+            .find_map(|s| match s {
+                HostStmt::Launch { args, .. } => Some(args),
+                _ => None,
+            })
+            .unwrap();
+        // Bind the launch backwards: now `a` is written from `b`'s data.
+        launch[0] = LaunchArg::Array("b".into());
+        launch[1] = LaunchArg::Array("a".into());
+        let v = verify_equivalence(&original, &mutant, 3).unwrap();
+        assert!(!v.passed(), "a swapped launch binding must fail verification");
+        assert!(v.worst_array.is_some());
+        assert!(v.max_abs_diff > 0.0);
+    }
 }

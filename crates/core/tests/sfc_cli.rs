@@ -107,16 +107,54 @@ fn metadata_round_trip_via_cli() {
 }
 
 #[test]
-fn rejects_bad_input_with_nonzero_exit() {
+fn rejects_bad_input_with_parse_exit_code() {
     let input = tmp("bad.cu");
     std::fs::write(&input, "__global__ void broken(").unwrap();
     let status = sfc()
         .arg(input.to_str().unwrap())
         .output()
         .expect("sfc runs");
-    assert!(!status.status.success());
+    assert_eq!(status.status.code(), Some(3), "parse errors exit with 3");
     let err = String::from_utf8_lossy(&status.stderr);
     assert!(err.contains("sfc:"), "{err}");
+    // The diagnostic includes a caret snippet pointing into the source.
+    assert!(err.contains("-->"), "{err}");
+    assert!(err.contains('^'), "{err}");
+}
+
+#[test]
+fn usage_errors_exit_with_2() {
+    let status = sfc()
+        .arg("--no-such-flag")
+        .output()
+        .expect("sfc runs");
+    assert_eq!(status.status.code(), Some(2));
+
+    let status = sfc()
+        .arg(tmp("does-not-exist.cu").to_str().unwrap())
+        .output()
+        .expect("sfc runs");
+    assert_eq!(status.status.code(), Some(2), "unreadable input exits with 2");
+}
+
+#[test]
+fn strict_flag_is_accepted_on_a_clean_program() {
+    let input = tmp("demo_strict.cu");
+    std::fs::write(&input, DEMO).unwrap();
+    let out = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "--strict",
+            "-o",
+            tmp("demo_strict_fused.cu").to_str().unwrap(),
+        ])
+        .output()
+        .expect("sfc runs");
+    assert_eq!(out.status.code(), Some(0));
+    // A clean run degrades nothing, so strict mode reports nothing.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("degraded"), "{err}");
 }
 
 #[test]

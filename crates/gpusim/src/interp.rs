@@ -230,10 +230,9 @@ impl<'p> Interpreter<'p> {
             }
         }
 
-        let result = if ok.is_ok() {
-            self.exec_launch(&ck, launch, &base_slots, &mut bound)
-        } else {
-            Err(ok.unwrap_err())
+        let result = match ok {
+            Ok(()) => self.exec_launch(&ck, launch, &base_slots, &mut bound),
+            Err(e) => Err(e),
         };
         for (name, arr) in bound {
             memory.put(name, arr);
@@ -248,8 +247,10 @@ impl<'p> Interpreter<'p> {
         base_slots: &[Value],
         bound: &mut [(String, DeviceArray)],
     ) -> Result<LaunchStats, ExecError> {
-        let mut stats = LaunchStats::default();
-        stats.threads = launch.grid.count() * launch.block.count();
+        let mut stats = LaunchStats {
+            threads: launch.grid.count() * launch.block.count(),
+            ..LaunchStats::default()
+        };
         let mut writers: HashMap<(u16, usize), u64> = HashMap::new();
         let nthreads = launch.block.count() as usize;
 
@@ -456,14 +457,12 @@ impl Machine<'_> {
         match s {
             CStmt::SetSlot { slot, ty, e } => {
                 self.count_warp_issue(&active);
-                for t in 0..active.len() {
-                    if active[t] {
-                        let v = match e {
-                            Some(e) => coerce(self.eval(e, t)?, *ty),
-                            None => Value::F(0.0),
-                        };
-                        self.set_slot(t, *slot, v);
-                    }
+                for t in (0..active.len()).filter(|&t| active[t]) {
+                    let v = match e {
+                        Some(e) => coerce(self.eval(e, t)?, *ty),
+                        None => Value::F(0.0),
+                    };
+                    self.set_slot(t, *slot, v);
                 }
             }
             CStmt::StoreGlobal { array, idx, op, e } => {
@@ -508,11 +507,9 @@ impl Machine<'_> {
                 body,
             } => {
                 self.count_warp_issue(&active);
-                for t in 0..active.len() {
-                    if active[t] {
-                        let v = self.eval(init, t)?;
-                        self.set_slot(t, *slot, v);
-                    }
+                for t in (0..active.len()).filter(|&t| active[t]) {
+                    let v = self.eval(init, t)?;
+                    self.set_slot(t, *slot, v);
                 }
                 // A new top-level sweep: reset the footprint window.
                 if uniform && self.track_footprint {
@@ -537,8 +534,8 @@ impl Machine<'_> {
                         break;
                     }
                     self.exec_stmts(body, &iter_mask, uniform && !divergent)?;
-                    for t in 0..iter_mask.len() {
-                        if iter_mask[t] && self.alive[t] {
+                    for t in (0..iter_mask.len()).filter(|&t| iter_mask[t]) {
+                        if self.alive[t] {
                             let d = self.eval(step, t)?.as_i64()?;
                             let cur = self.slot(t, *slot).as_i64()?;
                             self.set_slot(t, *slot, Value::I(cur + d));
@@ -559,8 +556,8 @@ impl Machine<'_> {
                 self.epoch += 1;
             }
             CStmt::Return => {
-                for t in 0..active.len() {
-                    if active[t] {
+                for (t, &a) in active.iter().enumerate() {
+                    if a {
                         self.alive[t] = false;
                     }
                 }
@@ -623,10 +620,7 @@ impl Machine<'_> {
     ) -> Result<(), ExecError> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        for t in 0..active.len() {
-            if !active[t] {
-                continue;
-            }
+        for t in (0..active.len()).filter(|&t| active[t]) {
             let rhs = self.eval(e, t)?;
             let off = self.global_offset(array, idx, t)?;
             let v = if op == AssignOp::Assign {
@@ -663,10 +657,7 @@ impl Machine<'_> {
     ) -> Result<(), ExecError> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        for t in 0..active.len() {
-            if !active[t] {
-                continue;
-            }
+        for t in (0..active.len()).filter(|&t| active[t]) {
             let rhs = self.eval(e, t)?;
             let off = self.shared_offset(tile, idx, t)?;
             let v = if op == AssignOp::Assign {

@@ -1,0 +1,76 @@
+//! Panic isolation for fault-tolerant pipeline stages.
+//!
+//! Per-group code generation and per-candidate objective evaluation run
+//! inside [`isolated`], so a bug (or an injected fault) in one unit of work
+//! poisons only that unit instead of aborting the whole pipeline.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+static INSTALL_HOOK: Once = Once::new();
+
+/// Run `f`, converting a panic into `Err(message)`.
+///
+/// The default panic hook is suppressed for the duration of `f` on this
+/// thread only, so expected, isolated panics do not spam stderr; panics on
+/// other threads (and outside `isolated`) still print normally.
+pub fn isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENCED.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+    let was_silenced = SILENCED.with(|s| s.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SILENCED.with(|s| s.set(was_silenced));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_success() {
+        assert_eq!(isolated(|| 2 + 2), Ok(4));
+    }
+
+    #[test]
+    fn captures_str_and_string_payloads() {
+        assert_eq!(isolated(|| panic!("plain")), Err::<(), _>("plain".into()));
+        let msg = isolated(|| panic!("with {}", 42)).unwrap_err();
+        assert_eq!(msg, "with 42");
+    }
+
+    #[test]
+    fn nested_isolation_restores_state() {
+        let outer = isolated(|| {
+            let inner = isolated(|| panic!("inner"));
+            assert!(inner.is_err());
+            "outer ok"
+        });
+        assert_eq!(outer, Ok("outer ok"));
+    }
+
+    #[test]
+    fn out_of_bounds_is_captured() {
+        let v = vec![1, 2, 3];
+        let r = isolated(move || v[10]);
+        assert!(r.unwrap_err().contains("out of bounds"));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod compile;
 pub mod device;
 pub mod interp;
+pub mod isolate;
 pub mod memory;
 pub mod occupancy;
 pub mod profiler;

@@ -75,11 +75,10 @@ pub fn occupancy(
             device.smem_alloc_granularity as u32,
         ) as usize
     };
-    let by_smem = if smem_alloc == 0 {
-        u32::MAX
-    } else {
-        (device.smem_per_sm / smem_alloc) as u32
-    };
+    let by_smem = device
+        .smem_per_sm
+        .checked_div(smem_alloc)
+        .map_or(u32::MAX, |b| b as u32);
 
     let (active, limiter) = [
         (by_blocks, Limiter::BlockSlots),

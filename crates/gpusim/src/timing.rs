@@ -139,6 +139,7 @@ impl TimingModel {
     }
 
     /// Convenience: build a profile from launch dims.
+    #[allow(clippy::too_many_arguments)]
     pub fn profile(
         grid: Dim3,
         block: Dim3,

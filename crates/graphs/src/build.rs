@@ -26,6 +26,9 @@ impl LaunchAccesses {
     }
 }
 
+/// Lookup from array name to its allocation record, when one is known.
+pub type AllocLookup<'a> = &'a dyn Fn(&str) -> Option<AllocInfo>;
+
 /// Compute the actual arrays a launch reads/writes, by mapping the kernel's
 /// parameter-level read/write sets through the launch bindings. Compound
 /// assignments count as both. When `alloc_of` is provided, writes covering
@@ -33,7 +36,7 @@ impl LaunchAccesses {
 pub fn launch_accesses(
     kernel: &Kernel,
     launch: &LaunchRecord,
-    alloc_of: Option<&dyn Fn(&str) -> Option<AllocInfo>>,
+    alloc_of: Option<AllocLookup<'_>>,
 ) -> LaunchAccesses {
     let param_reads = visit::arrays_read(&kernel.body);
     let param_writes = visit::arrays_written(&kernel.body);

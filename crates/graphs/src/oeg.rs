@@ -159,8 +159,8 @@ impl Oeg {
                 if !accesses[i].touched().contains(array) {
                     continue;
                 }
-                for j in pos..n {
-                    if !accesses[j].touched().contains(array) {
+                for (j, access) in accesses.iter().enumerate().skip(pos) {
+                    if !access.touched().contains(array) {
                         continue;
                     }
                     edges
@@ -233,7 +233,7 @@ impl Oeg {
         let m = groups.len();
         let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
         let mut indeg = vec![0usize; m];
-        for (&(i, j), _) in &self.edges {
+        for &(i, j) in self.edges.keys() {
             let (gi, gj) = (gidx[&group_of[i]], gidx[&group_of[j]]);
             if gi != gj && adj[gi].insert(gj) {
                 indeg[gj] += 1;

@@ -11,16 +11,50 @@ pub struct ParseError {
     pub line: u32,
     /// 1-based source column of the offending token.
     pub col: u32,
+    /// Width of the offending token in characters (at least 1).
+    pub len: u32,
 }
 
 impl ParseError {
-    /// Construct an error at the given position.
+    /// Construct an error at the given position (span width 1).
     pub fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
         ParseError {
             message: message.into(),
             line,
             col,
+            len: 1,
         }
+    }
+
+    /// Widen the span to the offending token's width.
+    pub fn with_len(mut self, len: u32) -> ParseError {
+        self.len = len.max(1);
+        self
+    }
+
+    /// Render the error with a source snippet and a caret underlining the
+    /// offending span, in the style of compiler diagnostics:
+    ///
+    /// ```text
+    /// error: expected Semi, found identifier `b`
+    ///  --> 3:7
+    ///   |
+    /// 3 | int a int b
+    ///   |       ^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}\n --> {}:{}\n", self.message, self.line, self.col);
+        let Some(line_text) = src.lines().nth(self.line.saturating_sub(1) as usize) else {
+            return out;
+        };
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let offset = " ".repeat(self.col.saturating_sub(1) as usize);
+        let caret = "^".repeat(self.len.max(1) as usize);
+        out.push_str(&format!(
+            "{pad} |\n{gutter} | {line_text}\n{pad} | {offset}{caret}\n"
+        ));
+        out
     }
 }
 
@@ -34,3 +68,35 @@ impl std::error::Error for ParseError {}
 
 /// Result alias used across the frontend.
 pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_caret_snippet() {
+        let src = "void host() {\n  int x = ;\n}\n";
+        let err = ParseError::new("expected expression, found Semi", 2, 11);
+        let rendered = err.render(src);
+        assert!(rendered.contains("error: expected expression, found Semi"));
+        assert!(rendered.contains(" --> 2:11"));
+        assert!(rendered.contains("2 |   int x = ;"));
+        assert!(rendered.contains("          ^"));
+    }
+
+    #[test]
+    fn caret_width_follows_the_span() {
+        let src = "stage1<<<g, b>>>;";
+        let err = ParseError::new("unexpected launch", 1, 7).with_len(3);
+        assert!(err.render(src).contains("^^^"));
+        assert_eq!(err.len, 3);
+    }
+
+    #[test]
+    fn out_of_range_lines_degrade_to_the_header() {
+        let err = ParseError::new("boom", 99, 1);
+        let rendered = err.render("one line\n");
+        assert!(rendered.starts_with("error: boom"));
+        assert!(!rendered.contains('^'));
+    }
+}

@@ -13,22 +13,20 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
     Lexer::new(src).run()
 }
 
-struct Lexer<'a> {
+struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
     col: u32,
-    src: &'a str,
 }
 
-impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Lexer<'a> {
+impl Lexer {
+    fn new(src: &str) -> Lexer {
         Lexer {
             chars: src.chars().collect(),
             pos: 0,
             line: 1,
             col: 1,
-            src,
         }
     }
 
@@ -105,9 +103,11 @@ impl<'a> Lexer<'a> {
                     tok: Tok::Eof,
                     line,
                     col,
+                    len: 0,
                 });
                 return Ok(out);
             };
+            let start = self.pos;
             let tok = if c.is_ascii_digit()
                 || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
             {
@@ -117,7 +117,13 @@ impl<'a> Lexer<'a> {
             } else {
                 self.lex_punct()?
             };
-            out.push(SpannedTok { tok, line, col });
+            let len = (self.pos - start) as u32;
+            out.push(SpannedTok {
+                tok,
+                line,
+                col,
+                len,
+            });
         }
     }
 
@@ -196,7 +202,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_punct(&mut self) -> Result<Tok> {
-        let c = self.bump().expect("lex_punct called at EOF");
+        // `run` only calls this after a successful peek, but keep the EOF
+        // case a structured error rather than a panic.
+        let Some(c) = self.bump() else {
+            return Err(self.err("unexpected end of input"));
+        };
         let t = match c {
             '(' => Tok::LParen,
             ')' => Tok::RParen,
@@ -301,7 +311,6 @@ impl<'a> Lexer<'a> {
                 return Err(self.err(format!("unexpected character `{other}`")));
             }
         };
-        let _ = self.src;
         Ok(t)
     }
 }

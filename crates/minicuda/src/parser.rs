@@ -35,11 +35,6 @@ impl Parser {
         &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
     }
 
-    fn here(&self) -> (u32, u32) {
-        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
-        (t.line, t.col)
-    }
-
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
         if self.pos < self.toks.len() - 1 {
@@ -49,8 +44,8 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let (line, col) = self.here();
-        ParseError::new(msg, line, col)
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        ParseError::new(msg, t.line, t.col).with_len(t.len)
     }
 
     fn expect(&mut self, want: Tok) -> Result<()> {
@@ -1011,5 +1006,22 @@ void host() {
             plan.launches[0].args[1],
             crate::host::ResolvedArg::Scalar(crate::host::HostValue::Int(72))
         );
+    }
+
+    #[test]
+    fn errors_carry_the_offending_token_span() {
+        // The stray literal `3.14` starts at line 2, column 3 and is 4
+        // characters wide; statement parsing fails on exactly that token.
+        let src = "__global__ void k(double* a) {\n  3.14;\n}\nvoid host() { }";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!((err.line, err.col, err.len), (2, 3, 4));
+        assert!(
+            err.message.contains("expected statement"),
+            "message: {}",
+            err.message
+        );
+        let rendered = err.render(src);
+        assert!(rendered.contains("2 |   3.14;"));
+        assert!(rendered.contains("^^^^"));
     }
 }

@@ -80,7 +80,7 @@ impl Tok {
     }
 }
 
-/// A token plus its source position (1-based line/column).
+/// A token plus its source span (1-based line/column and width).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedTok {
     /// The token.
@@ -89,4 +89,6 @@ pub struct SpannedTok {
     pub line: u32,
     /// 1-based source column.
     pub col: u32,
+    /// Width of the token in characters (0 for end-of-input).
+    pub len: u32,
 }

@@ -206,13 +206,10 @@ pub fn rename_var(stmts: &mut [Stmt], from: &str, to: &str) {
 fn rename_var_stmt(s: &mut Stmt, from: &str, to: &str) {
     match s {
         Stmt::VarDecl { name, .. } if name == from => *name = to.to_string(),
-        Stmt::Assign { target, .. } => {
-            if let LValue::Var(n) = target {
-                if n == from {
-                    *n = to.to_string();
-                }
-            }
-        }
+        Stmt::Assign {
+            target: LValue::Var(n),
+            ..
+        } if n == from => *n = to.to_string(),
         Stmt::If {
             then_body,
             else_body,
@@ -250,13 +247,10 @@ pub fn rename_array(stmts: &mut [Stmt], from: &str, to: &str) {
 
 fn rename_array_targets(s: &mut Stmt, from: &str, to: &str) {
     match s {
-        Stmt::Assign { target, .. } => {
-            if let LValue::Index { array, .. } = target {
-                if array == from {
-                    *array = to.to_string();
-                }
-            }
-        }
+        Stmt::Assign {
+            target: LValue::Index { array, .. },
+            ..
+        } if array == from => *array = to.to_string(),
         Stmt::If {
             then_body,
             else_body,

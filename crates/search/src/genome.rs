@@ -67,10 +67,9 @@ impl Individual {
         }
         self.group_of.remove(&unit);
         self.fissioned.insert(unit);
-        let mut g = self.fresh_group_id();
-        for &p in &u.products {
+        let base = self.fresh_group_id();
+        for (g, &p) in (base..).zip(u.products.iter()) {
             self.group_of.insert(p, g);
-            g += 1;
         }
     }
 
@@ -112,7 +111,7 @@ impl Individual {
         let m = gids.len();
         let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
         let mut indeg = vec![0usize; m];
-        for (&(a, b), _) in &space.edges {
+        for &(a, b) in space.edges.keys() {
             let (Some(&ga), Some(&gb)) = (self.group_of.get(&a), self.group_of.get(&b)) else {
                 continue;
             };

@@ -16,6 +16,38 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use sf_codegen::GroupSpec;
+use sf_gpusim::isolate::isolated;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Ran its full generation schedule.
+    Converged,
+    /// Watchdog: wall-clock or evaluation budget hit; the best-so-far
+    /// individual was returned early.
+    BudgetExhausted,
+    /// Early stop: best fitness stagnated for `stagnation_window`
+    /// generations.
+    Plateaued,
+}
+
+impl StopReason {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::BudgetExhausted => "budget-exhausted",
+            StopReason::Plateaued => "plateaued",
+        }
+    }
+}
+
+/// Fitness assigned to a candidate whose evaluation panicked (after bounded
+/// retry): strictly below every real projection (which is >= 0 GFLOPS), so
+/// a poisoned candidate can never win but the search carries on.
+const POISONED_FITNESS: f64 = -1.0;
 
 /// The outcome of a search run.
 #[derive(Debug, Clone)]
@@ -39,10 +71,27 @@ pub struct SearchResult {
     pub fission_moves_per_generation: f64,
     pub generations_run: usize,
     pub evaluations: u64,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+    /// Candidates whose evaluation panicked and, after bounded retry, were
+    /// scored with [`POISONED_FITNESS`] instead of aborting the search.
+    pub poisoned_evaluations: u64,
 }
 
 /// Run the search.
 pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
+    search_with_faults(space, config, &BTreeSet::new())
+}
+
+/// Run the search with fault injection: evaluations whose global index is in
+/// `poison` panic inside the (isolated) objective, exercising the poisoned-
+/// candidate path deterministically. Production callers use [`search`].
+pub fn search_with_faults(
+    space: &SearchSpace,
+    config: &SearchConfig,
+    poison: &BTreeSet<u64>,
+) -> SearchResult {
+    let started = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let penalty = Penalty {
         soft: config.penalty_soft,
@@ -52,7 +101,9 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
 
     // ---- initial population ----
     let singles = Individual::singletons(space);
-    let baseline_gflops = objective::fitness(space, &singles, &penalty);
+    // The baseline is isolated like any other evaluation; a poisoned
+    // baseline scores 0 (no projection improvement claimed over it).
+    let baseline_gflops = isolated(|| objective::fitness(space, &singles, &penalty)).unwrap_or(0.0);
     let mut population: Vec<Individual> = Vec::with_capacity(config.population);
     population.push(singles.clone());
     while population.len() < config.population {
@@ -64,15 +115,39 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
     }
 
     let mut evaluations = 0u64;
-    let mut scores: Vec<f64> = evaluate(space, &population, &penalty, &mut evaluations);
+    let mut poisoned = 0u64;
+    let eval = |population: &[Individual], evaluations: &mut u64, poisoned: &mut u64| {
+        evaluate(
+            space,
+            population,
+            &penalty,
+            evaluations,
+            poison,
+            config.eval_retries,
+            poisoned,
+        )
+    };
+    let mut scores: Vec<f64> = eval(&population, &mut evaluations, &mut poisoned);
     let mut history = Vec::with_capacity(config.generations);
     let mut fission_moves = 0u64;
     let mut retained_fissions = 0u64;
     let mut best_idx = argmax(&scores);
     let mut stagnant = 0usize;
     let mut generations_run = 0usize;
+    let mut stop_reason = StopReason::Converged;
+
+    // Watchdog budgets, checked at generation boundaries only so the
+    // trajectory for a given seed is unchanged — just where it stops.
+    let out_of_budget = |evaluations: u64| {
+        (config.max_wall_ms > 0 && started.elapsed().as_millis() as u64 >= config.max_wall_ms)
+            || (config.max_evaluations > 0 && evaluations >= config.max_evaluations)
+    };
 
     for _gen in 0..config.generations {
+        if out_of_budget(evaluations) {
+            stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
         generations_run += 1;
         let prev_best = scores[best_idx];
 
@@ -103,10 +178,11 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
             if rng.gen_bool(config.p_move) {
                 mutate_move(space, &mut child, &mut rng);
             }
-            if config.p_fission > 0.0 && rng.gen_bool(config.p_fission) {
-                if mutate_fission(space, &mut child, &penalty, &mut rng) {
-                    fission_moves += 1;
-                }
+            if config.p_fission > 0.0
+                && rng.gen_bool(config.p_fission)
+                && mutate_fission(space, &mut child, &penalty, &mut rng)
+            {
+                fission_moves += 1;
             }
             if config.p_defission > 0.0 && rng.gen_bool(config.p_defission) {
                 mutate_defission(space, &mut child, &mut rng);
@@ -115,7 +191,7 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
             next.push(child);
         }
         population = next;
-        scores = evaluate(space, &population, &penalty, &mut evaluations);
+        scores = eval(&population, &mut evaluations, &mut poisoned);
         best_idx = argmax(&scores);
         history.push(scores[best_idx]);
         retained_fissions += population[best_idx].fissioned.len() as u64;
@@ -124,6 +200,7 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
             if scores[best_idx] <= prev_best + 1e-12 {
                 stagnant += 1;
                 if stagnant >= config.stagnation_window {
+                    stop_reason = StopReason::Plateaued;
                     break;
                 }
             } else {
@@ -145,6 +222,8 @@ pub fn search(space: &SearchSpace, config: &SearchConfig) -> SearchResult {
         fission_moves_per_generation: fission_moves as f64 / generations_run.max(1) as f64,
         generations_run,
         evaluations,
+        stop_reason,
+        poisoned_evaluations: poisoned,
     }
 }
 
@@ -167,16 +246,54 @@ pub fn groups_in_order(space: &SearchSpace, ind: &Individual) -> Vec<GroupSpec> 
         .collect()
 }
 
+/// Evaluate a population in parallel, isolating panics per candidate.
+///
+/// Every evaluation gets a global index (for deterministic fault
+/// injection); a candidate whose evaluation panics is retried serially up
+/// to `retries` times (fresh indices, so injected transient faults clear),
+/// then scored [`POISONED_FITNESS`].
 fn evaluate(
     space: &SearchSpace,
     population: &[Individual],
     penalty: &Penalty,
     evaluations: &mut u64,
+    poison: &BTreeSet<u64>,
+    retries: u32,
+    poisoned: &mut u64,
 ) -> Vec<f64> {
+    let one = |idx: u64, ind: &Individual| -> Result<f64, String> {
+        isolated(|| {
+            if poison.contains(&idx) {
+                panic!("injected poisoned candidate at evaluation {idx}");
+            }
+            objective::fitness(space, ind, penalty)
+        })
+    };
+    let base = *evaluations;
     *evaluations += population.len() as u64;
-    population
-        .par_iter()
-        .map(|ind| objective::fitness(space, ind, penalty))
+    let indexed: Vec<(u64, &Individual)> = population
+        .iter()
+        .enumerate()
+        .map(|(i, ind)| (base + i as u64, ind))
+        .collect();
+    let raw: Vec<Result<f64, String>> =
+        indexed.par_iter().map(|&(idx, ind)| one(idx, ind)).collect();
+    raw.into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(s) => s,
+            Err(_) => {
+                for _ in 0..retries {
+                    let idx = *evaluations;
+                    *evaluations += 1;
+                    if let Ok(s) = one(idx, &population[i]) {
+                        return s;
+                    }
+                }
+                *poisoned += 1;
+                POISONED_FITNESS
+            }
+        })
         .collect()
 }
 
@@ -469,6 +586,102 @@ void host() {
         let result = search(&space, &SearchConfig::quick().without_fission());
         assert_eq!(result.fissions_per_generation, 0.0);
         assert!(result.best.fissioned.is_empty());
+    }
+
+    #[test]
+    fn evaluation_budget_stops_early_with_best_so_far() {
+        let space = space_for(CHAIN4);
+        let cfg = SearchConfig {
+            max_evaluations: 50,
+            stagnation_window: 0,
+            ..SearchConfig::quick()
+        };
+        let r = search(&space, &cfg);
+        assert_eq!(r.stop_reason, StopReason::BudgetExhausted);
+        // population 24: initial batch + two generations overshoot the
+        // budget at the next boundary check.
+        assert!(r.generations_run < cfg.generations);
+        assert!(r.evaluations <= 24 * 3);
+        assert!(r.best.feasible(&space));
+        assert!(r.best_gflops >= r.baseline_gflops * 0.999);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_early() {
+        let space = space_for(CHAIN4);
+        let cfg = SearchConfig {
+            population: 200,
+            generations: 100_000,
+            stagnation_window: 0,
+            max_wall_ms: 5,
+            ..SearchConfig::default()
+        };
+        let r = search(&space, &cfg);
+        assert_eq!(r.stop_reason, StopReason::BudgetExhausted);
+        assert!(r.generations_run < cfg.generations);
+        assert!(r.best.feasible(&space));
+    }
+
+    #[test]
+    fn generous_budgets_do_not_misfire() {
+        let space = space_for(CHAIN4);
+        let cfg = SearchConfig {
+            max_wall_ms: 3_600_000,
+            max_evaluations: 100_000_000,
+            ..SearchConfig::quick()
+        };
+        let r = search(&space, &cfg);
+        assert_ne!(r.stop_reason, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn stagnation_reports_plateaued() {
+        let space = space_for(CHAIN4);
+        let cfg = SearchConfig {
+            stagnation_window: 1,
+            ..SearchConfig::quick()
+        };
+        let r = search(&space, &cfg);
+        assert_eq!(r.stop_reason, StopReason::Plateaued);
+    }
+
+    #[test]
+    fn full_schedule_reports_converged() {
+        let space = space_for(CHAIN4);
+        let cfg = SearchConfig {
+            stagnation_window: 0,
+            ..SearchConfig::quick()
+        };
+        let r = search(&space, &cfg);
+        assert_eq!(r.stop_reason, StopReason::Converged);
+        assert_eq!(r.generations_run, cfg.generations);
+        assert_eq!(r.poisoned_evaluations, 0);
+    }
+
+    #[test]
+    fn fully_poisoned_search_completes_without_panicking() {
+        let space = space_for(CHAIN4);
+        // Poison every index any retry could reach: every candidate scores
+        // POISONED_FITNESS, yet the search must run to a normal stop.
+        let poison: BTreeSet<u64> = (0..20_000).collect();
+        let r = search_with_faults(&space, &SearchConfig::quick(), &poison);
+        assert!(r.poisoned_evaluations > 0);
+        assert!(r.best.feasible(&space));
+        assert_eq!(r.history.len(), r.generations_run);
+    }
+
+    #[test]
+    fn sparse_poison_retries_and_keeps_the_search_on_track() {
+        let space = space_for(CHAIN4);
+        // A handful of poisoned indices: retries land on fresh indices and
+        // succeed, so no candidate ends up poisoned and the outcome matches
+        // the clean run.
+        let poison: BTreeSet<u64> = [1u64, 7, 13].into_iter().collect();
+        let clean = search(&space, &SearchConfig::quick());
+        let faulty = search_with_faults(&space, &SearchConfig::quick(), &poison);
+        assert_eq!(faulty.poisoned_evaluations, 0);
+        assert_eq!(faulty.best, clean.best);
+        assert_eq!(faulty.best_gflops, clean.best_gflops);
     }
 }
 

@@ -28,6 +28,6 @@ pub mod params;
 pub mod space;
 
 pub use genome::Individual;
-pub use gga::{search, SearchResult};
+pub use gga::{search, search_with_faults, SearchResult, StopReason};
 pub use params::SearchConfig;
 pub use space::{SearchSpace, Unit};

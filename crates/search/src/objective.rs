@@ -109,7 +109,7 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
             smem_bytes += ((bx.1 + 2 * ry) * (bx.0 + 2 * rx) * 8) as usize;
         }
     }
-    for (_, &w) in &writes {
+    for &w in writes.values() {
         dram_bytes += w;
     }
 
@@ -135,7 +135,7 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
     let smem_violation = smem_bytes > space.smem_limit;
     let fission_escape = units.iter().any(|u| {
         let original = u.parent.map_or(u.id, |p| p);
-        space.units[original].fissionable() && !u.mref.fission_component.is_some()
+        space.units[original].fissionable() && u.mref.fission_component.is_none()
     });
 
     // For timing, clamp shared memory into the launchable range; the

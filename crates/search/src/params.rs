@@ -38,6 +38,16 @@ pub struct SearchConfig {
     /// Stop early when the best fitness has not improved for this many
     /// generations (0 disables early stopping).
     pub stagnation_window: usize,
+    /// Watchdog: wall-clock budget for the whole search, in milliseconds
+    /// (0 = unlimited). Checked at generation boundaries, so a given seed's
+    /// trajectory is unchanged — only where it stops can vary.
+    pub max_wall_ms: u64,
+    /// Watchdog: objective-evaluation budget (0 = unlimited), also checked
+    /// at generation boundaries.
+    pub max_evaluations: u64,
+    /// Bounded retry for a failed (transient) candidate evaluation before
+    /// the candidate is scored as poisoned.
+    pub eval_retries: u32,
 }
 
 impl Default for SearchConfig {
@@ -58,6 +68,9 @@ impl Default for SearchConfig {
             init_merges: 3,
             seed: 20150615, // HPDC'15
             stagnation_window: 0,
+            max_wall_ms: 0,
+            max_evaluations: 0,
+            eval_retries: 1,
         }
     }
 }
@@ -99,6 +112,14 @@ mod tests {
         let c = SearchConfig::default();
         assert_eq!(c.population, 100);
         assert_eq!(c.generations, 500);
+    }
+
+    #[test]
+    fn watchdog_defaults_are_unlimited() {
+        let c = SearchConfig::default();
+        assert_eq!(c.max_wall_ms, 0);
+        assert_eq!(c.max_evaluations, 0);
+        assert!(c.eval_retries >= 1);
     }
 
     #[test]

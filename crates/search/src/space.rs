@@ -285,9 +285,8 @@ impl SearchSpace {
                 if seq_of(&units[a]) >= pos || !units[a].accesses.touched().contains(array) {
                     continue;
                 }
-                for b in 0..units.len() {
-                    if seq_of(&units[b]) < pos || !units[b].accesses.touched().contains(array)
-                    {
+                for (b, unit) in units.iter().enumerate() {
+                    if seq_of(unit) < pos || !unit.accesses.touched().contains(array) {
                         continue;
                     }
                     edges.insert((a, b), UnitEdge { hard: true });

@@ -1,0 +1,171 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Supports the subset this workspace's benches use: `criterion_group!`
+//! (both plain and `name/config/targets` forms), `criterion_main!`,
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`
+//! and `Bencher::iter_batched`. Reports median wall-clock time per
+//! iteration; no statistical analysis, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored beyond API
+/// compatibility — every iteration gets a fresh input either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            drop(out);
+        }
+    }
+
+    /// Time `routine` with a fresh `setup()` input per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            drop(out);
+        }
+    }
+}
+
+/// Top-level benchmark registry/configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        let (lo, hi) = (
+            samples.first().copied().unwrap_or(0.0),
+            samples.last().copied().unwrap_or(0.0),
+        );
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut runs = 0usize;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("noop", |b| b.iter(|| black_box(2 + 2)))
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8; 16],
+                    |v| {
+                        black_box(v.len());
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        runs += 1;
+        assert_eq!(runs, 1);
+    }
+}

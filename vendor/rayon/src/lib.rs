@@ -1,0 +1,138 @@
+//! Minimal, dependency-free stand-in for `rayon`.
+//!
+//! Supports the one shape this workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with real data
+//! parallelism via `std::thread::scope` over contiguous chunks. Output
+//! order matches input order, so results are identical to the sequential
+//! computation (the search crate's determinism tests rely on this).
+
+#![forbid(unsafe_code)]
+
+/// Borrowing conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each item through `f` (executed in parallel at collect time).
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// Collecting from a parallel iterator (subset: `Vec` only).
+pub trait FromParMap<R> {
+    /// Build the collection from in-order results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParMap<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Run the map in parallel and gather results in input order.
+    pub fn collect<C: FromParMap<R>>(self) -> C {
+        C::from_results(run_chunked(self.items, &self.f))
+    }
+}
+
+fn run_chunked<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParMap, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+}

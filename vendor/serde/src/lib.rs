@@ -1,0 +1,423 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based `Serializer`/`Deserializer` pair,
+//! this vendored subset round-trips every value through a self-describing
+//! [`Content`] tree. `serde_json` (also vendored) renders a `Content` tree
+//! to JSON text and parses JSON text back into one. The derive macros in
+//! `serde_derive` generate `Serialize`/`Deserialize` impls against this
+//! model for named-field structs and for enums with unit or tuple variants
+//! — exactly the shapes this workspace uses.
+//!
+//! Maps with non-string keys (e.g. `BTreeMap<(usize, usize), EdgeInfo>`)
+//! serialize as sequences of `[key, value]` pairs, and the `BTreeMap`
+//! deserializer accepts both encodings.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / unit value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with arbitrary (not necessarily string) keys.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Map-entry view.
+    pub fn as_entries(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The single `(key, value)` entry of a one-entry map with a string
+    /// key — the encoding of a tuple enum variant.
+    pub fn as_single_entry(&self) -> Option<(&str, &Content)> {
+        match self {
+            Content::Map(entries) if entries.len() == 1 => {
+                entries[0].0.as_str().map(|k| (k, &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field by name (derive helper).
+    pub fn field(&self, type_name: &str, name: &str) -> Result<&Content, DeError> {
+        let entries = self.as_entries().ok_or_else(|| {
+            DeError::custom(format!("expected map for struct `{type_name}`"))
+        })?;
+        entries
+            .iter()
+            .find(|(k, _)| k.as_str() == Some(name))
+            .map(|(_, v)| v)
+            .ok_or_else(|| {
+                DeError::custom(format!("missing field `{name}` for struct `{type_name}`"))
+            })
+    }
+
+    /// Short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Construct from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the content model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from the content model.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            content.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| {
+                        DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                    })?,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            content.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            _ => Err(DeError::custom(format!(
+                "expected f64, found {}",
+                content.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(v) => Ok(v),
+            _ => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                content.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, found {}", content.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, found {}", content.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, found {}", content.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            // Non-string-key maps render to JSON as a sequence of
+            // [key, value] pairs; accept that encoding on the way back in.
+            Content::Seq(items) => items
+                .iter()
+                .map(|item| {
+                    let pair = item.as_seq().filter(|p| p.len() == 2).ok_or_else(|| {
+                        DeError::custom("expected [key, value] pair in map sequence")
+                    })?;
+                    Ok((K::deserialize(&pair[0])?, V::deserialize(&pair[1])?))
+                })
+                .collect(),
+            _ => Err(DeError::custom(format!(
+                "expected map, found {}",
+                content.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = content.as_seq().filter(|s| s.len() == LEN).ok_or_else(|| {
+                    DeError::custom(format!("expected {LEN}-tuple, found {}", content.kind()))
+                })?;
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+    }
+
+    #[test]
+    fn tuple_key_map_round_trips() {
+        let mut m: BTreeMap<(usize, usize), String> = BTreeMap::new();
+        m.insert((1, 2), "edge".into());
+        let c = m.serialize();
+        let back: BTreeMap<(usize, usize), String> = Deserialize::deserialize(&c).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn numeric_cross_kind_accepts() {
+        // JSON parsing yields U64 for non-negative integers; f64 fields
+        // must still accept them.
+        assert_eq!(f64::deserialize(&Content::U64(7)).unwrap(), 7.0);
+        assert_eq!(i64::deserialize(&Content::U64(7)).unwrap(), 7);
+        assert_eq!(usize::deserialize(&Content::I64(7)).unwrap(), 7);
+    }
+}

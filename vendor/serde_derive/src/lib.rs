@@ -1,0 +1,336 @@
+//! Minimal `serde_derive` stand-in built on raw `proc_macro` (no syn/quote).
+//!
+//! Supports the item shapes this workspace derives on:
+//! - structs with named fields,
+//! - enums whose variants are unit (`Flow`) or tuple (`Kernel(usize)`,
+//!   `Array(String, usize)`).
+//!
+//! Generated impls target the `Content` tree model of the vendored `serde`
+//! crate. Field/variant renaming attributes (`#[serde(...)]`) are not
+//! supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Variants: name plus tuple arity (0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    // Skip generics if present (unused by this workspace, tolerated anyway).
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue, // where-clauses etc.
+            None => panic!("derive: missing braced body for `{name}`"),
+        }
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body)),
+        "enum" => Shape::Enum(parse_enum_variants(body)),
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("derive: malformed attribute, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next(); // pub(crate) / pub(super)
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip tokens up to (and including) the next comma at angle-bracket depth
+/// zero. Commas inside `<...>` belong to generic arguments of field types.
+fn skip_to_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_comma(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, got {other:?}"),
+        };
+        let arity = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                arity
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("derive: struct-like enum variant `{name}` is not supported")
+            }
+            _ => 0,
+        };
+        skip_to_comma(&mut tokens);
+        variants.push((name, arity));
+    }
+    variants
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{\n"
+    ));
+    match &item.shape {
+        Shape::Struct(fields) => {
+            out.push_str("::serde::Content::Map(::std::vec![\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                     ::serde::Serialize::serialize(&self.{f})),\n"
+                ));
+            }
+            out.push_str("])\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {\n");
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    out.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    ));
+                } else {
+                    let binders: Vec<String> =
+                        (0..*arity).map(|i| format!("__f{i}")).collect();
+                    let value = if *arity == 1 {
+                        "::serde::Serialize::serialize(__f0)".to_string()
+                    } else {
+                        let parts: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!("::serde::Content::Seq(::std::vec![{}])", parts.join(", "))
+                    };
+                    out.push_str(&format!(
+                        "{name}::{v}({binds}) => ::serde::Content::Map(::std::vec![(\
+                         ::serde::Content::Str(::std::string::String::from(\"{v}\")), \
+                         {value})]),\n",
+                        binds = binders.join(", ")
+                    ));
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+    ));
+    match &item.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(\
+                     __content.field(\"{name}\", \"{f}\")?)?,\n"
+                ));
+            }
+            out.push_str("})\n");
+        }
+        Shape::Enum(variants) => {
+            let units: Vec<&String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| v)
+                .collect();
+            let tuples: Vec<&(String, usize)> =
+                variants.iter().filter(|(_, a)| *a > 0).collect();
+            if !units.is_empty() {
+                out.push_str(
+                    "if let ::std::option::Option::Some(__s) = __content.as_str() {\n",
+                );
+                for v in &units {
+                    out.push_str(&format!(
+                        "if __s == \"{v}\" {{ \
+                         return ::std::result::Result::Ok({name}::{v}); }}\n"
+                    ));
+                }
+                out.push_str("}\n");
+            }
+            if !tuples.is_empty() {
+                out.push_str(
+                    "if let ::std::option::Option::Some((__k, __v)) = \
+                     __content.as_single_entry() {\n",
+                );
+                for (v, arity) in &tuples {
+                    if *arity == 1 {
+                        out.push_str(&format!(
+                            "if __k == \"{v}\" {{ \
+                             return ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize(__v)?)); }}\n"
+                        ));
+                    } else {
+                        let reads: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(&__items[{i}])?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "if __k == \"{v}\" {{\n\
+                             let __items = __v.as_seq()\
+                             .filter(|__s| __s.len() == {arity}usize)\
+                             .ok_or_else(|| ::serde::DeError::custom(\
+                             \"expected {arity} fields for variant `{v}`\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{v}({reads}));\n\
+                             }}\n",
+                            reads = reads.join(", ")
+                        ));
+                    }
+                }
+                out.push_str("}\n");
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::DeError::custom(\
+                 \"invalid value for enum `{name}`\"))\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}

@@ -1,0 +1,602 @@
+//! Minimal, dependency-free stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` crate's `Content` tree to JSON text and
+//! parses JSON text back. Provides the API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`Value`] with
+//! `get`/`as_*` accessors and `&str`/`usize` indexing, and the [`json!`]
+//! macro.
+//!
+//! Encoding notes:
+//! - Maps whose keys are not strings (e.g. `BTreeMap<(usize, usize), _>`)
+//!   are encoded as arrays of `[key, value]` pairs.
+//! - Objects are backed by a `BTreeMap`, so keys render sorted.
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+
+/// Object map type (sorted keys).
+pub type Map = BTreeMap<String, Value>;
+
+/// A parsed JSON number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Negative integer.
+    I(i64),
+    /// Non-negative integer.
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// As `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I(v) => v as f64,
+            Number::U(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for other shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `f64` view of numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `u64` view of non-negative integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v),
+            Value::Number(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// `i64` view of integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v),
+            Value::Number(Number::U(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Types usable as `value[index]`, mirroring `serde_json::value::Index`.
+pub trait Index {
+    /// Immutable lookup; `None` when absent or shape mismatch.
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+    /// Mutable lookup, inserting as needed (objects auto-vivify on null).
+    fn index_or_insert<'v>(&self, v: &'v mut Value) -> &'v mut Value;
+}
+
+impl Index for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.get(self)
+    }
+    fn index_or_insert<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        if v.is_null() {
+            *v = Value::Object(Map::new());
+        }
+        match v {
+            Value::Object(m) => m.entry(self.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index into {} with a string key", kind_name(other)),
+        }
+    }
+}
+
+impl Index for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(v)
+    }
+    fn index_or_insert<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        self.as_str().index_or_insert(v)
+    }
+}
+
+impl Index for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+    fn index_or_insert<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        match v {
+            Value::Array(a) => a
+                .get_mut(*self)
+                .expect("array index out of bounds in value[idx] assignment"),
+            other => panic!("cannot index into {} with a usize", kind_name(other)),
+        }
+    }
+}
+
+impl<T: Index + ?Sized> Index for &T {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        (**self).index_into(v)
+    }
+    fn index_or_insert<'v>(&self, v: &'v mut Value) -> &'v mut Value {
+        (**self).index_or_insert(v)
+    }
+}
+
+impl<I: Index> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: Index> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.index_or_insert(self)
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", render(&value_to_content(self), None, 0))
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+value_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::Number(Number::U(v as u64)) }
+                else { Value::Number(Number::I(v as i64)) }
+            }
+        }
+    )*};
+}
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::Number(Number::F(*v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value`] from JSON-ish syntax: object literals with
+/// string-literal keys, array literals, nested objects/arrays, `null`,
+/// and arbitrary expressions. Values are serialized from a borrow, like
+/// upstream's macro.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_array!(__items, $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::__json_object!(__m, $($tt)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($m:ident) => {};
+    ($m:ident,) => {};
+    ($m:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::Value::Null);
+        $( $crate::__json_object!($m, $($rest)*); )?
+    };
+    ($m:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $( $crate::__json_object!($m, $($rest)*); )?
+    };
+    ($m:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $( $crate::__json_object!($m, $($rest)*); )?
+    };
+    ($m:ident, $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $m.insert(::std::string::String::from($key), $crate::__to_value(&$val));
+        $( $crate::__json_object!($m, $($rest)*); )?
+    };
+}
+
+/// Implementation detail of [`json!`]: array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($v:ident) => {};
+    ($v:ident,) => {};
+    ($v:ident, null $(, $($rest:tt)*)?) => {
+        $v.push($crate::Value::Null);
+        $( $crate::__json_array!($v, $($rest)*); )?
+    };
+    ($v:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!({ $($inner)* }));
+        $( $crate::__json_array!($v, $($rest)*); )?
+    };
+    ($v:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!([ $($inner)* ]));
+        $( $crate::__json_array!($v, $($rest)*); )?
+    };
+    ($v:ident, $val:expr $(, $($rest:tt)*)?) => {
+        $v.push($crate::__to_value(&$val));
+        $( $crate::__json_array!($v, $($rest)*); )?
+    };
+}
+
+/// Serialize any `Serialize` value into a [`Value`] tree (`json!` helper).
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(&value.serialize()).expect("json! values have string map keys")
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::I(n)) => Content::I64(*n),
+        Value::Number(Number::U(n)) => Content::U64(*n),
+        Value::Number(Number::F(n)) => Content::F64(*n),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(m) => Content::Map(
+            m.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(c: &Content) -> Result<Value, Error> {
+    Ok(match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(n) => Value::Number(Number::I(*n)),
+        Content::U64(n) => Value::Number(Number::U(*n)),
+        Content::F64(n) => Value::Number(Number::F(*n)),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(
+            items
+                .iter()
+                .map(content_to_value)
+                .collect::<Result<_, _>>()?,
+        ),
+        Content::Map(entries) => {
+            let mut m = Map::new();
+            for (k, v) in entries {
+                let key = k
+                    .as_str()
+                    .ok_or_else(|| Error::msg("non-string map key in Value"))?;
+                m.insert(key.to_string(), content_to_value(v)?);
+            }
+            Value::Object(m)
+        }
+    })
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content_to_value(content).map_err(|e| DeError::custom(e))
+    }
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render(&value.serialize(), None, 0))
+}
+
+/// Serialize to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render(&value.serialize(), Some(2), 0))
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = parse::parse(text).map_err(Error::msg)?;
+    T::deserialize(&content).map_err(Error::from)
+}
+
+fn render(c: &Content, indent: Option<usize>, level: usize) -> String {
+    match c {
+        Content::Null => "null".to_string(),
+        Content::Bool(b) => b.to_string(),
+        Content::I64(n) => n.to_string(),
+        Content::U64(n) => n.to_string(),
+        Content::F64(n) => render_f64(*n),
+        Content::Str(s) => escape_string(s),
+        Content::Seq(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|item| render(item, indent, level + 1))
+                .collect();
+            wrap(parts, '[', ']', indent, level)
+        }
+        Content::Map(entries) => {
+            if entries.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+                let parts: Vec<String> = entries
+                    .iter()
+                    .map(|(k, v)| {
+                        format!("{}: {}", render(k, indent, level + 1), render(v, indent, level + 1))
+                    })
+                    .collect();
+                wrap(parts, '{', '}', indent, level)
+            } else {
+                // Non-string keys: encode as an array of [key, value] pairs.
+                let parts: Vec<String> = entries
+                    .iter()
+                    .map(|(k, v)| {
+                        let pair = vec![
+                            render(k, indent, level + 2),
+                            render(v, indent, level + 2),
+                        ];
+                        wrap(pair, '[', ']', indent, level + 1)
+                    })
+                    .collect();
+                wrap(parts, '[', ']', indent, level)
+            }
+        }
+    }
+}
+
+fn wrap(parts: Vec<String>, open: char, close: char, indent: Option<usize>, level: usize) -> String {
+    if parts.is_empty() {
+        return format!("{open}{close}");
+    }
+    match indent {
+        None => format!("{open}{}{close}", parts.join(",")),
+        Some(width) => {
+            let inner_pad = " ".repeat(width * (level + 1));
+            let outer_pad = " ".repeat(width * level);
+            format!(
+                "{open}\n{inner_pad}{}\n{outer_pad}{close}",
+                parts.join(&format!(",\n{inner_pad}"))
+            )
+        }
+    }
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_nan() || v.is_infinite() {
+        // JSON has no NaN/Inf; match serde_json's lossy `null` behavior.
+        "null".to_string()
+    } else {
+        // `{}` prints integral floats without a decimal point; that parses
+        // back as an integer, which numeric Deserialize impls accept.
+        format!("{v}")
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = json!({
+            "name": "k20x",
+            "count": 3usize,
+            "ratio": 1.5,
+            "flag": true,
+            "band": [1.0, 2.0],
+            "nothing": Value::Null,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back["count"].as_u64(), Some(3));
+        assert_eq!(back["ratio"].as_f64(), Some(1.5));
+        assert_eq!(back["band"][1].as_f64(), Some(2.0));
+        assert_eq!(back.get("name").and_then(Value::as_str), Some("k20x"));
+        assert!(back["missing"].is_null());
+    }
+
+    #[test]
+    fn index_mut_builds_objects() {
+        let mut row = json!({ "app": "demo" });
+        row["speedup"] = json!(1.25);
+        assert_eq!(row["speedup"].as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn escapes_and_parses_strings() {
+        let v = json!("line\none\t\"quoted\"");
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integral_floats_round_trip_through_integer_form() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 2.0);
+    }
+}
