@@ -28,7 +28,10 @@ pub mod homme;
 pub mod mitgcm;
 pub mod scale_les;
 
-pub use builder::{App, AppConfig, PaperRow};
+pub use builder::{App, AppBuilder, AppConfig, PaperRow};
+
+/// Canonical names of the six applications, in the paper's order.
+pub const APP_NAMES: [&str; 6] = ["scale-les", "homme", "fluam", "mitgcm", "awp-odc", "bcalm"];
 
 /// All six applications at a given configuration, in the paper's order.
 pub fn all_apps(cfg: &AppConfig) -> Vec<App> {

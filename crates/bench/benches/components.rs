@@ -137,12 +137,7 @@ fn bench_sim_and_codegen(c: &mut Criterion) {
     // Fusion codegen on a fixed plan.
     let space = search_space();
     let result = sf_search::search(&space, &sf_search::SearchConfig::quick());
-    let tplan = sf_codegen::TransformPlan {
-        groups: result.groups.clone(),
-        mode: sf_codegen::CodegenMode::Auto,
-        block_tuning: false,
-        device: DeviceSpec::k20x(),
-    };
+    let tplan = result.plan;
     c.bench_function("codegen/transform_program", |b| {
         b.iter(|| {
             sf_codegen::transform_program(black_box(&app.program), &plan, &tplan).expect("ok")

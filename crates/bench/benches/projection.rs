@@ -1,0 +1,176 @@
+//! Search-throughput benchmark for the memoized projection engine
+//! (`sf_search::ProjectionEngine`).
+//!
+//! The GA re-evaluates the same fusion groups constantly: elites survive
+//! generations unchanged, and Falkenauer crossover transmits whole groups
+//! between individuals. The content-addressed group-cost cache turns those
+//! repeats into hash lookups. This bench measures fitness evaluations per
+//! second over a GA-shaped workload on a synthetic ~50-kernel program —
+//! `before` re-projects every group on every call (a transient engine per
+//! evaluation, the pre-cache behavior), `after` shares one engine across
+//! the whole run — and writes `results/BENCH_search.json`. The acceptance
+//! bar is a ≥2x throughput ratio.
+//!
+//! ```sh
+//! cargo bench --bench projection
+//! ```
+
+use sf_apps::{AppBuilder, AppConfig, PaperRow};
+use sf_gpusim::device::DeviceSpec;
+use sf_gpusim::profiler::Profiler;
+use sf_minicuda::host::ExecutablePlan;
+use sf_search::objective::{self, Penalty};
+use sf_search::{Individual, ProjectionEngine, SearchSpace};
+use std::time::Instant;
+
+const KERNELS: usize = 50;
+const POPULATION: usize = 24;
+const GENERATIONS: usize = 12;
+
+/// A synthetic pipeline of ~50 memory-bound kernels: stage `i` reads the
+/// previous stage's output plus a shared forcing field, so every adjacent
+/// pair is fusible and the search space is rich in recurring groups.
+fn synthetic_program() -> sf_apps::App {
+    let cfg = AppConfig::test();
+    let mut b = AppBuilder::new(&cfg, 0xBEEF);
+    b.array("u");
+    b.array("s0");
+    for i in 0..KERNELS {
+        let prev = format!("s{i}");
+        let next = format!("s{}", i + 1);
+        b.array(&next);
+        b.pointwise(&format!("stage{i}"), &[&prev, "u"], &next);
+    }
+    b.build(PaperRow {
+        name: "synthetic-50",
+        original_kernels: KERNELS,
+        arrays: KERNELS + 2,
+        target_kernels: KERNELS,
+        new_kernels: 0,
+        speedup_low: 1.0,
+        speedup_high: 10.0,
+        fission_driven: false,
+    })
+}
+
+fn build_space(app: &sf_apps::App) -> SearchSpace {
+    let plan = ExecutablePlan::from_program(&app.program).expect("plan");
+    let device = DeviceSpec::k20x();
+    let profile = Profiler::analytic(device.clone())
+        .profile_with_plan(&app.program, &plan)
+        .expect("profile");
+    let decisions = sf_analysis::filter::identify_targets(
+        &profile.metadata.perf,
+        &profile.metadata.ops,
+        &profile.metadata.device,
+        &sf_analysis::filter::FilterConfig::default(),
+    );
+    SearchSpace::build(&app.program, &plan, &profile, &decisions, device).expect("space")
+}
+
+/// A GA-shaped population: seeded random merge sequences over the space.
+fn population(space: &SearchSpace) -> Vec<Individual> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    (0..POPULATION)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let mut ind = Individual::singletons(space);
+            for _ in 0..KERNELS {
+                let units = ind.active_units();
+                let a = units[rng.gen_range(0..units.len())];
+                let b = units[rng.gen_range(0..units.len())];
+                if a != b {
+                    let _ = ind.try_merge(space, a, b);
+                }
+            }
+            ind
+        })
+        .collect()
+}
+
+/// Evaluate the whole population `GENERATIONS` times; returns evals/sec.
+fn throughput(mut eval: impl FnMut(&Individual) -> f64, pop: &[Individual]) -> (f64, f64) {
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for _ in 0..GENERATIONS {
+        for ind in pop {
+            checksum += eval(ind);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ((POPULATION * GENERATIONS) as f64 / secs, checksum)
+}
+
+fn main() {
+    // Cargo runs bench targets from the package dir; write results/ at the
+    // workspace root like the harness binaries do.
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let app = synthetic_program();
+    let space = build_space(&app);
+    let pop = population(&space);
+    let penalty = Penalty::default();
+    eprintln!(
+        "synthetic program: {} kernels, {} search units, population {} x {} generations",
+        KERNELS,
+        space.units.len(),
+        POPULATION,
+        GENERATIONS
+    );
+
+    // Warm-up both paths once so allocator state is comparable.
+    for ind in &pop {
+        objective::fitness(&space, ind, &penalty);
+    }
+
+    // Before: a transient engine per evaluation — every group re-projected.
+    let (before_eps, before_sum) =
+        throughput(|ind| objective::fitness(&space, ind, &penalty), &pop);
+
+    // After: one engine for the run — repeated groups are cache hits.
+    let engine = ProjectionEngine::new(&space);
+    let (after_eps, after_sum) =
+        throughput(|ind| objective::fitness_with(&engine, ind, &penalty), &pop);
+
+    assert!(
+        (before_sum - after_sum).abs() < 1e-6 * before_sum.abs().max(1.0),
+        "cached fitness diverged from direct: {before_sum} vs {after_sum}"
+    );
+
+    let stats = engine.stats();
+    let ratio = after_eps / before_eps.max(1e-12);
+    println!("before (transient engine): {before_eps:>10.0} evals/sec");
+    println!("after  (shared cache):     {after_eps:>10.0} evals/sec");
+    println!(
+        "speedup {ratio:.2}x; cache: {} hits / {} misses ({:.1}% hit rate, {} distinct groups)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate(),
+        stats.entries
+    );
+
+    sf_bench::write_results(
+        "BENCH_search",
+        &serde_json::json!({
+            "workload": {
+                "kernels": KERNELS,
+                "search_units": space.units.len(),
+                "population": POPULATION,
+                "generations": GENERATIONS,
+            },
+            "before_evals_per_sec": before_eps,
+            "after_evals_per_sec": after_eps,
+            "speedup": ratio,
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hit_rate(),
+                "distinct_groups": stats.entries,
+            },
+        }),
+    );
+
+    assert!(
+        ratio >= 2.0,
+        "projection cache must deliver >=2x eval throughput, got {ratio:.2}x"
+    );
+}

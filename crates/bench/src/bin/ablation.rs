@@ -29,22 +29,18 @@ fn eager_program(app: &sf_apps::App, device: &DeviceSpec) -> sf_minicuda::Progra
         match sf_codegen::fission_kernel(kernel) {
             Some(prods) => {
                 for c in 0..prods.len() {
-                    groups.push(sf_codegen::GroupSpec {
-                        members: vec![sf_codegen::MemberRef::product(launch.seq, c)],
-                    });
+                    groups.push(sf_codegen::GroupPlan::of(vec![sf_codegen::MemberRef::product(launch.seq, c)]));
                 }
             }
-            None => groups.push(sf_codegen::GroupSpec {
-                members: vec![sf_codegen::MemberRef::original(launch.seq)],
-            }),
+            None => groups.push(sf_codegen::GroupPlan::of(vec![sf_codegen::MemberRef::original(launch.seq)])),
         }
     }
-    let tplan = sf_codegen::TransformPlan {
+    let tplan = sf_codegen::TransformPlan::new(
+        device.clone(),
+        sf_codegen::CodegenMode::Auto,
+        false,
         groups,
-        mode: sf_codegen::CodegenMode::Auto,
-        block_tuning: false,
-        device: device.clone(),
-    };
+    );
     sf_codegen::transform_program(&app.program, &plan, &tplan)
         .expect("eager pre-split")
         .program

@@ -180,7 +180,7 @@ pub fn per_kernel_compare(app_name: &str, out_name: &str) {
     let app = sf_apps::app_by_name(app_name, &cfg).expect("known app");
     // One search (automated settings) fixes the fusion plan for both modes.
     let r = run_variant(&app, Variant::FissionFusion, device.clone());
-    let groups = r.search.as_ref().expect("search ran").groups.clone();
+    let groups = r.search.as_ref().expect("search ran").plan.groups.clone();
     let plan = ExecutablePlan::from_program(&app.program).expect("app plan");
 
     let mut rows = Vec::new();
@@ -196,12 +196,7 @@ pub fn per_kernel_compare(app_name: &str, out_name: &str) {
     );
     let mut profiles = Vec::new();
     for mode in [CodegenMode::Auto, CodegenMode::Manual] {
-        let tplan = TransformPlan {
-            groups: groups.clone(),
-            mode,
-            block_tuning: false,
-            device: device.clone(),
-        };
+        let tplan = TransformPlan::new(device.clone(), mode, false, groups.clone());
         let out = transform_program(&app.program, &plan, &tplan).expect("codegen");
         let v = verify_equivalence(&app.program, &out.program, 99).expect("runs");
         assert!(v.passed(), "{mode:?} output mismatch: {v:?}");

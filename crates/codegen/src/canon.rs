@@ -527,12 +527,10 @@ mod tests {
         // Sweep body references actual arrays and canonical vars.
         let mut txt = String::new();
         for s in body {
-            let mut buf = Vec::new();
-            buf.push(s.clone());
             txt.push_str(&sf_minicuda::printer::print_kernel(&Kernel {
                 name: "t".into(),
                 params: vec![],
-                body: buf,
+                body: vec![s.clone()],
             }));
         }
         assert!(txt.contains("b[k][j][i]"));

@@ -47,15 +47,7 @@ impl From<canon::CanonError> for CodegenError {
     }
 }
 
-/// Automated vs manual-oracle code generation (§6.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CodegenMode {
-    /// The automated generator, reproducing the paper's two documented
-    /// deficiencies (no deep-nest merging; per-segment guard branches).
-    Auto,
-    /// The expert-oracle generator the paper compares against.
-    Manual,
-}
+pub use sf_plan::CodegenMode;
 
 /// A staged array's tile description.
 #[derive(Debug, Clone, PartialEq)]

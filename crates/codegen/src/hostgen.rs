@@ -9,11 +9,9 @@
 //! transformed program is always valid.
 
 use crate::fission::{fission_kernel, FissionProduct};
-use crate::fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel, FusionReport};
+use crate::fuse::{fuse_group, CodegenError, FusedKernel, FusionReport};
 use crate::tuning::{fuse_group_tuned, TuneNote};
-use sf_gpusim::device::DeviceSpec;
 use sf_gpusim::isolate::isolated;
-use std::collections::BTreeSet;
 use sf_graphs::build::all_accesses_with_allocs;
 use sf_graphs::Ddg;
 use sf_minicuda::ast::*;
@@ -21,53 +19,8 @@ use sf_minicuda::host::{
     Dim3, ExecutablePlan, HostValue, LaunchRecord, ResolvedArg, TransferRecord,
 };
 use sf_minicuda::visit;
-use std::collections::BTreeMap;
-
-/// One member of a fusion group: an original launch, or one fission product
-/// of it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub struct MemberRef {
-    /// Static launch id in the original plan.
-    pub seq: usize,
-    /// `Some(c)` selects component `c` of the kernel's fission.
-    pub fission_component: Option<usize>,
-}
-
-impl MemberRef {
-    /// An unfissioned original launch.
-    pub fn original(seq: usize) -> MemberRef {
-        MemberRef {
-            seq,
-            fission_component: None,
-        }
-    }
-
-    /// A fission product.
-    pub fn product(seq: usize, component: usize) -> MemberRef {
-        MemberRef {
-            seq,
-            fission_component: Some(component),
-        }
-    }
-}
-
-/// A group of members to fuse into one kernel (singletons pass through).
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct GroupSpec {
-    /// Members in execution order within the group.
-    pub members: Vec<MemberRef>,
-}
-
-/// The full transformation plan, in execution order.
-#[derive(Debug, Clone, PartialEq)]
-#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
-pub struct TransformPlan {
-    pub groups: Vec<GroupSpec>,
-    pub mode: CodegenMode,
-    /// Tune thread-block sizes of fused kernels (§4.2).
-    pub block_tuning: bool,
-    pub device: DeviceSpec,
-}
+use sf_plan::{BlockDims, MemberRef, PrecedenceClass, TransformPlan};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How a fusion attempt for one group failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +75,11 @@ pub struct TransformOutput {
     /// Number of kernels in the new program that replace the targets (the
     /// Table 1 "new kernels" count).
     pub new_kernel_count: usize,
+    /// The as-executed plan: the input plan with each group annotated with
+    /// what the generator actually did — staged shared arrays, the block the
+    /// tuner settled on, and the observed precedence class. Groups that fell
+    /// back to unfused members have their fusion annotations cleared.
+    pub plan: TransformPlan,
 }
 
 /// Apply a transformation plan to a program.
@@ -145,6 +103,9 @@ pub fn transform_program_with(
     tplan: &TransformPlan,
     faults: &CodegenFaults,
 ) -> Result<TransformOutput, CodegenError> {
+    tplan
+        .validate(plan.launches.len())
+        .map_err(|e| CodegenError(e.to_string()))?;
     // Redundant array instances (§3.2.3): the DDG's instance numbering is
     // materialized as real allocations so relaxed anti/output dependences
     // stay sound. The *last* instance keeps the base name, so host D2H
@@ -236,6 +197,9 @@ pub fn transform_program_with(
     let mut tuning = Vec::new();
     let mut fallbacks = Vec::new();
     let mut degradations: Vec<GroupDegradation> = Vec::new();
+    // The as-executed plan starts as the input and is re-annotated group by
+    // group with what the generator actually emitted.
+    let mut exec_plan = tplan.clone();
 
     let push_kernel = |kernels: &mut Vec<Kernel>, k: Kernel| {
         if !kernels.iter().any(|e| e.name == k.name) {
@@ -335,6 +299,20 @@ pub fn transform_program_with(
         }
         match fused {
             Some((fk, note)) => {
+                let g = &mut exec_plan.groups[gi];
+                g.staged_arrays = fk.report.staged.iter().map(|s| s.array.clone()).collect();
+                g.precedence = if fk.report.complex
+                    || fk.report.staged.iter().any(|s| s.flow)
+                {
+                    PrecedenceClass::PrecedenceAware
+                } else {
+                    PrecedenceClass::Simple
+                };
+                g.tuned_block = Some(BlockDims {
+                    x: fk.block.x,
+                    y: fk.block.y,
+                    z: fk.block.z,
+                });
                 reports.push(fk.report.clone());
                 if let Some(n) = note {
                     tuning.push(n);
@@ -344,6 +322,9 @@ pub fn transform_program_with(
             }
             None => {
                 // Bottom rung: emit members unfused, in host (seq) order.
+                let g = &mut exec_plan.groups[gi];
+                g.staged_arrays.clear();
+                g.tuned_block = None;
                 let (failure, reason) = first_failure.expect("every rung failed");
                 fallbacks.push((gi, reason.clone()));
                 degradations.push(GroupDegradation {
@@ -374,6 +355,7 @@ pub fn transform_program_with(
         fallbacks,
         degradations,
         new_kernel_count,
+        plan: exec_plan,
     })
 }
 

@@ -27,8 +27,14 @@ pub mod hostgen;
 pub mod tuning;
 
 pub use fission::{fission_kernel, FissionProduct};
-pub use fuse::{fuse_group, CodegenError, CodegenMode, FusedKernel};
+pub use fuse::{fuse_group, CodegenError, FusedKernel};
 pub use hostgen::{
     transform_program, transform_program_with, CodegenFaults, GroupDegradation, GroupFailure,
-    GroupSpec, MemberRef, TransformOutput, TransformPlan,
+    TransformOutput,
+};
+// The plan IR lives in `sf-plan`; re-exported here so downstream crates can
+// keep importing the types from the stage that consumes them.
+pub use sf_plan::{
+    BlockDims, CodegenMode, GroupPlan, GroupProjection, MemberRef, PlanError, PrecedenceClass,
+    TransformPlan,
 };

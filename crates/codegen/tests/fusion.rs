@@ -2,7 +2,8 @@
 //! the same memory image as the original when executed functionally on the
 //! simulator (the paper verifies output on every run, §6.1.2).
 
-use sf_codegen::{transform_program, CodegenMode, GroupSpec, MemberRef, TransformPlan};
+use sf_codegen::{transform_program, CodegenMode, GroupPlan, MemberRef, TransformPlan};
+use sf_codegen::PrecedenceClass;
 use sf_gpusim::{GlobalMemory, Interpreter};
 use sf_gpusim::device::DeviceSpec;
 use sf_minicuda::host::ExecutablePlan;
@@ -37,16 +38,11 @@ fn assert_equivalent(original: &Program, transformed: &Program) {
 
 fn transform(
     original: &Program,
-    groups: Vec<GroupSpec>,
+    groups: Vec<GroupPlan>,
     mode: CodegenMode,
 ) -> sf_codegen::TransformOutput {
     let plan = ExecutablePlan::from_program(original).unwrap();
-    let tplan = TransformPlan {
-        groups,
-        mode,
-        block_tuning: false,
-        device: DeviceSpec::k20x(),
-    };
+    let tplan = TransformPlan::new(DeviceSpec::k20x(), mode, false, groups);
     transform_program(original, &plan, &tplan).unwrap()
 }
 
@@ -88,9 +84,7 @@ fn simple_fusion_preserves_output() {
     let p = parse_program(SIMPLE_PAIR).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert!(out.fallbacks.is_empty(), "fallbacks: {:?}", out.fallbacks);
@@ -100,6 +94,11 @@ fn simple_fusion_preserves_output() {
     // u is read by both members → staged.
     assert!(out.reports[0].staged.iter().any(|s| s.array == "u"));
     assert_eq!(out.program.kernels.len(), 1);
+    // The as-executed plan records what the generator did.
+    let g = &out.plan.groups[0];
+    assert_eq!(g.precedence, PrecedenceClass::Simple);
+    assert!(g.staged_arrays.contains(&"u".to_string()));
+    assert!(g.tuned_block.is_some());
     assert_equivalent(&p, &out.program);
 }
 
@@ -109,9 +108,7 @@ fn simple_fusion_reduces_traffic_and_launches() {
     let p = parse_program(SIMPLE_PAIR).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     let prof = Profiler::analytic(DeviceSpec::k20x());
@@ -174,9 +171,7 @@ fn complex_fusion_preserves_output() {
     let p = parse_program(FLOW_PAIR).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert!(out.fallbacks.is_empty(), "fallbacks: {:?}", out.fallbacks);
@@ -190,6 +185,11 @@ fn complex_fusion_preserves_output() {
         .expect("f staged");
     assert!(staged_f.flow);
     assert_eq!((staged_f.rx, staged_f.ry), (1, 1));
+    // Complex fusion is recorded as precedence-aware in the executed plan.
+    assert_eq!(
+        out.plan.groups[0].precedence,
+        PrecedenceClass::PrecedenceAware
+    );
     assert_equivalent(&p, &out.program);
 }
 
@@ -198,9 +198,7 @@ fn complex_fusion_generated_source_is_valid_minicuda() {
     let p = parse_program(FLOW_PAIR).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     // Unparse and reparse the whole transformed program.
@@ -251,9 +249,7 @@ void host() {
 #[test]
 fn deep_nest_auto_falls_back_manual_merges() {
     let p = parse_program(DEEP_PAIR).unwrap();
-    let groups = vec![GroupSpec {
-        members: vec![MemberRef::original(0), MemberRef::original(1)],
-    }];
+    let groups = vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])];
     let auto = transform(&p, groups.clone(), CodegenMode::Auto);
     assert!(auto.fallbacks.is_empty());
     assert!(!auto.reports[0].merged, "auto must not merge deep nests");
@@ -320,13 +316,11 @@ void host() {
 #[test]
 fn manual_guard_coalescing_cuts_divergence() {
     let p = parse_program(GUARDED_TRIO).unwrap();
-    let groups = vec![GroupSpec {
-        members: vec![
+    let groups = vec![GroupPlan::of(vec![
             MemberRef::original(0),
             MemberRef::original(1),
             MemberRef::original(2),
-        ],
-    }];
+        ])];
     let auto = transform(&p, groups.clone(), CodegenMode::Auto);
     let manual = transform(&p, groups, CodegenMode::Manual);
     assert_equivalent(&p, &auto.program);
@@ -397,12 +391,8 @@ void host() {
     let out = transform(
         &p,
         vec![
-            GroupSpec {
-                members: vec![MemberRef::product(0, yb)],
-            },
-            GroupSpec {
-                members: vec![MemberRef::product(0, xa), MemberRef::original(1)],
-            },
+            GroupPlan::of(vec![MemberRef::product(0, yb)]),
+            GroupPlan::of(vec![MemberRef::product(0, xa), MemberRef::original(1)]),
         ],
         CodegenMode::Auto,
     );
@@ -416,14 +406,15 @@ void host() {
 fn block_tuning_preserves_output_and_lifts_occupancy() {
     let p = parse_program(SIMPLE_PAIR).unwrap();
     let plan = ExecutablePlan::from_program(&p).unwrap();
-    let tplan = TransformPlan {
-        groups: vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
-        mode: CodegenMode::Auto,
-        block_tuning: true,
-        device: DeviceSpec::k20x(),
-    };
+    let tplan = TransformPlan::new(
+        DeviceSpec::k20x(),
+        CodegenMode::Auto,
+        true,
+        vec![GroupPlan::of(vec![
+            MemberRef::original(0),
+            MemberRef::original(1),
+        ])],
+    );
     let out = transform_program(&p, &plan, &tplan).unwrap();
     assert_equivalent(&p, &out.program);
     assert_eq!(out.tuning.len(), 1);
@@ -464,13 +455,15 @@ void host() {
     let p = parse_program(src).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert_eq!(out.fallbacks.len(), 1);
     assert!(out.fallbacks[0].1.contains("future plane"));
+    // The executed plan clears the fusion annotations of the fallen-back
+    // group.
+    assert!(out.plan.groups[0].staged_arrays.is_empty());
+    assert!(out.plan.groups[0].tuned_block.is_none());
     // Fallback still yields a correct program (members unfused).
     assert_equivalent(&p, &out.program);
 }
@@ -516,9 +509,7 @@ void host() {
     let p = parse_program(src).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert!(out.fallbacks.is_empty(), "{:?}", out.fallbacks);
@@ -534,9 +525,7 @@ fn anti_ordered_group_is_rejected() {
     let p = parse_program(FLOW_PAIR).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(1), MemberRef::original(0)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(1), MemberRef::original(0)])],
         CodegenMode::Auto,
     );
     assert_eq!(out.fallbacks.len(), 1);
@@ -590,9 +579,7 @@ void host() {
     let p = parse_program(src).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert!(out.fallbacks.is_empty(), "{:?}", out.fallbacks);
@@ -635,9 +622,7 @@ void host() {
     let p = parse_program(src).unwrap();
     let out = transform(
         &p,
-        vec![GroupSpec {
-            members: vec![MemberRef::original(0), MemberRef::original(1)],
-        }],
+        vec![GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)])],
         CodegenMode::Auto,
     );
     assert!(out.fallbacks.is_empty(), "{:?}", out.fallbacks);

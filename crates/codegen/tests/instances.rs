@@ -4,7 +4,7 @@
 //! output dependence so the chains can reorder/fuse, while host-visible
 //! results stay identical.
 
-use sf_codegen::{transform_program, CodegenMode, GroupSpec, MemberRef, TransformPlan};
+use sf_codegen::{transform_program, CodegenMode, GroupPlan, MemberRef, TransformPlan};
 use sf_gpusim::device::DeviceSpec;
 use sf_gpusim::{GlobalMemory, Interpreter};
 use sf_minicuda::host::ExecutablePlan;
@@ -74,11 +74,9 @@ void host() {
 }
 "#;
 
-fn singleton_groups(n: usize) -> Vec<GroupSpec> {
+fn singleton_groups(n: usize) -> Vec<GroupPlan> {
     (0..n)
-        .map(|s| GroupSpec {
-            members: vec![MemberRef::original(s)],
-        })
+        .map(|s| GroupPlan::of(vec![MemberRef::original(s)]))
         .collect()
 }
 
@@ -86,12 +84,12 @@ fn singleton_groups(n: usize) -> Vec<GroupSpec> {
 fn scratch_reuse_materializes_instances() {
     let p = parse_program(SCRATCH_REUSE).unwrap();
     let plan = ExecutablePlan::from_program(&p).unwrap();
-    let tplan = TransformPlan {
-        groups: singleton_groups(4),
-        mode: CodegenMode::Auto,
-        block_tuning: false,
-        device: DeviceSpec::k20x(),
-    };
+    let tplan = TransformPlan::new(
+        DeviceSpec::k20x(),
+        CodegenMode::Auto,
+        false,
+        singleton_groups(4),
+    );
     let out = transform_program(&p, &plan, &tplan).unwrap();
     let new_plan = ExecutablePlan::from_program(&out.program).unwrap();
     // tmp split into two instances: the extra allocation exists...
@@ -119,19 +117,15 @@ fn instance_relaxation_enables_cross_chain_fusion() {
     // the two *chains'* consumers with their own producers works.
     let p = parse_program(SCRATCH_REUSE).unwrap();
     let plan = ExecutablePlan::from_program(&p).unwrap();
-    let tplan = TransformPlan {
-        groups: vec![
-            GroupSpec {
-                members: vec![MemberRef::original(0), MemberRef::original(1)],
-            },
-            GroupSpec {
-                members: vec![MemberRef::original(2), MemberRef::original(3)],
-            },
+    let tplan = TransformPlan::new(
+        DeviceSpec::k20x(),
+        CodegenMode::Auto,
+        false,
+        vec![
+            GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(1)]),
+            GroupPlan::of(vec![MemberRef::original(2), MemberRef::original(3)]),
         ],
-        mode: CodegenMode::Auto,
-        block_tuning: false,
-        device: DeviceSpec::k20x(),
-    };
+    );
     let out = transform_program(&p, &plan, &tplan).unwrap();
     assert!(out.fallbacks.is_empty(), "{:?}", out.fallbacks);
     assert_eq!(out.reports.len(), 2);
@@ -175,12 +169,12 @@ void host() {
 "#;
     let p = parse_program(src).unwrap();
     let plan = ExecutablePlan::from_program(&p).unwrap();
-    let tplan = TransformPlan {
-        groups: singleton_groups(3),
-        mode: CodegenMode::Auto,
-        block_tuning: false,
-        device: DeviceSpec::k20x(),
-    };
+    let tplan = TransformPlan::new(
+        DeviceSpec::k20x(),
+        CodegenMode::Auto,
+        false,
+        singleton_groups(3),
+    );
     let out = transform_program(&p, &plan, &tplan).unwrap();
     let new_plan = ExecutablePlan::from_program(&out.program).unwrap();
     assert!(

@@ -60,6 +60,8 @@ struct Args {
     emit_new_oeg: Option<String>,
     emit_metadata: Option<String>,
     load_metadata: Option<String>,
+    emit_plan: Option<String>,
+    from_plan: Option<String>,
     params: Option<String>,
     report: bool,
     no_verify: bool,
@@ -82,6 +84,11 @@ usage: sfc INPUT.cu [options]
   --emit-new-oeg FILE write the post-search OEG (fusion clusters) as DOT
   --emit-metadata FILE write the metadata bundle as JSON
   --metadata FILE     skip profiling; run from this (amended) metadata file
+  --emit-plan FILE    write the transform plan as JSON (`-` for stdout); a
+                      full run emits the as-executed plan, `--until search`
+                      emits the search's lowered plan
+  --from-plan FILE    replay a transform plan (`-` for stdin): skips the
+                      analysis/search stages and reproduces the run exactly
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
@@ -115,6 +122,8 @@ fn parse_args() -> Result<Args, String> {
         emit_new_oeg: None,
         emit_metadata: None,
         load_metadata: None,
+        emit_plan: None,
+        from_plan: None,
         params: None,
         report: false,
         no_verify: false,
@@ -134,8 +143,8 @@ fn parse_args() -> Result<Args, String> {
             "-o" => args.output = Some(take(&mut i)?),
             "--device" => {
                 let name = take(&mut i)?;
-                args.device = DeviceSpec::by_name(&name)
-                    .ok_or_else(|| format!("unknown device `{name}`"))?;
+                args.device =
+                    DeviceSpec::by_name(&name).ok_or_else(|| format!("unknown device `{name}`"))?;
             }
             "--mode" => {
                 let m = take(&mut i)?;
@@ -149,8 +158,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-tuning" => args.no_tuning = true,
             "--until" => {
                 let s = take(&mut i)?;
-                args.until =
-                    Some(parse_stage(&s).ok_or_else(|| format!("unknown stage `{s}`"))?);
+                args.until = Some(parse_stage(&s).ok_or_else(|| format!("unknown stage `{s}`"))?);
             }
             "--params" => args.params = Some(take(&mut i)?),
             "--emit-params" => {
@@ -166,6 +174,8 @@ fn parse_args() -> Result<Args, String> {
             "--emit-new-oeg" => args.emit_new_oeg = Some(take(&mut i)?),
             "--emit-metadata" => args.emit_metadata = Some(take(&mut i)?),
             "--metadata" => args.load_metadata = Some(take(&mut i)?),
+            "--emit-plan" => args.emit_plan = Some(take(&mut i)?),
+            "--from-plan" => args.from_plan = Some(take(&mut i)?),
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
             "--quick" => args.quick = true,
@@ -249,6 +259,32 @@ fn main() {
             }
         }
     }
+    if let Some(path) = &args.from_plan {
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("sfc: cannot read plan from stdin: {e}");
+                std::process::exit(2);
+            }
+            s
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sfc: cannot read plan file {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match sf_codegen::TransformPlan::from_json(&text) {
+            Ok(plan) => config.preloaded_plan = Some(plan),
+            Err(e) => {
+                eprintln!("sfc: bad plan file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = &args.params {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -316,6 +352,20 @@ fn main() {
             .unwrap_or_default();
         if let Err(e) = std::fs::write(p, text) {
             eprintln!("sfc: cannot write metadata to {p}: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+
+    if let Some(p) = &args.emit_plan {
+        let Some(plan) = result.executed_plan().or_else(|| result.planned()) else {
+            eprintln!("sfc: no transform plan to emit (stopped before the search stage?)");
+            std::process::exit(EXIT_USAGE);
+        };
+        let text = plan.to_json();
+        if p == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(p, &text) {
+            eprintln!("sfc: cannot write plan to {p}: {e}");
             std::process::exit(EXIT_USAGE);
         }
     }

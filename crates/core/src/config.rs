@@ -1,7 +1,7 @@
 //! Pipeline configuration.
 
 use sf_analysis::filter::FilterConfig;
-use sf_codegen::CodegenMode;
+use sf_codegen::{CodegenMode, TransformPlan};
 use sf_gpusim::device::DeviceSpec;
 use sf_search::SearchConfig;
 
@@ -74,6 +74,10 @@ pub struct PipelineConfig {
     /// "execute from a given stage" with programmer-amended metadata
     /// files). Launch costs are reconstructed from the bundle's runtimes.
     pub preloaded_metadata: Option<sf_analysis::metadata::MetadataBundle>,
+    /// Replay this transform plan instead of running the analysis/search
+    /// stages (2–5): codegen consumes the plan directly, so a run can be
+    /// reproduced byte-for-byte without re-searching (`sfc --from-plan`).
+    pub preloaded_plan: Option<TransformPlan>,
     /// Verify the transformed program's output against the original.
     pub verify: bool,
     /// Stop after this stage (None = run to completion).
@@ -101,6 +105,7 @@ impl PipelineConfig {
             verify: true,
             run_until: None,
             preloaded_metadata: None,
+            preloaded_plan: None,
             degrade: DegradePolicy::Degrade,
             profile_retries: 2,
             faults: None,
@@ -144,6 +149,12 @@ impl PipelineConfig {
     /// Arm the deterministic fault injector with a plan.
     pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> PipelineConfig {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Replay a previously emitted transform plan (skips stages 2–5).
+    pub fn with_plan(mut self, plan: TransformPlan) -> PipelineConfig {
+        self.preloaded_plan = Some(plan);
         self
     }
 }

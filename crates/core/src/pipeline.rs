@@ -15,8 +15,7 @@ use crate::verify::{verify_equivalence, Verification};
 use sf_analysis::filter::{identify_targets, FilterDecision};
 use sf_analysis::metadata::MetadataBundle;
 use sf_codegen::{
-    transform_program_with, CodegenFaults, GroupFailure, GroupSpec, TransformOutput,
-    TransformPlan,
+    transform_program_with, CodegenFaults, GroupFailure, TransformOutput, TransformPlan,
 };
 use sf_gpusim::profiler::{ProfileError, Profiler, ProgramProfile};
 use sf_graphs::build::all_accesses_with_allocs;
@@ -40,8 +39,9 @@ pub struct Interventions<'a> {
     pub amend_decisions: Hook<'a, Vec<FilterDecision>>,
     /// Amend the GA parameter file before the search runs.
     pub amend_search_config: Hook<'a, SearchConfig>,
-    /// Amend the winning grouping (the "new OEG") before code generation.
-    pub amend_groups: Hook<'a, Vec<GroupSpec>>,
+    /// Amend the lowered transform plan (the "new OEG") before code
+    /// generation.
+    pub amend_plan: Hook<'a, TransformPlan>,
 }
 
 /// The end-to-end result.
@@ -82,6 +82,19 @@ impl TransformResult {
             .iter()
             .flat_map(|r| r.degradations.iter())
             .collect()
+    }
+
+    /// The transform plan the search lowered, with the projection's
+    /// annotations. `None` if the run stopped before the search or replayed
+    /// a preloaded plan.
+    pub fn planned(&self) -> Option<&TransformPlan> {
+        self.search.as_ref().map(|s| &s.plan)
+    }
+
+    /// The as-executed plan: codegen's annotated copy (staged arrays, tuned
+    /// blocks, observed precedence). `None` if codegen did not run.
+    pub fn executed_plan(&self) -> Option<&TransformPlan> {
+        self.transform.as_ref().map(|t| &t.plan)
     }
 }
 
@@ -310,195 +323,237 @@ impl Pipeline {
             return Ok(self.partial(reports, Some(metadata), Vec::new(), original_profile));
         }
 
-        // ---------------- stage 2: filter ----------------
-        let mut decisions =
-            identify_targets(&metadata.perf, &metadata.ops, &metadata.device, &cfg.filter);
-        if let Some(f) = &hooks.amend_decisions {
-            f(&mut decisions);
-        }
+        // Stages 2–5 lower the winning grouping to a transform plan; a
+        // preloaded plan replays straight into codegen instead, so a prior
+        // run can be reproduced without re-searching.
+        let (decisions, ddg_dot, oeg_dot, new_oeg_dot, search_result, tplan) = if let Some(pplan) =
+            &cfg.preloaded_plan
         {
-            let mut r = StageReport::new(Stage::Filter);
-            let targets = decisions.iter().filter(|d| d.is_target()).count();
-            r.line(format!(
-                "{targets} of {} invocations are fusion targets",
-                decisions.len()
-            ));
-            for d in &decisions {
-                if !d.is_target() {
-                    r.line(format!(
-                        "excluded {}#{}: {:?} (OI {:.3})",
-                        d.kernel, d.seq, d.reason, d.oi
-                    ));
-                }
-            }
-            // Inefficiency hint: suspiciously slow memory-bound kernels.
-            for (d, p) in decisions.iter().zip(&metadata.perf) {
-                if d.is_target()
-                    && sf_analysis::roofline::is_latency_bound(p, &metadata.device, 4.0)
-                {
-                    r.hint(format!(
-                        "{}#{} may be latency-bound (runtime far above roofline bound); \
-                         consider excluding it in guided mode",
-                        d.kernel, d.seq
-                    ));
-                }
-            }
-            reports.push(r);
-        }
-        if stop_after(Stage::Filter) {
-            return Ok(self.partial(reports, Some(metadata), decisions, original_profile));
-        }
-
-        // ---------------- stage 3: graphs ----------------
-        let accesses = all_accesses_with_allocs(&self.program, &self.plan)
-            .map_err(|e| PipelineError::fatal(Stage::Graphs, ErrorKind::Graph(e)))?;
-        let ddg = Ddg::build(&accesses);
-        let kernel_names: Vec<String> = self
-            .plan
-            .launches
-            .iter()
-            .map(|l| l.kernel.clone())
-            .collect();
-        let oeg = Oeg::build(kernel_names.clone(), &accesses, &ddg, &self.plan.transfers);
-        let name_of = |seq: usize| kernel_names[seq].clone();
-        let ddg_dot = dot::ddg_to_dot(&ddg, &name_of);
-        let oeg_dot = dot::oeg_to_dot(&oeg.transitive_reduction(), None);
-        {
-            let mut r = StageReport::new(Stage::Graphs);
-            r.line(format!(
-                "DDG: {} kernel nodes, {} array nodes, {} edges; OEG: {} edges",
-                ddg.kernel_count(),
-                ddg.array_count(),
-                ddg.edges.len(),
-                oeg.edges.len()
-            ));
-            r.line(format!(
-                "{} array sharing sets",
-                ddg.array_sharing_sets().len()
-            ));
-            for line in &ddg.report {
-                r.line(format!("graph optimization: {line}"));
-            }
-            reports.push(r);
-        }
-        if stop_after(Stage::Graphs) {
-            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
-            out.ddg_dot = ddg_dot;
-            out.oeg_dot = oeg_dot;
-            return Ok(out);
-        }
-
-        // ---------------- stage 4: search ----------------
-        // The search consumes the (possibly programmer-amended) metadata.
-        let search_profile = ProgramProfile {
-            metadata: metadata.clone(),
-            costs: original_profile.costs.clone(),
-            total_runtime_us: original_profile.total_runtime_us,
-            hazards: Vec::new(),
-        };
-        let space = SearchSpace::build(
-            &self.program,
-            &self.plan,
-            &search_profile,
-            &decisions,
-            cfg.device.clone(),
-        )
-        .map_err(|e| PipelineError::from(e).at(Stage::Search))?;
-        let mut search_cfg = cfg.search.clone();
-        if !cfg.enable_fission {
-            search_cfg = search_cfg.without_fission();
-        }
-        if let Some(f) = &hooks.amend_search_config {
-            f(&mut search_cfg);
-        }
-        let result = search_with_faults(&space, &search_cfg, injector.poison_evaluations());
-        if strict && result.poisoned_evaluations > 0 {
-            return Err(PipelineError::degradable(
-                Stage::Search,
-                ErrorKind::Panic(format!(
-                    "{} candidate evaluation(s) panicked and were scored as poisoned",
-                    result.poisoned_evaluations
-                )),
-            ));
-        }
-        {
-            let mut r = StageReport::new(Stage::Search);
-            r.line(format!(
-                "GGA ran {} generations, {} evaluations; projection {:.2} → {:.2} GFLOPS",
-                result.generations_run,
-                result.evaluations,
-                result.baseline_gflops,
-                result.best_gflops
-            ));
-            r.line(format!(
-                "{} fusion groups; {:.3} fissions per generation; stop reason: {}",
-                result.best.fusion_groups().len(),
-                result.fissions_per_generation,
-                result.stop_reason.name()
-            ));
-            if result.best_gflops <= result.baseline_gflops * 1.001 {
-                r.hint("search found no grouping better than the original program");
-            }
-            if result.poisoned_evaluations > 0 {
-                r.degrade(
-                    "candidate evaluations",
-                    format!(
-                        "scored {} poisoned candidate(s) with penalty fitness",
-                        result.poisoned_evaluations
-                    ),
-                    "objective evaluation panicked (caught at the isolation boundary)",
-                );
-            }
-            reports.push(r);
-        }
-        let mut groups = result.groups.clone();
-        if stop_after(Stage::Search) {
-            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
-            out.search = Some(result);
-            out.ddg_dot = ddg_dot;
-            out.oeg_dot = oeg_dot;
-            return Ok(out);
-        }
-
-        // ---------------- stage 5: new graphs ----------------
-        if let Some(f) = &hooks.amend_groups {
-            f(&mut groups);
-        }
-        // Render the new OEG: original nodes with fusion clusters.
-        let new_oeg_dot = {
-            let mut group_of: Vec<usize> = (0..self.plan.launches.len()).collect();
-            for (gi, g) in groups.iter().enumerate() {
-                for m in &g.members {
-                    group_of[m.seq] = self.plan.launches.len() + gi;
-                }
-            }
-            dot::oeg_to_dot(&oeg.transitive_reduction(), Some(&group_of))
-        };
-        {
+            pplan.validate(self.plan.launches.len()).map_err(|e| {
+                PipelineError::fatal(Stage::NewGraphs, ErrorKind::Config(e.to_string()))
+            })?;
             let mut r = StageReport::new(Stage::NewGraphs);
             r.line(format!(
-                "new program: {} launches ({} in the original)",
-                groups.len(),
-                self.plan.launches.len()
+                "replaying preloaded transform plan: {}",
+                pplan.summary()
             ));
             reports.push(r);
-        }
-        if stop_after(Stage::NewGraphs) {
-            let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
-            out.search = Some(result);
-            out.ddg_dot = ddg_dot;
-            out.oeg_dot = oeg_dot;
-            out.new_oeg_dot = new_oeg_dot;
-            return Ok(out);
-        }
+            (
+                Vec::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                None,
+                pplan.clone(),
+            )
+        } else {
+            // ---------------- stage 2: filter ----------------
+            let mut decisions =
+                identify_targets(&metadata.perf, &metadata.ops, &metadata.device, &cfg.filter);
+            if let Some(f) = &hooks.amend_decisions {
+                f(&mut decisions);
+            }
+            {
+                let mut r = StageReport::new(Stage::Filter);
+                let targets = decisions.iter().filter(|d| d.is_target()).count();
+                r.line(format!(
+                    "{targets} of {} invocations are fusion targets",
+                    decisions.len()
+                ));
+                for d in &decisions {
+                    if !d.is_target() {
+                        r.line(format!(
+                            "excluded {}#{}: {:?} (OI {:.3})",
+                            d.kernel, d.seq, d.reason, d.oi
+                        ));
+                    }
+                }
+                // Inefficiency hint: suspiciously slow memory-bound kernels.
+                for (d, p) in decisions.iter().zip(&metadata.perf) {
+                    if d.is_target()
+                        && sf_analysis::roofline::is_latency_bound(p, &metadata.device, 4.0)
+                    {
+                        r.hint(format!(
+                            "{}#{} may be latency-bound (runtime far above roofline bound); \
+                         consider excluding it in guided mode",
+                            d.kernel, d.seq
+                        ));
+                    }
+                }
+                reports.push(r);
+            }
+            if stop_after(Stage::Filter) {
+                return Ok(self.partial(reports, Some(metadata), decisions, original_profile));
+            }
+
+            // ---------------- stage 3: graphs ----------------
+            let accesses = all_accesses_with_allocs(&self.program, &self.plan)
+                .map_err(|e| PipelineError::fatal(Stage::Graphs, ErrorKind::Graph(e)))?;
+            let ddg = Ddg::build(&accesses);
+            let kernel_names: Vec<String> = self
+                .plan
+                .launches
+                .iter()
+                .map(|l| l.kernel.clone())
+                .collect();
+            let oeg = Oeg::build(kernel_names.clone(), &accesses, &ddg, &self.plan.transfers);
+            let name_of = |seq: usize| kernel_names[seq].clone();
+            let ddg_dot = dot::ddg_to_dot(&ddg, &name_of);
+            let oeg_dot = dot::oeg_to_dot(&oeg.transitive_reduction(), None);
+            {
+                let mut r = StageReport::new(Stage::Graphs);
+                r.line(format!(
+                    "DDG: {} kernel nodes, {} array nodes, {} edges; OEG: {} edges",
+                    ddg.kernel_count(),
+                    ddg.array_count(),
+                    ddg.edges.len(),
+                    oeg.edges.len()
+                ));
+                r.line(format!(
+                    "{} array sharing sets",
+                    ddg.array_sharing_sets().len()
+                ));
+                for line in &ddg.report {
+                    r.line(format!("graph optimization: {line}"));
+                }
+                reports.push(r);
+            }
+            if stop_after(Stage::Graphs) {
+                let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+                out.ddg_dot = ddg_dot;
+                out.oeg_dot = oeg_dot;
+                return Ok(out);
+            }
+
+            // ---------------- stage 4: search ----------------
+            // The search consumes the (possibly programmer-amended) metadata.
+            let search_profile = ProgramProfile {
+                metadata: metadata.clone(),
+                costs: original_profile.costs.clone(),
+                total_runtime_us: original_profile.total_runtime_us,
+                hazards: Vec::new(),
+            };
+            let space = SearchSpace::build(
+                &self.program,
+                &self.plan,
+                &search_profile,
+                &decisions,
+                cfg.device.clone(),
+            )
+            .map_err(|e| PipelineError::from(e).at(Stage::Search))?;
+            let mut search_cfg = cfg.search.clone();
+            // The plan the search lowers must reflect this run's codegen
+            // settings.
+            search_cfg.mode = cfg.mode;
+            search_cfg.block_tuning = cfg.block_tuning;
+            if !cfg.enable_fission {
+                search_cfg = search_cfg.without_fission();
+            }
+            if let Some(f) = &hooks.amend_search_config {
+                f(&mut search_cfg);
+            }
+            let result = search_with_faults(&space, &search_cfg, injector.poison_evaluations());
+            if strict && result.poisoned_evaluations > 0 {
+                return Err(PipelineError::degradable(
+                    Stage::Search,
+                    ErrorKind::Panic(format!(
+                        "{} candidate evaluation(s) panicked and were scored as poisoned",
+                        result.poisoned_evaluations
+                    )),
+                ));
+            }
+            {
+                let mut r = StageReport::new(Stage::Search);
+                r.line(format!(
+                    "GGA ran {} generations, {} evaluations; projection {:.2} → {:.2} GFLOPS",
+                    result.generations_run,
+                    result.evaluations,
+                    result.baseline_gflops,
+                    result.best_gflops
+                ));
+                r.line(format!(
+                    "{} fusion groups; {:.3} fissions per generation; stop reason: {}",
+                    result.best.fusion_groups().len(),
+                    result.fissions_per_generation,
+                    result.stop_reason.name()
+                ));
+                r.line(format!("lowered plan: {}", result.plan.summary()));
+                r.line(format!(
+                    "projection cache: {} hits / {} misses ({:.1}% hit rate, {} distinct groups)",
+                    result.projection.hits,
+                    result.projection.misses,
+                    result.projection.hit_rate() * 100.0,
+                    result.projection.entries
+                ));
+                if result.best_gflops <= result.baseline_gflops * 1.001 {
+                    r.hint("search found no grouping better than the original program");
+                }
+                if result.poisoned_evaluations > 0 {
+                    r.degrade(
+                        "candidate evaluations",
+                        format!(
+                            "scored {} poisoned candidate(s) with penalty fitness",
+                            result.poisoned_evaluations
+                        ),
+                        "objective evaluation panicked (caught at the isolation boundary)",
+                    );
+                }
+                reports.push(r);
+            }
+            let mut tplan = result.plan.clone();
+            if stop_after(Stage::Search) {
+                let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+                out.search = Some(result);
+                out.ddg_dot = ddg_dot;
+                out.oeg_dot = oeg_dot;
+                return Ok(out);
+            }
+
+            // ---------------- stage 5: new graphs ----------------
+            if let Some(f) = &hooks.amend_plan {
+                f(&mut tplan);
+                tplan.validate(self.plan.launches.len()).map_err(|e| {
+                    PipelineError::fatal(Stage::NewGraphs, ErrorKind::Config(e.to_string()))
+                })?;
+            }
+            // Render the new OEG: original nodes with fusion clusters.
+            let new_oeg_dot = {
+                let mut group_of: Vec<usize> = (0..self.plan.launches.len()).collect();
+                for (gi, g) in tplan.groups.iter().enumerate() {
+                    for m in &g.members {
+                        group_of[m.seq] = self.plan.launches.len() + gi;
+                    }
+                }
+                dot::oeg_to_dot(&oeg.transitive_reduction(), Some(&group_of))
+            };
+            {
+                let mut r = StageReport::new(Stage::NewGraphs);
+                r.line(format!(
+                    "new program: {} launches ({} in the original)",
+                    tplan.groups.len(),
+                    self.plan.launches.len()
+                ));
+                reports.push(r);
+            }
+            if stop_after(Stage::NewGraphs) {
+                let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+                out.search = Some(result);
+                out.ddg_dot = ddg_dot;
+                out.oeg_dot = oeg_dot;
+                out.new_oeg_dot = new_oeg_dot;
+                return Ok(out);
+            }
+            (
+                decisions,
+                ddg_dot,
+                oeg_dot,
+                new_oeg_dot,
+                Some(result),
+                tplan,
+            )
+        };
 
         // ---------------- stage 6: codegen ----------------
-        let tplan = TransformPlan {
-            groups,
-            mode: cfg.mode,
-            block_tuning: cfg.block_tuning,
-            device: cfg.device.clone(),
-        };
         let cg_faults = CodegenFaults {
             reject_groups: injector.reject_groups().clone(),
             panic_groups: injector.panic_groups().clone(),
@@ -508,7 +563,7 @@ impl Pipeline {
         // preserved, but the emitted program is the unchanged original.
         let keep_original = |mut cg_report: StageReport,
                              mut reports: Vec<StageReport>,
-                             result: SearchResult,
+                             search: Option<SearchResult>,
                              scope: &str,
                              action: &str,
                              reason: String|
@@ -521,7 +576,7 @@ impl Pipeline {
                 decisions.clone(),
                 original_profile.clone(),
             );
-            out.search = Some(result);
+            out.search = search;
             out.ddg_dot = ddg_dot.clone();
             out.oeg_dot = oeg_dot.clone();
             out.new_oeg_dot = new_oeg_dot.clone();
@@ -539,7 +594,7 @@ impl Pipeline {
                 return Ok(keep_original(
                     cg_report,
                     reports,
-                    result,
+                    search_result,
                     "pipeline",
                     "kept the original program (code generation failed)",
                     err.to_string(),
@@ -557,7 +612,11 @@ impl Pipeline {
                 };
                 return Err(PipelineError::degradable(Stage::Codegen, kind).for_group(d.group));
             }
-            cg_report.degrade(format!("group {}", d.group), d.action.clone(), d.reason.clone());
+            cg_report.degrade(
+                format!("group {}", d.group),
+                d.action.clone(),
+                d.reason.clone(),
+            );
         }
 
         let transformed_profile = match profile_with_retry(
@@ -568,8 +627,9 @@ impl Pipeline {
         ) {
             Ok((p, used)) => {
                 if used > 0 {
-                    cg_report
-                        .line(format!("profiler recovered after {used} transient failure(s)"));
+                    cg_report.line(format!(
+                        "profiler recovered after {used} transient failure(s)"
+                    ));
                 }
                 p
             }
@@ -580,7 +640,7 @@ impl Pipeline {
                 return Ok(keep_original(
                     cg_report,
                     reports,
-                    result,
+                    search_result,
                     "pipeline",
                     "kept the original program (transformed program could not be profiled)",
                     e.to_string(),
@@ -609,11 +669,7 @@ impl Pipeline {
             if t.tuned {
                 cg_report.line(format!(
                     "tuned `{}` block {} → {} (occupancy {:.2} → {:.2})",
-                    t.kernel,
-                    t.block_before,
-                    t.block_after,
-                    t.occupancy_before,
-                    t.occupancy_after
+                    t.kernel, t.block_before, t.block_after, t.occupancy_before, t.occupancy_after
                 ));
             }
         }
@@ -642,7 +698,7 @@ impl Pipeline {
                     return Ok(keep_original(
                         cg_report,
                         reports,
-                        result,
+                        search_result,
                         "pipeline",
                         "kept the original program (verification failed)",
                         why,
@@ -660,7 +716,7 @@ impl Pipeline {
                     return Ok(keep_original(
                         cg_report,
                         reports,
-                        result,
+                        search_result,
                         "pipeline",
                         "kept the original program (verification could not run)",
                         msg,
@@ -695,7 +751,7 @@ impl Pipeline {
                 ddg_dot,
                 oeg_dot,
                 new_oeg_dot,
-                search: Some(result),
+                search: search_result,
                 transform: Some(transform),
                 original_profile: Some(original_profile),
                 transformed_profile: Some(transformed_profile),
@@ -714,7 +770,7 @@ impl Pipeline {
             ddg_dot,
             oeg_dot,
             new_oeg_dot,
-            search: Some(result),
+            search: search_result,
             transform: Some(transform),
             original_profile: Some(original_profile),
             transformed_profile: Some(transformed_profile),
@@ -880,7 +936,11 @@ void host() {
         let err = Pipeline::new(p, cfg).unwrap().run().unwrap_err();
         assert_eq!(err.stage, Stage::Codegen);
         assert_eq!(err.class, crate::error::Recoverability::Degradable);
-        assert!(matches!(err.kind, ErrorKind::Panic(_)), "kind: {:?}", err.kind);
+        assert!(
+            matches!(err.kind, ErrorKind::Panic(_)),
+            "kind: {:?}",
+            err.kind
+        );
     }
 
     #[test]

@@ -204,7 +204,10 @@ void host() {
         launch[0] = LaunchArg::Array("b".into());
         launch[1] = LaunchArg::Array("a".into());
         let v = verify_equivalence(&original, &mutant, 3).unwrap();
-        assert!(!v.passed(), "a swapped launch binding must fail verification");
+        assert!(
+            !v.passed(),
+            "a swapped launch binding must fail verification"
+        );
         assert!(v.worst_array.is_some());
         assert!(v.max_abs_diff > 0.0);
     }

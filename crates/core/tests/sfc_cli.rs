@@ -124,17 +124,18 @@ fn rejects_bad_input_with_parse_exit_code() {
 
 #[test]
 fn usage_errors_exit_with_2() {
-    let status = sfc()
-        .arg("--no-such-flag")
-        .output()
-        .expect("sfc runs");
+    let status = sfc().arg("--no-such-flag").output().expect("sfc runs");
     assert_eq!(status.status.code(), Some(2));
 
     let status = sfc()
         .arg(tmp("does-not-exist.cu").to_str().unwrap())
         .output()
         .expect("sfc runs");
-    assert_eq!(status.status.code(), Some(2), "unreadable input exits with 2");
+    assert_eq!(
+        status.status.code(),
+        Some(2),
+        "unreadable input exits with 2"
+    );
 }
 
 #[test]
@@ -155,6 +156,64 @@ fn strict_flag_is_accepted_on_a_clean_program() {
     // A clean run degrades nothing, so strict mode reports nothing.
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(!err.contains("degraded"), "{err}");
+}
+
+#[test]
+fn plan_replay_reproduces_output_byte_for_byte() {
+    let input = tmp("demo_plan.cu");
+    std::fs::write(&input, DEMO).unwrap();
+    let direct = tmp("demo_plan_direct.cu");
+    let plan = tmp("demo_plan.json");
+    // Direct run: search, transform, and emit the as-executed plan.
+    let status = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "-o",
+            direct.to_str().unwrap(),
+            "--emit-plan",
+            plan.to_str().unwrap(),
+        ])
+        .status()
+        .expect("sfc runs");
+    assert!(status.success());
+    // The emitted plan parses, validates, and records the transformation.
+    let tplan =
+        sf_codegen::TransformPlan::from_json(&std::fs::read_to_string(&plan).unwrap())
+            .expect("emitted plan parses");
+    assert!(!tplan.groups.is_empty());
+    // Replay: no search, byte-identical output.
+    let replay = tmp("demo_plan_replay.cu");
+    let status = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--quick",
+            "--from-plan",
+            plan.to_str().unwrap(),
+            "-o",
+            replay.to_str().unwrap(),
+        ])
+        .status()
+        .expect("sfc runs");
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read_to_string(&direct).unwrap(),
+        std::fs::read_to_string(&replay).unwrap(),
+        "replayed output must be byte-identical to the direct run"
+    );
+
+    // A corrupt plan file is a usage error (exit 2).
+    let bad = tmp("demo_plan_bad.json");
+    std::fs::write(&bad, "{ not json").unwrap();
+    let out = sfc()
+        .args([
+            input.to_str().unwrap(),
+            "--from-plan",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .expect("sfc runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

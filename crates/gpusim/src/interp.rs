@@ -901,8 +901,8 @@ void host() {
         let interp = Interpreter::new(&p);
         let stats = interp.run_plan(&plan, &mut mem).unwrap();
         let y = &mem.get("y").unwrap().data;
-        for i in 0..100 {
-            assert_eq!(y[i], 2.0 * i as f64 + 1.0 + i as f64);
+        for (i, yi) in y.iter().enumerate().take(100) {
+            assert_eq!(*yi, 2.0 * i as f64 + 1.0 + i as f64);
         }
         assert_eq!(stats[0].flops, 200);
         assert_eq!(stats[0].global_writes, 100);
@@ -931,7 +931,7 @@ void host() {
         let expect = 0.4 * at(1, 1, 1)
             + 0.1 * (at(1, 1, 2) + at(1, 1, 0) + at(1, 2, 1) + at(1, 0, 1) + at(2, 1, 1)
                 + at(0, 1, 1));
-        let got = v[(1 * ny + 1) * nx + 1];
+        let got = v[(ny + 1) * nx + 1];
         assert!((got - expect).abs() < 1e-12, "got {got}, want {expect}");
     }
 
@@ -982,8 +982,8 @@ void host() {
         mem.fill_with("a", |i| i as f64);
         Interpreter::new(&p).run_plan(&plan, &mut mem).unwrap();
         let a = &mem.get("a").unwrap().data;
-        for i in 0..31 {
-            assert_eq!(a[i], (i + 1) as f64);
+        for (i, ai) in a.iter().enumerate().take(31) {
+            assert_eq!(*ai, (i + 1) as f64);
         }
     }
 

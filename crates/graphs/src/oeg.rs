@@ -472,7 +472,7 @@ mod quotient_property_tests {
             if oeg.quotient_feasible(&grouping) {
                 let order = oeg.quotient_topo_order(&grouping).expect("feasible ⇒ ordered");
                 let pos = |g: usize| order.iter().position(|&x| x == g).expect("present");
-                for (&(i, j), _) in &oeg.edges {
+                for &(i, j) in oeg.edges.keys() {
                     let (gi, gj) = (grouping[i], grouping[j]);
                     if gi != gj {
                         prop_assert!(pos(gi) < pos(gj), "edge {i}->{j} violated");

@@ -1,0 +1,428 @@
+#![warn(missing_docs)]
+//! # sf-plan
+//!
+//! The typed, serializable **TransformPlan IR**: a complete, first-class
+//! description of one chosen kernel transformation — which launches are
+//! fissioned, which groups are fused (and whether the group is a *simple*
+//! or a *precedence-aware* fusion), which arrays the generator is expected
+//! to stage in shared memory, the per-group tuning outcome, and the
+//! search's projected cost.
+//!
+//! Every pipeline stage speaks this IR:
+//!
+//! - `sf-search` **produces** a plan (genome → plan lowering),
+//! - `sf-codegen` **consumes** one and annotates it with what was actually
+//!   generated (staged tiles, tuned blocks),
+//! - `stencilfuse` (verify/report) **records** one in its results,
+//! - the `sfc` CLI **exchanges** plans as JSON (`--emit-plan` /
+//!   `--from-plan`), so a transformation is inspectable and replayable
+//!   without re-running the search.
+//!
+//! The JSON encoding is stable across runs for a given plan value
+//! (`serde_json` emits maps in declaration order), which is what makes the
+//! plan-replay determinism check possible: replaying an emitted plan must
+//! regenerate byte-identical CUDA.
+
+use serde::{Deserialize, Serialize};
+use sf_gpusim::device::DeviceSpec;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Schema version of the serialized plan. Bumped on incompatible changes;
+/// [`TransformPlan::from_json`] rejects other versions.
+pub const PLAN_VERSION: u32 = 1;
+
+/// One member of a fusion group: an original launch, or one fission product
+/// of it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MemberRef {
+    /// Static launch id in the original plan.
+    pub seq: usize,
+    /// `Some(c)` selects component `c` of the kernel's fission.
+    pub fission_component: Option<usize>,
+}
+
+impl MemberRef {
+    /// An unfissioned original launch.
+    pub fn original(seq: usize) -> MemberRef {
+        MemberRef {
+            seq,
+            fission_component: None,
+        }
+    }
+
+    /// A fission product.
+    pub fn product(seq: usize, component: usize) -> MemberRef {
+        MemberRef {
+            seq,
+            fission_component: Some(component),
+        }
+    }
+}
+
+impl fmt::Display for MemberRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fission_component {
+            None => write!(f, "#{}", self.seq),
+            Some(c) => write!(f, "#{}.{c}", self.seq),
+        }
+    }
+}
+
+/// Automated vs manual-oracle code generation (§6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodegenMode {
+    /// The automated generator, reproducing the paper's two documented
+    /// deficiencies (no deep-nest merging; per-segment guard branches).
+    Auto,
+    /// The expert-oracle generator the paper compares against.
+    Manual,
+}
+
+/// How the members of a fused group relate (§5.5.2 vs §5.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PrecedenceClass {
+    /// *Simple fusion*: no flow dependence between members; shared-memory
+    /// staging of commonly-read arrays is enough.
+    #[default]
+    Simple,
+    /// *Precedence-aware fusion*: a member consumes another member's
+    /// output, so the generator needs barriers + halo recomputation
+    /// (complex fusion) or flow staging.
+    PrecedenceAware,
+}
+
+impl PrecedenceClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecedenceClass::Simple => "simple",
+            PrecedenceClass::PrecedenceAware => "precedence-aware",
+        }
+    }
+}
+
+/// The search's projected cost of one group (from the codeless objective).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields carry descriptive names; see the type doc
+pub struct GroupProjection {
+    pub time_us: f64,
+    pub flops: u64,
+    pub smem_bytes: u64,
+}
+
+/// A fused-kernel thread block chosen by the tuner (recorded by codegen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields carry descriptive names; see the type doc
+pub struct BlockDims {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl fmt::Display for BlockDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// One group of the plan: members to fuse into one kernel (singletons pass
+/// through unchanged), plus everything the pipeline knows or learned about
+/// the group.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupPlan {
+    /// Members in execution order within the group.
+    pub members: Vec<MemberRef>,
+    /// Simple vs precedence-aware fusion (meaningful for multi-member
+    /// groups; singletons are trivially [`PrecedenceClass::Simple`]).
+    pub precedence: PrecedenceClass,
+    /// Arrays projected / generated to be staged in shared-memory tiles.
+    pub staged_arrays: Vec<String>,
+    /// Thread block the tuner settled on (recorded by codegen; `None`
+    /// until the group has been generated, or for singletons).
+    pub tuned_block: Option<BlockDims>,
+    /// The search's projected cost (filled by genome → plan lowering;
+    /// `None` for hand-written plans).
+    pub projection: Option<GroupProjection>,
+}
+
+impl GroupPlan {
+    /// A bare group over `members` (no annotations).
+    pub fn of(members: Vec<MemberRef>) -> GroupPlan {
+        GroupPlan {
+            members,
+            ..GroupPlan::default()
+        }
+    }
+
+    /// A singleton group.
+    pub fn singleton(m: MemberRef) -> GroupPlan {
+        GroupPlan::of(vec![m])
+    }
+
+    /// Whether this group fuses two or more members.
+    pub fn is_fusion(&self) -> bool {
+        self.members.len() > 1
+    }
+}
+
+/// A malformed or inconsistent plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid transform plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The complete chosen transformation, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformPlan {
+    /// Schema version ([`PLAN_VERSION`]).
+    pub version: u32,
+    /// Device the plan was searched / is generated for.
+    pub device: DeviceSpec,
+    /// Code generator flavor.
+    pub mode: CodegenMode,
+    /// Tune thread-block sizes of fused kernels (§4.2).
+    pub block_tuning: bool,
+    /// Original launch seqs replaced by their fission products (derived
+    /// from the members, kept explicit so a plan is self-describing).
+    pub fissions: Vec<usize>,
+    /// The groups, in execution order.
+    pub groups: Vec<GroupPlan>,
+    /// Projected end-to-end device time of the planned program, µs.
+    pub projected_time_us: Option<f64>,
+    /// Projected performance of the planned program, GFLOPS.
+    pub projected_gflops: Option<f64>,
+}
+
+impl TransformPlan {
+    /// Build a plan from groups; `fissions` is derived from the members.
+    pub fn new(
+        device: DeviceSpec,
+        mode: CodegenMode,
+        block_tuning: bool,
+        groups: Vec<GroupPlan>,
+    ) -> TransformPlan {
+        let fissions: BTreeSet<usize> = groups
+            .iter()
+            .flat_map(|g| &g.members)
+            .filter(|m| m.fission_component.is_some())
+            .map(|m| m.seq)
+            .collect();
+        TransformPlan {
+            version: PLAN_VERSION,
+            device,
+            mode,
+            block_tuning,
+            fissions: fissions.into_iter().collect(),
+            groups,
+            projected_time_us: None,
+            projected_gflops: None,
+        }
+    }
+
+    /// All members across all groups, in plan order.
+    pub fn members(&self) -> impl Iterator<Item = &MemberRef> {
+        self.groups.iter().flat_map(|g| g.members.iter())
+    }
+
+    /// Number of multi-member (fusion) groups.
+    pub fn fusion_group_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_fusion()).count()
+    }
+
+    /// Structural consistency against a program with `launch_count`
+    /// original launches:
+    ///
+    /// - every member's `seq` names an existing launch,
+    /// - no member appears twice,
+    /// - fission is all-or-nothing per launch: a seq appears either as one
+    ///   unfissioned original or only as products, never both,
+    /// - `fissions` matches exactly the seqs whose members are products,
+    /// - no empty groups.
+    pub fn validate(&self, launch_count: usize) -> Result<(), PlanError> {
+        if self.version != PLAN_VERSION {
+            return Err(PlanError(format!(
+                "plan version {} (this build speaks {PLAN_VERSION})",
+                self.version
+            )));
+        }
+        let mut seen: BTreeSet<MemberRef> = BTreeSet::new();
+        let mut as_original: BTreeSet<usize> = BTreeSet::new();
+        let mut as_product: BTreeSet<usize> = BTreeSet::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.members.is_empty() {
+                return Err(PlanError(format!("group {gi} is empty")));
+            }
+            for m in &g.members {
+                if m.seq >= launch_count {
+                    return Err(PlanError(format!(
+                        "member {m} names launch {} but the program has {launch_count}",
+                        m.seq
+                    )));
+                }
+                if !seen.insert(*m) {
+                    return Err(PlanError(format!("member {m} appears twice")));
+                }
+                match m.fission_component {
+                    None => {
+                        as_original.insert(m.seq);
+                    }
+                    Some(_) => {
+                        as_product.insert(m.seq);
+                    }
+                }
+            }
+        }
+        if let Some(seq) = as_original.intersection(&as_product).next() {
+            return Err(PlanError(format!(
+                "launch {seq} appears both unfissioned and as fission products"
+            )));
+        }
+        let declared: BTreeSet<usize> = self.fissions.iter().copied().collect();
+        if declared != as_product {
+            return Err(PlanError(format!(
+                "declared fissions {declared:?} do not match product members {as_product:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serializes")
+    }
+
+    /// Parse from JSON, checking the schema version.
+    pub fn from_json(text: &str) -> Result<TransformPlan, PlanError> {
+        let plan: TransformPlan =
+            serde_json::from_str(text).map_err(|e| PlanError(e.to_string()))?;
+        if plan.version != PLAN_VERSION {
+            return Err(PlanError(format!(
+                "plan version {} (this build speaks {PLAN_VERSION})",
+                plan.version
+            )));
+        }
+        Ok(plan)
+    }
+
+    /// One-line human summary for reports.
+    pub fn summary(&self) -> String {
+        let fused = self.fusion_group_count();
+        let aware = self
+            .groups
+            .iter()
+            .filter(|g| g.is_fusion() && g.precedence == PrecedenceClass::PrecedenceAware)
+            .count();
+        let staged: usize = self.groups.iter().map(|g| g.staged_arrays.len()).sum();
+        format!(
+            "{} groups ({fused} fused, {aware} precedence-aware), {} fissions, \
+             {staged} staged arrays, mode {:?}, tuning {}",
+            self.groups.len(),
+            self.fissions.len(),
+            self.mode,
+            if self.block_tuning { "on" } else { "off" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::k20x()
+    }
+
+    fn demo_plan() -> TransformPlan {
+        let mut g0 = GroupPlan::of(vec![MemberRef::original(0), MemberRef::original(2)]);
+        g0.precedence = PrecedenceClass::PrecedenceAware;
+        g0.staged_arrays = vec!["u".into()];
+        g0.projection = Some(GroupProjection {
+            time_us: 12.5,
+            flops: 1024,
+            smem_bytes: 4096,
+        });
+        let g1 = GroupPlan::of(vec![MemberRef::product(1, 0)]);
+        let g2 = GroupPlan::of(vec![MemberRef::product(1, 1)]);
+        let mut plan = TransformPlan::new(device(), CodegenMode::Auto, true, vec![g0, g1, g2]);
+        plan.projected_time_us = Some(40.0);
+        plan.projected_gflops = Some(88.8);
+        plan
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let plan = demo_plan();
+        let text = plan.to_json();
+        let back = TransformPlan::from_json(&text).unwrap();
+        assert_eq!(plan, back);
+        // And the encoding itself is stable (replay determinism).
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn fissions_are_derived_from_members() {
+        let plan = demo_plan();
+        assert_eq!(plan.fissions, vec![1]);
+        assert_eq!(plan.fusion_group_count(), 1);
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_plans() {
+        let plan = demo_plan();
+        // Launch out of range.
+        assert!(plan.validate(2).is_err());
+        // Duplicate member.
+        let dup = TransformPlan::new(
+            device(),
+            CodegenMode::Auto,
+            false,
+            vec![
+                GroupPlan::singleton(MemberRef::original(0)),
+                GroupPlan::singleton(MemberRef::original(0)),
+            ],
+        );
+        assert!(dup.validate(1).is_err());
+        // Original and product of the same launch.
+        let mixed = TransformPlan::new(
+            device(),
+            CodegenMode::Auto,
+            false,
+            vec![
+                GroupPlan::singleton(MemberRef::original(0)),
+                GroupPlan::singleton(MemberRef::product(0, 0)),
+            ],
+        );
+        assert!(mixed.validate(1).is_err());
+        // Empty group.
+        let empty = TransformPlan::new(device(), CodegenMode::Auto, false, vec![GroupPlan::default()]);
+        assert!(empty.validate(1).is_err());
+        // Tampered fission declaration.
+        let mut bad = demo_plan();
+        bad.fissions = vec![];
+        assert!(bad.validate(3).is_err());
+        // Wrong version.
+        let mut wrong = demo_plan();
+        wrong.version = 99;
+        assert!(wrong.validate(3).is_err());
+        assert!(TransformPlan::from_json(&wrong.to_json()).is_err());
+    }
+
+    #[test]
+    fn summary_names_the_shape() {
+        let s = demo_plan().summary();
+        assert!(s.contains("3 groups"), "{s}");
+        assert!(s.contains("1 fused"), "{s}");
+        assert!(s.contains("1 precedence-aware"), "{s}");
+        assert!(s.contains("1 fissions"), "{s}");
+    }
+}

@@ -10,13 +10,14 @@
 use crate::genome::Individual;
 use crate::objective::{self, Penalty};
 use crate::params::SearchConfig;
+use crate::projection::{ProjectionEngine, ProjectionStats};
 use crate::space::SearchSpace;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use sf_codegen::GroupSpec;
 use sf_gpusim::isolate::isolated;
+use sf_plan::{CodegenMode, GroupPlan, GroupProjection, PrecedenceClass, TransformPlan};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -54,9 +55,12 @@ const POISONED_FITNESS: f64 = -1.0;
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
 pub struct SearchResult {
     pub best: Individual,
-    /// The winning grouping in quotient-topological (execution) order,
-    /// ready for the code generator.
-    pub groups: Vec<GroupSpec>,
+    /// The winning grouping lowered to the typed plan IR: groups in
+    /// quotient-topological (execution) order, annotated with the
+    /// projection's expectations — ready for the code generator.
+    pub plan: TransformPlan,
+    /// Projection-cache counters for the whole run.
+    pub projection: ProjectionStats,
     /// Best fitness per generation.
     pub history: Vec<f64>,
     /// Projected GFLOPS of the all-singletons baseline and of the winner.
@@ -98,12 +102,16 @@ pub fn search_with_faults(
         hard: config.penalty_hard,
     };
     let eligible = space.eligible_originals();
+    // One projection engine for the whole run: the timing model is built
+    // once, and group costs are memoized across individuals/generations.
+    let engine = ProjectionEngine::new(space);
 
     // ---- initial population ----
     let singles = Individual::singletons(space);
     // The baseline is isolated like any other evaluation; a poisoned
     // baseline scores 0 (no projection improvement claimed over it).
-    let baseline_gflops = isolated(|| objective::fitness(space, &singles, &penalty)).unwrap_or(0.0);
+    let baseline_gflops =
+        isolated(|| objective::fitness_with(&engine, &singles, &penalty)).unwrap_or(0.0);
     let mut population: Vec<Individual> = Vec::with_capacity(config.population);
     population.push(singles.clone());
     while population.len() < config.population {
@@ -118,7 +126,7 @@ pub fn search_with_faults(
     let mut poisoned = 0u64;
     let eval = |population: &[Individual], evaluations: &mut u64, poisoned: &mut u64| {
         evaluate(
-            space,
+            &engine,
             population,
             &penalty,
             evaluations,
@@ -180,7 +188,7 @@ pub fn search_with_faults(
             }
             if config.p_fission > 0.0
                 && rng.gen_bool(config.p_fission)
-                && mutate_fission(space, &mut child, &penalty, &mut rng)
+                && mutate_fission(&engine, &mut child, &mut rng)
             {
                 fission_moves += 1;
             }
@@ -211,10 +219,12 @@ pub fn search_with_faults(
 
     let best = population[best_idx].clone();
     let best_gflops = scores[best_idx];
-    let groups = groups_in_order(space, &best);
+    let mut plan = lower_plan(&engine, &best, config.mode, config.block_tuning);
+    plan.projected_gflops = Some(best_gflops);
     SearchResult {
         best,
-        groups,
+        plan,
+        projection: engine.stats(),
         history,
         baseline_gflops,
         best_gflops,
@@ -227,23 +237,57 @@ pub fn search_with_faults(
     }
 }
 
-/// Convert the winning individual into ordered `GroupSpec`s.
-pub fn groups_in_order(space: &SearchSpace, ind: &Individual) -> Vec<GroupSpec> {
+/// Lower an individual to the typed [`TransformPlan`] IR: fusion groups in
+/// quotient-topological (execution) order, each annotated with what the
+/// projection expects of it — precedence class, staged arrays, projected
+/// per-group cost — plus the projected end-to-end runtime. The caller
+/// stamps `projected_gflops` (the penalized fitness) separately.
+pub fn lower_plan(
+    engine: &ProjectionEngine<'_>,
+    ind: &Individual,
+    mode: CodegenMode,
+    block_tuning: bool,
+) -> TransformPlan {
+    let space = engine.space();
     let order = ind
         .topo_order(space)
         .expect("winning individual must be feasible");
-    let groups = ind.groups();
-    order
+    let groups_by_id = ind.groups();
+    let groups = order
         .iter()
         .map(|g| {
+            let members = &groups_by_id[g];
+            let cost = engine.group_cost(members);
             // Members must be in *execution* order: products carry their
             // parent's seq (unit ids do not reflect host order).
-            let mut members: Vec<_> =
-                groups[g].iter().map(|&u| space.units[u].mref).collect();
-            members.sort_by_key(|m| (m.seq, m.fission_component));
-            GroupSpec { members }
+            let mut mrefs: Vec<_> = members.iter().map(|&u| space.units[u].mref).collect();
+            mrefs.sort_by_key(|m| (m.seq, m.fission_component));
+            let mut gp = GroupPlan::of(mrefs);
+            // Any dependence between two members means the fused segments
+            // must execute in order. (A *hard* edge can never be
+            // intra-group — feasibility forbids it — so every such edge is
+            // a soft flow/anti dependence codegen handles with staging.)
+            gp.precedence = if members.iter().any(|&a| {
+                members
+                    .iter()
+                    .any(|&b| space.edges.contains_key(&(a, b)))
+            }) {
+                PrecedenceClass::PrecedenceAware
+            } else {
+                PrecedenceClass::Simple
+            };
+            gp.staged_arrays = objective::staged_arrays(space, members);
+            gp.projection = Some(GroupProjection {
+                time_us: cost.time_us,
+                flops: cost.flops,
+                smem_bytes: cost.smem_bytes as u64,
+            });
+            gp
         })
-        .collect()
+        .collect();
+    let mut plan = TransformPlan::new(space.device.clone(), mode, block_tuning, groups);
+    plan.projected_time_us = Some(objective::projected_time_us_with(engine, ind));
+    plan
 }
 
 /// Evaluate a population in parallel, isolating panics per candidate.
@@ -253,7 +297,7 @@ pub fn groups_in_order(space: &SearchSpace, ind: &Individual) -> Vec<GroupSpec> 
 /// to `retries` times (fresh indices, so injected transient faults clear),
 /// then scored [`POISONED_FITNESS`].
 fn evaluate(
-    space: &SearchSpace,
+    engine: &ProjectionEngine<'_>,
     population: &[Individual],
     penalty: &Penalty,
     evaluations: &mut u64,
@@ -266,7 +310,7 @@ fn evaluate(
             if poison.contains(&idx) {
                 panic!("injected poisoned candidate at evaluation {idx}");
             }
-            objective::fitness(space, ind, penalty)
+            objective::fitness_with(engine, ind, penalty)
         })
     };
     let base = *evaluations;
@@ -420,16 +464,15 @@ fn mutate_move(space: &SearchSpace, ind: &mut Individual, rng: &mut SmallRng) {
 /// shared-memory demand violates the capacity constraint (the dynamic
 /// penalty's relaxation); falls back to a random fissionable unit.
 fn mutate_fission(
-    space: &SearchSpace,
+    engine: &ProjectionEngine<'_>,
     ind: &mut Individual,
-    _penalty: &Penalty,
     rng: &mut SmallRng,
 ) -> bool {
-    let model = sf_gpusim::timing::TimingModel::new(space.device.clone());
+    let space = engine.space();
     // Find violating groups first.
     let mut candidates: Vec<usize> = Vec::new();
     for (_, members) in ind.groups() {
-        let cost = objective::group_cost(space, &members, &model);
+        let cost = engine.group_cost(&members);
         if cost.smem_violation {
             for &m in &members {
                 if space.units[m].parent.is_none() && space.units[m].fissionable() {
@@ -543,9 +586,18 @@ void host() {
         let space = space_for(CHAIN4);
         let result = search(&space, &SearchConfig::quick());
         assert!(result.best_gflops > result.baseline_gflops);
-        assert!(result.best.fusion_groups().len() >= 1);
+        assert!(!result.best.fusion_groups().is_empty());
         assert!(result.best.feasible(&space));
         assert_eq!(result.history.len(), result.generations_run);
+        // The memoized projection must absorb nearly all lookups: a run
+        // revisits the same groupings constantly.
+        assert!(
+            result.projection.hit_rate() > 0.9,
+            "cache ineffective: {:?}",
+            result.projection
+        );
+        assert_eq!(result.plan.projected_gflops, Some(result.best_gflops));
+        assert!(result.plan.projected_time_us.unwrap() > 0.0);
     }
 
     #[test]
@@ -573,11 +625,16 @@ void host() {
         // Every group's members exist; flattened members cover all units
         // exactly once.
         let mut seen = std::collections::BTreeSet::new();
-        for g in &result.groups {
+        for g in &result.plan.groups {
             for m in &g.members {
                 assert!(seen.insert((m.seq, m.fission_component)));
             }
         }
+        // The lowered plan must also pass its own structural validation
+        // against the program's launch count (4 kernels in CHAIN4).
+        result.plan.validate(4).expect("lowered plan is valid");
+        // Every group carries the projection's cost annotation.
+        assert!(result.plan.groups.iter().all(|g| g.projection.is_some()));
     }
 
     #[test]
@@ -756,7 +813,7 @@ void host() {
             assert!(ind.feasible(&space));
         }
         // With 4 eligible independent units, merges must have happened.
-        assert!(ind.fusion_groups().len() >= 1);
+        assert!(!ind.fusion_groups().is_empty());
     }
 
     #[test]

@@ -25,9 +25,11 @@ pub mod genome;
 pub mod gga;
 pub mod objective;
 pub mod params;
+pub mod projection;
 pub mod space;
 
 pub use genome::Individual;
-pub use gga::{search, search_with_faults, SearchResult, StopReason};
+pub use gga::{lower_plan, search, search_with_faults, SearchResult, StopReason};
 pub use params::SearchConfig;
+pub use projection::{GroupKey, ProjectionEngine, ProjectionStats};
 pub use space::{SearchSpace, Unit};

@@ -13,6 +13,7 @@
 //! are penalized hard.
 
 use crate::genome::Individual;
+use crate::projection::ProjectionEngine;
 use crate::space::SearchSpace;
 use sf_gpusim::timing::{LaunchProfile, TimingModel};
 
@@ -165,10 +166,39 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
     }
 }
 
+/// The arrays the projection expects the code generator to stage in shared
+/// memory for this group, mirroring the staging rule in [`group_cost`]: an
+/// input read by at least two members, or one consumed from a value
+/// produced inside the group. Singleton groups stage nothing.
+pub fn staged_arrays(space: &SearchSpace, members: &[usize]) -> Vec<String> {
+    use std::collections::{BTreeMap, BTreeSet};
+    if members.len() < 2 {
+        return Vec::new();
+    }
+    let mut read_count: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    for &m in members {
+        for (a, (r, w)) in &space.units[m].ops.bytes_per_array {
+            if *r > 0 {
+                *read_count.entry(a).or_insert(0) += 1;
+            }
+            if *w > 0 {
+                written.insert(a);
+            }
+        }
+    }
+    read_count
+        .iter()
+        .filter(|(a, &c)| c >= 2 || written.contains(*a))
+        .map(|(a, _)| (*a).to_string())
+        .collect()
+}
+
 /// The penalized fitness of an individual: projected GFLOPS of the whole
 /// program under this grouping, scaled down per constraint violation.
-pub fn fitness(space: &SearchSpace, ind: &Individual, penalty: &Penalty) -> f64 {
-    let model = TimingModel::new(space.device.clone());
+/// Group costs come from the engine's cache when available.
+pub fn fitness_with(engine: &ProjectionEngine<'_>, ind: &Individual, penalty: &Penalty) -> f64 {
+    let space = engine.space();
     let mut total_flops = 0.0f64;
     let mut total_time = 0.0f64;
     let mut scale = 1.0f64;
@@ -178,7 +208,7 @@ pub fn fitness(space: &SearchSpace, ind: &Individual, penalty: &Penalty) -> f64 
             .map(|&m| space.units[m].repeat)
             .max()
             .unwrap_or(1) as f64;
-        let cost = group_cost(space, &members, &model);
+        let cost = engine.group_cost(&members);
         total_flops += cost.flops as f64 * repeat;
         total_time += cost.time_us * repeat;
         if cost.smem_violation {
@@ -196,9 +226,15 @@ pub fn fitness(space: &SearchSpace, ind: &Individual, penalty: &Penalty) -> f64 
     (total_flops / (total_time * 1e3)) * scale
 }
 
+/// Uncached convenience wrapper around [`fitness_with`] for one-off
+/// evaluations; the search proper shares one engine across the whole run.
+pub fn fitness(space: &SearchSpace, ind: &Individual, penalty: &Penalty) -> f64 {
+    fitness_with(&ProjectionEngine::new(space), ind, penalty)
+}
+
 /// Projected end-to-end runtime (µs) of an individual, ignoring penalties.
-pub fn projected_time_us(space: &SearchSpace, ind: &Individual) -> f64 {
-    let model = TimingModel::new(space.device.clone());
+pub fn projected_time_us_with(engine: &ProjectionEngine<'_>, ind: &Individual) -> f64 {
+    let space = engine.space();
     ind.groups()
         .values()
         .map(|members| {
@@ -207,9 +243,14 @@ pub fn projected_time_us(space: &SearchSpace, ind: &Individual) -> f64 {
                 .map(|&m| space.units[m].repeat)
                 .max()
                 .unwrap_or(1) as f64;
-            group_cost(space, members, &model).time_us * repeat
+            engine.group_cost(members).time_us * repeat
         })
         .sum()
+}
+
+/// Uncached convenience wrapper around [`projected_time_us_with`].
+pub fn projected_time_us(space: &SearchSpace, ind: &Individual) -> f64 {
+    projected_time_us_with(&ProjectionEngine::new(space), ind)
 }
 
 #[cfg(test)]
@@ -257,12 +298,14 @@ void host() {
     #[test]
     fn group_cost_charges_tiles() {
         let space = space_for(SHARED_READERS);
-        let model = TimingModel::new(space.device.clone());
-        let single = group_cost(&space, &[0], &model);
+        let engine = ProjectionEngine::new(&space);
+        let single = engine.group_cost(&[0]);
         assert_eq!(single.smem_bytes, 0);
-        let pair = group_cost(&space, &[0, 1], &model);
+        let pair = engine.group_cost(&[0, 1]);
         assert!(pair.smem_bytes > 0, "staged u must charge a tile");
         assert!(!pair.smem_violation);
+        assert_eq!(staged_arrays(&space, &[0, 1]), vec!["u".to_string()]);
+        assert!(staged_arrays(&space, &[0]).is_empty());
     }
 
     #[test]
@@ -391,8 +434,8 @@ void host() {
     #[test]
     fn smem_violation_is_detected_and_penalized() {
         let space = space_for(SMEM_HEAVY);
-        let model = TimingModel::new(space.device.clone());
-        let pair = group_cost(&space, &[0, 1], &model);
+        let engine = crate::projection::ProjectionEngine::new(&space);
+        let pair = engine.group_cost(&[0, 1]);
         // 4 staged tiles of (8+24)x(32+24) doubles ≈ 4×14KB > 48KB.
         // (each array is read with both x and y offsets of 12)
         assert!(pair.smem_violation, "smem {}B", pair.smem_bytes);

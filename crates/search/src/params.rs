@@ -7,6 +7,7 @@
 //! default file and the programmer can amend it between stages.
 
 use serde::{Deserialize, Serialize};
+use sf_plan::CodegenMode;
 
 /// GA configuration. Defaults follow the paper's evaluation settings
 /// (population 100, 500 generations).
@@ -48,6 +49,11 @@ pub struct SearchConfig {
     /// Bounded retry for a failed (transient) candidate evaluation before
     /// the candidate is scored as poisoned.
     pub eval_retries: u32,
+    /// Codegen mode stamped into the lowered [`sf_plan::TransformPlan`]
+    /// (automated vs programmer-guided run).
+    pub mode: CodegenMode,
+    /// Whether the lowered plan requests block-size tuning from codegen.
+    pub block_tuning: bool,
 }
 
 impl Default for SearchConfig {
@@ -71,6 +77,8 @@ impl Default for SearchConfig {
             max_wall_ms: 0,
             max_evaluations: 0,
             eval_retries: 1,
+            mode: CodegenMode::Auto,
+            block_tuning: false,
         }
     }
 }

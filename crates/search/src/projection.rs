@@ -1,0 +1,214 @@
+//! The memoized projection engine: one shared [`TimingModel`] per search
+//! run plus a content-addressed cache of [`GroupCost`]s.
+//!
+//! Objective evaluation dominates the search runtime (>90% in the paper),
+//! and GGA offspring share most of their groups with their parents —
+//! crossover and mutation touch only a few groups per child. A group's
+//! projected cost depends only on its member units (fission state is
+//! carried by the unit ids themselves: a product is a distinct unit), so
+//! the cost is cached under the *sorted member set* and reused across
+//! individuals and generations. Mutating a group changes its member set
+//! and therefore its key — a stale cost can never be reused.
+//!
+//! The cache is shared across rayon evaluation threads behind a mutex; the
+//! cached value is a small `Copy` struct, so the critical section is a
+//! hash-map probe.
+
+use crate::objective::{group_cost, GroupCost};
+use crate::space::SearchSpace;
+use sf_gpusim::timing::TimingModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Content-addressed cache key of one group: its member unit ids, sorted.
+///
+/// Unit ids already encode the fission state (an original launch and each
+/// of its fission products are distinct units), and the projected cost of
+/// a group is a pure function of its member set, so nothing else belongs
+/// in the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey(Vec<usize>);
+
+impl GroupKey {
+    /// Canonical key for `members` (sorted copy).
+    pub fn of(members: &[usize]) -> GroupKey {
+        let mut k = members.to_vec();
+        k.sort_unstable();
+        GroupKey(k)
+    }
+}
+
+/// Cache counters of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // fields carry descriptive names; see the type doc
+pub struct ProjectionStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Distinct groups currently cached.
+    pub entries: usize,
+}
+
+impl ProjectionStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared projection state for one search run: the timing model (built once
+/// from the device spec) and the memoized group costs.
+pub struct ProjectionEngine<'a> {
+    space: &'a SearchSpace,
+    model: TimingModel,
+    cache: Mutex<HashMap<GroupKey, GroupCost>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> ProjectionEngine<'a> {
+    /// Build the engine (constructs the run's single [`TimingModel`]).
+    pub fn new(space: &'a SearchSpace) -> ProjectionEngine<'a> {
+        ProjectionEngine {
+            space,
+            model: TimingModel::new(space.device.clone()),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The search space this engine projects for.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// The shared timing model.
+    pub fn model(&self) -> &TimingModel {
+        &self.model
+    }
+
+    /// Memoized [`group_cost`]: served from the cache when the (sorted)
+    /// member set has been projected before, computed and cached otherwise.
+    pub fn group_cost(&self, members: &[usize]) -> GroupCost {
+        let key = GroupKey::of(members);
+        if let Some(cost) = self.cache.lock().expect("projection cache").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cost;
+        }
+        // Compute outside the lock: a miss is the expensive path, and two
+        // threads racing on the same key write the same (deterministic)
+        // value.
+        let cost = group_cost(self.space, &key.0, &self.model);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("projection cache")
+            .insert(key, cost);
+        cost
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> ProjectionStats {
+        ProjectionStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("projection cache").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::tests::space_for;
+
+    const TRIO: &str = r#"
+__global__ void t1(const double* __restrict__ u, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { a[k][j][i] = u[k][j][i] * 2.0; } }
+}
+__global__ void t2(const double* __restrict__ u, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = u[k][j][i] + 1.0; } }
+}
+__global__ void t3(const double* __restrict__ u, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = u[k][j][i] - 1.0; } }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 16;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  t1<<<dim3(4, 4), dim3(16, 8)>>>(u, a, nx, ny, nz);
+  t2<<<dim3(4, 4), dim3(16, 8)>>>(u, b, nx, ny, nz);
+  t3<<<dim3(4, 4), dim3(16, 8)>>>(u, c, nx, ny, nz);
+}
+"#;
+
+    #[test]
+    fn cache_hits_repeat_lookups_and_matches_direct_costs() {
+        let space = space_for(TRIO);
+        let engine = ProjectionEngine::new(&space);
+        let direct = group_cost(&space, &[0, 1], engine.model());
+        let first = engine.group_cost(&[0, 1]);
+        let second = engine.group_cost(&[0, 1]);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        let s = engine.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_is_order_insensitive() {
+        let space = space_for(TRIO);
+        let engine = ProjectionEngine::new(&space);
+        let a = engine.group_cost(&[0, 1]);
+        let b = engine.group_cost(&[1, 0]);
+        assert_eq!(a, b);
+        assert_eq!(engine.stats().entries, 1);
+    }
+
+    #[test]
+    fn mutated_groups_never_reuse_stale_costs() {
+        let space = space_for(TRIO);
+        let engine = ProjectionEngine::new(&space);
+        // Seed the cache with the fused pair.
+        engine.group_cost(&[0, 1]);
+        // "Mutate" the group four ways; each variant must be projected
+        // fresh (a different key, hence a cache miss) and must match the
+        // direct uncached computation exactly.
+        for members in [vec![0], vec![1], vec![0, 2], vec![0, 1, 2]] {
+            let got = engine.group_cost(&members);
+            let want = group_cost(&space, &members, engine.model());
+            assert_eq!(got, want, "members {members:?}");
+        }
+        let s = engine.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 5);
+        assert_eq!(s.entries, 5);
+    }
+
+    #[test]
+    fn hit_rate_reflects_traffic() {
+        let space = space_for(TRIO);
+        let engine = ProjectionEngine::new(&space);
+        assert_eq!(engine.stats().hit_rate(), 0.0);
+        engine.group_cost(&[0]);
+        for _ in 0..9 {
+            engine.group_cost(&[0]);
+        }
+        let s = engine.stats();
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12, "{s:?}");
+    }
+}

@@ -9,7 +9,8 @@
 
 use sf_analysis::filter::FilterDecision;
 use sf_analysis::metadata::{OpsMetadata, PerfMetadata};
-use sf_codegen::{transform_program, CodegenMode, GroupSpec, MemberRef, TransformPlan};
+use sf_codegen::transform_program;
+use sf_plan::{CodegenMode, GroupPlan, MemberRef, TransformPlan};
 use sf_gpusim::device::DeviceSpec;
 use sf_gpusim::profiler::{ProfileError, Profiler, ProgramProfile};
 use sf_graphs::build::{all_accesses, all_accesses_with_allocs, LaunchAccesses};
@@ -131,7 +132,7 @@ impl SearchSpace {
         // ---- lazy fission pre-step ----
         // Build one synthetic program with every fissionable target split,
         // profile it analytically, and register the products as units.
-        let mut fission_groups: Vec<GroupSpec> = Vec::new();
+        let mut fission_groups: Vec<GroupPlan> = Vec::new();
         let mut product_owner: Vec<Option<(usize, usize)>> = Vec::new(); // per synthetic launch: (parent seq, component)
         for launch in &plan.launches {
             let seq = launch.seq;
@@ -141,26 +142,18 @@ impl SearchSpace {
             if can_split {
                 let n = sf_codegen::fission_kernel(kernel).expect("checked").len();
                 for c in 0..n {
-                    fission_groups.push(GroupSpec {
-                        members: vec![MemberRef::product(seq, c)],
-                    });
+                    fission_groups.push(GroupPlan::singleton(MemberRef::product(seq, c)));
                     product_owner.push(Some((seq, c)));
                 }
             } else {
-                fission_groups.push(GroupSpec {
-                    members: vec![MemberRef::original(seq)],
-                });
+                fission_groups.push(GroupPlan::singleton(MemberRef::original(seq)));
                 product_owner.push(None);
             }
         }
         let any_products = product_owner.iter().any(|o| o.is_some());
         if any_products {
-            let tplan = TransformPlan {
-                groups: fission_groups,
-                mode: CodegenMode::Auto,
-                block_tuning: false,
-                device: device.clone(),
-            };
+            let tplan =
+                TransformPlan::new(device.clone(), CodegenMode::Auto, false, fission_groups);
             let out = transform_program(program, plan, &tplan)
                 .map_err(|e| ProfileError(e.0))?;
             let fission_plan = ExecutablePlan::from_program(&out.program)

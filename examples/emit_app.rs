@@ -1,0 +1,40 @@
+//! Emit one of the built-in application programs as minicuda source, so
+//! the `sfc` CLI can be driven against the paper's apps from the shell:
+//!
+//! ```sh
+//! cargo run --example emit_app -- mitgcm > mitgcm.cu
+//! target/release/sfc mitgcm.cu --quick --emit-plan plan.json -o fused.cu
+//! target/release/sfc mitgcm.cu --quick --from-plan plan.json -o replay.cu
+//! cmp fused.cu replay.cu
+//! ```
+//!
+//! Pass `--scale full` for the paper-scale problem sizes (default: test).
+
+use sf_apps::AppConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale_full = args.iter().any(|a| a == "--scale=full" || a == "full");
+    let cfg = if scale_full {
+        AppConfig::full()
+    } else {
+        AppConfig::test()
+    };
+    let Some(name) = args.iter().find(|a| !a.starts_with("--") && *a != "full") else {
+        eprintln!(
+            "usage: emit_app NAME [--scale=full]\n  names: {}",
+            sf_apps::APP_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    match sf_apps::app_by_name(name, &cfg) {
+        Some(app) => print!("{}", sf_minicuda::printer::print_program(&app.program)),
+        None => {
+            eprintln!(
+                "emit_app: unknown app `{name}` (known: {})",
+                sf_apps::APP_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! JSON, and every intervention hook changes the outcome it should.
 
 use sf_apps::AppConfig;
-use sf_codegen::GroupSpec;
+use sf_codegen::{GroupPlan, TransformPlan};
 use sf_gpusim::device::DeviceSpec;
 use sf_graphs::dot;
 use stencilfuse::{Interventions, Pipeline, PipelineConfig, Stage};
@@ -55,23 +55,25 @@ fn search_config_round_trips_as_parameter_file() {
 }
 
 #[test]
-fn amend_groups_intervention_forces_no_fusion() {
-    // The programmer dissolves every fusion group before codegen: the
-    // transformed program must then keep the original launch count.
+fn amend_plan_intervention_forces_no_fusion() {
+    // The programmer dissolves every fusion group in the lowered plan
+    // before codegen: the transformed program must then keep the original
+    // launch count.
     let app = mitgcm();
     let before = app.program.static_launches().len();
     let hooks = Interventions {
-        amend_groups: Some(Box::new(|groups: &mut Vec<GroupSpec>| {
-            let singles: Vec<GroupSpec> = groups
+        amend_plan: Some(Box::new(|plan: &mut TransformPlan| {
+            let singles: Vec<GroupPlan> = plan
+                .groups
                 .drain(..)
                 .flat_map(|g| {
                     g.members
                         .into_iter()
-                        .map(|m| GroupSpec { members: vec![m] })
+                        .map(GroupPlan::singleton)
                         .collect::<Vec<_>>()
                 })
                 .collect();
-            *groups = singles;
+            plan.groups = singles;
         })),
         ..Interventions::default()
     };

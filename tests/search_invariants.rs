@@ -34,14 +34,12 @@ fn best_individual_is_feasible_and_codegen_executable() {
         let (app, plan, space) = space_for(name);
         let result = search(&space, &SearchConfig::quick());
         assert!(result.best.feasible(&space), "{name}: infeasible winner");
-        // The winning grouping must go through codegen and verify.
-        let tplan = sf_codegen::TransformPlan {
-            groups: result.groups.clone(),
-            mode: sf_codegen::CodegenMode::Auto,
-            block_tuning: false,
-            device: DeviceSpec::k20x(),
-        };
-        let out = sf_codegen::transform_program(&app.program, &plan, &tplan)
+        // The lowered plan must validate and go through codegen and verify.
+        result
+            .plan
+            .validate(plan.launches.len())
+            .expect("lowered plan is valid");
+        let out = sf_codegen::transform_program(&app.program, &plan, &result.plan)
             .expect("codegen succeeds");
         let v = stencilfuse::verify_equivalence(&app.program, &out.program, 7)
             .expect("both run");
