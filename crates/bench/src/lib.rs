@@ -154,10 +154,9 @@ pub fn require_verified(app: &App, r: &TransformResult) {
     if let Some(v) = &r.verification {
         assert!(
             v.passed(),
-            "{}: verification failed (diff {} on {:?})",
+            "{}: verification failed ({})",
             app.paper.name,
-            v.max_abs_diff,
-            v.worst_array
+            v.failure().unwrap_or_else(|| "unknown".into())
         );
     }
 }

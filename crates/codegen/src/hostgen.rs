@@ -55,6 +55,9 @@ pub struct CodegenFaults {
     pub reject_groups: BTreeSet<usize>,
     /// Group indices whose fusion attempts panic.
     pub panic_groups: BTreeSet<usize>,
+    /// Group indices whose *tuned* fusion attempt alone is rejected, so
+    /// the ladder's tuned → untuned rung fires deterministically.
+    pub reject_tuned_groups: BTreeSet<usize>,
 }
 
 /// The transformed program plus reports.
@@ -237,6 +240,11 @@ pub fn transform_program_with(
                 if faults.reject_groups.contains(&gi) {
                     return Err(CodegenError(format!(
                         "injected codegen rejection in group {gi}"
+                    )));
+                }
+                if tuned && faults.reject_tuned_groups.contains(&gi) {
+                    return Err(CodegenError(format!(
+                        "injected tuned-fusion rejection in group {gi}"
                     )));
                 }
                 if tuned {

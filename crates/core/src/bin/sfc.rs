@@ -373,8 +373,9 @@ fn main() {
     if let Some(v) = &result.verification {
         if !v.passed() {
             eprintln!(
-                "sfc: VERIFICATION FAILED: max diff {} on {:?}; hazards {:?}",
-                v.max_abs_diff, v.worst_array, v.hazards
+                "sfc: VERIFICATION FAILED: {}; hazards {:?}",
+                v.failure().unwrap_or_else(|| "unknown".into()),
+                v.hazards
             );
             std::process::exit(EXIT_VERIFY);
         }

@@ -27,6 +27,10 @@ pub struct FaultPlan {
     /// Panic inside per-group code generation for these group indices
     /// (exercises the `catch_unwind` isolation boundary).
     pub panic_groups: BTreeSet<usize>,
+    /// Reject only the *tuned* fusion attempt for these group indices, so
+    /// the tuned → untuned ladder rung can be exercised deterministically
+    /// (the untuned attempt then succeeds).
+    pub reject_tuned_groups: BTreeSet<usize>,
     /// Panic inside the objective evaluation for these evaluation indices
     /// (a "poisoned candidate" in the genetic search).
     pub poison_evaluations: BTreeSet<u64>,
@@ -71,6 +75,11 @@ impl FaultPlan {
         }
         for _ in 0..next() % 4 {
             plan.poison_evaluations.insert(next() % 200);
+        }
+        // Appended after the original draws so existing seeds keep their
+        // historical fault mixes for the earlier fields.
+        for _ in 0..next() % 3 {
+            plan.reject_tuned_groups.insert((next() % 4) as usize);
         }
         plan
     }
@@ -137,6 +146,11 @@ impl FaultInjector {
     /// Group indices whose codegen must panic.
     pub fn panic_groups(&self) -> &BTreeSet<usize> {
         &self.plan.panic_groups
+    }
+
+    /// Group indices whose tuned fusion attempt alone must be rejected.
+    pub fn reject_tuned_groups(&self) -> &BTreeSet<usize> {
+        &self.plan.reject_tuned_groups
     }
 
     /// Evaluation indices whose objective evaluation must panic.

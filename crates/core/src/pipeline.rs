@@ -557,6 +557,7 @@ impl Pipeline {
         let cg_faults = CodegenFaults {
             reject_groups: injector.reject_groups().clone(),
             panic_groups: injector.panic_groups().clone(),
+            reject_tuned_groups: injector.reject_tuned_groups().clone(),
         };
         let mut cg_report = StageReport::new(Stage::Codegen);
         // The keep-original rung: everything the pipeline learned so far is
@@ -684,10 +685,8 @@ impl Pipeline {
                 Ok(v) if v.passed() => Some(v),
                 Ok(v) => {
                     let why = format!(
-                        "output mismatch: max abs diff {:e} in {:?}; {} hazard(s)",
-                        v.max_abs_diff,
-                        v.worst_array,
-                        v.hazards.len()
+                        "output mismatch: {}",
+                        v.failure().unwrap_or_else(|| "unknown".into())
                     );
                     if strict {
                         return Err(PipelineError::degradable(

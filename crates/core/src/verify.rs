@@ -10,18 +10,44 @@ use sf_minicuda::Program;
 /// The verification verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verification {
-    /// Maximum absolute difference across all arrays.
+    /// Maximum absolute difference across all arrays (NaN positions are
+    /// excluded — they are reported in `nan_arrays` instead, because
+    /// `f64::max` would silently drop them).
     pub max_abs_diff: f64,
     /// Array with the largest difference.
     pub worst_array: Option<String>,
+    /// Arrays holding a NaN in either run, sorted by name. NaN cannot be
+    /// compared meaningfully, so any NaN is a hard failure.
+    pub nan_arrays: Vec<String>,
     /// Hazards reported by either run (races, cross-block reads).
     pub hazards: Vec<String>,
 }
 
 impl Verification {
-    /// Verified equal (bit-identical, no hazards).
+    /// Verified equal (bit-identical, no NaN, no hazards).
     pub fn passed(&self) -> bool {
-        self.max_abs_diff == 0.0 && self.hazards.is_empty()
+        self.max_abs_diff == 0.0 && self.nan_arrays.is_empty() && self.hazards.is_empty()
+    }
+
+    /// One-line reason for the failure; `None` when the verdict passed.
+    pub fn failure(&self) -> Option<String> {
+        if self.passed() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if self.max_abs_diff != 0.0 {
+            parts.push(format!(
+                "max abs diff {:e} in {:?}",
+                self.max_abs_diff, self.worst_array
+            ));
+        }
+        if !self.nan_arrays.is_empty() {
+            parts.push(format!("NaN in {:?}", self.nan_arrays));
+        }
+        if !self.hazards.is_empty() {
+            parts.push(format!("{} hazard(s)", self.hazards.len()));
+        }
+        Some(parts.join("; "))
     }
 }
 
@@ -58,15 +84,22 @@ pub fn verify_equivalence(
 
     let mut max_abs_diff = 0.0f64;
     let mut worst_array = None;
-    for (name, d) in mem_a.max_abs_diff(&mem_b) {
-        if d > max_abs_diff {
-            max_abs_diff = d;
+    let mut nan_arrays = Vec::new();
+    let mut diffs: Vec<_> = mem_a.compare(&mem_b).into_iter().collect();
+    diffs.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, d) in diffs {
+        if d.has_nan {
+            nan_arrays.push(name.clone());
+        }
+        if d.max_abs_diff > max_abs_diff {
+            max_abs_diff = d.max_abs_diff;
             worst_array = Some(name);
         }
     }
     Ok(Verification {
         max_abs_diff,
         worst_array,
+        nan_arrays,
         hazards,
     })
 }
@@ -169,6 +202,47 @@ void host() {
         assert!(!v.passed(), "one corrupted element must fail verification");
         assert_eq!(v.worst_array.as_deref(), Some("a"));
         assert_eq!(v.max_abs_diff, 1.0);
+    }
+
+    /// Regression test for the NaN blind spot: `max_abs_diff` folds with
+    /// `f64::max`, and `f64::max(0.0, NaN) == 0.0`, so a transformed
+    /// program producing NaN everywhere used to *pass* verification. NaN
+    /// in any output array must be a hard failure naming the array.
+    #[test]
+    fn nan_output_is_a_hard_failure() {
+        let original = parse_program(
+            r#"
+__global__ void k(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = a[i] * 2.0; }
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  k<<<2, 32>>>(a, n);
+}
+"#,
+        )
+        .unwrap();
+        let mutant = parse_program(
+            r#"
+__global__ void k(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = 0.0 / 0.0; }
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  k<<<2, 32>>>(a, n);
+}
+"#,
+        )
+        .unwrap();
+        let v = verify_equivalence(&original, &mutant, 3).unwrap();
+        assert!(!v.passed(), "NaN output must fail verification: {v:?}");
+        assert_eq!(v.nan_arrays, vec!["a".to_string()]);
+        assert!(v.failure().unwrap().contains("NaN"));
+        assert!(v.failure().unwrap().contains('a'));
     }
 
     /// Mutation test: swap the array bindings of one launch and assert the

@@ -1,0 +1,169 @@
+//! `sf-fuzz` — the differential fuzzing driver.
+//!
+//! ```text
+//! sf-fuzz --seed 42                      # one seed
+//! sf-fuzz --seed 1 --seed 2              # several seeds
+//! sf-fuzz --seed-range 0..300            # a corpus
+//! sf-fuzz --seed-range 0..300 --repro-dir tests/repros --max-wall-secs 240
+//! ```
+//!
+//! Exit codes: 0 = all seeds clean, 1 = at least one failure (reproducers
+//! written), 2 = usage error.
+
+use sf_fuzz::{fuzz_seed, GenConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    seeds: Vec<u64>,
+    repro_dir: PathBuf,
+    max_wall_secs: u64,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
+         [--repro-dir DIR] [--max-wall-secs S]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seeds: Vec::new(),
+        repro_dir: PathBuf::from("tests/repros"),
+        max_wall_secs: 0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seeds
+                    .push(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--seed-range" => {
+                let v = value("--seed-range")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad range `{v}` (want A..B)"))?;
+                let a: u64 = a.parse().map_err(|_| format!("bad range start `{a}`"))?;
+                let b: u64 = b.parse().map_err(|_| format!("bad range end `{b}`"))?;
+                if a >= b {
+                    return Err(format!("empty range `{v}`"));
+                }
+                args.seeds.extend(a..b);
+            }
+            "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
+            "--max-wall-secs" => {
+                let v = value("--max-wall-secs")?;
+                args.max_wall_secs = v.parse().map_err(|_| format!("bad duration `{v}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.seeds.is_empty() {
+        return Err("no seeds given (use --seed or --seed-range)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+
+    let cfg = GenConfig::default();
+    let start = Instant::now();
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    let mut capped = false;
+    for &seed in &args.seeds {
+        // The wall cap stops *launching* new seeds; a seed in flight always
+        // finishes, so the corpus prefix that did run is deterministic
+        // per seed even under the cap.
+        if args.max_wall_secs > 0 && start.elapsed().as_secs() >= args.max_wall_secs {
+            capped = true;
+            break;
+        }
+        checked += 1;
+        let Some((failure, small)) = fuzz_seed(seed, &cfg) else {
+            continue;
+        };
+        failures += 1;
+        eprintln!("seed {seed}: FAIL [{}] {}", failure.check, failure.detail);
+        match sf_fuzz::write_repro(
+            &args.repro_dir,
+            seed,
+            failure.check,
+            &failure.detail,
+            &small,
+            failure.plan_json.as_deref(),
+        ) {
+            Ok(paths) => eprintln!("seed {seed}: reproducer written to {}", paths.source.display()),
+            Err(e) => eprintln!("seed {seed}: could not write reproducer: {e}"),
+        }
+    }
+
+    let skipped = args.seeds.len() - checked;
+    println!(
+        "sf-fuzz: {checked} seed(s) checked, {failures} failure(s){}",
+        if capped {
+            format!(", {skipped} skipped (wall cap)")
+        } else {
+            String::new()
+        }
+    );
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_seeds_and_ranges() {
+        let a = parse_args(&argv(&["--seed", "7", "--seed-range", "0..3"])).unwrap();
+        assert_eq!(a.seeds, vec![7, 0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["--seed"])).is_err());
+        assert!(parse_args(&argv(&["--seed-range", "5..5"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_cap_and_dir() {
+        let a = parse_args(&argv(&[
+            "--seed",
+            "1",
+            "--repro-dir",
+            "/tmp/x",
+            "--max-wall-secs",
+            "60",
+        ]))
+        .unwrap();
+        assert_eq!(a.max_wall_secs, 60);
+        assert_eq!(a.repro_dir, std::path::PathBuf::from("/tmp/x"));
+    }
+}

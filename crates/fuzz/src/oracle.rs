@@ -1,0 +1,288 @@
+//! The differential oracle: push a generated program through the full
+//! pipeline and check every equivalence obligation the framework makes.
+//!
+//! The checks run in a fixed order and the first failure wins, so a
+//! failing seed always reports the *earliest* broken invariant:
+//!
+//! 1. `executable` — the generated host section resolves to an
+//!    [`ExecutablePlan`] (a failure here is a generator bug).
+//! 2. `self-equivalence` — the untransformed program is equivalent to
+//!    itself on the gpusim interpreter with hazard detection on. This
+//!    catches generator-introduced races or NaN before blaming the
+//!    pipeline.
+//! 3. `pipeline-run` — a full `Degrade`-policy run must return `Ok`
+//!    (by contract, every degradable failure walks the ladder).
+//! 4. `hidden-miscompile` — no degradation step may be a verification
+//!    failure in disguise: under `Degrade`, a miscompile surfaces as
+//!    "kept the original program (verification failed)", which the
+//!    oracle treats as a codegen bug, not a degradation.
+//! 5. `pipeline-verification` — the pipeline's own verification, when
+//!    it ran, must pass.
+//! 6. `differential` — an *independent* `verify_equivalence` of the
+//!    result program against the original, with a different data seed
+//!    than the pipeline used.
+//! 7. `plan-roundtrip` — the executed [`TransformPlan`] must survive
+//!    JSON serialization unchanged.
+//! 8. `replay-run` / `replay-divergence` — re-running codegen from the
+//!    emitted plan (`--from-plan` replay, stages 2–5 skipped) must
+//!    succeed and reproduce the transformed program byte-for-byte.
+//! 9. `ladder-*` — fault-injected runs must walk each degradation rung
+//!    (tuned → untuned, fused → unfused, verification trap → original)
+//!    and still end in a verified program or the untouched original.
+
+use sf_gpusim::device::DeviceSpec;
+use sf_minicuda::ast::Program;
+use sf_minicuda::host::ExecutablePlan;
+use sf_minicuda::printer::print_program;
+use sf_plan::TransformPlan;
+use sf_search::SearchConfig;
+use stencilfuse::{verify_equivalence, FaultPlan, Pipeline, PipelineConfig, TransformResult};
+
+/// One oracle failure: which check tripped, what it saw, and (when a
+/// plan was in play) the offending plan as JSON.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Stable check name (`"differential"`, `"replay-divergence"`, ...).
+    pub check: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The `TransformPlan` active when the check failed, as JSON.
+    pub plan_json: Option<String>,
+}
+
+impl OracleFailure {
+    fn new(check: &'static str, detail: impl Into<String>) -> OracleFailure {
+        OracleFailure {
+            check,
+            detail: detail.into(),
+            plan_json: None,
+        }
+    }
+
+    fn with_plan(mut self, plan: Option<&TransformPlan>) -> OracleFailure {
+        self.plan_json = plan.map(|p| p.to_json());
+        self
+    }
+}
+
+/// The pipeline configuration the fuzzer drives: the quick automated
+/// pipeline with the fuzz search profile (small, watchdog-free, seeded
+/// per program so search trajectories vary across the corpus).
+pub fn config(seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::quick(DeviceSpec::k20x());
+    cfg.search = SearchConfig::fuzz(seed);
+    cfg
+}
+
+fn degradation_smells_like_miscompile(action: &str, reason: &str) -> bool {
+    action.contains("verification failed") || reason.contains("output mismatch")
+}
+
+/// Run every oracle check on one generated program. `Ok(())` means the
+/// whole pipeline held its contract for this program.
+pub fn check_program(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    // 1. executable
+    if let Err(e) = ExecutablePlan::from_program(program) {
+        return Err(OracleFailure::new(
+            "executable",
+            format!("generated host section is not executable: {e}"),
+        ));
+    }
+
+    // 2. self-equivalence (generator sanity: no races, no NaN)
+    match verify_equivalence(program, program, seed ^ 0xA5) {
+        Err(e) => {
+            return Err(OracleFailure::new(
+                "self-equivalence",
+                format!("could not interpret the untransformed program: {e}"),
+            ))
+        }
+        Ok(v) if !v.passed() => {
+            return Err(OracleFailure::new(
+                "self-equivalence",
+                format!(
+                    "untransformed program fails against itself: {}",
+                    v.failure().unwrap_or_else(|| "unknown".into())
+                ),
+            ))
+        }
+        Ok(_) => {}
+    }
+
+    // 3. pipeline-run
+    let pipeline = match Pipeline::new(program.clone(), config(seed)) {
+        Ok(p) => p,
+        Err(e) => return Err(OracleFailure::new("pipeline-run", format!("pipeline rejected the program: {e}"))),
+    };
+    let result = match pipeline.run() {
+        Ok(r) => r,
+        Err(e) => {
+            return Err(OracleFailure::new(
+                "pipeline-run",
+                format!("Degrade-policy run returned an error: {e}"),
+            ))
+        }
+    };
+
+    // 4. hidden-miscompile
+    for d in result.degradations() {
+        if degradation_smells_like_miscompile(&d.action, &d.reason) {
+            return Err(OracleFailure::new(
+                "hidden-miscompile",
+                format!(
+                    "degradation hides a verification failure: {} ({})",
+                    d.action, d.reason
+                ),
+            )
+            .with_plan(result.executed_plan().or_else(|| result.planned())));
+        }
+    }
+
+    // 5. pipeline-verification
+    if let Some(v) = &result.verification {
+        if !v.passed() {
+            return Err(OracleFailure::new(
+                "pipeline-verification",
+                format!(
+                    "pipeline verification failed: {}",
+                    v.failure().unwrap_or_else(|| "unknown".into())
+                ),
+            )
+            .with_plan(result.executed_plan()));
+        }
+    }
+
+    // 6. differential (independent re-verification, different data seed)
+    match verify_equivalence(program, &result.program, seed ^ 0xD1FF) {
+        Err(e) => {
+            return Err(OracleFailure::new(
+                "differential",
+                format!("could not interpret the transformed program: {e}"),
+            )
+            .with_plan(result.executed_plan()))
+        }
+        Ok(v) if !v.passed() => {
+            return Err(OracleFailure::new(
+                "differential",
+                format!(
+                    "transformed program diverges from the original: {}",
+                    v.failure().unwrap_or_else(|| "unknown".into())
+                ),
+            )
+            .with_plan(result.executed_plan()))
+        }
+        Ok(_) => {}
+    }
+
+    // 7/8. plan round-trip + replay
+    if let Some(plan) = result.executed_plan().or_else(|| result.planned()) {
+        match TransformPlan::from_json(&plan.to_json()) {
+            Err(e) => {
+                return Err(OracleFailure::new("plan-roundtrip", format!("plan JSON does not parse back: {e}"))
+                    .with_plan(Some(plan)))
+            }
+            Ok(back) if &back != plan => {
+                return Err(OracleFailure::new(
+                    "plan-roundtrip",
+                    "plan JSON round trip changed the plan".to_string(),
+                )
+                .with_plan(Some(plan)))
+            }
+            Ok(_) => {}
+        }
+        check_replay(program, &result, plan, seed)?;
+    }
+
+    // 9. degradation ladder under injected faults
+    check_ladder(program, seed)?;
+
+    Ok(())
+}
+
+/// Replay the emitted plan through `--from-plan` codegen and require the
+/// transformed program byte-for-byte.
+fn check_replay(
+    program: &Program,
+    result: &TransformResult,
+    plan: &TransformPlan,
+    seed: u64,
+) -> Result<(), OracleFailure> {
+    let replay_cfg = config(seed).with_plan(plan.clone());
+    let replay = Pipeline::new(program.clone(), replay_cfg)
+        .and_then(|p| p.run())
+        .map_err(|e| {
+            OracleFailure::new("replay-run", format!("plan replay failed: {e}")).with_plan(Some(plan))
+        })?;
+    let first = print_program(&result.program);
+    let second = print_program(&replay.program);
+    if first != second {
+        return Err(OracleFailure::new(
+            "replay-divergence",
+            format!(
+                "plan replay produced a different program ({} vs {} bytes)",
+                first.len(),
+                second.len()
+            ),
+        )
+        .with_plan(Some(plan)));
+    }
+    Ok(())
+}
+
+/// Force each degradation rung with blanket fault plans and require the
+/// ladder contract: the run still succeeds, and the result is either a
+/// verified transformed program or the untouched original — never a
+/// silently wrong one.
+fn check_ladder(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    let all: std::collections::BTreeSet<usize> = (0..8).collect();
+    let rungs: [(&'static str, FaultPlan); 3] = [
+        (
+            "ladder-tuned-reject",
+            FaultPlan {
+                reject_tuned_groups: all.clone(),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "ladder-reject",
+            FaultPlan {
+                reject_groups: all.clone(),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "ladder-panic",
+            FaultPlan {
+                panic_groups: all,
+                ..FaultPlan::default()
+            },
+        ),
+    ];
+    for (check, faults) in rungs {
+        let mut cfg = config(seed).with_faults(faults);
+        // Exercise the tuned rung even on the tuned-reject pass.
+        cfg.block_tuning = true;
+        let result = Pipeline::new(program.clone(), cfg)
+            .and_then(|p| p.run())
+            .map_err(|e| OracleFailure::new(check, format!("faulted run did not degrade, it failed: {e}")))?;
+        for d in result.degradations() {
+            if degradation_smells_like_miscompile(&d.action, &d.reason) {
+                return Err(OracleFailure::new(
+                    check,
+                    format!("faulted run hid a miscompile: {} ({})", d.action, d.reason),
+                )
+                .with_plan(result.executed_plan().or_else(|| result.planned())));
+            }
+        }
+        let verified = result.verification.as_ref().is_some_and(|v| v.passed());
+        let kept_original = result.program == *program;
+        if !verified && !kept_original {
+            return Err(OracleFailure::new(
+                check,
+                "faulted run produced an unverified program that is not the original".to_string(),
+            )
+            .with_plan(result.executed_plan().or_else(|| result.planned())));
+        }
+    }
+    Ok(())
+}

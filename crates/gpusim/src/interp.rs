@@ -664,6 +664,7 @@ impl Machine<'_> {
                 rhs.as_f64()
             } else {
                 self.stats.shared_reads += 1;
+                self.note_shared_read(tile, off, t);
                 apply_assign(op, self.tiles[tile as usize][off], rhs.as_f64())
             };
             // Same-epoch write from a different warp → race.
@@ -685,6 +686,25 @@ impl Machine<'_> {
         }
         self.scratch = scratch;
         Ok(())
+    }
+
+    /// Shared read-after-write hazard: reading a tile cell that a
+    /// *different* warp wrote in the *same* barrier epoch is unordered on
+    /// real hardware (the lockstep simulator happens to see the value, so
+    /// without this check a missing `__syncthreads()` between staging
+    /// writes and consumer reads would go undetected).
+    fn note_shared_read(&mut self, tile: u16, off: usize, t: usize) {
+        if !self.detect_hazards {
+            return;
+        }
+        if let Some(&(epoch, w)) = self.shared_writes.get(&(tile, off)) {
+            if epoch == self.epoch && w != t / 32 {
+                self.stats.add_hazard(format!(
+                    "shared read-after-write without barrier on tile {tile}[{off}] in `{}`",
+                    self.kernel_name
+                ));
+            }
+        }
     }
 
     fn note_global_read(&mut self, array: u16, off: usize) {
@@ -743,6 +763,7 @@ impl Machine<'_> {
             CExpr::Shared { tile, idx } => {
                 let off = self.shared_offset(*tile, idx, t)?;
                 self.stats.shared_reads += 1;
+                self.note_shared_read(*tile, off, t);
                 Value::F(self.tiles[*tile as usize][off])
             }
             CExpr::Un { op, e } => {
@@ -1091,6 +1112,48 @@ void host() {
         interp.detect_hazards = true;
         let stats = interp.run_plan(&plan, &mut mem).unwrap();
         assert!(!stats[0].hazards.is_empty());
+    }
+
+    /// A missing `__syncthreads()` between staging writes and cross-warp
+    /// tile reads is functionally invisible to the lockstep simulator, so
+    /// it must surface as a hazard instead of a value difference.
+    #[test]
+    fn detects_shared_raw_without_barrier() {
+        let broken = r#"
+__global__ void rev(const double* __restrict__ a, double* b, int n) {
+  __shared__ double s[64];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  s[threadIdx.x] = a[i];
+  b[i] = s[63 - threadIdx.x];
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  double* b = cudaAlloc1D(n);
+  rev<<<1, 64>>>(a, b, n);
+}
+"#;
+        let p = parse_program(broken).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.detect_hazards = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        assert!(
+            stats[0].hazards.iter().any(|h| h.contains("read-after-write without barrier")),
+            "hazards: {:?}",
+            stats[0].hazards
+        );
+
+        // The same kernel with the barrier in place is hazard-free.
+        let fixed = broken.replace("s[threadIdx.x] = a[i];", "s[threadIdx.x] = a[i];\n  __syncthreads();");
+        let p = parse_program(&fixed).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.detect_hazards = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        assert!(stats[0].hazards.is_empty(), "hazards: {:?}", stats[0].hazards);
     }
 
     #[test]

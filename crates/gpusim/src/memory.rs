@@ -141,6 +141,11 @@ impl GlobalMemory {
 
     /// Maximum absolute difference per array between two memories with the
     /// same shape. Used to verify transformed programs against originals.
+    ///
+    /// NOTE: the `f64::max` fold silently drops NaN differences
+    /// (`f64::max(0.0, NaN) == 0.0`), so this alone cannot prove equality.
+    /// Verification must also consult [`GlobalMemory::compare`], whose
+    /// [`ArrayDiff::has_nan`] flag reports NaN on either side.
     pub fn max_abs_diff(&self, other: &GlobalMemory) -> HashMap<String, f64> {
         let mut out = HashMap::new();
         for (name, a) in &self.arrays {
@@ -156,6 +161,38 @@ impl GlobalMemory {
         }
         out
     }
+
+    /// NaN-aware comparison per array between two memories with the same
+    /// shape. A NaN on either side is never folded into the numeric
+    /// difference; it is reported separately so callers can treat it as a
+    /// hard failure.
+    pub fn compare(&self, other: &GlobalMemory) -> HashMap<String, ArrayDiff> {
+        let mut out = HashMap::new();
+        for (name, a) in &self.arrays {
+            if let Some(b) = other.arrays.get(name) {
+                let mut d = ArrayDiff::default();
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    if x.is_nan() || y.is_nan() {
+                        d.has_nan = true;
+                    } else {
+                        d.max_abs_diff = d.max_abs_diff.max((x - y).abs());
+                    }
+                }
+                out.insert(name.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+/// Per-array result of [`GlobalMemory::compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ArrayDiff {
+    /// Maximum absolute difference over positions where both sides hold
+    /// comparable (non-NaN) values.
+    pub max_abs_diff: f64,
+    /// Either side holds a NaN somewhere in the array.
+    pub has_nan: bool,
 }
 
 #[cfg(test)]
@@ -215,5 +252,23 @@ mod tests {
         m2.get_mut("a").unwrap().data[3] = 0.5;
         let d = m1.max_abs_diff(&m2);
         assert_eq!(d["a"], 0.5);
+    }
+
+    /// The `max_abs_diff` fold swallows NaN (`f64::max(0.0, NaN) == 0.0`);
+    /// `compare` must surface it instead.
+    #[test]
+    fn compare_reports_nan_that_max_abs_diff_swallows() {
+        let mut m1 = GlobalMemory::default();
+        m1.arrays
+            .insert("a".into(), DeviceArray::new(info("a", vec![8])));
+        let mut m2 = m1.clone();
+        m2.get_mut("a").unwrap().data[5] = f64::NAN;
+        assert_eq!(m1.max_abs_diff(&m2)["a"], 0.0, "the historical blind spot");
+        let d = m1.compare(&m2)["a"];
+        assert!(d.has_nan);
+        assert_eq!(d.max_abs_diff, 0.0);
+        // NaN on the *left* side is caught too.
+        let d2 = m2.compare(&m1)["a"];
+        assert!(d2.has_nan);
     }
 }

@@ -86,6 +86,50 @@ pub fn at3(array: &str, dk: i64, dj: i64, di: i64) -> Expr {
     )
 }
 
+/// 3-D access against a fixed k-plane: `a[plane][j+dj][i+di]`. Boundary
+/// kernels read and write fixed planes instead of the loop index `k`.
+pub fn at3_plane(array: &str, plane: i64, dj: i64, di: i64) -> Expr {
+    Expr::idx(
+        array,
+        vec![int(plane), offset(var("j"), dj), offset(var("i"), di)],
+    )
+}
+
+/// Assignment to a fixed k-plane: `a[plane][j][i] = value;`.
+pub fn store3_plane(array: &str, plane: i64, value: Expr) -> Stmt {
+    Stmt::Assign {
+        target: LValue::Index {
+            array: array.into(),
+            indices: vec![int(plane), var("j"), var("i")],
+        },
+        op: AssignOp::Assign,
+        value,
+    }
+}
+
+/// A symmetric star stencil of arbitrary radius over `input` (generalizes
+/// [`stencil7`], which is the `radius == 1` case): the center point weighted
+/// by `center_w` plus six axis neighbors per ring `d in 1..=radius`, each
+/// ring weighted by `neighbor_w / d`.
+pub fn stencil_cross(input: &str, radius: i64, center_w: f64, neighbor_w: f64) -> Expr {
+    let mut e = mul(flt(center_w), at3(input, 0, 0, 0));
+    for d in 1..=radius {
+        let ring = [
+            at3(input, 0, 0, d),
+            at3(input, 0, 0, -d),
+            at3(input, 0, d, 0),
+            at3(input, 0, -d, 0),
+            at3(input, d, 0, 0),
+            at3(input, -d, 0, 0),
+        ]
+        .into_iter()
+        .reduce(add)
+        .expect("six ring points");
+        e = add(e, mul(flt(neighbor_w / d as f64), ring));
+    }
+    e
+}
+
 /// The standard horizontal thread mapping prologue:
 /// `int i = blockIdx.x*blockDim.x + threadIdx.x;` (+ same for `j`/y).
 pub fn thread_mapping_2d() -> Vec<Stmt> {
@@ -321,6 +365,30 @@ mod tests {
         assert_eq!(plan.launches.len(), 1);
         assert_eq!(plan.launches[0].grid.x, 4);
         assert_eq!(plan.launches[0].grid.y, 4);
+    }
+
+    #[test]
+    fn stencil_cross_radius_one_matches_stencil7() {
+        assert_eq!(stencil_cross("u", 1, 0.4, 0.1), stencil7("u", 0.4, 0.1));
+    }
+
+    #[test]
+    fn plane_accessors_round_trip() {
+        let mut body = thread_mapping_2d();
+        body.push(interior_guard(
+            0,
+            vec![store3_plane("a", 0, mul(flt(0.5), at3_plane("a", 1, 0, 0)))],
+        ));
+        let k = Kernel {
+            name: "bc".into(),
+            params: params_3d(&[], &["a"]),
+            body,
+        };
+        let p = Program {
+            kernels: vec![k],
+            host: simple_host(&["a"], &[("bc", vec!["a"])], (32, 16, 4), (16, 8)),
+        };
+        assert_eq!(p, reparse(&p).unwrap());
     }
 
     #[test]

@@ -94,6 +94,20 @@ impl SearchConfig {
         }
     }
 
+    /// The differential fuzzer's configuration: small enough that hundreds
+    /// of generated programs search in bounded time, with both watchdogs
+    /// disabled so a seed's search trajectory is a pure function of the
+    /// seed (wall-clock cutoffs would make reruns diverge).
+    pub fn fuzz(seed: u64) -> SearchConfig {
+        SearchConfig {
+            population: 12,
+            generations: 24,
+            stagnation_window: 8,
+            seed,
+            ..SearchConfig::default()
+        }
+    }
+
     /// Disable kernel fission entirely (the "fusion only" ablation of
     /// Figures 4–5).
     pub fn without_fission(mut self) -> SearchConfig {

@@ -79,16 +79,20 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
             proptest::collection::vec(0usize..4, 0..3),
             proptest::collection::vec(0u64..200, 0..4),
             0u8..5,
+            proptest::collection::vec(0usize..4, 0..3),
         ),
     )
-        .prop_map(|((corrupt, profiler, reject), (panic, poison, trap))| FaultPlan {
-            corrupt_metadata: corrupt == 0,
-            profiler_failures: profiler,
-            reject_groups: reject.into_iter().collect(),
-            panic_groups: panic.into_iter().collect(),
-            poison_evaluations: poison.into_iter().collect(),
-            interpreter_trap: trap == 0,
-        })
+        .prop_map(
+            |((corrupt, profiler, reject), (panic, poison, trap, reject_tuned))| FaultPlan {
+                corrupt_metadata: corrupt == 0,
+                profiler_failures: profiler,
+                reject_groups: reject.into_iter().collect(),
+                panic_groups: panic.into_iter().collect(),
+                reject_tuned_groups: reject_tuned.into_iter().collect(),
+                poison_evaluations: poison.into_iter().collect(),
+                interpreter_trap: trap == 0,
+            },
+        )
 }
 
 /// The always-valid invariant, checked on one degrade-mode run.

@@ -153,6 +153,24 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fuzzer's whole-program generator feeds the same round-trip
+    /// property: any generated multi-kernel program (stencils, boundary
+    /// kernels, fat kernels, in-place updates) survives unparse ∘ parse
+    /// unchanged, and printing is a fixpoint.
+    #[test]
+    fn generated_programs_round_trip(seed in 0u64..512) {
+        let g = sf_fuzz::generate(seed, &sf_fuzz::GenConfig::default());
+        let back = reparse(&g.program).expect("generated source parses");
+        prop_assert_eq!(&back, &g.program);
+        let s1 = printer::print_program(&g.program);
+        let s2 = printer::print_program(&back);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
 #[test]
 fn parse_rejects_malformed_programs() {
     for bad in [
