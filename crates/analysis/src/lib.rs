@@ -33,5 +33,7 @@ pub mod stencil;
 
 pub use access::{AccessError, ArrayAccess, IdxBase, IdxPat, KernelAccess, Sweep};
 pub use filter::{FilterDecision, FilterReason};
-pub use metadata::{DeviceMetadata, KernelClass, OpsMetadata, PerfMetadata};
+pub use metadata::{
+    Confidence, DeviceMetadata, KernelClass, MeasureQuality, OpsMetadata, PerfMetadata, Provenance,
+};
 pub use roles::{Role, RoleMap};

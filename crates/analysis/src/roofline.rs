@@ -80,6 +80,7 @@ mod tests {
             flops,
             divergent_evals: 0,
             divergence: 0.0,
+            measure: Default::default(),
         }
     }
 

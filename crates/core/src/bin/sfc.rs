@@ -67,6 +67,8 @@ struct Args {
     no_verify: bool,
     quick: bool,
     strict: bool,
+    profile_reps: Option<u32>,
+    noise_seed: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -89,6 +91,11 @@ usage: sfc INPUT.cu [options]
                       emits the search's lowered plan
   --from-plan FILE    replay a transform plan (`-` for stdin): skips the
                       analysis/search stages and reproduces the run exactly
+  --profile-reps N    profile with N repetitions and robust (median + MAD)
+                      aggregation; reports per-kernel measurement confidence
+  --noise-seed N      inject the standard seeded measurement-noise model
+                      (jitter, outliers, dropped counters, transients); the
+                      same seed reproduces the same measurements exactly
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
@@ -129,6 +136,8 @@ fn parse_args() -> Result<Args, String> {
         no_verify: false,
         quick: false,
         strict: false,
+        profile_reps: None,
+        noise_seed: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -176,6 +185,18 @@ fn parse_args() -> Result<Args, String> {
             "--metadata" => args.load_metadata = Some(take(&mut i)?),
             "--emit-plan" => args.emit_plan = Some(take(&mut i)?),
             "--from-plan" => args.from_plan = Some(take(&mut i)?),
+            "--profile-reps" => {
+                let n = take(&mut i)?;
+                args.profile_reps = Some(
+                    n.parse()
+                        .map_err(|_| format!("bad repetition count `{n}`"))?,
+                );
+            }
+            "--noise-seed" => {
+                let n = take(&mut i)?;
+                args.noise_seed =
+                    Some(n.parse().map_err(|_| format!("bad noise seed `{n}`"))?);
+            }
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
             "--quick" => args.quick = true,
@@ -241,6 +262,12 @@ fn main() {
     }
     if args.strict {
         config = config.strict();
+    }
+    if let Some(reps) = args.profile_reps {
+        config = config.with_profile_reps(reps);
+    }
+    if let Some(seed) = args.noise_seed {
+        config = config.with_noise_seed(seed);
     }
     config.run_until = args.until;
     if let Some(path) = &args.load_metadata {

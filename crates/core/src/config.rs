@@ -86,6 +86,12 @@ pub struct PipelineConfig {
     pub degrade: DegradePolicy,
     /// Bounded retries for transient profiler failures.
     pub profile_retries: u32,
+    /// Measurement repetitions per profiling invocation, aggregated with
+    /// median + MAD outlier rejection (1 = single-shot exact profile).
+    pub profile_reps: u32,
+    /// Synthetic measurement noise applied to profiled metrics (`None` =
+    /// exact measurements). Seeded and fully deterministic.
+    pub noise: Option<sf_gpusim::noise::NoiseModel>,
     /// Deterministic fault injection at stage boundaries (testing only;
     /// `None` disables the injector entirely).
     pub faults: Option<crate::faults::FaultPlan>,
@@ -108,6 +114,8 @@ impl PipelineConfig {
             preloaded_plan: None,
             degrade: DegradePolicy::Degrade,
             profile_retries: 2,
+            profile_reps: 1,
+            noise: None,
             faults: None,
         }
     }
@@ -155,6 +163,19 @@ impl PipelineConfig {
     /// Replay a previously emitted transform plan (skips stages 2–5).
     pub fn with_plan(mut self, plan: TransformPlan) -> PipelineConfig {
         self.preloaded_plan = Some(plan);
+        self
+    }
+
+    /// Profile with `reps` repetitions per invocation (robust aggregation).
+    pub fn with_profile_reps(mut self, reps: u32) -> PipelineConfig {
+        self.profile_reps = reps.max(1);
+        self
+    }
+
+    /// Inject the standard seeded measurement-noise model (10% jitter, 5%
+    /// outliers, dropped counters, transient repetition failures).
+    pub fn with_noise_seed(mut self, seed: u64) -> PipelineConfig {
+        self.noise = Some(sf_gpusim::noise::NoiseModel::standard(seed));
         self
     }
 }

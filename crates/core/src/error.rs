@@ -43,8 +43,11 @@ pub enum ErrorKind {
     Parse(sf_minicuda::ParseError),
     /// Host-code evaluation failed while building the executable plan.
     HostEval(sf_minicuda::HostEvalError),
-    /// The profiler (functional or analytic) failed.
-    Profile(sf_gpusim::profiler::ProfileError),
+    /// The profiler (functional or analytic) failed. Boxed: the
+    /// structured error carries message + kernel/launch attribution and
+    /// would otherwise dominate the size of every `Result` in the
+    /// pipeline.
+    Profile(Box<sf_gpusim::profiler::ProfileError>),
     /// Code generation rejected or failed on a fusion group.
     Codegen(sf_codegen::CodegenError),
     /// DDG/OEG construction failed.
@@ -193,7 +196,7 @@ impl std::error::Error for PipelineError {
         match &self.kind {
             ErrorKind::Parse(e) => Some(e),
             ErrorKind::HostEval(e) => Some(e),
-            ErrorKind::Profile(e) => Some(e),
+            ErrorKind::Profile(e) => Some(e.as_ref()),
             ErrorKind::Codegen(e) => Some(e),
             _ => None,
         }
@@ -218,10 +221,24 @@ impl From<sf_minicuda::HostEvalError> for PipelineError {
     }
 }
 
-/// Profiling is the classic transient failure: rerunning it may succeed.
+/// Profile errors keep their own transience judgment: a measurement-run
+/// failure (simulator divergence, lost counters) is [`Recoverability::Transient`]
+/// and worth retrying; a deterministic one (unknown kernel, unlaunchable
+/// config) is [`Recoverability::Degradable`] — retrying cannot help, but the
+/// original program remains a valid degraded result. Kernel attribution
+/// carries over from the structured error.
 impl From<sf_gpusim::profiler::ProfileError> for PipelineError {
     fn from(e: sf_gpusim::profiler::ProfileError) -> Self {
-        PipelineError::transient(Stage::Metadata, ErrorKind::Profile(e))
+        let kernel = e.kernel.clone();
+        let class = if e.transient {
+            Recoverability::Transient
+        } else {
+            Recoverability::Degradable
+        };
+        let mut err =
+            PipelineError::new(Stage::Metadata, class, ErrorKind::Profile(Box::new(e)));
+        err.kernel = kernel;
+        err
     }
 }
 
@@ -239,7 +256,8 @@ mod tests {
 
     #[test]
     fn conversions_preserve_source_and_defaults() {
-        let e: PipelineError = sf_gpusim::profiler::ProfileError("sim diverged".into()).into();
+        let e: PipelineError =
+            sf_gpusim::profiler::ProfileError::transient("sim diverged").into();
         assert_eq!(e.stage, Stage::Metadata);
         assert_eq!(e.class, Recoverability::Transient);
         let src = e.source().expect("typed source retained");
@@ -275,7 +293,24 @@ mod tests {
 
     #[test]
     fn reattribution_moves_stage() {
-        let e: PipelineError = sf_gpusim::profiler::ProfileError("noise".into()).into();
+        let e: PipelineError = sf_gpusim::profiler::ProfileError::transient("noise").into();
         assert_eq!(e.at(Stage::Search).stage, Stage::Search);
+    }
+
+    #[test]
+    fn profile_error_transience_and_attribution_carry_over() {
+        let deterministic = sf_gpusim::profiler::ProfileError::msg("unknown kernel")
+            .for_kernel("step3")
+            .at_seq(3);
+        let e: PipelineError = deterministic.into();
+        assert_eq!(e.class, Recoverability::Degradable);
+        assert_eq!(e.kernel.as_deref(), Some("step3"));
+        assert!(e.to_string().contains("kernel `step3`"));
+
+        let transient =
+            sf_gpusim::profiler::ProfileError::transient("counter lost").for_kernel("step1");
+        let e: PipelineError = transient.into();
+        assert_eq!(e.class, Recoverability::Transient);
+        assert_eq!(e.kernel.as_deref(), Some("step1"));
     }
 }

@@ -36,6 +36,14 @@ pub struct FaultPlan {
     pub poison_evaluations: BTreeSet<u64>,
     /// Make the verification interpreter trap instead of producing output.
     pub interpreter_trap: bool,
+    /// Run the whole pipeline under a standard measurement-noise model with
+    /// this seed, as if the profiler ran on a loaded machine
+    /// ([`sf_gpusim::noise::NoiseModel::standard`]).
+    pub noise_seed: Option<u64>,
+    /// Fail this many individual profiling *repetitions* inside the robust
+    /// profiler (per-rep transients, retried with virtual backoff) on each
+    /// profiling invocation.
+    pub rep_failures: u32,
 }
 
 impl FaultPlan {
@@ -81,6 +89,14 @@ impl FaultPlan {
         for _ in 0..next() % 3 {
             plan.reject_tuned_groups.insert((next() % 4) as usize);
         }
+        // Appended after the reject_tuned_groups draws, same convention.
+        // The noise-seed draw is unconditional so the draw count (and thus
+        // every later field) never depends on an earlier value.
+        let noise_draw = next();
+        if noise_draw % 3 == 0 {
+            plan.noise_seed = Some(noise_draw >> 8);
+        }
+        plan.rep_failures = (next() % 3) as u32;
         plan
     }
 }
@@ -162,6 +178,16 @@ impl FaultInjector {
     pub fn interpreter_trap(&self) -> bool {
         self.plan.interpreter_trap
     }
+
+    /// Seed for the injected measurement-noise model, if any.
+    pub fn noise_seed(&self) -> Option<u64> {
+        self.plan.noise_seed
+    }
+
+    /// Profiling repetitions to fail transiently per profiling invocation.
+    pub fn rep_failures(&self) -> u32 {
+        self.plan.rep_failures
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +201,62 @@ mod tests {
         }
         // Different seeds produce different mixes somewhere in this range.
         assert!((0..64).any(|s| FaultPlan::seeded(s) != FaultPlan::seeded(s + 64)));
+    }
+
+    #[test]
+    fn every_fault_kind_is_reachable_over_a_seed_range() {
+        // Satellite: no fault kind may be dead weight in the seeded
+        // generator — each must fire for at least one seed in a modest
+        // range, or the fuzzing corpus silently stops covering it.
+        let plans: Vec<FaultPlan> = (0..512).map(FaultPlan::seeded).collect();
+        assert!(plans.iter().any(|p| p.corrupt_metadata), "corrupt_metadata never drawn");
+        assert!(plans.iter().any(|p| p.profiler_failures > 0), "profiler_failures never drawn");
+        assert!(plans.iter().any(|p| p.interpreter_trap), "interpreter_trap never drawn");
+        assert!(plans.iter().any(|p| !p.reject_groups.is_empty()), "reject_groups never drawn");
+        assert!(plans.iter().any(|p| !p.panic_groups.is_empty()), "panic_groups never drawn");
+        assert!(
+            plans.iter().any(|p| !p.poison_evaluations.is_empty()),
+            "poison_evaluations never drawn"
+        );
+        assert!(
+            plans.iter().any(|p| !p.reject_tuned_groups.is_empty()),
+            "reject_tuned_groups never drawn"
+        );
+        assert!(plans.iter().any(|p| p.noise_seed.is_some()), "noise_seed never drawn");
+        assert!(plans.iter().any(|p| p.rep_failures > 0), "rep_failures never drawn");
+        // And none fires always: plans must also be fault-free sometimes
+        // per kind, or every fuzz run carries the same forced fault.
+        assert!(plans.iter().any(|p| !p.corrupt_metadata));
+        assert!(plans.iter().any(|p| p.noise_seed.is_none()));
+        assert!(plans.iter().any(|p| p.rep_failures == 0));
+    }
+
+    mod properties {
+        use super::super::FaultPlan;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite: seed determinism over arbitrary u64 seeds, not
+            /// just a small dense range.
+            #[test]
+            fn seeded_plans_are_deterministic_for_any_seed(seed in 0u64..u64::MAX) {
+                prop_assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
+            }
+
+            /// Bounds the generator promises: group indices stay small and
+            /// budgets bounded, so injected faults always target plausible
+            /// pipeline entities.
+            #[test]
+            fn seeded_plans_stay_in_bounds(seed in 0u64..u64::MAX) {
+                let p = FaultPlan::seeded(seed);
+                prop_assert!(p.profiler_failures < 3);
+                prop_assert!(p.rep_failures < 3);
+                prop_assert!(p.reject_groups.iter().all(|&g| g < 4));
+                prop_assert!(p.panic_groups.iter().all(|&g| g < 4));
+                prop_assert!(p.reject_tuned_groups.iter().all(|&g| g < 4));
+                prop_assert!(p.poison_evaluations.iter().all(|&e| e < 200));
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@ use sf_analysis::metadata::MetadataBundle;
 use sf_codegen::{
     transform_program_with, CodegenFaults, GroupFailure, TransformOutput, TransformPlan,
 };
+use sf_gpusim::noise::NoiseModel;
 use sf_gpusim::profiler::{ProfileError, Profiler, ProgramProfile};
+use sf_gpusim::robust::RobustProfiler;
 use sf_graphs::build::all_accesses_with_allocs;
 use sf_graphs::{dot, Ddg, Oeg};
 use sf_minicuda::host::ExecutablePlan;
@@ -133,30 +135,36 @@ fn validate_metadata(metadata: &MetadataBundle, launches: usize) -> Result<(), S
 }
 
 /// Profile with bounded retry for transient failures (including injected
-/// ones). Returns the profile and how many retries were needed.
-fn profile_with_retry(
-    profile: impl Fn() -> Result<ProgramProfile, ProfileError>,
+/// ones). Returns the profile and how many retries were needed. A
+/// deterministic (non-transient) profile error short-circuits: retrying an
+/// unknown kernel or an unlaunchable configuration cannot help.
+fn profile_with_retry<T>(
+    profile: impl Fn() -> Result<T, ProfileError>,
     injector: &FaultInjector,
     retries: u32,
     stage: Stage,
-) -> Result<(ProgramProfile, u32), PipelineError> {
+) -> Result<(T, u32), PipelineError> {
     let mut last: Option<PipelineError> = None;
     for attempt in 0..=retries {
         let injected = injector.take_profiler_failure();
         let outcome = if injected {
-            Err(ProfileError("injected transient profiler failure".into()))
+            Err(ProfileError::transient("injected transient profiler failure"))
         } else {
             profile()
         };
         match outcome {
             Ok(p) => return Ok((p, attempt)),
             Err(e) => {
-                let kind = if injected {
-                    ErrorKind::Injected(e.to_string())
+                let err = if injected {
+                    PipelineError::transient(stage, ErrorKind::Injected(e.to_string()))
                 } else {
-                    ErrorKind::Profile(e)
+                    PipelineError::from(e).at(stage)
                 };
-                last = Some(PipelineError::transient(stage, kind));
+                let retryable = err.class == crate::error::Recoverability::Transient;
+                last = Some(err);
+                if !retryable {
+                    break;
+                }
             }
         }
     }
@@ -202,6 +210,17 @@ impl Pipeline {
         } else {
             Profiler::analytic(cfg.device.clone())
         };
+        // The robust wrapper owns repetition, noise injection, retry with
+        // virtual backoff, and median+MAD aggregation. With one rep, no
+        // noise, and no injected rep failures it is a strict passthrough.
+        let robust = RobustProfiler::new(
+            profiler.clone(),
+            cfg.profile_reps,
+            cfg.noise
+                .clone()
+                .or_else(|| injector.noise_seed().map(NoiseModel::standard)),
+        )
+        .with_forced_transients(injector.rep_failures());
         let mut meta_report = StageReport::new(Stage::Metadata);
         let original_profile = match &cfg.preloaded_metadata {
             // "Execute from" the metadata stage: trust the (possibly
@@ -233,19 +252,37 @@ impl Pipeline {
             }
             None => {
                 let attempt = profile_with_retry(
-                    || profiler.profile_with_plan(&self.program, &self.plan),
+                    || robust.profile_with_plan(&self.program, &self.plan),
                     &injector,
                     cfg.profile_retries,
                     Stage::Metadata,
                 );
                 match attempt {
-                    Ok((p, used)) => {
+                    Ok((rp, used)) => {
                         if used > 0 {
                             meta_report.line(format!(
                                 "profiler recovered after {used} transient failure(s)"
                             ));
                         }
-                        p
+                        if robust.is_active() {
+                            meta_report.line(format!(
+                                "robust profiling: {} repetition(s), {} lost, \
+                                 {} transient rep failure(s) retried ({} µs virtual backoff)",
+                                rp.reps, rp.lost_reps, rp.transient_failures, rp.virtual_backoff_us
+                            ));
+                            let (stable, noisy, unreliable) = rp.confidence_counts();
+                            meta_report.line(format!(
+                                "measurement confidence: {stable} stable, {noisy} noisy, \
+                                 {unreliable} unreliable"
+                            ));
+                            if unreliable > 0 {
+                                meta_report.hint(format!(
+                                    "{unreliable} launch(es) with unreliable measurements \
+                                     will be quarantined from the fusion space"
+                                ));
+                            }
+                        }
+                        rp.profile
                     }
                     Err(e) => {
                         if strict {
@@ -620,19 +657,29 @@ impl Pipeline {
             );
         }
 
+        // Re-profile under the same robust wrapper (same noise model, same
+        // rep count) so the original/transformed comparison is apples to
+        // apples: both sides see the same measurement conditions.
         let transformed_profile = match profile_with_retry(
-            || profiler.profile(&transform.program),
+            || robust.profile(&transform.program),
             &injector,
             cfg.profile_retries,
             Stage::Codegen,
         ) {
-            Ok((p, used)) => {
+            Ok((rp, used)) => {
                 if used > 0 {
                     cg_report.line(format!(
                         "profiler recovered after {used} transient failure(s)"
                     ));
                 }
-                p
+                if robust.is_active() && rp.transient_failures > 0 {
+                    cg_report.line(format!(
+                        "robust re-profiling: {} transient rep failure(s) retried \
+                         ({} µs virtual backoff)",
+                        rp.transient_failures, rp.virtual_backoff_us
+                    ));
+                }
+                rp.profile
             }
             Err(e) => {
                 if strict {

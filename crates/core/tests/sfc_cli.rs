@@ -228,3 +228,47 @@ fn emit_params_writes_default_file() {
         serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(cfg.population, 100);
 }
+
+#[test]
+fn noisy_profiling_is_deterministic_across_cli_runs() {
+    let input = tmp("demo_noise.cu");
+    std::fs::write(&input, DEMO).unwrap();
+    let mut outputs = Vec::new();
+    let mut plans = Vec::new();
+    for run in 0..2 {
+        let out = tmp(&format!("demo_noise_{run}.cu"));
+        let plan = tmp(&format!("demo_noise_{run}_plan.json"));
+        let status = sfc()
+            .args([
+                input.to_str().unwrap(),
+                "--quick",
+                "--profile-reps",
+                "5",
+                "--noise-seed",
+                "1234",
+                "-o",
+                out.to_str().unwrap(),
+                "--emit-plan",
+                plan.to_str().unwrap(),
+            ])
+            .status()
+            .expect("sfc runs");
+        assert!(status.success());
+        outputs.push(std::fs::read_to_string(&out).unwrap());
+        plans.push(std::fs::read_to_string(&plan).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "same noise seed, different programs");
+    assert_eq!(plans[0], plans[1], "same noise seed, different plans");
+
+    // Bad values are usage errors.
+    let out = sfc()
+        .args([input.to_str().unwrap(), "--profile-reps", "lots"])
+        .output()
+        .expect("sfc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = sfc()
+        .args([input.to_str().unwrap(), "--noise-seed", "-3"])
+        .output()
+        .expect("sfc runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -27,7 +27,7 @@ pub mod repro;
 pub mod shrink;
 
 pub use gen::{generate, GenConfig, Generated};
-pub use oracle::{check_program, OracleFailure};
+pub use oracle::{check_program, check_program_with, OracleFailure, OracleOptions};
 pub use repro::write_repro;
 pub use shrink::{shrink, shrink_with};
 
@@ -36,12 +36,32 @@ pub use shrink::{shrink, shrink_with};
 /// failure (with the *shrunk* program's detail and plan) and the shrunk
 /// program, or `None` when the seed is clean.
 pub fn fuzz_seed(seed: u64, cfg: &GenConfig) -> Option<(OracleFailure, sf_minicuda::ast::Program)> {
+    fuzz_seed_with(seed, cfg, OracleOptions::default())
+}
+
+/// [`fuzz_seed`] with optional oracle checks enabled; the shrinker runs
+/// the same option set, so a minimized reproducer still fails the same
+/// (possibly optional) check.
+pub fn fuzz_seed_with(
+    seed: u64,
+    cfg: &GenConfig,
+    opts: OracleOptions,
+) -> Option<(OracleFailure, sf_minicuda::ast::Program)> {
     let generated = generate(seed, cfg);
-    let failure = check_program(&generated.program, seed).err()?;
-    let small = shrink::shrink(&generated.program, seed, failure.check);
+    let failure = check_program_with(&generated.program, seed, opts).err()?;
+    let check = failure.check;
+    let small = shrink::shrink_with(
+        &generated.program,
+        |p| {
+            check_program_with(p, seed, opts)
+                .err()
+                .is_some_and(|f| f.check == check)
+        },
+        200,
+    );
     // Re-run the oracle on the shrunk program so the reported detail and
     // plan belong to the minimized reproducer, not the original.
-    let final_failure = check_program(&small, seed).err().unwrap_or(failure);
+    let final_failure = check_program_with(&small, seed, opts).err().unwrap_or(failure);
     Some((final_failure, small))
 }
 

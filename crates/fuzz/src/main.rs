@@ -10,7 +10,7 @@
 //! Exit codes: 0 = all seeds clean, 1 = at least one failure (reproducers
 //! written), 2 = usage error.
 
-use sf_fuzz::{fuzz_seed, GenConfig};
+use sf_fuzz::{fuzz_seed_with, GenConfig, OracleOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -19,13 +19,14 @@ struct Args {
     seeds: Vec<u64>,
     repro_dir: PathBuf,
     max_wall_secs: u64,
+    noise: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +36,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seeds: Vec::new(),
         repro_dir: PathBuf::from("tests/repros"),
         max_wall_secs: 0,
+        noise: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -61,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.seeds.extend(a..b);
             }
+            "--noise" => args.noise = true,
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--max-wall-secs" => {
                 let v = value("--max-wall-secs")?;
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
     };
 
     let cfg = GenConfig::default();
+    let opts = OracleOptions { noise: args.noise };
     let start = Instant::now();
     let mut checked = 0usize;
     let mut failures = 0usize;
@@ -96,7 +100,7 @@ fn main() -> ExitCode {
             break;
         }
         checked += 1;
-        let Some((failure, small)) = fuzz_seed(seed, &cfg) else {
+        let Some((failure, small)) = fuzz_seed_with(seed, &cfg, opts) else {
             continue;
         };
         failures += 1;
@@ -150,6 +154,14 @@ mod tests {
         assert!(parse_args(&argv(&["--seed"])).is_err());
         assert!(parse_args(&argv(&["--seed-range", "5..5"])).is_err());
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_noise_flag() {
+        let a = parse_args(&argv(&["--seed", "1", "--noise"])).unwrap();
+        assert!(a.noise);
+        let a = parse_args(&argv(&["--seed", "1"])).unwrap();
+        assert!(!a.noise);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //! 9. `ladder-*` — fault-injected runs must walk each degradation rung
 //!    (tuned → untuned, fused → unfused, verification trap → original)
 //!    and still end in a verified program or the untouched original.
+//! 10. `noisy-*` (opt-in via [`OracleOptions::noise`]) — a plan chosen
+//!     under seeded measurement noise (5 robust repetitions, standard
+//!     noise model) must still verify, be byte-identical across two runs
+//!     with the same seed, and never degrade below the original program
+//!     (modeled speedup ≥ 1).
 
 use sf_gpusim::device::DeviceSpec;
 use sf_minicuda::ast::Program;
@@ -65,6 +70,14 @@ impl OracleFailure {
     }
 }
 
+/// Which optional oracle checks to run on top of the always-on core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleOptions {
+    /// Run the `noisy-*` checks: robust profiling under a seeded
+    /// measurement-noise model must stay deterministic and sound.
+    pub noise: bool,
+}
+
 /// The pipeline configuration the fuzzer drives: the quick automated
 /// pipeline with the fuzz search profile (small, watchdog-free, seeded
 /// per program so search trajectories vary across the corpus).
@@ -78,9 +91,26 @@ fn degradation_smells_like_miscompile(action: &str, reason: &str) -> bool {
     action.contains("verification failed") || reason.contains("output mismatch")
 }
 
-/// Run every oracle check on one generated program. `Ok(())` means the
-/// whole pipeline held its contract for this program.
+/// Run every always-on oracle check on one generated program. `Ok(())`
+/// means the whole pipeline held its contract for this program.
 pub fn check_program(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    check_program_with(program, seed, OracleOptions::default())
+}
+
+/// [`check_program`] plus the optional checks selected by `opts`.
+pub fn check_program_with(
+    program: &Program,
+    seed: u64,
+    opts: OracleOptions,
+) -> Result<(), OracleFailure> {
+    check_core(program, seed)?;
+    if opts.noise {
+        check_noisy_profile(program, seed)?;
+    }
+    Ok(())
+}
+
+fn check_core(program: &Program, seed: u64) -> Result<(), OracleFailure> {
     // 1. executable
     if let Err(e) = ExecutablePlan::from_program(program) {
         return Err(OracleFailure::new(
@@ -283,6 +313,80 @@ fn check_ladder(program: &Program, seed: u64) -> Result<(), OracleFailure> {
             )
             .with_plan(result.executed_plan().or_else(|| result.planned())));
         }
+    }
+    Ok(())
+}
+
+/// Opt-in noise check: run the pipeline under the standard seeded noise
+/// model with 5 robust repetitions and one per-rep transient, twice with
+/// identical configuration. The plan chosen under noise must verify (or
+/// fall back to the untouched original), the modeled speedup must stay
+/// monotone (never below 1), and the two runs must agree byte for byte —
+/// measurement noise is seeded, so nondeterminism here is a pipeline bug.
+fn check_noisy_profile(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    let noisy_cfg = || {
+        let mut cfg = config(seed).with_profile_reps(5).with_noise_seed(seed ^ 0x6e6f_6973);
+        cfg.faults = Some(FaultPlan {
+            rep_failures: 1,
+            ..FaultPlan::default()
+        });
+        cfg
+    };
+    let run = |check: &'static str| -> Result<TransformResult, OracleFailure> {
+        Pipeline::new(program.clone(), noisy_cfg())
+            .and_then(|p| p.run())
+            .map_err(|e| {
+                OracleFailure::new(check, format!("noisy Degrade-policy run failed: {e}"))
+            })
+    };
+    let first = run("noisy-run")?;
+    for d in first.degradations() {
+        if degradation_smells_like_miscompile(&d.action, &d.reason) {
+            return Err(OracleFailure::new(
+                "noisy-miscompile",
+                format!(
+                    "noisy run hid a verification failure: {} ({})",
+                    d.action, d.reason
+                ),
+            )
+            .with_plan(first.executed_plan().or_else(|| first.planned())));
+        }
+    }
+    let verified = first.verification.as_ref().is_some_and(|v| v.passed());
+    let kept_original = first.program == *program;
+    if !verified && !kept_original {
+        return Err(OracleFailure::new(
+            "noisy-verification",
+            "plan chosen under noise produced an unverified program that is not the original"
+                .to_string(),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
+    }
+    if first.speedup < 1.0 {
+        return Err(OracleFailure::new(
+            "noisy-monotonic",
+            format!(
+                "noisy run degraded below the original program (modeled speedup {:.3})",
+                first.speedup
+            ),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
+    }
+    // Determinism: same seed, same noise, same plan, same bytes.
+    let second = run("noisy-run")?;
+    if print_program(&first.program) != print_program(&second.program) {
+        return Err(OracleFailure::new(
+            "noisy-determinism",
+            "two runs with the same noise seed produced different programs".to_string(),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
+    }
+    if first.executed_plan() != second.executed_plan() {
+        return Err(OracleFailure::new(
+            "noisy-determinism",
+            "two runs with the same noise seed executed different plans".to_string(),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
     }
     Ok(())
 }

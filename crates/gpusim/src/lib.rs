@@ -20,18 +20,27 @@
 //!   these mechanisms.
 //! - [`profiler`] — runs a program on a device and emits the per-kernel
 //!   performance metadata (the `nvprof` analog feeding §3.2.1).
+//! - [`noise`] + [`robust`] — a seeded deterministic measurement-noise
+//!   model and the robust profiler that defeats it: k repetitions,
+//!   median/MAD aggregation with outlier rejection, deterministic retry
+//!   with a virtual backoff clock, and Stable/Noisy/Unreliable
+//!   confidence classification per launch.
 
 pub mod compile;
 pub mod device;
 pub mod interp;
 pub mod isolate;
 pub mod memory;
+pub mod noise;
 pub mod occupancy;
 pub mod profiler;
+pub mod robust;
 pub mod timing;
 
 pub use device::DeviceSpec;
 pub use interp::{ExecError, Interpreter, LaunchStats};
 pub use memory::GlobalMemory;
+pub use noise::NoiseModel;
 pub use occupancy::OccupancyResult;
+pub use robust::{RobustProfile, RobustProfiler};
 pub use timing::TimingModel;

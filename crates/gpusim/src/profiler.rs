@@ -18,13 +18,63 @@ use sf_minicuda::ast::{Kernel, Program};
 use sf_minicuda::host::ExecutablePlan;
 use std::collections::HashMap;
 
-/// A profiling error.
+/// A structured profiling error: what failed, which kernel launch was being
+/// measured (when known), and whether retrying the measurement could help.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ProfileError(pub String);
+pub struct ProfileError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Kernel being profiled when the error occurred, if known.
+    pub kernel: Option<String>,
+    /// Static launch sequence number being profiled, if known.
+    pub seq: Option<usize>,
+    /// Whether the failure is transient — a property of the measurement run
+    /// (simulator divergence, injected counter loss) rather than of the
+    /// program itself, so retrying may succeed.
+    pub transient: bool,
+}
+
+impl ProfileError {
+    /// A deterministic profiling error (retrying will fail the same way).
+    pub fn msg(message: impl Into<String>) -> ProfileError {
+        ProfileError {
+            message: message.into(),
+            kernel: None,
+            seq: None,
+            transient: false,
+        }
+    }
+
+    /// A transient measurement failure: retrying may succeed.
+    pub fn transient(message: impl Into<String>) -> ProfileError {
+        ProfileError {
+            transient: true,
+            ..ProfileError::msg(message)
+        }
+    }
+
+    /// Attach the kernel name the failure belongs to.
+    pub fn for_kernel(mut self, kernel: impl Into<String>) -> ProfileError {
+        self.kernel = Some(kernel.into());
+        self
+    }
+
+    /// Attach the static launch sequence number the failure belongs to.
+    pub fn at_seq(mut self, seq: usize) -> ProfileError {
+        self.seq = Some(seq);
+        self
+    }
+}
 
 impl std::fmt::Display for ProfileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "profile error: {}", self.0)
+        write!(f, "profile error: {}", self.message)?;
+        match (&self.kernel, self.seq) {
+            (Some(k), Some(seq)) => write!(f, " (kernel `{k}`, launch #{seq})"),
+            (Some(k), None) => write!(f, " (kernel `{k}`)"),
+            (None, Some(seq)) => write!(f, " (launch #{seq})"),
+            (None, None) => Ok(()),
+        }
     }
 }
 
@@ -32,13 +82,16 @@ impl std::error::Error for ProfileError {}
 
 impl From<ExecError> for ProfileError {
     fn from(e: ExecError) -> Self {
-        ProfileError(e.0)
+        // Execution failures are the simulator's analog of a measurement run
+        // going wrong mid-flight; the retry machinery treats them as
+        // transient, matching the pipeline's historical classification.
+        ProfileError::transient(e.0)
     }
 }
 
 impl From<access::AccessError> for ProfileError {
     fn from(e: access::AccessError) -> Self {
-        ProfileError(e.0)
+        ProfileError::msg(e.0)
     }
 }
 
@@ -57,8 +110,9 @@ pub struct ProgramProfile {
 
 impl ProgramProfile {
     /// Modeled runtime of one static launch (single execution), µs.
-    pub fn runtime_us(&self, seq: usize) -> f64 {
-        self.costs[seq].total_us()
+    /// Returns `None` when `seq` is not a static launch of this profile.
+    pub fn runtime_us(&self, seq: usize) -> Option<f64> {
+        self.costs.get(seq).map(|c| c.total_us())
     }
 }
 
@@ -74,6 +128,7 @@ pub fn estimate_regs_per_thread(kernel: &Kernel, ka: &KernelAccess) -> u32 {
 }
 
 /// The profiler.
+#[derive(Debug, Clone)]
 pub struct Profiler {
     /// The device to model.
     pub device: DeviceSpec,
@@ -106,7 +161,7 @@ impl Profiler {
     /// Profile a program: one instrumented run plus static analysis.
     pub fn profile(&self, program: &Program) -> Result<ProgramProfile, ProfileError> {
         let plan = ExecutablePlan::from_program(program)
-            .map_err(|e| ProfileError(e.to_string()))?;
+            .map_err(|e| ProfileError::msg(e.to_string()))?;
         self.profile_with_plan(program, &plan)
     }
 
@@ -159,12 +214,16 @@ impl Profiler {
         let mut total_us = 0.0;
 
         for launch in &plan.launches {
-            let kernel = program
-                .kernel(&launch.kernel)
-                .ok_or_else(|| ProfileError(format!("unknown kernel `{}`", launch.kernel)))?;
+            let kernel = program.kernel(&launch.kernel).ok_or_else(|| {
+                ProfileError::msg("unknown kernel")
+                    .for_kernel(&launch.kernel)
+                    .at_seq(launch.seq)
+            })?;
             let ka = &analyses[&launch.kernel];
-            let traffic = access::launch_traffic(ka, kernel, launch, &alloc_of)?;
-            let (scalars, _) = access::bind_launch(kernel, launch)?;
+            let attribute =
+                |e: access::AccessError| ProfileError::from(e).for_kernel(&launch.kernel).at_seq(launch.seq);
+            let traffic = access::launch_traffic(ka, kernel, launch, &alloc_of).map_err(attribute)?;
+            let (scalars, _) = access::bind_launch(kernel, launch).map_err(attribute)?;
 
             let regs = estimate_regs_per_thread(kernel, ka);
             let smem = ka.smem_bytes_per_block();
@@ -208,14 +267,12 @@ impl Profiler {
                 depth,
             };
             let cost = model.launch_cost(&profile).ok_or_else(|| {
-                ProfileError(format!(
-                    "launch of `{}` cannot execute on {} (block {} with {} B shared, {} regs)",
-                    launch.kernel,
-                    self.device.name,
-                    launch.block,
-                    smem,
-                    regs
+                ProfileError::msg(format!(
+                    "launch cannot execute on {} (block {} with {} B shared, {} regs)",
+                    self.device.name, launch.block, smem, regs
                 ))
+                .for_kernel(&launch.kernel)
+                .at_seq(launch.seq)
             })?;
             let runtime_us = cost.total_us();
             total_us += runtime_us * launch.repeat as f64;
@@ -236,6 +293,7 @@ impl Profiler {
                 flops: flops_exec,
                 divergent_evals,
                 divergence: div_fraction,
+                measure: Default::default(),
             });
             ops.push(OpsMetadata {
                 kernel: launch.kernel.clone(),
@@ -311,6 +369,28 @@ mod tests {
         assert!(p0.dram_read_bytes > 0);
         // Memory-bound stencil: OI well under the Kepler ridge (~5.2).
         assert!(p0.operational_intensity() < 5.0);
+    }
+
+    #[test]
+    fn runtime_lookup_is_total() {
+        let out = Profiler::new(DeviceSpec::k20x())
+            .profile(&jacobi_program())
+            .unwrap();
+        assert!(out.runtime_us(0).unwrap() > 0.0);
+        assert!(out.runtime_us(1).unwrap() > 0.0);
+        assert!(out.runtime_us(99).is_none());
+    }
+
+    #[test]
+    fn profile_errors_carry_attribution() {
+        let e = ProfileError::msg("boom").for_kernel("k").at_seq(3);
+        assert_eq!(e.to_string(), "profile error: boom (kernel `k`, launch #3)");
+        assert!(!e.transient);
+        assert!(ProfileError::transient("counter lost").transient);
+        assert_eq!(
+            ProfileError::msg("plain").to_string(),
+            "profile error: plain"
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn search_with_faults(
     let penalty = Penalty {
         soft: config.penalty_soft,
         hard: config.penalty_hard,
+        ..Penalty::default()
     };
     let eligible = space.eligible_originals();
     // One projection engine for the whole run: the timing model is built

@@ -25,6 +25,15 @@ pub struct Penalty {
     pub soft: f64,
     /// Per violation without one.
     pub hard: f64,
+    /// Confidence-aware widening: how strongly a multi-member group is
+    /// discounted per unit of measurement dispersion among its members. A
+    /// fusion justified by noisy numbers may be justified by jitter alone,
+    /// so the search hedges toward groupings backed by stable measurements.
+    /// 0 disables the widening. The default is a hedge, not a veto: under
+    /// the standard noise model (~10% runtime jitter) it discounts a fused
+    /// group by a few percent — enough to break ties toward stable
+    /// evidence, not enough to reject a clearly profitable fusion.
+    pub noise_aversion: f64,
 }
 
 impl Default for Penalty {
@@ -32,6 +41,7 @@ impl Default for Penalty {
         Penalty {
             soft: 0.85,
             hard: 0.40,
+            noise_aversion: 0.35,
         }
     }
 }
@@ -52,6 +62,9 @@ pub struct GroupCost {
     pub smem_violation: bool,
     /// A member of the violating group can be fissioned.
     pub fission_escape: bool,
+    /// Worst relative measurement dispersion among the members — a pure
+    /// function of the member set, so it is safe to cache with the cost.
+    pub max_dispersion: f64,
 }
 
 /// Project the cost of executing `members` as one fused kernel.
@@ -157,12 +170,18 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         .map(|c| c.total_us())
         .unwrap_or(f64::INFINITY);
 
+    let max_dispersion = units
+        .iter()
+        .map(|u| u.perf.measure.dispersion)
+        .fold(0.0, f64::max);
+
     GroupCost {
         time_us,
         flops,
         smem_bytes,
         smem_violation,
         fission_escape,
+        max_dispersion,
     }
 }
 
@@ -217,6 +236,13 @@ pub fn fitness_with(engine: &ProjectionEngine<'_>, ind: &Individual, penalty: &P
             } else {
                 penalty.hard
             };
+        }
+        // Confidence-aware widening: only fusions (≥ 2 members) pay it —
+        // leaving a noisy kernel alone is the safe default, committing to a
+        // grouping on its numbers is not. Floored so even very noisy groups
+        // keep a nonzero fitness and can be compared.
+        if members.len() >= 2 && cost.max_dispersion > 0.0 {
+            scale *= (1.0 - penalty.noise_aversion * cost.max_dispersion).clamp(0.25, 1.0);
         }
     }
     if !total_time.is_finite() || total_time <= 0.0 {
@@ -306,6 +332,50 @@ void host() {
         assert!(!pair.smem_violation);
         assert_eq!(staged_arrays(&space, &[0, 1]), vec!["u".to_string()]);
         assert!(staged_arrays(&space, &[0]).is_empty());
+    }
+
+    #[test]
+    fn dispersion_widens_the_penalty_for_fused_groups() {
+        let mut space = space_for(SHARED_READERS);
+        let mut fused = Individual::singletons(&space);
+        assert!(fused.try_merge(&space, 0, 1));
+        let clean = fitness(&space, &fused, &Penalty::default());
+        // The same fusion justified by noisy measurements is worth less.
+        space.units[0].perf.measure.dispersion = 0.20;
+        let noisy = fitness(&space, &fused, &Penalty::default());
+        assert!(
+            noisy < clean,
+            "noisy fusion {noisy} must score below clean fusion {clean}"
+        );
+        // Singletons pay no widening: solo kernels are the safe default.
+        let singles = Individual::singletons(&space);
+        let s_clean = {
+            let mut s2 = space_for(SHARED_READERS);
+            s2.units[0].perf.measure.dispersion = 0.0;
+            fitness(&s2, &Individual::singletons(&s2), &Penalty::default())
+        };
+        let s_noisy = fitness(&space, &singles, &Penalty::default());
+        assert_eq!(s_noisy, s_clean);
+        // Turning the knob off restores the clean score.
+        let off = fitness(
+            &space,
+            &fused,
+            &Penalty {
+                noise_aversion: 0.0,
+                ..Penalty::default()
+            },
+        );
+        assert_eq!(off, clean);
+    }
+
+    #[test]
+    fn group_cost_tracks_worst_member_dispersion() {
+        let mut space = space_for(SHARED_READERS);
+        space.units[0].perf.measure.dispersion = 0.08;
+        space.units[1].perf.measure.dispersion = 0.17;
+        let engine = ProjectionEngine::new(&space);
+        assert_eq!(engine.group_cost(&[0]).max_dispersion, 0.08);
+        assert_eq!(engine.group_cost(&[0, 1]).max_dispersion, 0.17);
     }
 
     #[test]
@@ -464,6 +534,7 @@ void host() {
             &Penalty {
                 soft: 0.9,
                 hard: 0.9,
+                ..Penalty::default()
             },
         );
         let harsh = fitness(
@@ -472,6 +543,7 @@ void host() {
             &Penalty {
                 soft: 0.4,
                 hard: 0.4,
+                ..Penalty::default()
             },
         );
         assert!(gentle > harsh);

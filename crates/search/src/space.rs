@@ -108,7 +108,7 @@ impl SearchSpace {
         device: DeviceSpec,
     ) -> Result<SearchSpace, ProfileError> {
         assert_eq!(decisions.len(), plan.launches.len());
-        let accesses = all_accesses_with_allocs(program, plan).map_err(ProfileError)?;
+        let accesses = all_accesses_with_allocs(program, plan).map_err(ProfileError::msg)?;
 
         let mut units: Vec<Unit> = Vec::new();
         for launch in &plan.launches {
@@ -155,13 +155,13 @@ impl SearchSpace {
             let tplan =
                 TransformPlan::new(device.clone(), CodegenMode::Auto, false, fission_groups);
             let out = transform_program(program, plan, &tplan)
-                .map_err(|e| ProfileError(e.0))?;
+                .map_err(|e| ProfileError::msg(e.0))?;
             let fission_plan = ExecutablePlan::from_program(&out.program)
-                .map_err(|e| ProfileError(e.to_string()))?;
+                .map_err(|e| ProfileError::msg(e.to_string()))?;
             let fission_profile =
                 Profiler::analytic(device.clone()).profile_with_plan(&out.program, &fission_plan)?;
             let fission_accesses = all_accesses(&out.program, &fission_plan.launches)
-                .map_err(ProfileError)?;
+                .map_err(ProfileError::msg)?;
             for (idx, owner) in product_owner.iter().enumerate() {
                 let Some((parent_seq, component)) = owner else {
                     continue;
@@ -187,6 +187,11 @@ impl SearchSpace {
                     writes: acc.writes.iter().map(|a| debase(a)).collect(),
                     full_writes: acc.full_writes.iter().map(|a| debase(a)).collect(),
                 };
+                // Products are profiled analytically, but their trust level
+                // is bounded by the parent's measurements: fission must not
+                // launder a noisy kernel into a "clean" product.
+                let mut perf = fission_profile.metadata.perf[idx].clone();
+                perf.measure = units[*parent_seq].perf.measure;
                 units.push(Unit {
                     id,
                     label: format!("{}#{}", launch.kernel, parent_seq),
@@ -194,7 +199,7 @@ impl SearchSpace {
                     parent: Some(*parent_seq),
                     products: Vec::new(),
                     eligible: true,
-                    perf: fission_profile.metadata.perf[idx].clone(),
+                    perf,
                     ops,
                     accesses,
                     blocks: launch.grid.count(),

@@ -81,9 +81,14 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
             0u8..5,
             proptest::collection::vec(0usize..4, 0..3),
         ),
+        (0u8..3, 0u64..1000, 0u32..3),
     )
         .prop_map(
-            |((corrupt, profiler, reject), (panic, poison, trap, reject_tuned))| FaultPlan {
+            |(
+                (corrupt, profiler, reject),
+                (panic, poison, trap, reject_tuned),
+                (noisy, noise_seed, rep_failures),
+            )| FaultPlan {
                 corrupt_metadata: corrupt == 0,
                 profiler_failures: profiler,
                 reject_groups: reject.into_iter().collect(),
@@ -91,6 +96,8 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
                 reject_tuned_groups: reject_tuned.into_iter().collect(),
                 poison_evaluations: poison.into_iter().collect(),
                 interpreter_trap: trap == 0,
+                noise_seed: (noisy == 0).then_some(noise_seed),
+                rep_failures,
             },
         )
 }
