@@ -1,0 +1,145 @@
+//! Cold-vs-warm throughput of the persistent plan cache behind `sfd`.
+//!
+//! The batch driver compiles a fleet of distinct stencil pipelines twice
+//! against the same on-disk store: the **cold** pass runs the full
+//! pipeline (profile → filter → graphs → GA search → codegen → verify) and
+//! publishes every plan; the **warm** pass serves every request from the
+//! cache and replays the plan through the stage-skipping path. The bench
+//! reports plans/sec for both passes and the warm hit rate, asserts the
+//! warm outputs are byte-identical to the cold ones, and writes
+//! `results/BENCH_cache.json`. The acceptance bar is a ≥2x warm/cold
+//! throughput ratio — replay skips the search, which dominates cold time.
+//!
+//! Methodology: single process, wall-clock over the whole batch (store
+//! I/O, key derivation, and replay included), gpusim-analytic profiling,
+//! full (automated) search profile, verification off — it costs both
+//! passes the same wall time and would only dilute the compile-vs-replay
+//! ratio; output equivalence is covered by the in-bench byte-identity
+//! asserts and by the verification-on runs in tests and CI. Plans/sec
+//! therefore measures the end-to-end driver, not the store in isolation.
+//!
+//! ```sh
+//! cargo bench --bench cache
+//! ```
+
+use sf_apps::{AppBuilder, AppConfig, PaperRow};
+use sf_gpusim::device::DeviceSpec;
+use sf_minicuda::printer::print_program;
+use std::time::Instant;
+use stencilfuse::{BatchDriver, BatchOptions, BatchRequest, BatchStatus, PipelineConfig};
+
+const FLEET: usize = 3;
+const STAGES: usize = 50;
+
+/// One member of the fleet: a chain of fusible pointwise stages, seeded so
+/// every member hashes to a distinct cache key.
+fn member(idx: usize) -> String {
+    let cfg = AppConfig::test();
+    let mut b = AppBuilder::new(&cfg, 0xCAC4E + idx as u64);
+    b.array("u");
+    b.array("s0");
+    for i in 0..STAGES {
+        let prev = format!("s{i}");
+        let next = format!("s{}", i + 1);
+        b.array(&next);
+        b.pointwise(&format!("m{idx}_stage{i}"), &[&prev, "u"], &next);
+    }
+    let app = b.build(PaperRow {
+        name: "cache-fleet",
+        original_kernels: STAGES,
+        arrays: STAGES + 2,
+        target_kernels: STAGES,
+        new_kernels: 0,
+        speedup_low: 1.0,
+        speedup_high: 10.0,
+        fission_driven: false,
+    });
+    print_program(&app.program)
+}
+
+fn run_pass(dir: &std::path::Path, fleet: &[String]) -> (stencilfuse::BatchReport, f64) {
+    // Full GA search profile: replay's whole point is skipping this.
+    let mut config = PipelineConfig::automated(DeviceSpec::k20x());
+    config.verify = false;
+    let mut driver =
+        BatchDriver::new(dir, config, BatchOptions::default()).expect("driver opens");
+    for (i, source) in fleet.iter().enumerate() {
+        driver
+            .submit(BatchRequest::new(format!("member{i}"), source.clone()))
+            .expect("admitted");
+    }
+    let start = Instant::now();
+    let report = driver.run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    // Cargo runs bench targets from the package dir; write results/ at the
+    // workspace root like the harness binaries do.
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let dir = std::env::temp_dir().join(format!("sf-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let fleet: Vec<String> = (0..FLEET).map(member).collect();
+
+    let (cold, cold_secs) = run_pass(&dir, &fleet);
+    assert!(
+        cold.outcomes.iter().all(|o| o.status == BatchStatus::Compiled),
+        "cold pass must compile everything: {}",
+        cold.summary()
+    );
+
+    let (warm, warm_secs) = run_pass(&dir, &fleet);
+    assert!(
+        warm.outcomes.iter().all(|o| o.status == BatchStatus::Hit),
+        "warm pass must be served from the cache: {}",
+        warm.summary()
+    );
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.output, w.output, "warm {} diverged from cold", c.name);
+        assert_eq!(c.plan_json, w.plan_json, "warm {} plan diverged", c.name);
+    }
+
+    let cold_pps = FLEET as f64 / cold_secs;
+    let warm_pps = FLEET as f64 / warm_secs;
+    let ratio = warm_pps / cold_pps.max(1e-12);
+    let lookups = warm.stats.hits + warm.stats.misses;
+    let hit_rate = warm.stats.hits as f64 / lookups.max(1) as f64;
+    println!("cold (full pipeline):  {cold_pps:>8.2} plans/sec ({cold_secs:.2}s for {FLEET})");
+    println!("warm (cached replay):  {warm_pps:>8.2} plans/sec ({warm_secs:.2}s for {FLEET})");
+    println!("speedup {ratio:.2}x; warm hit rate {:.1}%", 100.0 * hit_rate);
+
+    sf_bench::write_results(
+        "BENCH_cache",
+        &serde_json::json!({
+            "methodology": "single process; wall-clock over the whole batch \
+                (store I/O, key derivation, replay included); gpusim-analytic \
+                profiling; full (automated) search profile; verification off \
+                (it costs cold and warm the same wall time and only dilutes \
+                the compile-vs-replay ratio; byte-identity between passes is \
+                asserted in-bench and verification-on replay is covered by \
+                tests and the CI sfd job); cold = empty store, full pipeline \
+                per request; warm = same store re-run, cached plan replayed \
+                through the stage-skipping path",
+            "workload": {
+                "fleet": FLEET,
+                "stages_per_member": STAGES,
+            },
+            "cold_plans_per_sec": cold_pps,
+            "warm_plans_per_sec": warm_pps,
+            "speedup": ratio,
+            "warm_hit_rate": hit_rate,
+            "store": {
+                "hits": warm.stats.hits,
+                "misses": cold.stats.misses,
+                "stored": cold.stats.stored,
+            },
+        }),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        ratio >= 2.0,
+        "cached replay must deliver >=2x batch throughput, got {ratio:.2}x"
+    );
+}

@@ -1,0 +1,180 @@
+//! Seeded cache fault injection.
+//!
+//! Mirrors the pipeline's `FaultPlan` convention: a [`CacheFaults`] value is
+//! plain data derived deterministically from a seed, so any failing fuzz run
+//! reproduces from its seed alone. The store applies the on-disk corruption
+//! faults (torn write, bit flip, version skew) to the entry *after* a
+//! successful publish — simulating what a crash or bit rot does between the
+//! write and the next read — and the protocol faults (stale lock, kill)
+//! inside the write protocol itself.
+
+use crate::entry::SCHEMA_VERSION;
+
+/// A deterministic set of cache faults for one store instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheFaults {
+    /// Truncate the published entry file, as a crash between `write` and
+    /// `fsync` would. The value picks the cut point (modded into range).
+    pub torn_write: Option<u32>,
+    /// Flip one bit of the published entry file (bit index modded into
+    /// range) — bit rot, or a partial sector write.
+    pub bit_flip: Option<u32>,
+    /// Rewrite the published entry's schema-version header, as if it had
+    /// been written by a build speaking a different cache schema.
+    pub version_skew: bool,
+    /// Plant a dead writer's lock file before the first publish, so the
+    /// stale-lock breaking path is exercised.
+    pub stale_lock: bool,
+    /// Simulate a process kill at the N-th write-protocol step (see
+    /// `PlanStore` for the step list). The store stops dead — leaving temp
+    /// files and locks behind exactly as a real crash would.
+    pub kill_at_step: Option<u32>,
+}
+
+impl CacheFaults {
+    /// No faults.
+    pub fn none() -> CacheFaults {
+        CacheFaults::default()
+    }
+
+    /// True when nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        *self == CacheFaults::default()
+    }
+
+    /// Derive a pseudo-random fault mix from a seed (SplitMix64, same
+    /// generator as `FaultPlan::seeded`). Every draw is unconditional so
+    /// each field's value never depends on an earlier field's outcome.
+    pub fn seeded(seed: u64) -> CacheFaults {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let torn_draw = next();
+        let flip_draw = next();
+        let skew_draw = next();
+        let stale_draw = next();
+        let kill_draw = next();
+        CacheFaults {
+            torn_write: (torn_draw % 4 == 0).then_some((torn_draw >> 8) as u32),
+            bit_flip: (flip_draw % 4 == 1).then_some((flip_draw >> 8) as u32),
+            version_skew: skew_draw % 5 == 0,
+            stale_lock: stale_draw % 4 == 2,
+            kill_at_step: (kill_draw % 5 == 3).then_some(((kill_draw >> 8) % 8) as u32),
+        }
+    }
+
+    /// Apply the on-disk corruption faults to an encoded entry. Returns the
+    /// corrupted bytes, or `None` when no corruption fault is armed. Pure
+    /// and deterministic, so corruption tests can assert the exact damage.
+    pub fn corrupt_entry(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let mut out = bytes.to_vec();
+        let mut applied = false;
+        if self.version_skew {
+            // Rewrite only the version number on the magic line; the rest
+            // of the entry stays intact, which is exactly what a
+            // different-schema writer would leave behind.
+            if let Some(nl) = out.iter().position(|&b| b == b'\n') {
+                let skewed = format!("sfcache {}", SCHEMA_VERSION + 1);
+                out.splice(0..nl, skewed.into_bytes());
+                applied = true;
+            }
+        }
+        if let Some(bit) = self.bit_flip {
+            if !out.is_empty() {
+                let bit = bit as usize % (out.len() * 8);
+                out[bit / 8] ^= 1 << (bit % 8);
+                applied = true;
+            }
+        }
+        if let Some(cut) = self.torn_write {
+            // Always a strict prefix: `% len` never yields the full length.
+            let keep = cut as usize % out.len().max(1);
+            out.truncate(keep);
+            applied = true;
+        }
+        applied.then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{decode, encode};
+    use crate::key::CacheKey;
+
+    #[test]
+    fn seeded_faults_are_reproducible() {
+        for seed in 0..64 {
+            assert_eq!(CacheFaults::seeded(seed), CacheFaults::seeded(seed));
+        }
+        assert!((0..64).any(|s| CacheFaults::seeded(s) != CacheFaults::seeded(s + 64)));
+    }
+
+    #[test]
+    fn every_cache_fault_is_reachable_over_a_seed_range() {
+        let mixes: Vec<CacheFaults> = (0..512).map(CacheFaults::seeded).collect();
+        assert!(mixes.iter().any(|f| f.torn_write.is_some()), "torn_write never drawn");
+        assert!(mixes.iter().any(|f| f.bit_flip.is_some()), "bit_flip never drawn");
+        assert!(mixes.iter().any(|f| f.version_skew), "version_skew never drawn");
+        assert!(mixes.iter().any(|f| f.stale_lock), "stale_lock never drawn");
+        assert!(mixes.iter().any(|f| f.kill_at_step.is_some()), "kill_at_step never drawn");
+        // And each is also absent for some seeds.
+        assert!(mixes.iter().any(|f| f.torn_write.is_none()));
+        assert!(mixes.iter().any(|f| f.bit_flip.is_none()));
+        assert!(mixes.iter().any(|f| !f.version_skew));
+        assert!(mixes.iter().any(|f| !f.stale_lock));
+        assert!(mixes.iter().any(|f| f.kill_at_step.is_none()));
+        assert!(mixes.iter().any(|f| f.is_empty()), "no fault-free seed");
+    }
+
+    #[test]
+    fn corruption_is_detected_by_decode() {
+        let key = CacheKey::derive("s", "d", "c");
+        let clean = encode(&key, "{\"version\":1,\"x\":[1,2,3]}");
+        assert!(decode(&clean, Some(&key)).is_ok());
+
+        let torn = CacheFaults {
+            torn_write: Some(17),
+            ..CacheFaults::default()
+        };
+        let bytes = torn.corrupt_entry(&clean).unwrap();
+        assert!(bytes.len() < clean.len());
+        assert!(decode(&bytes, Some(&key)).is_err());
+
+        let flip = CacheFaults {
+            bit_flip: Some(1234),
+            ..CacheFaults::default()
+        };
+        let bytes = flip.corrupt_entry(&clean).unwrap();
+        assert_eq!(bytes.len(), clean.len());
+        assert!(decode(&bytes, Some(&key)).is_err());
+
+        let skew = CacheFaults {
+            version_skew: true,
+            ..CacheFaults::default()
+        };
+        let bytes = skew.corrupt_entry(&clean).unwrap();
+        match decode(&bytes, Some(&key)).unwrap_err() {
+            crate::entry::DecodeFailure::VersionSkew { found } => {
+                assert_eq!(found, SCHEMA_VERSION + 1)
+            }
+            other => panic!("expected version skew, got {other}"),
+        }
+
+        assert!(CacheFaults::none().corrupt_entry(&clean).is_none());
+    }
+
+    #[test]
+    fn kill_steps_stay_bounded() {
+        for seed in 0..512 {
+            if let Some(step) = CacheFaults::seeded(seed).kill_at_step {
+                assert!(step < 8, "seed {seed} drew kill step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! The on-disk plan store.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   entries/<key-hex>.plan        committed entries (only ever renamed in)
+//!   tmp/<key-hex>.<token>.tmp     in-flight writes (swept on open)
+//!   locks/<key-hex>.lock          single-writer locks (token + liveness)
+//!   quarantine/<key-hex>.<why>.<n>  entries that failed to decode
+//! ```
+//!
+//! ## Atomicity protocol
+//!
+//! A publish never updates an entry in place. The write protocol is:
+//!
+//! 1. acquire the key's lock (create-exclusive; stale locks broken),
+//! 2. create a temp file under `tmp/`,
+//! 3. write the encoded entry,
+//! 4. `fsync` the temp file,
+//! 5. `rename` it over `entries/<hex>.plan` (atomic on POSIX),
+//! 6. `fsync` the `entries/` directory, release the lock.
+//!
+//! A crash before step 5 leaves at most a temp file and a lock — the entry
+//! namespace is untouched. A crash after step 5 leaves a fully-written
+//! entry (the rename only happens after the data is durable). There is no
+//! step at which a reader can observe a half-written entry file, which is
+//! what the kill-at-every-step proptest verifies.
+//!
+//! ## Quarantine
+//!
+//! A committed entry that fails to decode (torn, corrupt, version-skewed,
+//! or belonging to another key) is *moved* to `quarantine/` — never
+//! silently deleted — and the lookup reports [`Lookup::Recovered`] so the
+//! caller can recompile and observe the degradation.
+
+use crate::entry::{decode, encode, DecodeFailure, Entry};
+use crate::error::{CacheError, CacheErrorKind};
+use crate::faults::CacheFaults;
+use crate::key::CacheKey;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Result of a cache read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The entry decoded and verified; the payload is byte-identical to
+    /// what was published.
+    Hit(Entry),
+    /// No entry under this key.
+    Miss,
+    /// An entry existed but failed verification; it was quarantined and the
+    /// caller must recompile (the cache rung of the degradation ladder).
+    Recovered {
+        /// Why the entry was rejected.
+        reason: DecodeFailure,
+        /// Where the bad entry now lives.
+        quarantined: PathBuf,
+    },
+}
+
+impl Lookup {
+    /// The payload, when this is a hit.
+    pub fn payload(&self) -> Option<&str> {
+        match self {
+            Lookup::Hit(e) => Some(&e.payload),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a cache write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Published {
+    /// This call wrote the entry.
+    Stored,
+    /// A valid entry was already committed; nothing written.
+    AlreadyPresent,
+    /// Another live writer holds the key's lock. First writer wins; the
+    /// loser should re-read the entry once the winner finishes.
+    LostRace,
+}
+
+/// Monotonic operation counters (a snapshot; see [`PlanStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the documentation
+pub struct StoreStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub recovered: u64,
+    pub stored: u64,
+    pub already_present: u64,
+    pub lost_races: u64,
+}
+
+/// Tuning + fault knobs for [`PlanStore::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// A lock older than this is presumed abandoned by a dead writer and
+    /// broken. `Duration::ZERO` makes every existing lock breakable, which
+    /// single-threaded tests use to exercise the stale path directly.
+    pub lock_timeout: Duration,
+    /// Seeded faults to inject into this store instance's operations.
+    pub faults: CacheFaults,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            lock_timeout: Duration::from_secs(10),
+            faults: CacheFaults::none(),
+        }
+    }
+}
+
+/// A crash-safe, content-addressed store of serialized `TransformPlan`s.
+/// Safe to share across threads (`sfd` publishes from its worker pool).
+#[derive(Debug)]
+pub struct PlanStore {
+    root: PathBuf,
+    lock_timeout: Duration,
+    faults: CacheFaults,
+    /// Write-protocol step counter; the kill fault fires when it reaches
+    /// `faults.kill_at_step`.
+    write_step: AtomicU32,
+    /// One-shot latches so each armed fault fires exactly once.
+    kill_armed: AtomicBool,
+    corruption_armed: AtomicBool,
+    stale_lock_armed: AtomicBool,
+    /// Distinguishes quarantine filenames and lock tokens within a process.
+    op_counter: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recovered: AtomicU64,
+    stored: AtomicU64,
+    already_present: AtomicU64,
+    lost_races: AtomicU64,
+}
+
+impl PlanStore {
+    /// Open (creating if needed) a store rooted at `root`, with defaults.
+    pub fn open(root: impl Into<PathBuf>) -> Result<PlanStore, CacheError> {
+        PlanStore::open_with(root, StoreOptions::default())
+    }
+
+    /// Open with explicit options. Sweeps `tmp/` — anything there is an
+    /// in-flight write abandoned by a crash, by construction.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> Result<PlanStore, CacheError> {
+        let root = root.into();
+        for sub in ["entries", "tmp", "locks", "quarantine"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(|e| {
+                CacheError::io(format!("creating {sub}/: {e}")).at_path(dir.clone())
+            })?;
+        }
+        let tmp = root.join("tmp");
+        if let Ok(listing) = fs::read_dir(&tmp) {
+            for file in listing.flatten() {
+                // Best-effort: a sweep failure only wastes disk, never
+                // correctness, so it must not fail open().
+                let _ = fs::remove_file(file.path());
+            }
+        }
+        Ok(PlanStore {
+            root,
+            lock_timeout: options.lock_timeout,
+            faults: options.faults,
+            write_step: AtomicU32::new(0),
+            kill_armed: AtomicBool::new(options.faults.kill_at_step.is_some()),
+            corruption_armed: AtomicBool::new(
+                options.faults.corrupt_entry(b"probe\n").is_some(),
+            ),
+            stale_lock_armed: AtomicBool::new(options.faults.stale_lock),
+            op_counter: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            already_present: AtomicU64::new(0),
+            lost_races: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Committed-entry path for `key`.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join("entries").join(format!("{}.plan", key.hex()))
+    }
+
+    fn lock_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join("locks").join(format!("{}.lock", key.hex()))
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+            already_present: self.already_present.load(Ordering::Relaxed),
+            lost_races: self.lost_races.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read the entry for `key`. Never fails on a bad entry — bad entries
+    /// are quarantined and reported as [`Lookup::Recovered`]. Only real I/O
+    /// trouble (permissions, unreadable directories) is an `Err`.
+    pub fn lookup(&self, key: &CacheKey) -> Result<Lookup, CacheError> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(Lookup::Miss);
+            }
+            Err(e) => {
+                return Err(CacheError::io(format!("reading entry: {e}"))
+                    .for_key(*key)
+                    .at_path(path))
+            }
+        };
+        match decode(&bytes, Some(key)) {
+            Ok(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Lookup::Hit(entry))
+            }
+            Err(reason) => {
+                let quarantined = self.quarantine(key, &path, &reason)?;
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+                Ok(Lookup::Recovered { reason, quarantined })
+            }
+        }
+    }
+
+    /// Move a bad entry aside (never delete it) so the slot frees up and
+    /// the evidence survives for postmortems.
+    fn quarantine(
+        &self,
+        key: &CacheKey,
+        path: &Path,
+        reason: &DecodeFailure,
+    ) -> Result<PathBuf, CacheError> {
+        let qdir = self.root.join("quarantine");
+        loop {
+            let n = self.op_counter.fetch_add(1, Ordering::Relaxed);
+            let dest = qdir.join(format!("{}.{}.{n}", key.hex(), reason.label()));
+            if dest.exists() {
+                continue; // counter collision with an older process; retry
+            }
+            return match fs::rename(path, &dest) {
+                Ok(()) => Ok(dest),
+                // Someone else already moved or replaced it; that is fine.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(dest),
+                Err(e) => Err(CacheError::io(format!("quarantining entry: {e}"))
+                    .for_key(*key)
+                    .at_path(dest)),
+            };
+        }
+    }
+
+    /// One write-protocol step: advance the step counter and fire the kill
+    /// fault when armed for this step. A fired kill leaves every file
+    /// exactly as it is — temp files and locks leak, like a real crash.
+    fn step(&self, what: &str) -> Result<(), CacheError> {
+        let step = self.write_step.fetch_add(1, Ordering::Relaxed);
+        if self.faults.kill_at_step == Some(step)
+            && self.kill_armed.swap(false, Ordering::Relaxed)
+        {
+            return Err(CacheError::new(
+                CacheErrorKind::Killed,
+                format!("simulated crash at write step {step} ({what})"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Publish `payload` under `key` with first-writer-wins discipline.
+    ///
+    /// Returns [`Published::LostRace`] when another live writer holds the
+    /// lock — callers re-read after the winner commits. A [`CacheError`]
+    /// with kind `Killed` means the injected crash fired; the store is left
+    /// in whatever state the protocol had reached, which the crash-recovery
+    /// tests then re-open and verify.
+    pub fn publish(&self, key: &CacheKey, payload: &str) -> Result<Published, CacheError> {
+        // Injected fault: a dead writer's lock planted before we start.
+        if self.stale_lock_armed.swap(false, Ordering::Relaxed) {
+            let _ = fs::write(self.lock_path(key), b"dead");
+        }
+
+        self.step("acquire lock")?;
+        if !self.try_lock(key)? {
+            self.lost_races.fetch_add(1, Ordering::Relaxed);
+            return Ok(Published::LostRace);
+        }
+        let result = self.publish_locked(key, payload);
+        match &result {
+            // A kill is a simulated process death: leak the lock, exactly
+            // as a real crash would.
+            Err(e) if e.kind == CacheErrorKind::Killed => {}
+            _ => {
+                let _ = fs::remove_file(self.lock_path(key));
+            }
+        }
+        result
+    }
+
+    fn publish_locked(&self, key: &CacheKey, payload: &str) -> Result<Published, CacheError> {
+        // Double-check under the lock: a racing writer may have committed
+        // while we waited, and first writer wins. A bad existing entry is
+        // quarantined (evidence preserved) before we write a fresh one.
+        let entry_path = self.entry_path(key);
+        match fs::read(&entry_path) {
+            Ok(bytes) => match decode(&bytes, Some(key)) {
+                Ok(_) => {
+                    self.already_present.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Published::AlreadyPresent);
+                }
+                Err(reason) => {
+                    self.quarantine(key, &entry_path, &reason)?;
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(CacheError::io(format!("probing entry: {e}"))
+                    .for_key(*key)
+                    .at_path(entry_path))
+            }
+        }
+
+        let bytes = encode(key, payload);
+        let token = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp_path = self
+            .root
+            .join("tmp")
+            .join(format!("{}.{}.tmp", key.hex(), token));
+
+        self.step("create temp file")?;
+        let mut tmp = fs::File::create(&tmp_path).map_err(|e| {
+            CacheError::io(format!("creating temp file: {e}"))
+                .for_key(*key)
+                .at_path(tmp_path.clone())
+        })?;
+
+        self.step("write payload")?;
+        tmp.write_all(&bytes).map_err(|e| {
+            CacheError::io(format!("writing entry: {e}"))
+                .for_key(*key)
+                .at_path(tmp_path.clone())
+        })?;
+
+        self.step("fsync temp file")?;
+        tmp.sync_all().map_err(|e| {
+            CacheError::io(format!("fsyncing entry: {e}"))
+                .for_key(*key)
+                .at_path(tmp_path.clone())
+        })?;
+        drop(tmp);
+
+        self.step("rename into entries/")?;
+        fs::rename(&tmp_path, &entry_path).map_err(|e| {
+            CacheError::io(format!("committing entry: {e}"))
+                .for_key(*key)
+                .at_path(entry_path.clone())
+        })?;
+
+        self.step("fsync entries/ directory")?;
+        if let Ok(dir) = fs::File::open(self.root.join("entries")) {
+            // Directory fsync is advisory on some filesystems; failure to
+            // sync is not failure to commit.
+            let _ = dir.sync_all();
+        }
+
+        self.stored.fetch_add(1, Ordering::Relaxed);
+
+        // Injected corruption faults strike the committed entry, modelling
+        // damage that happens after the write and before the next read.
+        if self.corruption_armed.swap(false, Ordering::Relaxed) {
+            if let Ok(clean) = fs::read(&entry_path) {
+                if let Some(damaged) = self.faults.corrupt_entry(&clean) {
+                    let _ = fs::write(&entry_path, damaged);
+                }
+            }
+        }
+
+        Ok(Published::Stored)
+    }
+
+    /// Create-exclusive lock acquisition with stale-lock breaking. Returns
+    /// false when a live writer holds the lock.
+    fn try_lock(&self, key: &CacheKey) -> Result<bool, CacheError> {
+        let path = self.lock_path(key);
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let token =
+                        format!("live {}", self.op_counter.fetch_add(1, Ordering::Relaxed));
+                    file.write_all(token.as_bytes()).map_err(|e| {
+                        CacheError::new(CacheErrorKind::Lock, format!("writing lock: {e}"))
+                            .for_key(*key)
+                            .at_path(path.clone())
+                    })?;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if attempt > 0 || !self.lock_is_stale(&path) {
+                        return Ok(false);
+                    }
+                    // Break the stale lock and retry the exclusive create
+                    // exactly once; losing that retry means a live writer
+                    // beat us to it.
+                    let _ = fs::remove_file(&path);
+                }
+                Err(e) => {
+                    return Err(CacheError::new(
+                        CacheErrorKind::Lock,
+                        format!("creating lock: {e}"),
+                    )
+                    .for_key(*key)
+                    .at_path(path))
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// A lock is stale when its writer declared itself dead or when it has
+    /// outlived the timeout (a crashed writer never removes its lock).
+    fn lock_is_stale(&self, path: &Path) -> bool {
+        if fs::read_to_string(path).is_ok_and(|token| token.trim() == "dead") {
+            return true;
+        }
+        if self.lock_timeout.is_zero() {
+            return true;
+        }
+        match fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(modified) => modified
+                .elapsed()
+                .is_ok_and(|age| age >= self.lock_timeout),
+            // Vanished while we looked: treat as stale and let the
+            // exclusive create decide.
+            Err(_) => true,
+        }
+    }
+
+    /// Scan every committed entry, quarantining any that fail to decode.
+    /// Returns `(valid, quarantined)` counts. Used by crash-recovery tests
+    /// and `sfd --verify` to prove the store is readable end to end.
+    pub fn verify_integrity(&self) -> Result<(usize, usize), CacheError> {
+        let entries_dir = self.root.join("entries");
+        let listing = fs::read_dir(&entries_dir).map_err(|e| {
+            CacheError::io(format!("listing entries: {e}")).at_path(entries_dir)
+        })?;
+        let mut valid = 0;
+        let mut quarantined = 0;
+        let mut files: Vec<PathBuf> = listing.flatten().map(|f| f.path()).collect();
+        files.sort();
+        for path in files {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(hash) = u64::from_str_radix(stem, 16) else {
+                // Foreign file in entries/: leave it alone; only files the
+                // store could have written are its responsibility.
+                continue;
+            };
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            match decode(&bytes, None) {
+                Ok(entry) if entry.key.hash == hash => valid += 1,
+                Ok(entry) => {
+                    // Internally consistent but filed under the wrong name.
+                    let reason = DecodeFailure::KeyMismatch { found: entry.key };
+                    self.quarantine(&entry.key, &path, &reason)?;
+                    quarantined += 1;
+                }
+                Err(reason) => {
+                    let key = CacheKey { hash, tripwire: 0 };
+                    self.quarantine(&key, &path, &reason)?;
+                    quarantined += 1;
+                }
+            }
+        }
+        Ok((valid, quarantined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64 as TestCounter, Ordering as TestOrdering};
+
+    static DIR_SEQ: TestCounter = TestCounter::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, TestOrdering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "sf-cache-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key() -> CacheKey {
+        CacheKey::derive("kernel source", "k20x", "cfg")
+    }
+
+    #[test]
+    fn miss_then_publish_then_hit_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let store = PlanStore::open(&dir).unwrap();
+        let k = key();
+        assert_eq!(store.lookup(&k).unwrap(), Lookup::Miss);
+        assert_eq!(store.publish(&k, "{\"plan\":1}").unwrap(), Published::Stored);
+        let hit = store.lookup(&k).unwrap();
+        assert_eq!(hit.payload(), Some("{\"plan\":1}"));
+        // Republishing the same key is a no-op.
+        assert_eq!(
+            store.publish(&k, "{\"plan\":1}").unwrap(),
+            Published::AlreadyPresent
+        );
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits, s.stored, s.already_present), (1, 1, 1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_and_slot_recovers() {
+        let dir = scratch_dir("quarantine");
+        let store = PlanStore::open(&dir).unwrap();
+        let k = key();
+        store.publish(&k, "payload").unwrap();
+        // Corrupt the committed entry in place (external damage).
+        let path = store.entry_path(&k);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        match store.lookup(&k).unwrap() {
+            Lookup::Recovered { reason, quarantined } => {
+                assert_eq!(reason.label(), "corrupt");
+                assert!(quarantined.exists(), "evidence must survive");
+                assert!(
+                    quarantined.to_string_lossy().contains("corrupt"),
+                    "{quarantined:?}"
+                );
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        // The slot is free again: miss, then a clean republish hits.
+        assert_eq!(store.lookup(&k).unwrap(), Lookup::Miss);
+        assert_eq!(store.publish(&k, "payload").unwrap(), Published::Stored);
+        assert_eq!(store.lookup(&k).unwrap().payload(), Some("payload"));
+        assert_eq!(store.stats().recovered, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_corrupt_then_recover() {
+        for (tag, faults) in [
+            ("torn", CacheFaults { torn_write: Some(31), ..CacheFaults::default() }),
+            ("flip", CacheFaults { bit_flip: Some(777), ..CacheFaults::default() }),
+            ("skew", CacheFaults { version_skew: true, ..CacheFaults::default() }),
+        ] {
+            let dir = scratch_dir(tag);
+            let store =
+                PlanStore::open_with(&dir, StoreOptions { faults, ..StoreOptions::default() })
+                    .unwrap();
+            let k = key();
+            assert_eq!(store.publish(&k, "the payload").unwrap(), Published::Stored);
+            // The fault struck after commit; the next read must recover.
+            match store.lookup(&k).unwrap() {
+                Lookup::Recovered { .. } => {}
+                other => panic!("fault {tag}: expected recovery, got {other:?}"),
+            }
+            // The fault fired once; a republish is clean.
+            assert_eq!(store.publish(&k, "the payload").unwrap(), Published::Stored);
+            assert_eq!(store.lookup(&k).unwrap().payload(), Some("the payload"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn stale_lock_is_broken_live_lock_wins() {
+        let dir = scratch_dir("locks");
+        let k = key();
+        // A dead writer's lock (injected) must not block publishing.
+        let store = PlanStore::open_with(
+            &dir,
+            StoreOptions {
+                faults: CacheFaults { stale_lock: true, ..CacheFaults::default() },
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.publish(&k, "x").unwrap(), Published::Stored);
+
+        // A live lock (fresh mtime, live token) must force a lost race.
+        let k2 = CacheKey::derive("other", "dev", "cfg");
+        fs::write(store.lock_path(&k2), b"live 0").unwrap();
+        assert_eq!(store.publish(&k2, "y").unwrap(), Published::LostRace);
+        assert_eq!(store.stats().lost_races, 1);
+
+        // With a zero timeout every lock is breakable.
+        let zero = PlanStore::open_with(
+            &dir,
+            StoreOptions { lock_timeout: Duration::ZERO, ..StoreOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(zero.publish(&k2, "y").unwrap(), Published::Stored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_at_every_step_leaves_the_store_readable() {
+        // The unit-level crash matrix; the top-level proptest replays this
+        // with arbitrary payloads and multi-entry stores.
+        let k = key();
+        for step in 0..8 {
+            let dir = scratch_dir("kill");
+            let store = PlanStore::open_with(
+                &dir,
+                StoreOptions {
+                    faults: CacheFaults {
+                        kill_at_step: Some(step),
+                        ..CacheFaults::default()
+                    },
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            match store.publish(&k, "payload") {
+                Ok(Published::Stored) => {} // kill step beyond the protocol
+                Err(e) => assert_eq!(e.kind, CacheErrorKind::Killed, "step {step}: {e}"),
+                Ok(other) => panic!("step {step}: unexpected {other:?}"),
+            }
+            drop(store);
+
+            // "Reboot": a fresh process opens the same root. The store must
+            // be fully readable; the entry is either absent or perfect.
+            let store = PlanStore::open_with(
+                &dir,
+                StoreOptions { lock_timeout: Duration::ZERO, ..StoreOptions::default() },
+            )
+            .unwrap();
+            let (valid, quarantined) = store.verify_integrity().unwrap();
+            assert_eq!(quarantined, 0, "step {step}: torn entry escaped the protocol");
+            match store.lookup(&k).unwrap() {
+                Lookup::Hit(e) => {
+                    assert_eq!(e.payload, "payload", "step {step}");
+                    assert_eq!(valid, 1);
+                }
+                Lookup::Miss => assert_eq!(valid, 0, "step {step}"),
+                Lookup::Recovered { reason, .. } => {
+                    panic!("step {step}: partial entry became visible: {reason}")
+                }
+            }
+            // And the slot still works (stale lock from the crash breaks).
+            store.publish(&k, "payload").unwrap();
+            assert_eq!(store.lookup(&k).unwrap().payload(), Some("payload"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn open_sweeps_abandoned_temp_files() {
+        let dir = scratch_dir("sweep");
+        let store = PlanStore::open(&dir).unwrap();
+        let leftover = dir.join("tmp").join("deadbeef.0.tmp");
+        fs::write(&leftover, b"half an entry").unwrap();
+        drop(store);
+        let _ = PlanStore::open(&dir).unwrap();
+        assert!(!leftover.exists(), "open() must sweep tmp/");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_integrity_quarantines_wrong_named_entries() {
+        let dir = scratch_dir("verify");
+        let store = PlanStore::open(&dir).unwrap();
+        let k = key();
+        store.publish(&k, "good").unwrap();
+        // A valid entry filed under the wrong hash name.
+        let misfiled = dir.join("entries").join("00000000deadbeef.plan");
+        fs::copy(store.entry_path(&k), &misfiled).unwrap();
+        // A foreign file the store must not touch.
+        let foreign = dir.join("entries").join("README");
+        fs::write(&foreign, "not an entry").unwrap();
+
+        let (valid, quarantined) = store.verify_integrity().unwrap();
+        assert_eq!((valid, quarantined), (1, 1));
+        assert!(!misfiled.exists());
+        assert!(foreign.exists(), "foreign files are not the store's to move");
+        assert_eq!(store.lookup(&k).unwrap().payload(), Some("good"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

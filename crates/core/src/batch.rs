@@ -1,0 +1,456 @@
+//! The concurrent, cache-backed batch compiler behind `sfd`.
+//!
+//! A [`BatchDriver`] owns one [`sf_cache::PlanStore`] and one base
+//! [`PipelineConfig`]. Requests are admitted through [`BatchDriver::submit`]
+//! up to a bounded queue limit (reject-with-backpressure, never unbounded
+//! growth), then [`BatchDriver::run`] compiles the whole queue concurrently
+//! over the rayon pool:
+//!
+//! - **warm path** — the request's content-addressed key hits the cache,
+//!   and the cached plan replays through
+//!   [`PipelineConfig::preloaded_plan`], skipping stages 2–5 exactly like
+//!   `sfc --from-plan`;
+//! - **cold path** — the pipeline runs end to end and the resulting plan is
+//!   published with first-writer-wins discipline (losers of the publish
+//!   race simply re-read);
+//! - **recovery path** — a torn / corrupt / version-skewed entry is
+//!   quarantined by the store and the driver recompiles; a cached plan
+//!   whose replay fails falls through to a fresh compile the same way.
+//!   This is the degradation ladder's cache rung:
+//!   *cache hit → cache recompile → normal pipeline* — no cache fault ever
+//!   aborts the batch.
+//!
+//! Every request also runs under a wall-clock budget: a request that
+//! exceeds it is reported as [`BatchStatus::OverBudget`] instead of
+//! stalling the batch.
+
+use crate::config::{PipelineConfig, Stage};
+use crate::error::PipelineError;
+use crate::pipeline::{Interventions, Pipeline};
+use rayon::prelude::*;
+use sf_cache::{CacheKey, Lookup, PlanStore, Published, StoreOptions};
+use sf_codegen::TransformPlan;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// One program to compile.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Display name (file stem, app name) used in reports.
+    pub name: String,
+    /// The program source text (canonicalized internally before hashing).
+    pub source: String,
+}
+
+impl BatchRequest {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchRequest {
+        BatchRequest {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// How one request was satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Served from the cache; the plan replayed through the stage-skipping
+    /// path.
+    Hit,
+    /// Compiled end to end (cache miss or caching disabled).
+    Compiled,
+    /// A cache-level recovery happened first (quarantined entry, failed
+    /// replay), then the request compiled fresh. The label says why
+    /// ("torn", "corrupt", "version-skew", "key-mismatch", "replay").
+    Recovered(String),
+    /// The pipeline failed; see [`BatchOutcome::error`].
+    Failed,
+    /// The request exceeded its wall-clock budget.
+    OverBudget,
+}
+
+impl BatchStatus {
+    /// Short display label.
+    pub fn label(&self) -> &str {
+        match self {
+            BatchStatus::Hit => "hit",
+            BatchStatus::Compiled => "compiled",
+            BatchStatus::Recovered(_) => "recovered",
+            BatchStatus::Failed => "failed",
+            BatchStatus::OverBudget => "over-budget",
+        }
+    }
+}
+
+/// The result of one request.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Request name, as submitted.
+    pub name: String,
+    /// How the request was satisfied.
+    pub status: BatchStatus,
+    /// The transform plan JSON as served (warm) or published (cold).
+    pub plan_json: Option<String>,
+    /// The transformed program text.
+    pub output: Option<String>,
+    /// Modeled speedup (1.0 when unavailable).
+    pub speedup: f64,
+    /// The pipeline failure, when `status` is [`BatchStatus::Failed`].
+    pub error: Option<PipelineError>,
+    /// Non-fatal cache observations (lost publish race, injected-crash
+    /// publish failure, ...). The request itself still succeeded.
+    pub cache_note: Option<String>,
+}
+
+/// A submission rejected by bounded admission: the queue is full and the
+/// caller must drain (run) or back off — the driver never grows unbounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected {
+    /// The rejected request's name.
+    pub name: String,
+    /// The configured queue limit that was hit.
+    pub queue_limit: usize,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request `{}` rejected: queue full ({} pending); run the batch or back off",
+            self.name, self.queue_limit
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Driver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Maximum pending requests before [`BatchDriver::submit`] rejects.
+    pub queue_limit: usize,
+    /// Per-request wall-clock budget.
+    pub request_budget: Duration,
+    /// Store lock timeout (stale-lock breaking threshold).
+    pub lock_timeout: Duration,
+    /// Seeded cache faults to arm the store with (testing / fuzzing).
+    pub cache_faults: sf_cache::CacheFaults,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            queue_limit: 256,
+            request_budget: Duration::from_secs(120),
+            lock_timeout: Duration::from_secs(10),
+            cache_faults: sf_cache::CacheFaults::none(),
+        }
+    }
+}
+
+/// A whole-batch report.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Store counters accumulated across the batch.
+    pub stats: sf_cache::StoreStats,
+}
+
+impl BatchReport {
+    /// Requests served from the cache.
+    pub fn hits(&self) -> usize {
+        self.count(|o| o.status == BatchStatus::Hit)
+    }
+
+    /// Requests compiled end to end.
+    pub fn compiled(&self) -> usize {
+        self.count(|o| matches!(o.status, BatchStatus::Compiled | BatchStatus::Recovered(_)))
+    }
+
+    /// Requests that went through a cache recovery.
+    pub fn recovered(&self) -> usize {
+        self.count(|o| matches!(o.status, BatchStatus::Recovered(_)))
+    }
+
+    /// Requests that failed or ran over budget.
+    pub fn failures(&self) -> usize {
+        self.count(|o| matches!(o.status, BatchStatus::Failed | BatchStatus::OverBudget))
+    }
+
+    fn count(&self, pred: impl Fn(&BatchOutcome) -> bool) -> usize {
+        self.outcomes.iter().filter(|o| pred(o)).count()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests: {} hits, {} compiled ({} after cache recovery), {} failed",
+            self.outcomes.len(),
+            self.hits(),
+            self.compiled(),
+            self.recovered(),
+            self.failures(),
+        )
+    }
+}
+
+/// The batch driver. See the module docs for the three request paths.
+pub struct BatchDriver {
+    store: Arc<PlanStore>,
+    config: PipelineConfig,
+    options: BatchOptions,
+    /// Derived once: config fingerprint + device descriptor, shared by
+    /// every request's key derivation.
+    fingerprint: Arc<String>,
+    device: Arc<String>,
+    /// Whether results can be cached at all: replay substitutes stages 2–5,
+    /// so only runs that reach codegen produce a replayable plan.
+    cache_enabled: bool,
+    queue: Vec<BatchRequest>,
+}
+
+impl BatchDriver {
+    /// Open (or create) the store at `cache_dir` and build a driver over it.
+    pub fn new(
+        cache_dir: impl Into<PathBuf>,
+        config: PipelineConfig,
+        options: BatchOptions,
+    ) -> Result<BatchDriver, PipelineError> {
+        let store = PlanStore::open_with(
+            cache_dir,
+            StoreOptions {
+                lock_timeout: options.lock_timeout,
+                faults: options.cache_faults,
+            },
+        )?;
+        let fingerprint = Arc::new(config.cache_fingerprint());
+        let device = Arc::new(format!("{:?}", config.device));
+        let cache_enabled = config.preloaded_plan.is_none()
+            && config.run_until.is_none_or(|s| s >= Stage::Codegen);
+        Ok(BatchDriver {
+            store: Arc::new(store),
+            config,
+            options,
+            fingerprint,
+            device,
+            cache_enabled,
+            queue: Vec::new(),
+        })
+    }
+
+    /// The underlying store (stats, integrity checks).
+    pub fn store(&self) -> &PlanStore {
+        &self.store
+    }
+
+    /// Pending request count.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admit a request, or reject it when the queue is at its limit.
+    pub fn submit(&mut self, request: BatchRequest) -> Result<usize, Rejected> {
+        if self.queue.len() >= self.options.queue_limit {
+            return Err(Rejected {
+                name: request.name,
+                queue_limit: self.options.queue_limit,
+            });
+        }
+        self.queue.push(request);
+        Ok(self.queue.len())
+    }
+
+    /// Compile everything queued, concurrently, and drain the queue.
+    /// Outcomes come back in submission order regardless of scheduling.
+    pub fn run(&mut self) -> BatchReport {
+        let requests = std::mem::take(&mut self.queue);
+        let outcomes: Vec<BatchOutcome> = requests
+            .par_iter()
+            .map(|request| self.process_with_budget(request))
+            .collect();
+        BatchReport {
+            outcomes,
+            stats: self.store.stats(),
+        }
+    }
+
+    /// Run one request on a watchdog'd worker thread. On budget overrun the
+    /// batch moves on; the abandoned worker finishes (or not) in the
+    /// background and its result is discarded.
+    fn process_with_budget(&self, request: &BatchRequest) -> BatchOutcome {
+        let (tx, rx) = mpsc::channel();
+        let store = Arc::clone(&self.store);
+        let config = self.config.clone();
+        let fingerprint = Arc::clone(&self.fingerprint);
+        let device = Arc::clone(&self.device);
+        let cache_enabled = self.cache_enabled;
+        let req = request.clone();
+        std::thread::spawn(move || {
+            let outcome = process(&store, &config, &fingerprint, &device, cache_enabled, &req);
+            let _ = tx.send(outcome);
+        });
+        match rx.recv_timeout(self.options.request_budget) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => BatchOutcome {
+                name: request.name.clone(),
+                status: BatchStatus::OverBudget,
+                plan_json: None,
+                output: None,
+                speedup: 1.0,
+                error: None,
+                cache_note: Some(format!(
+                    "exceeded the {:?} request budget",
+                    self.options.request_budget
+                )),
+            },
+            Err(mpsc::RecvTimeoutError::Disconnected) => BatchOutcome {
+                name: request.name.clone(),
+                status: BatchStatus::Failed,
+                plan_json: None,
+                output: None,
+                speedup: 1.0,
+                error: None,
+                cache_note: Some("worker thread died before reporting".into()),
+            },
+        }
+    }
+}
+
+/// The full per-request state machine (runs on the worker thread).
+fn process(
+    store: &PlanStore,
+    base: &PipelineConfig,
+    fingerprint: &str,
+    device: &str,
+    cache_enabled: bool,
+    request: &BatchRequest,
+) -> BatchOutcome {
+    let mut outcome = BatchOutcome {
+        name: request.name.clone(),
+        status: BatchStatus::Compiled,
+        plan_json: None,
+        output: None,
+        speedup: 1.0,
+        error: None,
+        cache_note: None,
+    };
+
+    // Parse + canonicalize: the cache key hashes the *printed* program, so
+    // formatting-only differences in the submitted text still hit.
+    let program = match sf_minicuda::parse_program(&request.source) {
+        Ok(p) => p,
+        Err(e) => {
+            outcome.status = BatchStatus::Failed;
+            outcome.error = Some(e.into());
+            return outcome;
+        }
+    };
+    let canonical = sf_minicuda::printer::print_program(&program);
+    let key = CacheKey::derive(&canonical, device, fingerprint);
+
+    let mut recovery: Option<String> = None;
+    if cache_enabled {
+        match store.lookup(&key) {
+            Ok(Lookup::Hit(entry)) => match TransformPlan::from_json(&entry.payload) {
+                Ok(plan) => {
+                    // Warm path: replay through the stage-skipping path.
+                    let warm = base.clone().with_plan(plan);
+                    match Pipeline::new(program.clone(), warm)
+                        .and_then(|p| p.run_with(&Interventions::default()))
+                    {
+                        Ok(result) => {
+                            outcome.status = BatchStatus::Hit;
+                            outcome.plan_json = Some(entry.payload);
+                            outcome.output =
+                                Some(sf_minicuda::printer::print_program(&result.program));
+                            outcome.speedup = result.speedup;
+                            return outcome;
+                        }
+                        Err(e) => {
+                            // Cache recompile rung: the plan was served but
+                            // would not replay; fall through to a cold
+                            // compile rather than failing the request.
+                            recovery = Some("replay".into());
+                            outcome.cache_note =
+                                Some(format!("cached plan failed to replay: {e}"));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Checksum-valid bytes that are not a plan this build
+                    // understands (e.g. plan-version skew inside a valid
+                    // entry). Recompile; the slot will be overwritten.
+                    recovery = Some("plan-parse".into());
+                    outcome.cache_note = Some(format!("cached plan rejected: {e}"));
+                }
+            },
+            Ok(Lookup::Miss) => {}
+            Ok(Lookup::Recovered { reason, .. }) => {
+                recovery = Some(reason.label().to_string());
+                outcome.cache_note = Some(format!("quarantined cache entry: {reason}"));
+            }
+            Err(e) => {
+                // Store-level I/O trouble must not abort the batch either:
+                // note it and compile without the cache.
+                outcome.cache_note = Some(format!("cache lookup failed: {e}"));
+            }
+        }
+    }
+
+    // Cold path: full pipeline.
+    let result = match Pipeline::new(program, base.clone())
+        .and_then(|p| p.run_with(&Interventions::default()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            outcome.status = BatchStatus::Failed;
+            outcome.error = Some(e);
+            return outcome;
+        }
+    };
+    outcome.output = Some(sf_minicuda::printer::print_program(&result.program));
+    outcome.speedup = result.speedup;
+    outcome.status = match recovery {
+        Some(label) => BatchStatus::Recovered(label),
+        None => BatchStatus::Compiled,
+    };
+
+    if let Some(plan) = result.executed_plan().or_else(|| result.planned()) {
+        let payload = plan.to_json();
+        if cache_enabled {
+            match store.publish(&key, &payload) {
+                Ok(Published::Stored | Published::AlreadyPresent) => {}
+                Ok(Published::LostRace) => {
+                    // First writer wins; we just re-read to confirm the
+                    // winner committed (and keep our own plan regardless).
+                    let note = match store.lookup(&key) {
+                        Ok(Lookup::Hit(_)) => "lost publish race; winner's entry verified",
+                        _ => "lost publish race; winner not committed yet",
+                    };
+                    append_note(&mut outcome.cache_note, note);
+                }
+                Err(e) => {
+                    // Publish failures (injected crash, disk trouble) never
+                    // fail the request — the compile already succeeded.
+                    append_note(&mut outcome.cache_note, &format!("publish failed: {e}"));
+                }
+            }
+        }
+        outcome.plan_json = Some(payload);
+    }
+    outcome
+}
+
+fn append_note(slot: &mut Option<String>, note: &str) {
+    match slot {
+        Some(existing) => {
+            existing.push_str("; ");
+            existing.push_str(note);
+        }
+        None => *slot = Some(note.to_string()),
+    }
+}

@@ -1,0 +1,256 @@
+//! `sfd` — the stencilfuse batch compilation driver.
+//!
+//! Compiles many programs in one invocation against a persistent,
+//! crash-safe plan cache: warm requests replay their cached `TransformPlan`
+//! through the stage-skipping path (byte-identical to a cold compile),
+//! cold requests compile end to end and publish their plan for the next
+//! run. Cache corruption is quarantined and recompiled, never fatal.
+//!
+//! ```sh
+//! cargo run --example emit_app -- mitgcm > mitgcm.cu
+//! cargo run --example emit_app -- awp-odc > awp.cu
+//! sfd --cache-dir .plan-cache --out-dir out --quick mitgcm.cu awp.cu
+//! sfd --cache-dir .plan-cache --out-dir out2 --quick mitgcm.cu awp.cu
+//! cmp out/mitgcm.plan.json out2/mitgcm.plan.json   # warm == cold
+//! ```
+//!
+//! Exit codes: 0 all requests succeeded; 1 a request failed or ran over
+//! budget; 2 usage / file I/O error.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+use stencilfuse::{BatchDriver, BatchOptions, BatchRequest, BatchStatus, PipelineConfig};
+
+const USAGE: &str = "\
+usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
+  --cache-dir DIR     plan cache directory (created if missing; default .sf-cache)
+  --out-dir DIR       write <stem>.fused.cu and <stem>.plan.json per input
+  --device NAME       k20x (default) or k40
+  --quick             scaled-down search budget
+  --jobs N            cap concurrent workers (sets RAYON_NUM_THREADS)
+  --queue-limit N     bounded admission: reject submissions past N pending
+  --budget-secs N     per-request wall-clock budget (default 120)
+  --no-verify         skip output verification
+  --strict            fail on the first degradable error
+  --verify-store      integrity-scan the cache (quarantining bad entries),
+                      print the result, and exit
+  --report            per-request status lines to stderr
+";
+
+struct Args {
+    cache_dir: String,
+    out_dir: Option<String>,
+    device: sf_gpusim::device::DeviceSpec,
+    quick: bool,
+    jobs: Option<usize>,
+    queue_limit: Option<usize>,
+    budget_secs: Option<u64>,
+    no_verify: bool,
+    strict: bool,
+    verify_store: bool,
+    report: bool,
+    inputs: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cache_dir: ".sf-cache".into(),
+        out_dir: None,
+        device: sf_gpusim::device::DeviceSpec::k20x(),
+        quick: false,
+        jobs: None,
+        queue_limit: None,
+        budget_secs: None,
+        no_verify: false,
+        strict: false,
+        verify_store: false,
+        report: false,
+        inputs: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    let parse_num = |what: &str, v: String| -> Result<u64, String> {
+        v.parse().map_err(|_| format!("bad {what} `{v}`"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cache-dir" => args.cache_dir = take(&mut i)?,
+            "--out-dir" => args.out_dir = Some(take(&mut i)?),
+            "--device" => {
+                let name = take(&mut i)?;
+                args.device = sf_gpusim::device::DeviceSpec::by_name(&name)
+                    .ok_or_else(|| format!("unknown device `{name}`"))?;
+            }
+            "--quick" => args.quick = true,
+            "--jobs" => args.jobs = Some(parse_num("job count", take(&mut i)?)? as usize),
+            "--queue-limit" => {
+                args.queue_limit = Some(parse_num("queue limit", take(&mut i)?)? as usize)
+            }
+            "--budget-secs" => args.budget_secs = Some(parse_num("budget", take(&mut i)?)?),
+            "--no-verify" => args.no_verify = true,
+            "--strict" => args.strict = true,
+            "--verify-store" => args.verify_store = true,
+            "--report" => args.report = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => args.inputs.push(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sfd: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(jobs) = args.jobs {
+        // The vendored rayon shim sizes its per-call worker set from this,
+        // like upstream's global pool.
+        std::env::set_var("RAYON_NUM_THREADS", jobs.max(1).to_string());
+    }
+
+    let mut config = if args.quick {
+        PipelineConfig::quick(args.device.clone())
+    } else {
+        PipelineConfig::automated(args.device.clone())
+    };
+    if args.no_verify {
+        config.verify = false;
+    }
+    if args.strict {
+        config = config.strict();
+    }
+
+    let mut options = BatchOptions::default();
+    if let Some(limit) = args.queue_limit {
+        options.queue_limit = limit;
+    }
+    if let Some(secs) = args.budget_secs {
+        options.request_budget = Duration::from_secs(secs);
+    }
+
+    let mut driver = match BatchDriver::new(&args.cache_dir, config, options) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sfd: cannot open cache at {}: {e}", args.cache_dir);
+            std::process::exit(2);
+        }
+    };
+
+    if args.verify_store {
+        match driver.store().verify_integrity() {
+            Ok((valid, quarantined)) => {
+                println!("cache {}: {valid} valid entries, {quarantined} quarantined", args.cache_dir);
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("sfd: integrity scan failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.inputs.is_empty() {
+        eprintln!("sfd: no input files\n{USAGE}");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sfd: cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    for input in &args.inputs {
+        let source = match std::fs::read_to_string(input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sfd: cannot read {input}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let name = Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| input.clone());
+        if let Err(rejected) = driver.submit(BatchRequest::new(name, source)) {
+            eprintln!("sfd: {rejected}");
+            std::process::exit(2);
+        }
+    }
+
+    let started = Instant::now();
+    let report = driver.run();
+    let elapsed = started.elapsed();
+
+    let mut failed = false;
+    for outcome in &report.outcomes {
+        if args.report {
+            let mut line = format!(
+                "{}: {} (speedup {:.3}x)",
+                outcome.name,
+                outcome.status.label(),
+                outcome.speedup
+            );
+            if let Some(note) = &outcome.cache_note {
+                line.push_str(&format!(" [{note}]"));
+            }
+            eprintln!("sfd: {line}");
+        }
+        match &outcome.status {
+            BatchStatus::Failed => {
+                failed = true;
+                if let Some(e) = &outcome.error {
+                    eprintln!("sfd: {} failed: {e}", outcome.name);
+                } else {
+                    eprintln!("sfd: {} failed", outcome.name);
+                }
+            }
+            BatchStatus::OverBudget => {
+                failed = true;
+                eprintln!("sfd: {} exceeded its wall-clock budget", outcome.name);
+            }
+            _ => {}
+        }
+        if let Some(dir) = &args.out_dir {
+            let write = |suffix: &str, contents: &Option<String>| {
+                if let Some(text) = contents {
+                    let path = Path::new(dir).join(format!("{}{suffix}", outcome.name));
+                    if let Err(e) = std::fs::write(&path, text) {
+                        eprintln!("sfd: cannot write {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            };
+            write(".fused.cu", &outcome.output);
+            write(".plan.json", &outcome.plan_json);
+        }
+    }
+
+    println!(
+        "sfd: {} in {:.2}s ({} store: {} hits, {} misses, {} recovered, {} stored)",
+        report.summary(),
+        elapsed.as_secs_f64(),
+        args.cache_dir,
+        report.stats.hits,
+        report.stats.misses,
+        report.stats.recovered,
+        report.stats.stored,
+    );
+    std::process::exit(if failed { 1 } else { 0 });
+}

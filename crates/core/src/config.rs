@@ -178,6 +178,46 @@ impl PipelineConfig {
         self.noise = Some(sf_gpusim::noise::NoiseModel::standard(seed));
         self
     }
+
+    /// A stable fingerprint of every configuration field that can change
+    /// the compiled plan — part of the material the plan cache hashes into
+    /// its content-addressed key (together with the canonical source text
+    /// and the cache/plan schema versions).
+    ///
+    /// Built from `Debug` renderings, which are deterministic for these
+    /// plain-data types. The fingerprint deliberately over-approximates:
+    /// a representational change (field rename, reordering) alters it and
+    /// costs a spurious cache miss, while a wrong hit would require two
+    /// *different* configurations to render identically — which is exactly
+    /// what distinct `Debug` output rules out.
+    pub fn cache_fingerprint(&self) -> String {
+        let preloaded_metadata = self
+            .preloaded_metadata
+            .as_ref()
+            .map(|m| serde_json::to_string(m).unwrap_or_else(|e| format!("unserializable: {e}")));
+        let preloaded_plan = self.preloaded_plan.as_ref().map(|p| p.to_json());
+        format!(
+            "device={:?};mode={:?};fission={};tuning={};filter={:?};search={:?};\
+             functional={};verify={};until={:?};degrade={:?};retries={};reps={};\
+             noise={:?};faults={:?};metadata={:?};plan={:?}",
+            self.device,
+            self.mode,
+            self.enable_fission,
+            self.block_tuning,
+            self.filter,
+            self.search,
+            self.functional_profile,
+            self.verify,
+            self.run_until,
+            self.degrade,
+            self.profile_retries,
+            self.profile_reps,
+            self.noise,
+            self.faults,
+            preloaded_metadata,
+            preloaded_plan,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +228,25 @@ mod tests {
     fn stage_order() {
         assert!(Stage::Metadata < Stage::Codegen);
         assert_eq!(Stage::ALL.len(), 6);
+    }
+
+    #[test]
+    fn cache_fingerprint_separates_plan_relevant_fields() {
+        let base = PipelineConfig::automated(DeviceSpec::k20x());
+        let fp = base.cache_fingerprint();
+        assert_eq!(fp, base.clone().cache_fingerprint(), "fingerprint is stable");
+        assert_ne!(fp, base.clone().without_tuning().cache_fingerprint());
+        assert_ne!(fp, base.clone().without_fission().cache_fingerprint());
+        assert_ne!(fp, base.clone().manual_oracle().cache_fingerprint());
+        assert_ne!(fp, base.clone().with_noise_seed(7).cache_fingerprint());
+        assert_ne!(fp, base.clone().strict().cache_fingerprint());
+        let mut until = base.clone();
+        until.run_until = Some(Stage::Search);
+        assert_ne!(fp, until.cache_fingerprint());
+        assert_ne!(
+            fp,
+            PipelineConfig::automated(DeviceSpec::k40()).cache_fingerprint()
+        );
     }
 
     #[test]

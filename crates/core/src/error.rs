@@ -58,6 +58,12 @@ pub enum ErrorKind {
     Verify(String),
     /// The configuration is inconsistent with the program.
     Config(String),
+    /// A plan-cache operation failed (I/O trouble, lock contention, or a
+    /// simulated crash under fault injection). Boxed like `Profile`: the
+    /// structured error carries key/path attribution. Note that a *bad
+    /// cache entry* is never an error — the store quarantines it and the
+    /// driver recompiles (the cache rung of the degradation ladder).
+    Cache(Box<sf_cache::CacheError>),
     /// Injected by a [`crate::faults::FaultPlan`] at a stage boundary.
     Injected(String),
     /// A panic caught at an isolation boundary (per-group codegen,
@@ -77,6 +83,7 @@ impl ErrorKind {
             ErrorKind::Search(_) => "search",
             ErrorKind::Verify(_) => "verify",
             ErrorKind::Config(_) => "config",
+            ErrorKind::Cache(_) => "cache",
             ErrorKind::Injected(_) => "injected-fault",
             ErrorKind::Panic(_) => "panic",
         }
@@ -88,6 +95,7 @@ impl ErrorKind {
             ErrorKind::HostEval(e) => e.to_string(),
             ErrorKind::Profile(e) => e.to_string(),
             ErrorKind::Codegen(e) => e.to_string(),
+            ErrorKind::Cache(e) => e.to_string(),
             ErrorKind::Graph(s)
             | ErrorKind::Search(s)
             | ErrorKind::Verify(s)
@@ -198,6 +206,7 @@ impl std::error::Error for PipelineError {
             ErrorKind::HostEval(e) => Some(e),
             ErrorKind::Profile(e) => Some(e.as_ref()),
             ErrorKind::Codegen(e) => Some(e),
+            ErrorKind::Cache(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -249,6 +258,23 @@ impl From<sf_codegen::CodegenError> for PipelineError {
     }
 }
 
+/// Cache errors attach to the `NewGraphs` stage — the point where a cached
+/// plan substitutes for the search artifacts on the replay path. Lock
+/// contention is transient (another writer may finish; re-reading works);
+/// everything else is degradable: the pipeline just compiles without the
+/// cache, which is the `cache hit → cache recompile → normal pipeline`
+/// rung of the degradation ladder.
+impl From<sf_cache::CacheError> for PipelineError {
+    fn from(e: sf_cache::CacheError) -> Self {
+        let class = if e.is_transient() {
+            Recoverability::Transient
+        } else {
+            Recoverability::Degradable
+        };
+        PipelineError::new(Stage::NewGraphs, class, ErrorKind::Cache(Box::new(e)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +315,24 @@ mod tests {
         assert!(text.contains("group 2"));
         assert!(text.contains("array `flux`"));
         assert!(text.contains("index out of bounds"));
+    }
+
+    #[test]
+    fn cache_errors_map_onto_the_recoverability_ladder() {
+        use sf_cache::{CacheError, CacheErrorKind};
+
+        // Lock contention: worth retrying / re-reading.
+        let e: PipelineError = CacheError::new(CacheErrorKind::Lock, "lock held").into();
+        assert_eq!(e.class, Recoverability::Transient);
+        assert_eq!(e.stage, Stage::NewGraphs);
+        assert_eq!(e.kind.label(), "cache");
+        assert!(e.to_string().contains("lock held"), "{e}");
+        let src = e.source().expect("typed source retained");
+        assert!(src.to_string().contains("[lock]"), "{src}");
+
+        // Anything else: compile without the cache (degradable).
+        let e: PipelineError = CacheError::new(CacheErrorKind::Io, "disk full").into();
+        assert_eq!(e.class, Recoverability::Degradable);
     }
 
     #[test]

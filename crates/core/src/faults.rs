@@ -44,6 +44,10 @@ pub struct FaultPlan {
     /// profiler (per-rep transients, retried with virtual backoff) on each
     /// profiling invocation.
     pub rep_failures: u32,
+    /// Faults injected into the plan cache (torn write, bit flip, version
+    /// skew, stale lock, kill-at-write-step) — exercised by the batch
+    /// driver and the fuzz oracle; the pipeline itself ignores them.
+    pub cache: sf_cache::CacheFaults,
 }
 
 impl FaultPlan {
@@ -97,6 +101,10 @@ impl FaultPlan {
             plan.noise_seed = Some(noise_draw >> 8);
         }
         plan.rep_failures = (next() % 3) as u32;
+        // Appended after all earlier draws (same convention): one
+        // unconditional draw feeds the cache-fault sub-generator, so every
+        // historical seed keeps its fault mix for the fields above.
+        plan.cache = sf_cache::CacheFaults::seeded(next());
         plan
     }
 }
@@ -188,6 +196,12 @@ impl FaultInjector {
     pub fn rep_failures(&self) -> u32 {
         self.plan.rep_failures
     }
+
+    /// Faults to arm the plan-cache store with (consumed by the batch
+    /// driver / fuzz oracle when they open a store, not by the pipeline).
+    pub fn cache_faults(&self) -> sf_cache::CacheFaults {
+        self.plan.cache
+    }
 }
 
 #[cfg(test)]
@@ -224,11 +238,21 @@ mod tests {
         );
         assert!(plans.iter().any(|p| p.noise_seed.is_some()), "noise_seed never drawn");
         assert!(plans.iter().any(|p| p.rep_failures > 0), "rep_failures never drawn");
+        // Cache faults: every kind reachable through the seeded plan too.
+        assert!(plans.iter().any(|p| p.cache.torn_write.is_some()), "cache torn_write never drawn");
+        assert!(plans.iter().any(|p| p.cache.bit_flip.is_some()), "cache bit_flip never drawn");
+        assert!(plans.iter().any(|p| p.cache.version_skew), "cache version_skew never drawn");
+        assert!(plans.iter().any(|p| p.cache.stale_lock), "cache stale_lock never drawn");
+        assert!(
+            plans.iter().any(|p| p.cache.kill_at_step.is_some()),
+            "cache kill_at_step never drawn"
+        );
         // And none fires always: plans must also be fault-free sometimes
         // per kind, or every fuzz run carries the same forced fault.
         assert!(plans.iter().any(|p| !p.corrupt_metadata));
         assert!(plans.iter().any(|p| p.noise_seed.is_none()));
         assert!(plans.iter().any(|p| p.rep_failures == 0));
+        assert!(plans.iter().any(|p| p.cache.is_empty()));
     }
 
     mod properties {
@@ -255,6 +279,7 @@ mod tests {
                 prop_assert!(p.panic_groups.iter().all(|&g| g < 4));
                 prop_assert!(p.reject_tuned_groups.iter().all(|&g| g < 4));
                 prop_assert!(p.poison_evaluations.iter().all(|&e| e < 200));
+                prop_assert!(p.cache.kill_at_step.is_none_or(|s| s < 8));
             }
         }
     }

@@ -38,6 +38,7 @@
 //! println!("speedup: {:.2}x", result.speedup);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod faults;
@@ -45,6 +46,9 @@ pub mod pipeline;
 pub mod report;
 pub mod verify;
 
+pub use batch::{
+    BatchDriver, BatchOptions, BatchOutcome, BatchReport, BatchRequest, BatchStatus, Rejected,
+};
 pub use config::{DegradePolicy, PipelineConfig, Stage};
 pub use error::{ErrorKind, PipelineError, Recoverability};
 pub use faults::{FaultInjector, FaultPlan};

@@ -20,13 +20,14 @@ struct Args {
     repro_dir: PathBuf,
     max_wall_secs: u64,
     noise: bool,
+    cache: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S] [--noise]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache]"
     );
     ExitCode::from(2)
 }
@@ -37,6 +38,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         repro_dir: PathBuf::from("tests/repros"),
         max_wall_secs: 0,
         noise: false,
+        cache: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -64,6 +66,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.seeds.extend(a..b);
             }
             "--noise" => args.noise = true,
+            "--cache" => args.cache = true,
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--max-wall-secs" => {
                 let v = value("--max-wall-secs")?;
@@ -86,7 +89,10 @@ fn main() -> ExitCode {
     };
 
     let cfg = GenConfig::default();
-    let opts = OracleOptions { noise: args.noise };
+    let opts = OracleOptions {
+        noise: args.noise,
+        cache: args.cache,
+    };
     let start = Instant::now();
     let mut checked = 0usize;
     let mut failures = 0usize;
@@ -162,6 +168,14 @@ mod tests {
         assert!(a.noise);
         let a = parse_args(&argv(&["--seed", "1"])).unwrap();
         assert!(!a.noise);
+    }
+
+    #[test]
+    fn parses_cache_flag() {
+        let a = parse_args(&argv(&["--seed", "1", "--cache"])).unwrap();
+        assert!(a.cache);
+        let a = parse_args(&argv(&["--seed", "1"])).unwrap();
+        assert!(!a.cache);
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!     noise model) must still verify, be byte-identical across two runs
 //!     with the same seed, and never degrade below the original program
 //!     (modeled speedup ≥ 1).
+//! 11. `cache-*` (opt-in via [`OracleOptions::cache`]) — the emitted plan
+//!     must round-trip through the persistent plan cache and replay
+//!     byte-identically from the cached payload, and a store armed with
+//!     the seed's cache faults (torn write, bit flip, version skew, stale
+//!     lock, kill) must stay readable and recover the slot — corruption is
+//!     quarantined, never served and never fatal.
 
 use sf_gpusim::device::DeviceSpec;
 use sf_minicuda::ast::Program;
@@ -76,6 +82,10 @@ pub struct OracleOptions {
     /// Run the `noisy-*` checks: robust profiling under a seeded
     /// measurement-noise model must stay deterministic and sound.
     pub noise: bool,
+    /// Run the `cache-*` checks: the plan cache must round-trip the
+    /// emitted plan, replay it byte-identically, and survive the seed's
+    /// injected cache faults without serving corruption or failing.
+    pub cache: bool,
 }
 
 /// The pipeline configuration the fuzzer drives: the quick automated
@@ -106,6 +116,9 @@ pub fn check_program_with(
     check_core(program, seed)?;
     if opts.noise {
         check_noisy_profile(program, seed)?;
+    }
+    if opts.cache {
+        check_plan_cache(program, seed)?;
     }
     Ok(())
 }
@@ -388,5 +401,117 @@ fn check_noisy_profile(program: &Program, seed: u64) -> Result<(), OracleFailure
         )
         .with_plan(first.executed_plan().or_else(|| first.planned())));
     }
+    Ok(())
+}
+
+/// Opt-in cache check: the persistent plan cache must be a faithful,
+/// fault-tolerant transport for the emitted plan. A clean store must
+/// round-trip the payload and replay it to the same bytes the pipeline
+/// produced; a store armed with the seed's cache-fault mix must either
+/// serve the intact payload or quarantine-and-recover — a torn or flipped
+/// entry served as a hit would silently replay a wrong plan.
+fn check_plan_cache(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    use sf_cache::{CacheErrorKind, CacheFaults, CacheKey, Lookup, PlanStore, StoreOptions};
+    use std::time::Duration;
+
+    let result = Pipeline::new(program.clone(), config(seed))
+        .and_then(|p| p.run())
+        .map_err(|e| OracleFailure::new("cache-run", format!("pipeline run failed: {e}")))?;
+    let Some(plan) = result.executed_plan().or_else(|| result.planned()) else {
+        return Ok(()); // nothing to cache: the program had no fusible groups
+    };
+    let payload = plan.to_json();
+    let key = CacheKey::derive(&print_program(program), "k20x", "fuzz-oracle");
+    let dir = std::env::temp_dir().join(format!(
+        "sf-fuzz-cache-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let zero_timeout = |faults: CacheFaults| StoreOptions {
+        lock_timeout: Duration::ZERO,
+        faults,
+    };
+    let fail = |check: &'static str, detail: String| {
+        let _ = std::fs::remove_dir_all(&dir);
+        Err(OracleFailure::new(check, detail).with_plan(Some(plan)))
+    };
+
+    // Clean round trip + replay from the cached payload.
+    {
+        let store = match PlanStore::open(&dir) {
+            Ok(s) => s,
+            Err(e) => return fail("cache-roundtrip", format!("store did not open: {e}")),
+        };
+        if let Err(e) = store.publish(&key, &payload) {
+            return fail("cache-roundtrip", format!("publish failed: {e}"));
+        }
+        let served = match store.lookup(&key) {
+            Ok(Lookup::Hit(entry)) => entry.payload,
+            other => return fail("cache-roundtrip", format!("lookup after publish: {other:?}")),
+        };
+        if served != payload {
+            return fail("cache-roundtrip", "served payload differs from published".into());
+        }
+        let cached = match TransformPlan::from_json(&served) {
+            Ok(p) => p,
+            Err(e) => return fail("cache-replay", format!("cached payload does not parse: {e}")),
+        };
+        let replay = match Pipeline::new(program.clone(), config(seed).with_plan(cached))
+            .and_then(|p| p.run())
+        {
+            Ok(r) => r,
+            Err(e) => return fail("cache-replay", format!("cached plan did not replay: {e}")),
+        };
+        if print_program(&replay.program) != print_program(&result.program) {
+            return fail(
+                "cache-replay",
+                "replay from the cache diverged from the pipeline's program".into(),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Seeded fault mix: the store must degrade, never lie and never die.
+    let faults = FaultPlan::seeded(seed).cache;
+    {
+        let store = match PlanStore::open_with(&dir, zero_timeout(faults)) {
+            Ok(s) => s,
+            Err(e) => return fail("cache-fault-open", format!("faulted store did not open: {e}")),
+        };
+        match store.publish(&key, &payload) {
+            Ok(_) => {}
+            Err(e) if e.kind == CacheErrorKind::Killed => {} // simulated crash
+            Err(e) => return fail("cache-fault-publish", format!("publish failed fatally: {e}")),
+        }
+        // Whatever the fault left behind, a lookup must not error and must
+        // not serve bytes that differ from the published payload.
+        match store.lookup(&key) {
+            Ok(Lookup::Hit(entry)) if entry.payload != payload => {
+                return fail("cache-fault-integrity", "corrupted payload served as a hit".into())
+            }
+            Ok(_) => {}
+            Err(e) => return fail("cache-fault-lookup", format!("lookup errored: {e}")),
+        }
+    }
+    // "Reboot" clean (breaking any crash-leaked lock) and recover the slot.
+    {
+        let store = match PlanStore::open_with(&dir, zero_timeout(CacheFaults::none())) {
+            Ok(s) => s,
+            Err(e) => return fail("cache-fault-reopen", format!("reopen failed: {e}")),
+        };
+        if let Err(e) = store.publish(&key, &payload) {
+            return fail("cache-fault-recovery", format!("slot did not recover: {e}"));
+        }
+        match store.lookup(&key) {
+            Ok(Lookup::Hit(entry)) if entry.payload == payload => {}
+            other => {
+                return fail(
+                    "cache-fault-recovery",
+                    format!("recovered slot does not serve the payload: {other:?}"),
+                )
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -23,7 +23,7 @@
 //! plan-replay determinism check possible: replaying an emitted plan must
 //! regenerate byte-identical CUDA.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use sf_gpusim::device::DeviceSpec;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -300,16 +300,64 @@ impl TransformPlan {
         serde_json::to_string_pretty(self).expect("plan serializes")
     }
 
-    /// Parse from JSON, checking the schema version.
+    /// Parse from JSON, strictly.
+    ///
+    /// The checks run in a deliberate order so every failure is attributed:
+    ///
+    /// 1. the text must parse as a JSON object,
+    /// 2. the `version` field is read **before** anything else is
+    ///    interpreted — a version-skewed plan always fails with a version
+    ///    message, never with a confusing deep-deserialization error,
+    /// 3. the full plan is deserialized (errors carry the plan version),
+    /// 4. unknown and duplicate fields are rejected with their path — a
+    ///    plan that silently dropped a field on parse is a plan that
+    ///    replays differently from what its author wrote.
     pub fn from_json(text: &str) -> Result<TransformPlan, PlanError> {
-        let plan: TransformPlan =
-            serde_json::from_str(text).map_err(|e| PlanError(e.to_string()))?;
-        if plan.version != PLAN_VERSION {
+        let content =
+            serde_json::from_str_content(text).map_err(|e| PlanError(e.to_string()))?;
+        let entries = content
+            .as_entries()
+            .ok_or_else(|| PlanError("plan JSON is not an object".into()))?;
+
+        // Version first, from the raw tree: this must work (and fail
+        // cleanly) even when the rest of the schema is unrecognizable.
+        let mut versions = entries
+            .iter()
+            .filter(|(k, _)| k.as_str() == Some("version"))
+            .map(|(_, v)| v);
+        let version = match versions.next() {
+            Some(Content::U64(v)) => *v,
+            Some(other) => {
+                return Err(PlanError(format!(
+                    "plan `version` field is {}, not an integer \
+                     (this build speaks plan version {PLAN_VERSION})",
+                    other.kind()
+                )))
+            }
+            None => {
+                return Err(PlanError(format!(
+                    "plan has no `version` field \
+                     (this build speaks plan version {PLAN_VERSION})"
+                )))
+            }
+        };
+        if versions.next().is_some() {
+            return Err(PlanError("duplicate field `version`".into()));
+        }
+        if version != u64::from(PLAN_VERSION) {
             return Err(PlanError(format!(
-                "plan version {} (this build speaks {PLAN_VERSION})",
-                plan.version
+                "plan version {version} (this build speaks {PLAN_VERSION})"
             )));
         }
+
+        let plan = TransformPlan::deserialize(&content)
+            .map_err(|e| PlanError(format!("plan version {version}: {e}")))?;
+
+        // Strictness: re-serialize the accepted plan and require that every
+        // field in the input exists (once) in the canonical tree. Anything
+        // the deserializer ignored would otherwise vanish silently.
+        strict_fields(&content, &plan.serialize(), "plan")
+            .map_err(|e| PlanError(format!("{e} (plan version {version})")))?;
         Ok(plan)
     }
 
@@ -330,6 +378,43 @@ impl TransformPlan {
             self.mode,
             if self.block_tuning { "on" } else { "off" },
         )
+    }
+}
+
+/// Walk `input` (the raw parse tree, duplicate keys preserved) against
+/// `canon` (the re-serialization of the accepted value), rejecting any
+/// object field that is duplicated or that the canonical tree does not
+/// have. Values themselves are *not* compared — the deserializer already
+/// validated them, and numeric spellings (`40` vs `40.0`) may legally
+/// differ between the two trees. Only string-keyed maps are struct-like;
+/// other shape pairs recurse through sequences and stop at scalars.
+fn strict_fields(input: &Content, canon: &Content, path: &str) -> Result<(), String> {
+    match (input, canon) {
+        (Content::Map(inp), Content::Map(_)) => {
+            let mut seen: Vec<&str> = Vec::new();
+            for (k, v) in inp {
+                let Some(name) = k.as_str() else { continue };
+                let at = format!("{path}.{name}");
+                if seen.contains(&name) {
+                    return Err(format!("duplicate field `{at}`"));
+                }
+                seen.push(name);
+                match canon.field("", name) {
+                    Ok(cv) => strict_fields(v, cv, &at)?,
+                    Err(_) => return Err(format!("unknown field `{at}`")),
+                }
+            }
+            Ok(())
+        }
+        (Content::Seq(inp), Content::Seq(can)) => {
+            for (i, item) in inp.iter().enumerate() {
+                if let Some(citem) = can.get(i) {
+                    strict_fields(item, citem, &format!("{path}[{i}]"))?;
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
     }
 }
 
@@ -415,6 +500,52 @@ mod tests {
         wrong.version = 99;
         assert!(wrong.validate(3).is_err());
         assert!(TransformPlan::from_json(&wrong.to_json()).is_err());
+    }
+
+    #[test]
+    fn json_rejects_unknown_and_duplicate_fields() {
+        let text = demo_plan().to_json();
+
+        // Unknown top-level field, reported with its path and the version.
+        let unknown = text.replacen("\"version\"", "\"extra\": 1, \"version\"", 1);
+        let err = TransformPlan::from_json(&unknown).unwrap_err();
+        assert!(err.0.contains("unknown field `plan.extra`"), "{err}");
+        assert!(err.0.contains("plan version 1"), "{err}");
+
+        // Unknown field nested inside a group.
+        let nested = text.replacen("\"precedence\"", "\"bogus\": 3, \"precedence\"", 1);
+        let err = TransformPlan::from_json(&nested).unwrap_err();
+        assert!(err.0.contains("unknown field `plan.groups[0].bogus`"), "{err}");
+
+        // Duplicate field (last-writer-wins parsers silently drop one).
+        let dup = text.replacen(
+            "\"block_tuning\": true",
+            "\"block_tuning\": true, \"block_tuning\": false",
+            1,
+        );
+        let err = TransformPlan::from_json(&dup).unwrap_err();
+        assert!(err.0.contains("duplicate field `plan.block_tuning`"), "{err}");
+    }
+
+    #[test]
+    fn json_version_check_runs_before_deep_deserialization() {
+        // A skewed plan whose body is unintelligible must still fail with a
+        // version message, not a missing-field message.
+        let err = TransformPlan::from_json("{\"version\": 99, \"garbage\": true}").unwrap_err();
+        assert!(err.0.contains("plan version 99"), "{err}");
+        assert!(err.0.contains("speaks 1"), "{err}");
+
+        let err = TransformPlan::from_json("{\"groups\": []}").unwrap_err();
+        assert!(err.0.contains("no `version` field"), "{err}");
+
+        let err = TransformPlan::from_json("{\"version\": \"one\"}").unwrap_err();
+        assert!(err.0.contains("not an integer"), "{err}");
+
+        let err = TransformPlan::from_json("{\"version\": 1, \"version\": 1}").unwrap_err();
+        assert!(err.0.contains("duplicate field `version`"), "{err}");
+
+        let err = TransformPlan::from_json("[1, 2]").unwrap_err();
+        assert!(err.0.contains("not an object"), "{err}");
     }
 
     #[test]

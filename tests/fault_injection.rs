@@ -98,6 +98,9 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
                 interpreter_trap: trap == 0,
                 noise_seed: (noisy == 0).then_some(noise_seed),
                 rep_failures,
+                // Cache faults live in the store, not the pipeline; the
+                // batch/fuzz harnesses exercise them (tests/plan_cache.rs).
+                cache: sf_cache::CacheFaults::none(),
             },
         )
 }

@@ -89,10 +89,19 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1)
-        .min(n);
+    // Upstream rayon sizes its global pool from RAYON_NUM_THREADS; honor
+    // the same variable so callers (e.g. `sfd --jobs`) can bound worker
+    // concurrency without a pool-builder API.
+    let available = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        });
+    let workers = available.min(n);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }

@@ -465,6 +465,15 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     T::deserialize(&content).map_err(Error::from)
 }
 
+/// Parse JSON text into the raw serde `Content` tree, without driving any
+/// `Deserialize` impl. Unlike [`from_str`], this preserves exactly what the
+/// text said: object entries keep their parse order and duplicate keys are
+/// kept as repeated entries, which is what strict validators (unknown /
+/// duplicate field rejection) need to see.
+pub fn from_str_content(text: &str) -> Result<Content, Error> {
+    parse::parse(text).map_err(Error::msg)
+}
+
 fn render(c: &Content, indent: Option<usize>, level: usize) -> String {
     match c {
         Content::Null => "null".to_string(),
