@@ -8,8 +8,10 @@
 //! second over a GA-shaped workload on a synthetic ~50-kernel program —
 //! `before` re-projects every group on every call (a transient engine per
 //! evaluation, the pre-cache behavior), `after` shares one engine across
-//! the whole run — and writes `results/BENCH_search.json`. The acceptance
-//! bar is a ≥2x throughput ratio.
+//! the whole run — and writes `results/BENCH_projection.json`. The
+//! acceptance bar is a ≥2x throughput ratio. (`results/BENCH_search.json`
+//! is owned by the serial-vs-island bench in `search.rs`, which also
+//! carries these cache numbers as a subsection.)
 //!
 //! ```sh
 //! cargo bench --bench projection
@@ -149,7 +151,7 @@ fn main() {
     );
 
     sf_bench::write_results(
-        "BENCH_search",
+        "BENCH_projection",
         &serde_json::json!({
             "workload": {
                 "kernels": KERNELS,

@@ -27,12 +27,14 @@
 //! kill-at-step), so the fuzzer and the crash-consistency tests can walk
 //! all recovery paths from a seed.
 
+pub mod atomic;
 pub mod entry;
 pub mod error;
 pub mod faults;
 pub mod key;
 pub mod store;
 
+pub use atomic::{atomic_write, atomic_write_with};
 pub use entry::{decode, encode, DecodeFailure, Entry, SCHEMA_VERSION};
 pub use error::{CacheError, CacheErrorKind};
 pub use faults::CacheFaults;

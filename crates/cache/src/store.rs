@@ -346,41 +346,13 @@ impl PlanStore {
             .join("tmp")
             .join(format!("{}.{}.tmp", key.hex(), token));
 
-        self.step("create temp file")?;
-        let mut tmp = fs::File::create(&tmp_path).map_err(|e| {
-            CacheError::io(format!("creating temp file: {e}"))
-                .for_key(*key)
-                .at_path(tmp_path.clone())
-        })?;
-
-        self.step("write payload")?;
-        tmp.write_all(&bytes).map_err(|e| {
-            CacheError::io(format!("writing entry: {e}"))
-                .for_key(*key)
-                .at_path(tmp_path.clone())
-        })?;
-
-        self.step("fsync temp file")?;
-        tmp.sync_all().map_err(|e| {
-            CacheError::io(format!("fsyncing entry: {e}"))
-                .for_key(*key)
-                .at_path(tmp_path.clone())
-        })?;
-        drop(tmp);
-
-        self.step("rename into entries/")?;
-        fs::rename(&tmp_path, &entry_path).map_err(|e| {
-            CacheError::io(format!("committing entry: {e}"))
-                .for_key(*key)
-                .at_path(entry_path.clone())
-        })?;
-
-        self.step("fsync entries/ directory")?;
-        if let Ok(dir) = fs::File::open(self.root.join("entries")) {
-            // Directory fsync is advisory on some filesystems; failure to
-            // sync is not failure to commit.
-            let _ = dir.sync_all();
-        }
+        // Steps 2–6 of the protocol are the shared atomic-commit primitive;
+        // the step hook keeps the kill-at-step fault injection working at
+        // every protocol point.
+        crate::atomic::atomic_write_with(&tmp_path, &entry_path, &bytes, &mut |what| {
+            self.step(what)
+        })
+        .map_err(|e| e.for_key(*key))?;
 
         self.stored.fetch_add(1, Ordering::Relaxed);
 

@@ -70,6 +70,10 @@ pub enum BatchStatus {
     Failed,
     /// The request exceeded its wall-clock budget.
     OverBudget,
+    /// A graceful shutdown was requested before this request started, so
+    /// it was never compiled (see [`crate::shutdown`]). In-flight requests
+    /// drain normally; only not-yet-started ones are cancelled.
+    Cancelled,
 }
 
 impl BatchStatus {
@@ -81,6 +85,7 @@ impl BatchStatus {
             BatchStatus::Recovered(_) => "recovered",
             BatchStatus::Failed => "failed",
             BatchStatus::OverBudget => "over-budget",
+            BatchStatus::Cancelled => "cancelled",
         }
     }
 }
@@ -128,7 +133,7 @@ impl fmt::Display for Rejected {
 impl std::error::Error for Rejected {}
 
 /// Driver tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Maximum pending requests before [`BatchDriver::submit`] rejects.
     pub queue_limit: usize,
@@ -138,6 +143,17 @@ pub struct BatchOptions {
     pub lock_timeout: Duration,
     /// Seeded cache faults to arm the store with (testing / fuzzing).
     pub cache_faults: sf_cache::CacheFaults,
+    /// Poll the process-wide [`crate::shutdown`] flag between requests:
+    /// once raised, not-yet-started requests are reported as
+    /// [`BatchStatus::Cancelled`] while in-flight ones drain within their
+    /// budgets. Off by default — the flag is process-global, so embedders
+    /// (and parallel tests) must opt in per driver.
+    pub honor_shutdown: bool,
+    /// Give every request its own search checkpoint at
+    /// `<dir>/<name>.ckpt`, auto-resuming when one is already there: a
+    /// killed batch continues where it stopped and converges to the
+    /// byte-identical plans (`sfd --checkpoint-dir`).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -147,6 +163,8 @@ impl Default for BatchOptions {
             request_budget: Duration::from_secs(120),
             lock_timeout: Duration::from_secs(10),
             cache_faults: sf_cache::CacheFaults::none(),
+            honor_shutdown: false,
+            checkpoint_dir: None,
         }
     }
 }
@@ -181,20 +199,29 @@ impl BatchReport {
         self.count(|o| matches!(o.status, BatchStatus::Failed | BatchStatus::OverBudget))
     }
 
+    /// Requests cancelled by a graceful shutdown (never started).
+    pub fn cancelled(&self) -> usize {
+        self.count(|o| o.status == BatchStatus::Cancelled)
+    }
+
     fn count(&self, pred: impl Fn(&BatchOutcome) -> bool) -> usize {
         self.outcomes.iter().filter(|o| pred(o)).count()
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} requests: {} hits, {} compiled ({} after cache recovery), {} failed",
             self.outcomes.len(),
             self.hits(),
             self.compiled(),
             self.recovered(),
             self.failures(),
-        )
+        );
+        if self.cancelled() > 0 {
+            line.push_str(&format!(", {} cancelled by shutdown", self.cancelled()));
+        }
+        line
     }
 }
 
@@ -278,13 +305,46 @@ impl BatchDriver {
         }
     }
 
+    /// The effective config for one request: the base config, plus the
+    /// request's own checkpoint file when a checkpoint directory is set.
+    /// Checkpoint placement is excluded from the cache fingerprint, so
+    /// every request still shares the driver's precomputed fingerprint.
+    fn request_config(&self, request: &BatchRequest) -> PipelineConfig {
+        let config = self.config.clone();
+        match &self.options.checkpoint_dir {
+            Some(dir) => {
+                let stem: String = request
+                    .name
+                    .chars()
+                    .map(|c| if std::path::is_separator(c) { '_' } else { c })
+                    .collect();
+                config.with_resume(dir.join(format!("{stem}.ckpt")))
+            }
+            None => config,
+        }
+    }
+
     /// Run one request on a watchdog'd worker thread. On budget overrun the
     /// batch moves on; the abandoned worker finishes (or not) in the
     /// background and its result is discarded.
     fn process_with_budget(&self, request: &BatchRequest) -> BatchOutcome {
+        // Graceful shutdown: poll the flag at the request boundary, the
+        // one place where nothing is half-done yet. Everything already
+        // past this point drains normally (publishes stay atomic).
+        if self.options.honor_shutdown && crate::shutdown::shutdown_requested() {
+            return BatchOutcome {
+                name: request.name.clone(),
+                status: BatchStatus::Cancelled,
+                plan_json: None,
+                output: None,
+                speedup: 1.0,
+                error: None,
+                cache_note: Some("shutdown requested before this request started".into()),
+            };
+        }
         let (tx, rx) = mpsc::channel();
         let store = Arc::clone(&self.store);
-        let config = self.config.clone();
+        let config = self.request_config(request);
         let fingerprint = Arc::clone(&self.fingerprint);
         let device = Arc::clone(&self.device);
         let cache_enabled = self.cache_enabled;

@@ -78,6 +78,10 @@ struct Args {
     strict: bool,
     profile_reps: Option<u32>,
     noise_seed: Option<u64>,
+    islands: Option<usize>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    kill_at_epoch: Option<usize>,
 }
 
 const USAGE: &str = "\
@@ -109,6 +113,20 @@ usage: sfc INPUT.cu [options]
   --noise-seed N      inject the standard seeded measurement-noise model
                       (jitter, outliers, dropped counters, transients); the
                       same seed reproduces the same measurements exactly
+  --islands N         shard the search population across N supervised
+                      islands evaluated in parallel; a panicked island is
+                      quarantined (search degrades, never aborts) and the
+                      final plan is byte-identical for a given seed
+                      regardless of RAYON_NUM_THREADS
+  --checkpoint FILE   atomically snapshot the search state to FILE at every
+                      migration epoch (crash-safe: temp + fsync + rename)
+  --resume FILE       resume a killed search from FILE (and keep
+                      checkpointing there); the resumed run converges to
+                      the byte-identical plan the uninterrupted run would
+                      have produced
+  --kill-at-epoch N   chaos testing: abort the search right after the
+                      checkpoint of migration epoch N commits, simulating
+                      a crash for --resume to recover from
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
@@ -152,6 +170,10 @@ fn parse_args() -> Result<Args, String> {
         strict: false,
         profile_reps: None,
         noise_seed: None,
+        islands: None,
+        checkpoint: None,
+        resume: None,
+        kill_at_epoch: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -211,6 +233,21 @@ fn parse_args() -> Result<Args, String> {
                 let n = take(&mut i)?;
                 args.noise_seed =
                     Some(n.parse().map_err(|_| format!("bad noise seed `{n}`"))?);
+            }
+            "--islands" => {
+                let n = take(&mut i)?;
+                let n: usize = n.parse().map_err(|_| format!("bad island count `{n}`"))?;
+                if n == 0 {
+                    return Err("island count must be at least 1".into());
+                }
+                args.islands = Some(n);
+            }
+            "--checkpoint" => args.checkpoint = Some(take(&mut i)?),
+            "--resume" => args.resume = Some(take(&mut i)?),
+            "--kill-at-epoch" => {
+                let n = take(&mut i)?;
+                args.kill_at_epoch =
+                    Some(n.parse().map_err(|_| format!("bad epoch `{n}`"))?);
             }
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
@@ -283,6 +320,22 @@ fn main() {
     }
     if let Some(seed) = args.noise_seed {
         config = config.with_noise_seed(seed);
+    }
+    if let Some(n) = args.islands {
+        config = config.with_islands(n);
+    }
+    // --resume first: it also arms checkpointing at the same path, and an
+    // explicit --checkpoint then redirects where new snapshots land.
+    if let Some(path) = &args.resume {
+        config = config.with_resume(path);
+    }
+    if let Some(path) = &args.checkpoint {
+        config = config.with_checkpoint(path);
+    }
+    if let Some(epoch) = args.kill_at_epoch {
+        let mut faults = config.faults.take().unwrap_or_default();
+        faults.islands.kill_at_epoch = Some(epoch);
+        config = config.with_faults(faults);
     }
     config.run_until = args.until;
     if let Some(path) = &args.load_metadata {

@@ -15,11 +15,15 @@
 //! ```
 //!
 //! Exit codes: 0 all requests succeeded; 1 a request failed or ran over
-//! budget; 2 usage / file I/O error.
+//! budget; 2 usage / file I/O error; 3 a graceful shutdown (SIGINT /
+//! SIGTERM) cancelled part of the batch — everything that started drained
+//! cleanly, the rest is reported as cancelled and safe to resubmit.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
 use stencilfuse::{BatchDriver, BatchOptions, BatchRequest, BatchStatus, PipelineConfig};
+
+const EXIT_SHUTDOWN: i32 = 3;
 
 const USAGE: &str = "\
 usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
@@ -28,6 +32,10 @@ usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
   --device NAME       k20x (default) or k40
   --quick             scaled-down search budget
   --jobs N            cap concurrent workers (sets RAYON_NUM_THREADS)
+  --islands N         shard each request's search into N supervised islands
+  --checkpoint-dir D  checkpoint every request's search to D/<stem>.ckpt at
+                      each migration epoch and auto-resume from it: a killed
+                      batch continues where it stopped, byte-identically
   --queue-limit N     bounded admission: reject submissions past N pending
   --budget-secs N     per-request wall-clock budget (default 120)
   --no-verify         skip output verification
@@ -35,6 +43,10 @@ usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
   --verify-store      integrity-scan the cache (quarantining bad entries),
                       print the result, and exit
   --report            per-request status lines to stderr
+
+On SIGINT/SIGTERM the driver stops admitting work, drains in-flight
+requests within their budgets (cache publishes stay atomic), reports every
+request's status, and exits 3.
 ";
 
 struct Args {
@@ -43,6 +55,8 @@ struct Args {
     device: sf_gpusim::device::DeviceSpec,
     quick: bool,
     jobs: Option<usize>,
+    islands: Option<usize>,
+    checkpoint_dir: Option<String>,
     queue_limit: Option<usize>,
     budget_secs: Option<u64>,
     no_verify: bool,
@@ -59,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         device: sf_gpusim::device::DeviceSpec::k20x(),
         quick: false,
         jobs: None,
+        islands: None,
+        checkpoint_dir: None,
         queue_limit: None,
         budget_secs: None,
         no_verify: false,
@@ -89,6 +105,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quick" => args.quick = true,
             "--jobs" => args.jobs = Some(parse_num("job count", take(&mut i)?)? as usize),
+            "--islands" => {
+                let n = parse_num("island count", take(&mut i)?)? as usize;
+                if n == 0 {
+                    return Err("island count must be at least 1".into());
+                }
+                args.islands = Some(n);
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(take(&mut i)?),
             "--queue-limit" => {
                 args.queue_limit = Some(parse_num("queue limit", take(&mut i)?)? as usize)
             }
@@ -135,6 +159,9 @@ fn main() {
     if args.strict {
         config = config.strict();
     }
+    if let Some(n) = args.islands {
+        config = config.with_islands(n);
+    }
 
     let mut options = BatchOptions::default();
     if let Some(limit) = args.queue_limit {
@@ -143,6 +170,17 @@ fn main() {
     if let Some(secs) = args.budget_secs {
         options.request_budget = Duration::from_secs(secs);
     }
+    if let Some(dir) = &args.checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sfd: cannot create checkpoint dir {dir}: {e}");
+            std::process::exit(2);
+        }
+        options.checkpoint_dir = Some(dir.into());
+    }
+    // Graceful shutdown: SIGINT/SIGTERM stop admission, drain in-flight
+    // work, and report everything (exit code 3).
+    options.honor_shutdown = true;
+    stencilfuse::install_signal_handlers();
 
     let mut driver = match BatchDriver::new(&args.cache_dir, config, options) {
         Ok(d) => d,
@@ -177,6 +215,10 @@ fn main() {
     }
 
     for input in &args.inputs {
+        if stencilfuse::shutdown_requested() {
+            eprintln!("sfd: shutdown requested; not admitting {input}");
+            continue;
+        }
         let source = match std::fs::read_to_string(input) {
             Ok(s) => s,
             Err(e) => {
@@ -199,6 +241,7 @@ fn main() {
     let elapsed = started.elapsed();
 
     let mut failed = false;
+    let mut cancelled = false;
     for outcome in &report.outcomes {
         if args.report {
             let mut line = format!(
@@ -224,6 +267,10 @@ fn main() {
             BatchStatus::OverBudget => {
                 failed = true;
                 eprintln!("sfd: {} exceeded its wall-clock budget", outcome.name);
+            }
+            BatchStatus::Cancelled => {
+                cancelled = true;
+                eprintln!("sfd: {} cancelled by shutdown (safe to resubmit)", outcome.name);
             }
             _ => {}
         }
@@ -252,5 +299,14 @@ fn main() {
         report.stats.recovered,
         report.stats.stored,
     );
-    std::process::exit(if failed { 1 } else { 0 });
+    if stencilfuse::shutdown_requested() {
+        cancelled = true;
+    }
+    std::process::exit(if failed {
+        1
+    } else if cancelled {
+        EXIT_SHUTDOWN
+    } else {
+        0
+    });
 }

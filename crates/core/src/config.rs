@@ -95,6 +95,14 @@ pub struct PipelineConfig {
     /// Deterministic fault injection at stage boundaries (testing only;
     /// `None` disables the injector entirely).
     pub faults: Option<crate::faults::FaultPlan>,
+    /// Write a search checkpoint here at every migration epoch (island
+    /// search). Deliberately *not* part of [`Self::cache_fingerprint`]:
+    /// where a run checkpoints cannot change the plan it produces.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Resume the search from this checkpoint when it exists and verifies
+    /// (`sfc --resume`). Also excluded from the cache fingerprint: a
+    /// resumed run converges to the byte-identical plan.
+    pub resume_path: Option<std::path::PathBuf>,
 }
 
 impl PipelineConfig {
@@ -117,6 +125,8 @@ impl PipelineConfig {
             profile_reps: 1,
             noise: None,
             faults: None,
+            checkpoint_path: None,
+            resume_path: None,
         }
     }
 
@@ -176,6 +186,26 @@ impl PipelineConfig {
     /// outliers, dropped counters, transient repetition failures).
     pub fn with_noise_seed(mut self, seed: u64) -> PipelineConfig {
         self.noise = Some(sf_gpusim::noise::NoiseModel::standard(seed));
+        self
+    }
+
+    /// Shard the search population across `n` supervised islands.
+    pub fn with_islands(mut self, n: usize) -> PipelineConfig {
+        self.search = self.search.with_islands(n);
+        self
+    }
+
+    /// Checkpoint the search at every migration epoch.
+    pub fn with_checkpoint(mut self, path: impl Into<std::path::PathBuf>) -> PipelineConfig {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume (and keep checkpointing) a killed search from `path`.
+    pub fn with_resume(mut self, path: impl Into<std::path::PathBuf>) -> PipelineConfig {
+        let path = path.into();
+        self.resume_path = Some(path.clone());
+        self.checkpoint_path = Some(path);
         self
     }
 
@@ -247,6 +277,11 @@ mod tests {
             fp,
             PipelineConfig::automated(DeviceSpec::k40()).cache_fingerprint()
         );
+        // Island count changes the plan the search converges to → included.
+        assert_ne!(fp, base.clone().with_islands(4).cache_fingerprint());
+        // Checkpoint placement can never change the plan → excluded.
+        assert_eq!(fp, base.clone().with_checkpoint("/tmp/x.ckpt").cache_fingerprint());
+        assert_eq!(fp, base.clone().with_resume("/tmp/x.ckpt").cache_fingerprint());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct FaultPlan {
     /// skew, stale lock, kill-at-write-step) — exercised by the batch
     /// driver and the fuzz oracle; the pipeline itself ignores them.
     pub cache: sf_cache::CacheFaults,
+    /// Faults injected into the supervised island search (island panic,
+    /// island stall, torn checkpoint, kill-after-checkpoint) — consumed by
+    /// the search stage when `islands > 1` or checkpointing is on.
+    pub islands: sf_search::IslandFaults,
 }
 
 impl FaultPlan {
@@ -105,6 +109,31 @@ impl FaultPlan {
         // unconditional draw feeds the cache-fault sub-generator, so every
         // historical seed keeps its fault mix for the fields above.
         plan.cache = sf_cache::CacheFaults::seeded(next());
+        // Island faults: four unconditional draws appended after the cache
+        // draw, same convention. Generation/epoch targets stay small so
+        // they land inside the fuzzer's short island schedules.
+        let island_panic = next();
+        if island_panic % 4 == 0 {
+            plan.islands.panic_at.insert(
+                ((island_panic >> 8) % 4) as usize,
+                ((island_panic >> 16) % 12) as usize,
+            );
+        }
+        let island_stall = next();
+        if island_stall % 5 == 0 {
+            plan.islands.stall_at.insert(
+                ((island_stall >> 8) % 4) as usize,
+                ((island_stall >> 16) % 12) as usize,
+            );
+        }
+        let torn_ckpt = next();
+        if torn_ckpt % 6 == 0 {
+            plan.islands.torn_checkpoint_at_epoch = Some(((torn_ckpt >> 8) % 4) as usize);
+        }
+        let island_kill = next();
+        if island_kill % 6 == 0 {
+            plan.islands.kill_at_epoch = Some(((island_kill >> 8) % 4) as usize);
+        }
         plan
     }
 }
@@ -202,6 +231,11 @@ impl FaultInjector {
     pub fn cache_faults(&self) -> sf_cache::CacheFaults {
         self.plan.cache
     }
+
+    /// Faults to arm the supervised island search with.
+    pub fn island_faults(&self) -> &sf_search::IslandFaults {
+        &self.plan.islands
+    }
 }
 
 #[cfg(test)]
@@ -247,12 +281,30 @@ mod tests {
             plans.iter().any(|p| p.cache.kill_at_step.is_some()),
             "cache kill_at_step never drawn"
         );
+        // Island faults: every kind reachable through the seeded plan.
+        assert!(
+            plans.iter().any(|p| !p.islands.panic_at.is_empty()),
+            "island panic_at never drawn"
+        );
+        assert!(
+            plans.iter().any(|p| !p.islands.stall_at.is_empty()),
+            "island stall_at never drawn"
+        );
+        assert!(
+            plans.iter().any(|p| p.islands.torn_checkpoint_at_epoch.is_some()),
+            "island torn_checkpoint_at_epoch never drawn"
+        );
+        assert!(
+            plans.iter().any(|p| p.islands.kill_at_epoch.is_some()),
+            "island kill_at_epoch never drawn"
+        );
         // And none fires always: plans must also be fault-free sometimes
         // per kind, or every fuzz run carries the same forced fault.
         assert!(plans.iter().any(|p| !p.corrupt_metadata));
         assert!(plans.iter().any(|p| p.noise_seed.is_none()));
         assert!(plans.iter().any(|p| p.rep_failures == 0));
         assert!(plans.iter().any(|p| p.cache.is_empty()));
+        assert!(plans.iter().any(|p| p.islands.is_empty()));
     }
 
     mod properties {
@@ -280,6 +332,10 @@ mod tests {
                 prop_assert!(p.reject_tuned_groups.iter().all(|&g| g < 4));
                 prop_assert!(p.poison_evaluations.iter().all(|&e| e < 200));
                 prop_assert!(p.cache.kill_at_step.is_none_or(|s| s < 8));
+                prop_assert!(p.islands.panic_at.iter().all(|(&i, &g)| i < 4 && g < 12));
+                prop_assert!(p.islands.stall_at.iter().all(|(&i, &g)| i < 4 && g < 12));
+                prop_assert!(p.islands.torn_checkpoint_at_epoch.is_none_or(|e| e < 4));
+                prop_assert!(p.islands.kill_at_epoch.is_none_or(|e| e < 4));
             }
         }
     }

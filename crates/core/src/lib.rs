@@ -44,6 +44,7 @@ pub mod error;
 pub mod faults;
 pub mod pipeline;
 pub mod report;
+pub mod shutdown;
 pub mod verify;
 
 pub use batch::{
@@ -54,4 +55,7 @@ pub use error::{ErrorKind, PipelineError, Recoverability};
 pub use faults::{FaultInjector, FaultPlan};
 pub use pipeline::{Interventions, Pipeline, TransformResult};
 pub use report::{Degradation, StageReport};
+pub use shutdown::{
+    install_signal_handlers, request_shutdown, reset_shutdown_request, shutdown_requested,
+};
 pub use verify::{verify_equivalence, Verification};

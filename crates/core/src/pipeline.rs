@@ -24,10 +24,23 @@ use sf_graphs::build::all_accesses_with_allocs;
 use sf_graphs::{dot, Ddg, Oeg};
 use sf_minicuda::host::ExecutablePlan;
 use sf_minicuda::Program;
-use sf_search::{search_with_faults, SearchConfig, SearchResult, SearchSpace};
+use sf_search::{
+    search_islands, search_with_faults, IslandOptions, SearchConfig, SearchResult, SearchSpace,
+};
 
 /// An intervention hook amending one stage artifact in place.
 pub type Hook<'a, T> = Option<Box<dyn Fn(&mut T) + 'a>>;
+
+/// What the island supervisor reported for the search stage (everything in
+/// [`sf_search::IslandSearchResult`] except the merged result itself).
+struct SearchSupervision {
+    degradations: Vec<sf_search::SearchDegradation>,
+    islands: usize,
+    epochs_run: usize,
+    checkpoints_written: usize,
+    resumed_from_epoch: Option<usize>,
+    killed_at_epoch: Option<usize>,
+}
 
 /// Programmer intervention hooks, applied to each stage's artifact before
 /// the next stage consumes it (§3.2: "the programmer can intervene by
@@ -489,7 +502,43 @@ impl Pipeline {
             if let Some(f) = &hooks.amend_search_config {
                 f(&mut search_cfg);
             }
-            let result = search_with_faults(&space, &search_cfg, injector.poison_evaluations());
+            // Dispatch: the supervised island search runs when the
+            // population is sharded or checkpointing is requested; the
+            // classic serial loop otherwise.
+            let island_mode = search_cfg.islands > 1
+                || cfg.checkpoint_path.is_some()
+                || cfg.resume_path.is_some();
+            let (result, supervision) = if island_mode {
+                let opts = IslandOptions {
+                    poison: injector.poison_evaluations().clone(),
+                    faults: injector.island_faults().clone(),
+                    checkpoint_path: cfg.checkpoint_path.clone(),
+                    resume_path: cfg.resume_path.clone(),
+                };
+                let ir = search_islands(&space, &search_cfg, &opts);
+                if strict {
+                    if let Some(d) = ir.degradations.first() {
+                        return Err(PipelineError::degradable(
+                            Stage::Search,
+                            ErrorKind::Panic(format!("{}: {} ({})", d.scope, d.action, d.reason)),
+                        ));
+                    }
+                }
+                let supervision = SearchSupervision {
+                    degradations: ir.degradations,
+                    islands: ir.islands,
+                    epochs_run: ir.epochs_run,
+                    checkpoints_written: ir.checkpoints_written,
+                    resumed_from_epoch: ir.resumed_from_epoch,
+                    killed_at_epoch: ir.killed_at_epoch,
+                };
+                (ir.result, Some(supervision))
+            } else {
+                (
+                    search_with_faults(&space, &search_cfg, injector.poison_evaluations()),
+                    None,
+                )
+            };
             if strict && result.poisoned_evaluations > 0 {
                 return Err(PipelineError::degradable(
                     Stage::Search,
@@ -524,6 +573,22 @@ impl Pipeline {
                 ));
                 if result.best_gflops <= result.baseline_gflops * 1.001 {
                     r.hint("search found no grouping better than the original program");
+                }
+                if let Some(sup) = &supervision {
+                    r.line(format!(
+                        "supervised island search: {} island(s), {} epoch(s), \
+                         {} checkpoint(s) written",
+                        sup.islands, sup.epochs_run, sup.checkpoints_written
+                    ));
+                    if let Some(e) = sup.resumed_from_epoch {
+                        r.line(format!("resumed from the epoch-{e} checkpoint"));
+                    }
+                    if let Some(e) = sup.killed_at_epoch {
+                        r.line(format!("stopped by an injected kill after epoch {e}"));
+                    }
+                    for d in &sup.degradations {
+                        r.degrade(d.scope.clone(), d.action.clone(), d.reason.clone());
+                    }
                 }
                 if result.poisoned_evaluations > 0 {
                     r.degrade(
@@ -1028,6 +1093,92 @@ void host() {
             .degradations()
             .iter()
             .any(|d| d.stage == Stage::Codegen));
+    }
+
+    #[test]
+    fn island_search_runs_end_to_end_and_is_deterministic() {
+        let p = parse_program(APP).unwrap();
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_islands(2);
+        let r1 = Pipeline::new(p.clone(), cfg.clone()).unwrap().run().unwrap();
+        let r2 = Pipeline::new(p, cfg).unwrap().run().unwrap();
+        assert!(r1.verification.as_ref().unwrap().passed());
+        assert!(r1.degradations().is_empty());
+        assert_eq!(
+            r1.planned().unwrap().to_json(),
+            r2.planned().unwrap().to_json(),
+            "island search must be deterministic per seed"
+        );
+        assert!(r1.reports.iter().any(|rep| rep
+            .lines
+            .iter()
+            .any(|l| l.contains("supervised island search: 2 island(s)"))));
+    }
+
+    #[test]
+    fn island_quarantine_degrades_but_still_produces_a_valid_result() {
+        let p = parse_program(APP).unwrap();
+        let faults = FaultPlan {
+            islands: sf_search::IslandFaults {
+                panic_at: [(0usize, 1usize)].into_iter().collect(),
+                ..sf_search::IslandFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_islands(2)
+            .with_faults(faults.clone());
+        let result = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert!(result
+            .degradations()
+            .iter()
+            .any(|d| d.stage == Stage::Search && d.scope.contains("island")));
+        if let Some(v) = &result.verification {
+            assert!(v.passed());
+        }
+
+        let strict_cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_islands(2)
+            .with_faults(faults)
+            .strict();
+        let err = Pipeline::new(p, strict_cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.stage, Stage::Search);
+        assert_eq!(err.class, crate::error::Recoverability::Degradable);
+    }
+
+    #[test]
+    fn checkpointed_pipeline_resumes_to_the_identical_plan() {
+        let p = parse_program(APP).unwrap();
+        let dir = std::env::temp_dir().join(format!("sf-core-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("search.ckpt");
+
+        let base = PipelineConfig::quick(DeviceSpec::k20x()).with_islands(2);
+        let golden = Pipeline::new(p.clone(), base.clone()).unwrap().run().unwrap();
+
+        // Kill after the first checkpoint epoch, then resume.
+        let kill_faults = FaultPlan {
+            islands: sf_search::IslandFaults {
+                kill_at_epoch: Some(0),
+                ..sf_search::IslandFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let killed_cfg = base
+            .clone()
+            .with_checkpoint(&ckpt)
+            .with_faults(kill_faults);
+        let _ = Pipeline::new(p.clone(), killed_cfg).unwrap().run().unwrap();
+        assert!(ckpt.exists());
+
+        let resumed_cfg = base.with_resume(&ckpt);
+        let resumed = Pipeline::new(p, resumed_cfg).unwrap().run().unwrap();
+        assert_eq!(
+            resumed.planned().unwrap().to_json(),
+            golden.planned().unwrap().to_json(),
+            "resume must converge to the uninterrupted plan"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Cooperative graceful shutdown for long-running drivers (`sfd`).
+//!
+//! A single process-wide flag, raised either by a signal handler
+//! ([`install_signal_handlers`] wires SIGINT and SIGTERM to it) or
+//! programmatically ([`request_shutdown`], which is what tests use). The
+//! flag never interrupts anything by itself: cooperating components poll
+//! [`shutdown_requested`] at their own safe points. The batch driver polls
+//! it between requests — in-flight compilations drain to completion (their
+//! cache publishes land through the usual atomic temp+fsync+rename path),
+//! while requests that have not started yet are reported as
+//! [`crate::BatchStatus::Cancelled`] instead of being compiled. A shutdown
+//! therefore never tears a cache entry and never loses a per-request
+//! status line.
+//!
+//! The signal handler itself only performs the async-signal-safe store of
+//! one atomic boolean; all real work happens on normal threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide shutdown flag.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn mark_shutdown(_signum: i32) {
+    // Async-signal-safe: a single atomic store, nothing else.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // libc's classic `signal(2)` entry point. Declared directly so the
+    // vendor-only build needs no libc crate; the handler installed here
+    // does nothing beyond an atomic store, for which `signal` semantics
+    // (vs `sigaction`) are sufficient.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Route SIGINT and SIGTERM to the shutdown flag. Idempotent; call once
+/// at driver startup. After this, Ctrl-C / `kill` stop the batch driver
+/// gracefully instead of killing the process mid-publish.
+pub fn install_signal_handlers() {
+    unsafe {
+        signal(SIGINT, mark_shutdown);
+        signal(SIGTERM, mark_shutdown);
+    }
+}
+
+/// Raise the shutdown flag programmatically (what a signal handler does,
+/// minus the signal). Used by tests and embedders.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Has a shutdown been requested (by signal or programmatically)?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Lower the flag again. The flag is process-global, so tests that raise
+/// it must lower it before returning; drivers never need this.
+pub fn reset_shutdown_request() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset_shutdown_request();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_shutdown_request();
+        assert!(!shutdown_requested());
+    }
+}

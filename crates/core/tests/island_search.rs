@@ -1,0 +1,167 @@
+//! End-to-end island-search guarantees on the paper's application analogs
+//! (MITgcm and AWP-ODC at test scale):
+//!
+//! - the emitted plan is byte-identical for `RAYON_NUM_THREADS` ∈ {1,2,8}
+//!   (exercised through the real `sfc` binary, since the thread count is
+//!   a per-process environment variable);
+//! - a search killed at *every* checkpoint epoch resumes to the
+//!   byte-identical program the uninterrupted run produces;
+//! - one island fault-killed per epoch still yields a verified plan,
+//!   degraded and reported instead of aborting.
+
+use sf_apps::AppConfig;
+use sf_gpusim::device::DeviceSpec;
+use sf_minicuda::ast::Program;
+use sf_minicuda::printer::print_program;
+use stencilfuse::{FaultPlan, Pipeline, PipelineConfig};
+
+fn apps() -> Vec<(&'static str, Program)> {
+    let cfg = AppConfig::test();
+    vec![
+        ("mitgcm", sf_apps::mitgcm::build(&cfg).program),
+        ("awp-odc", sf_apps::awp_odc::build(&cfg).program),
+    ]
+}
+
+/// The island pipeline configuration under test: quick profile, 3 islands,
+/// short epochs so the kill-at-every-epoch matrix stays cheap (4 epochs).
+fn island_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::quick(DeviceSpec::k20x());
+    cfg.search.islands = 3;
+    cfg.search.generations = 8;
+    cfg.search.migration_interval = 2;
+    cfg.search.migrants = 1;
+    cfg
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sf-island-search-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+fn run(cfg: PipelineConfig, program: &Program) -> stencilfuse::TransformResult {
+    Pipeline::new(program.clone(), cfg)
+        .expect("pipeline accepts the app")
+        .run()
+        .expect("island run succeeds")
+}
+
+/// RAYON_NUM_THREADS is read per process, so the determinism matrix runs
+/// the real `sfc` binary once per thread count and compares the emitted
+/// plans byte for byte.
+#[test]
+fn emitted_plans_are_byte_identical_across_thread_counts() {
+    for (name, program) in apps() {
+        let input = tmp(&format!("{name}.cu"));
+        std::fs::write(&input, print_program(&program)).unwrap();
+        let mut plans = Vec::new();
+        for threads in ["1", "2", "8"] {
+            let plan = tmp(&format!("{name}-t{threads}.plan.json"));
+            let status = std::process::Command::new(env!("CARGO_BIN_EXE_sfc"))
+                .env("RAYON_NUM_THREADS", threads)
+                .args([
+                    input.to_str().unwrap(),
+                    "--quick",
+                    "--islands",
+                    "4",
+                    "--until",
+                    "search",
+                    "--emit-plan",
+                    plan.to_str().unwrap(),
+                    "-o",
+                    tmp(&format!("{name}-t{threads}.out.cu")).to_str().unwrap(),
+                ])
+                .status()
+                .expect("sfc runs");
+            assert!(status.success(), "{name}: sfc failed at {threads} threads");
+            plans.push(std::fs::read_to_string(&plan).unwrap());
+        }
+        assert!(!plans[0].is_empty(), "{name}: an island plan was emitted");
+        assert_eq!(plans[0], plans[1], "{name}: 1 vs 2 threads");
+        assert_eq!(plans[0], plans[2], "{name}: 1 vs 8 threads");
+    }
+}
+
+#[test]
+fn killed_search_resumes_to_the_identical_plan_at_every_epoch() {
+    for (name, program) in apps() {
+        // The kill matrix only needs the search stage: the plan the search
+        // lowers is what codegen consumes, so byte-identical plans imply
+        // byte-identical programs (proven end to end by the other tests).
+        let until_search = || {
+            let mut cfg = island_config();
+            cfg.run_until = Some(stencilfuse::Stage::Search);
+            cfg
+        };
+
+        // Golden: the uninterrupted island run.
+        let golden = run(until_search(), &program);
+        let golden_plan = golden.planned().expect(name).to_json();
+
+        // 8 generations at interval 2 → 4 migration epochs; kill the run
+        // right after each one and resume from the snapshot it left.
+        for epoch in 0..4 {
+            let ckpt = tmp(&format!("{name}-epoch{epoch}.ckpt"));
+            let killed_cfg = until_search().with_checkpoint(&ckpt).with_faults(FaultPlan {
+                islands: sf_search::IslandFaults {
+                    kill_at_epoch: Some(epoch),
+                    ..sf_search::IslandFaults::default()
+                },
+                ..FaultPlan::default()
+            });
+            run(killed_cfg, &program);
+            assert!(ckpt.exists(), "{name}: epoch {epoch} left a checkpoint");
+
+            let resumed = run(until_search().with_resume(&ckpt), &program);
+            assert_eq!(
+                resumed.planned().expect(name).to_json(),
+                golden_plan,
+                "{name}: resume after a kill at epoch {epoch} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_island_killed_per_epoch_still_returns_a_verified_degraded_plan() {
+    for (name, program) in apps() {
+        // Panic island e at the first generation of epoch e: every epoch
+        // loses one island, and by the last epoch all three are dead.
+        let mut faults = sf_search::IslandFaults::default();
+        for island in 0..3usize {
+            faults.panic_at.insert(island, island * 2);
+        }
+        let cfg = island_config().with_faults(FaultPlan {
+            islands: faults,
+            ..FaultPlan::default()
+        });
+        let result = run(cfg, &program);
+
+        let quarantines: Vec<_> = result
+            .degradations()
+            .into_iter()
+            .filter(|d| d.scope.contains("island"))
+            .collect();
+        assert!(
+            !quarantines.is_empty(),
+            "{name}: island quarantines are reported as degradations"
+        );
+        for d in &quarantines {
+            assert!(
+                !d.action.contains("verification failed") && !d.reason.contains("output mismatch"),
+                "{name}: quarantine must not read like a miscompile: {} ({})",
+                d.action,
+                d.reason
+            );
+        }
+        let verification = result
+            .verification
+            .as_ref()
+            .expect(name);
+        assert!(
+            verification.passed(),
+            "{name}: the degraded search still produced a verified program"
+        );
+    }
+}

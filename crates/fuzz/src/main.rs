@@ -21,13 +21,14 @@ struct Args {
     max_wall_secs: u64,
     noise: bool,
     cache: bool,
+    islands: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +40,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_wall_secs: 0,
         noise: false,
         cache: false,
+        islands: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -67,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--noise" => args.noise = true,
             "--cache" => args.cache = true,
+            "--islands" => args.islands = true,
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--max-wall-secs" => {
                 let v = value("--max-wall-secs")?;
@@ -92,6 +95,7 @@ fn main() -> ExitCode {
     let opts = OracleOptions {
         noise: args.noise,
         cache: args.cache,
+        islands: args.islands,
     };
     let start = Instant::now();
     let mut checked = 0usize;
@@ -176,6 +180,14 @@ mod tests {
         assert!(a.cache);
         let a = parse_args(&argv(&["--seed", "1"])).unwrap();
         assert!(!a.cache);
+    }
+
+    #[test]
+    fn parses_islands_flag() {
+        let a = parse_args(&argv(&["--seed", "1", "--islands"])).unwrap();
+        assert!(a.islands);
+        let a = parse_args(&argv(&["--seed", "1"])).unwrap();
+        assert!(!a.islands);
     }
 
     #[test]

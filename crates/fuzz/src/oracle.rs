@@ -40,6 +40,12 @@
 //!     the seed's cache faults (torn write, bit flip, version skew, stale
 //!     lock, kill) must stay readable and recover the slot — corruption is
 //!     quarantined, never served and never fatal.
+//! 12. `islands-*` (opt-in via [`OracleOptions::islands`]) — the
+//!     supervised island search must be deterministic (two runs agree
+//!     byte for byte), must *degrade* rather than fail under the seed's
+//!     island faults (panicked/stalled islands quarantined, no hidden
+//!     miscompile), and a search killed at a checkpoint epoch must resume
+//!     to the byte-identical program the uninterrupted run produces.
 
 use sf_gpusim::device::DeviceSpec;
 use sf_minicuda::ast::Program;
@@ -86,6 +92,10 @@ pub struct OracleOptions {
     /// emitted plan, replay it byte-identically, and survive the seed's
     /// injected cache faults without serving corruption or failing.
     pub cache: bool,
+    /// Run the `islands-*` checks: the supervised island search must be
+    /// deterministic, degrade (not fail) under seeded island faults, and
+    /// resume a killed search to the byte-identical program.
+    pub islands: bool,
 }
 
 /// The pipeline configuration the fuzzer drives: the quick automated
@@ -119,6 +129,9 @@ pub fn check_program_with(
     }
     if opts.cache {
         check_plan_cache(program, seed)?;
+    }
+    if opts.islands {
+        check_islands(program, seed)?;
     }
     Ok(())
 }
@@ -514,4 +527,127 @@ fn check_plan_cache(program: &Program, seed: u64) -> Result<(), OracleFailure> {
     }
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
+}
+
+/// Opt-in island check: the supervised parallel search must keep every
+/// promise the serial search makes, plus its own three. Determinism: two
+/// island runs with the same seed agree byte for byte (the canonical
+/// merge makes the thread schedule unobservable). Supervision: a run
+/// whose islands panic/stall/get killed by the seed's fault plan must
+/// *degrade* — quarantine the island, keep the elites, finish with a
+/// verified program (or the untouched original), and never smuggle a
+/// verification failure through a degradation. Resume: a search killed at
+/// its first checkpoint epoch must continue from the snapshot to the
+/// byte-identical program the uninterrupted run produced.
+fn check_islands(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    let island_cfg = || {
+        let mut cfg = config(seed);
+        cfg.search.islands = 2;
+        cfg.search.migration_interval = 4;
+        cfg.search.migrants = 1;
+        cfg
+    };
+    let run = |check: &'static str, cfg: PipelineConfig| -> Result<TransformResult, OracleFailure> {
+        Pipeline::new(program.clone(), cfg)
+            .and_then(|p| p.run())
+            .map_err(|e| OracleFailure::new(check, format!("island run failed: {e}")))
+    };
+
+    // Determinism across runs (and, in CI, across RAYON_NUM_THREADS —
+    // thread count is an env var, so the matrix lives in separate
+    // processes there).
+    let first = run("islands-run", island_cfg())?;
+    let second = run("islands-run", island_cfg())?;
+    if print_program(&first.program) != print_program(&second.program) {
+        return Err(OracleFailure::new(
+            "islands-determinism",
+            "two island runs with the same seed produced different programs".to_string(),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
+    }
+    if first.executed_plan() != second.executed_plan() {
+        return Err(OracleFailure::new(
+            "islands-determinism",
+            "two island runs with the same seed executed different plans".to_string(),
+        )
+        .with_plan(first.executed_plan().or_else(|| first.planned())));
+    }
+
+    // Seeded island faults (or, when the seed drew none, a guaranteed
+    // panic) must degrade, never fail, and never hide a miscompile.
+    let mut island_faults = FaultPlan::seeded(seed).islands.clone();
+    if island_faults.is_empty() {
+        island_faults
+            .panic_at
+            .insert((seed % 2) as usize, (seed % 3) as usize);
+    }
+    let faulted_cfg = island_cfg().with_faults(FaultPlan {
+        islands: island_faults,
+        ..FaultPlan::default()
+    });
+    let faulted = run("islands-faulted", faulted_cfg)?;
+    for d in faulted.degradations() {
+        if degradation_smells_like_miscompile(&d.action, &d.reason) {
+            return Err(OracleFailure::new(
+                "islands-faulted",
+                format!("island run hid a miscompile: {} ({})", d.action, d.reason),
+            )
+            .with_plan(faulted.executed_plan().or_else(|| faulted.planned())));
+        }
+    }
+    let verified = faulted.verification.as_ref().is_some_and(|v| v.passed());
+    let kept_original = faulted.program == *program;
+    if !verified && !kept_original {
+        return Err(OracleFailure::new(
+            "islands-faulted",
+            "faulted island run produced an unverified program that is not the original"
+                .to_string(),
+        )
+        .with_plan(faulted.executed_plan().or_else(|| faulted.planned())));
+    }
+
+    // Kill at the first checkpoint epoch, then resume: byte-identical to
+    // the uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("sf-fuzz-islands-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return Err(OracleFailure::new(
+            "islands-resume",
+            format!("could not create checkpoint dir: {e}"),
+        ));
+    }
+    let ckpt = dir.join("search.ckpt");
+    let finish = |r: Result<(), OracleFailure>| {
+        let _ = std::fs::remove_dir_all(&dir);
+        r.map_err(|f| f.with_plan(first.executed_plan().or_else(|| first.planned())))
+    };
+    let killed_cfg = island_cfg()
+        .with_checkpoint(&ckpt)
+        .with_faults(FaultPlan {
+            islands: sf_search::IslandFaults {
+                kill_at_epoch: Some(0),
+                ..sf_search::IslandFaults::default()
+            },
+            ..FaultPlan::default()
+        });
+    if let Err(f) = run("islands-resume", killed_cfg) {
+        return finish(Err(f));
+    }
+    if !ckpt.exists() {
+        return finish(Err(OracleFailure::new(
+            "islands-resume",
+            "killed run left no checkpoint behind".to_string(),
+        )));
+    }
+    let resumed = match run("islands-resume", island_cfg().with_resume(&ckpt)) {
+        Ok(r) => r,
+        Err(f) => return finish(Err(f)),
+    };
+    if print_program(&resumed.program) != print_program(&first.program) {
+        return finish(Err(OracleFailure::new(
+            "islands-resume",
+            "resumed search diverged from the uninterrupted run".to_string(),
+        )));
+    }
+    finish(Ok(()))
 }

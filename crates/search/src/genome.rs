@@ -5,10 +5,16 @@
 //! Groups are the genes of a grouped GA: operators act on whole groups.
 
 use crate::space::SearchSpace;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One candidate solution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Derives a total order (lexicographic over the fission set, then the
+/// grouping map) so island merges and migrant selection can break fitness
+/// ties deterministically, and serde so checkpoints can snapshot whole
+/// populations.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Individual {
     /// Original unit ids replaced by their products.
     pub fissioned: BTreeSet<usize>,

@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Why the search stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum StopReason {
     /// Ran its full generation schedule.
     Converged,
@@ -48,7 +48,7 @@ impl StopReason {
 /// Fitness assigned to a candidate whose evaluation panicked (after bounded
 /// retry): strictly below every real projection (which is >= 0 GFLOPS), so
 /// a poisoned candidate can never win but the search carries on.
-const POISONED_FITNESS: f64 = -1.0;
+pub(crate) const POISONED_FITNESS: f64 = -1.0;
 
 /// The outcome of a search run.
 #[derive(Debug, Clone)]
@@ -170,34 +170,15 @@ pub fn search_with_faults(
             .collect();
 
         while next.len() < config.population {
-            let a = tournament(&scores, config.tournament, &mut rng);
-            let mut child = if rng.gen_bool(config.crossover_rate) {
-                let b = tournament(&scores, config.tournament, &mut rng);
-                crossover(space, &population[a], &population[b], &mut rng)
-            } else {
-                population[a].clone()
-            };
-            // Mutations.
-            if rng.gen_bool(config.p_merge) {
-                mutate_merge(space, &mut child, &eligible, &mut rng);
-            }
-            if rng.gen_bool(config.p_split) {
-                mutate_split(space, &mut child, &mut rng);
-            }
-            if rng.gen_bool(config.p_move) {
-                mutate_move(space, &mut child, &mut rng);
-            }
-            if config.p_fission > 0.0
-                && rng.gen_bool(config.p_fission)
-                && mutate_fission(&engine, &mut child, &mut rng)
-            {
-                fission_moves += 1;
-            }
-            if config.p_defission > 0.0 && rng.gen_bool(config.p_defission) {
-                mutate_defission(space, &mut child, &mut rng);
-            }
-            debug_assert!(child.feasible(space));
-            next.push(child);
+            next.push(breed(
+                &engine,
+                config,
+                &eligible,
+                &population,
+                &scores,
+                &mut rng,
+                &mut fission_moves,
+            ));
         }
         population = next;
         scores = eval(&population, &mut evaluations, &mut poisoned);
@@ -342,7 +323,52 @@ fn evaluate(
         .collect()
 }
 
-fn argmax(scores: &[f64]) -> usize {
+/// Breed one offspring: tournament selection, optional group-injection
+/// crossover, then the fixed mutation sequence. The exact draw order is
+/// load-bearing — both the serial loop and every island step through this
+/// one function, so a given RNG stream always yields the same child.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn breed(
+    engine: &ProjectionEngine<'_>,
+    config: &SearchConfig,
+    eligible: &[usize],
+    population: &[Individual],
+    scores: &[f64],
+    rng: &mut SmallRng,
+    fission_moves: &mut u64,
+) -> Individual {
+    let space = engine.space();
+    let a = tournament(scores, config.tournament, rng);
+    let mut child = if rng.gen_bool(config.crossover_rate) {
+        let b = tournament(scores, config.tournament, rng);
+        crossover(space, &population[a], &population[b], rng)
+    } else {
+        population[a].clone()
+    };
+    // Mutations.
+    if rng.gen_bool(config.p_merge) {
+        mutate_merge(space, &mut child, eligible, rng);
+    }
+    if rng.gen_bool(config.p_split) {
+        mutate_split(space, &mut child, rng);
+    }
+    if rng.gen_bool(config.p_move) {
+        mutate_move(space, &mut child, rng);
+    }
+    if config.p_fission > 0.0
+        && rng.gen_bool(config.p_fission)
+        && mutate_fission(engine, &mut child, rng)
+    {
+        *fission_moves += 1;
+    }
+    if config.p_defission > 0.0 && rng.gen_bool(config.p_defission) {
+        mutate_defission(space, &mut child, rng);
+    }
+    debug_assert!(child.feasible(space));
+    child
+}
+
+pub(crate) fn argmax(scores: &[f64]) -> usize {
     scores
         .iter()
         .enumerate()
@@ -393,7 +419,7 @@ fn crossover(
     }
 }
 
-fn mutate_merge(
+pub(crate) fn mutate_merge(
     space: &SearchSpace,
     ind: &mut Individual,
     _eligible: &[usize],

@@ -1,0 +1,1041 @@
+//! Supervised parallel island search.
+//!
+//! The population is sharded into islands that evolve independently and
+//! exchange elites at fixed migration epochs. The design commits to three
+//! properties the serial search cannot offer at once:
+//!
+//! 1. **Parallel wall-clock.** Islands step through a whole migration
+//!    epoch concurrently (`rayon`), with objective evaluation *serial
+//!    inside* each island — one thread spawn per island per epoch instead
+//!    of one per generation, which is where the measured search-stage
+//!    speedup comes from.
+//! 2. **Supervision.** Every island epoch runs under
+//!    [`sf_gpusim::isolate::isolated`]. An island that panics or stalls
+//!    is *quarantined*: its epoch-start state is frozen, its last-good
+//!    elites still enter the final merge, and the incident is reported as
+//!    a [`SearchDegradation`] — the search degrades to fewer islands
+//!    instead of aborting.
+//! 3. **Determinism.** Each island owns a private RNG stream (seeded by
+//!    mixing the run seed with the island index), migration is a pure
+//!    serial function of the post-epoch states, and the final merge
+//!    scans islands in index order breaking fitness ties by the genome's
+//!    total order. The winning plan is therefore byte-identical for a
+//!    given seed regardless of `RAYON_NUM_THREADS` (the wall-clock
+//!    watchdog, when enabled, is the one documented exception — as in
+//!    the serial search, *where* a run stops may vary, never *how* it
+//!    got there).
+//!
+//! At every migration epoch the full search state can be checkpointed
+//! ([`crate::checkpoint`]); a killed run resumed from its last checkpoint
+//! replays the exact trajectory of the uninterrupted run.
+
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointLoad, CheckpointState, IslandSnapshot,
+    CHECKPOINT_VERSION,
+};
+use crate::genome::Individual;
+use crate::gga::{self, SearchResult, StopReason};
+use crate::objective::{self, Penalty};
+use crate::params::SearchConfig;
+use crate::projection::{ProjectionEngine, ProjectionStats};
+use crate::space::SearchSpace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sf_gpusim::isolate::isolated;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One rung of the search-stage degradation ladder: something went wrong,
+/// the search absorbed it, and this records what and why.
+///
+/// The strings deliberately describe *supervision* events (quarantines,
+/// unusable checkpoints) — they must never read like a miscompile, so the
+/// fuzzer's oracle can tell benign degradation from a correctness bug.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchDegradation {
+    /// What degraded (e.g. `"island 2"`, `"search checkpoint"`).
+    pub scope: String,
+    /// What the supervisor did about it.
+    pub action: String,
+    /// The underlying cause.
+    pub reason: String,
+}
+
+/// Deterministic island faults, injected by the fault plan to exercise
+/// every supervision path from a seed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IslandFaults {
+    /// Island index → island-local generation at which its epoch panics.
+    pub panic_at: BTreeMap<usize, usize>,
+    /// Island index → island-local generation at which its epoch stalls
+    /// (reported as a supervision-budget overrun, not a panic).
+    pub stall_at: BTreeMap<usize, usize>,
+    /// Tear the checkpoint written at this epoch (truncated payload; the
+    /// next resume must detect and reject it).
+    pub torn_checkpoint_at_epoch: Option<usize>,
+    /// Simulate a crash: stop the search right after the checkpoint of
+    /// this epoch is written.
+    pub kill_at_epoch: Option<usize>,
+}
+
+impl IslandFaults {
+    /// True when no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        self == &IslandFaults::default()
+    }
+}
+
+/// Knobs for one supervised island run.
+#[derive(Debug, Clone, Default)]
+pub struct IslandOptions {
+    /// Evaluation indices whose objective call panics (see
+    /// [`gga::search_with_faults`]); island evaluations are indexed
+    /// `(island << 40) | island-local-count`.
+    pub poison: BTreeSet<u64>,
+    /// Seeded island faults.
+    pub faults: IslandFaults,
+    /// Write a checkpoint here at every migration epoch.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this checkpoint if it exists and verifies.
+    pub resume_path: Option<PathBuf>,
+}
+
+/// What [`search_islands`] returns: the merged [`SearchResult`] plus the
+/// supervision record.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // fields carry descriptive names; see the type doc
+pub struct IslandSearchResult {
+    pub result: SearchResult,
+    /// Quarantines and checkpoint incidents, in occurrence order.
+    pub degradations: Vec<SearchDegradation>,
+    /// Effective island count after clamping to the population size.
+    pub islands: usize,
+    /// Migration epochs completed (including the one a kill stopped at).
+    pub epochs_run: usize,
+    pub checkpoints_written: usize,
+    /// Set when the run continued from a verified checkpoint.
+    pub resumed_from_epoch: Option<usize>,
+    /// Set when an injected kill fault stopped the run early.
+    pub killed_at_epoch: Option<usize>,
+    /// Per-island busy time (milliseconds spent inside `advance_epoch`),
+    /// indexed by island. The island critical path — `max` of these plus
+    /// whatever the driver spends migrating/merging/checkpointing — is the
+    /// search-stage wall time on a machine with one free worker per
+    /// island; the benchmark harness uses it to report island speedup
+    /// independently of how many cores the measuring host happens to have.
+    pub island_wall_ms: Vec<u64>,
+}
+
+/// The live state of one island. Mirrors [`IslandSnapshot`] field for
+/// field so a checkpoint captures everything the epoch loop reads.
+#[derive(Debug, Clone)]
+struct IslandState {
+    index: usize,
+    /// False once quarantined; a dead island never advances again.
+    alive: bool,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    /// Empty until the island's first epoch evaluates the initial
+    /// population.
+    scores: Vec<f64>,
+    /// Island-local evaluation count; doubles as the next local
+    /// evaluation index for deterministic poison injection.
+    evaluations: u64,
+    /// This island's share of `max_evaluations` (0 = unlimited); the
+    /// shares of all islands sum exactly to the serial budget.
+    eval_budget: u64,
+    wall_spent_ms: u64,
+    poisoned: u64,
+    generations_run: usize,
+    history: Vec<f64>,
+    fission_moves: u64,
+    retained_fissions: u64,
+    stagnant: usize,
+    /// A *normal* stop (schedule done, plateau, budget). Distinct from
+    /// quarantine: a stopped island still migrates and merges live state.
+    stop: Option<StopReason>,
+    /// Last-good elites, refreshed after every completed epoch; all a
+    /// quarantined island contributes to the merge.
+    elite_scores: Vec<f64>,
+    elites: Vec<Individual>,
+}
+
+impl IslandState {
+    fn to_snapshot(&self) -> IslandSnapshot {
+        IslandSnapshot {
+            index: self.index,
+            alive: self.alive,
+            rng_state: self.rng.state().to_vec(),
+            population: self.population.clone(),
+            scores: self.scores.clone(),
+            evaluations: self.evaluations,
+            eval_budget: self.eval_budget,
+            wall_spent_ms: self.wall_spent_ms,
+            poisoned: self.poisoned,
+            generations_run: self.generations_run,
+            history: self.history.clone(),
+            fission_moves: self.fission_moves,
+            retained_fissions: self.retained_fissions,
+            stagnant: self.stagnant,
+            stop: self.stop,
+            elite_scores: self.elite_scores.clone(),
+            elites: self.elites.clone(),
+        }
+    }
+
+    fn from_snapshot(snap: &IslandSnapshot) -> Option<IslandState> {
+        let words: [u64; 4] = snap.rng_state.clone().try_into().ok()?;
+        Some(IslandState {
+            index: snap.index,
+            alive: snap.alive,
+            rng: SmallRng::from_state(words),
+            population: snap.population.clone(),
+            scores: snap.scores.clone(),
+            evaluations: snap.evaluations,
+            eval_budget: snap.eval_budget,
+            wall_spent_ms: snap.wall_spent_ms,
+            poisoned: snap.poisoned,
+            generations_run: snap.generations_run,
+            history: snap.history.clone(),
+            fission_moves: snap.fission_moves,
+            retained_fissions: snap.retained_fissions,
+            stagnant: snap.stagnant,
+            stop: snap.stop,
+            elite_scores: snap.elite_scores.clone(),
+            elites: snap.elites.clone(),
+        })
+    }
+}
+
+/// splitmix64-style mix of the run seed and the island index: each island
+/// gets an independent, reproducible RNG stream.
+fn island_seed(seed: u64, island: u64) -> u64 {
+    let mut z = seed ^ island.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Split `total` into `n` shares that sum to `total` exactly (earlier
+/// shares take the remainder). `total == 0` means unlimited for everyone.
+pub(crate) fn split_evenly(total: u64, n: usize) -> Vec<u64> {
+    let n = n.max(1);
+    if total == 0 {
+        return vec![0; n];
+    }
+    let base = total / n as u64;
+    let rem = (total % n as u64) as usize;
+    (0..n).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Binds a checkpoint to this exact run: the full search configuration
+/// plus the shape of the search space. Anything else at resume is
+/// rejected rather than silently continued.
+fn run_fingerprint(space: &SearchSpace, config: &SearchConfig) -> String {
+    format!(
+        "search {config:?} | units {} edges {} smem {} | device {:?}",
+        space.units.len(),
+        space.edges.len(),
+        space.smem_limit,
+        space.device,
+    )
+}
+
+/// Rank population indices best-first: score descending, fitness ties
+/// broken by the genome's total order (smaller wins). Scheduling-free.
+fn rank_desc(scores: &[f64], population: &[Individual]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite fitness")
+            .then_with(|| population[a].cmp(&population[b]))
+    });
+    order
+}
+
+/// Evaluate `state.population` serially, isolating panics per candidate
+/// exactly like the serial search: bounded retry on fresh island-local
+/// indices, then [`gga::POISONED_FITNESS`].
+fn evaluate_island(
+    engine: &ProjectionEngine<'_>,
+    penalty: &Penalty,
+    poison: &BTreeSet<u64>,
+    retries: u32,
+    state: &mut IslandState,
+) -> Vec<f64> {
+    let tag = (state.index as u64) << 40;
+    let population = std::mem::take(&mut state.population);
+    let one = |state: &mut IslandState, ind: &Individual| -> Result<f64, String> {
+        let idx = tag | state.evaluations;
+        state.evaluations += 1;
+        isolated(|| {
+            if poison.contains(&idx) {
+                panic!("injected poisoned candidate at evaluation {idx}");
+            }
+            objective::fitness_with(engine, ind, penalty)
+        })
+    };
+    let scores = population
+        .iter()
+        .map(|ind| {
+            let mut outcome = one(state, ind);
+            let mut budget = retries;
+            while outcome.is_err() && budget > 0 {
+                budget -= 1;
+                outcome = one(state, ind);
+            }
+            outcome.unwrap_or_else(|_| {
+                state.poisoned += 1;
+                gga::POISONED_FITNESS
+            })
+        })
+        .collect();
+    state.population = population;
+    scores
+}
+
+/// Advance one island through up to `gens` generations (one migration
+/// epoch). Runs inside the supervisor; an `Err` is a detected stall, a
+/// panic is caught by the caller's `isolated` wrapper — both quarantine.
+#[allow(clippy::too_many_arguments)] // the epoch loop's full read set, by design
+fn advance_epoch(
+    engine: &ProjectionEngine<'_>,
+    config: &SearchConfig,
+    eligible: &[usize],
+    penalty: &Penalty,
+    poison: &BTreeSet<u64>,
+    faults: &IslandFaults,
+    state: &mut IslandState,
+    gens: usize,
+) -> Result<(), String> {
+    let started = Instant::now();
+    if state.scores.is_empty() {
+        state.scores = evaluate_island(engine, penalty, poison, config.eval_retries, state);
+    }
+    let out_of_budget = |state: &IslandState, started: &Instant| {
+        let wall = state.wall_spent_ms + started.elapsed().as_millis() as u64;
+        (state.eval_budget > 0 && state.evaluations >= state.eval_budget)
+            || (config.max_wall_ms > 0 && wall >= config.max_wall_ms)
+    };
+    for _ in 0..gens {
+        if state.stop.is_some() {
+            break;
+        }
+        if out_of_budget(state, &started) {
+            state.stop = Some(StopReason::BudgetExhausted);
+            break;
+        }
+        if faults.stall_at.get(&state.index) == Some(&state.generations_run) {
+            return Err(format!(
+                "island {} stalled at generation {} and blew its supervision budget (injected)",
+                state.index, state.generations_run
+            ));
+        }
+        if faults.panic_at.get(&state.index) == Some(&state.generations_run) {
+            panic!(
+                "injected island fault: panic at generation {}",
+                state.generations_run
+            );
+        }
+
+        state.generations_run += 1;
+        let order = rank_desc(&state.scores, &state.population);
+        let prev_best = state.scores[order[0]];
+        let mut next: Vec<Individual> = order
+            .iter()
+            .take(config.elites.min(state.population.len()))
+            .map(|&i| state.population[i].clone())
+            .collect();
+        let shard = state.population.len();
+        while next.len() < shard {
+            next.push(gga::breed(
+                engine,
+                config,
+                eligible,
+                &state.population,
+                &state.scores,
+                &mut state.rng,
+                &mut state.fission_moves,
+            ));
+        }
+        state.population = next;
+        state.scores = evaluate_island(engine, penalty, poison, config.eval_retries, state);
+        let best = rank_desc(&state.scores, &state.population)[0];
+        state.history.push(state.scores[best]);
+        state.retained_fissions += state.population[best].fissioned.len() as u64;
+
+        if config.stagnation_window > 0 {
+            if state.scores[best] <= prev_best + 1e-12 {
+                state.stagnant += 1;
+                if state.stagnant >= config.stagnation_window {
+                    state.stop = Some(StopReason::Plateaued);
+                }
+            } else {
+                state.stagnant = 0;
+            }
+        }
+        if state.stop.is_none() && state.generations_run >= config.generations {
+            state.stop = Some(StopReason::Converged);
+        }
+    }
+    state.wall_spent_ms += started.elapsed().as_millis() as u64;
+    Ok(())
+}
+
+/// Refresh an island's last-good elite set from its current population.
+fn refresh_elites(config: &SearchConfig, state: &mut IslandState) {
+    if state.scores.is_empty() {
+        return;
+    }
+    let keep = config.elites.max(1).min(state.population.len());
+    let order = rank_desc(&state.scores, &state.population);
+    state.elite_scores = order.iter().take(keep).map(|&i| state.scores[i]).collect();
+    state.elites = order
+        .iter()
+        .take(keep)
+        .map(|&i| state.population[i].clone())
+        .collect();
+}
+
+/// Ring migration among alive islands: each sends copies of its top
+/// `migrants` to the next alive island, which replaces its worst members.
+/// Packets are collected from the pre-migration states first, so the
+/// result is independent of application order.
+fn migrate(config: &SearchConfig, states: &mut [IslandState]) {
+    let alive: Vec<usize> = states
+        .iter()
+        .filter(|s| s.alive && !s.scores.is_empty())
+        .map(|s| s.index)
+        .collect();
+    if alive.len() < 2 || config.migrants == 0 {
+        return;
+    }
+    let packets: Vec<(usize, Vec<(f64, Individual)>)> = alive
+        .iter()
+        .enumerate()
+        .map(|(pos, &from)| {
+            let dest = alive[(pos + 1) % alive.len()];
+            let s = &states[from];
+            let order = rank_desc(&s.scores, &s.population);
+            let take = config.migrants.min(s.population.len());
+            let payload = order
+                .iter()
+                .take(take)
+                .map(|&i| (s.scores[i], s.population[i].clone()))
+                .collect();
+            (dest, payload)
+        })
+        .collect();
+    for (dest, payload) in packets {
+        let s = &mut states[dest];
+        for (score, ind) in payload {
+            let order = rank_desc(&s.scores, &s.population);
+            let worst = *order.last().expect("non-empty island");
+            if score > s.scores[worst]
+                || (score == s.scores[worst] && ind < s.population[worst])
+            {
+                s.population[worst] = ind;
+                s.scores[worst] = score;
+            }
+        }
+    }
+}
+
+/// Run the supervised island search. With `config.islands == 1` this is a
+/// single supervised island (useful for checkpointing a serial-shaped
+/// run); the classic serial path is [`gga::search`].
+pub fn search_islands(
+    space: &SearchSpace,
+    config: &SearchConfig,
+    opts: &IslandOptions,
+) -> IslandSearchResult {
+    let fingerprint = run_fingerprint(space, config);
+    let penalty = Penalty {
+        soft: config.penalty_soft,
+        hard: config.penalty_hard,
+        ..Penalty::default()
+    };
+    let eligible = space.eligible_originals();
+    let engine = ProjectionEngine::new(space);
+    let singles = Individual::singletons(space);
+    let baseline_gflops =
+        isolated(|| objective::fitness_with(&engine, &singles, &penalty)).unwrap_or(0.0);
+
+    // Clamp so every island holds at least two individuals.
+    let n = config
+        .islands
+        .max(1)
+        .min((config.population / 2).max(1));
+    let interval = config.migration_interval.max(1);
+    let total_epochs = config.generations.div_ceil(interval).max(1);
+
+    let mut degradations: Vec<SearchDegradation> = Vec::new();
+    let mut resumed_from_epoch = None;
+    let mut prior_hits = 0u64;
+    let mut prior_misses = 0u64;
+    let mut start_epoch = 0usize;
+    let mut states: Option<Vec<IslandState>> = None;
+
+    // ---- resume ----
+    if let Some(path) = &opts.resume_path {
+        match load_checkpoint(path, &fingerprint) {
+            CheckpointLoad::Missing => {}
+            CheckpointLoad::Rejected(reason) => degradations.push(SearchDegradation {
+                scope: "search checkpoint".into(),
+                action: "ignored unusable checkpoint; restarted the search from scratch".into(),
+                reason,
+            }),
+            CheckpointLoad::Resumed(ckpt) => {
+                let restored: Option<Vec<IslandState>> =
+                    ckpt.islands.iter().map(IslandState::from_snapshot).collect();
+                match restored {
+                    Some(islands) if islands.len() == n => {
+                        start_epoch = ckpt.epoch + 1;
+                        resumed_from_epoch = Some(ckpt.epoch);
+                        prior_hits = ckpt.prior_hits;
+                        prior_misses = ckpt.prior_misses;
+                        degradations = ckpt.degradations.clone();
+                        states = Some(islands);
+                    }
+                    _ => degradations.push(SearchDegradation {
+                        scope: "search checkpoint".into(),
+                        action: "ignored unusable checkpoint; restarted the search from scratch"
+                            .into(),
+                        reason: "checkpoint island state is malformed".into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    // ---- fresh start ----
+    let mut states = states.unwrap_or_else(|| {
+        let budgets = split_evenly(config.max_evaluations, n);
+        let base = config.population / n;
+        let rem = config.population % n;
+        (0..n)
+            .map(|i| {
+                let shard = base + usize::from(i < rem);
+                let mut rng = SmallRng::seed_from_u64(island_seed(config.seed, i as u64));
+                let mut population = Vec::with_capacity(shard);
+                population.push(singles.clone());
+                while population.len() < shard {
+                    let mut ind = singles.clone();
+                    for _ in 0..config.init_merges {
+                        gga::mutate_merge(space, &mut ind, &eligible, &mut rng);
+                    }
+                    population.push(ind);
+                }
+                IslandState {
+                    index: i,
+                    alive: true,
+                    rng,
+                    population,
+                    scores: Vec::new(),
+                    evaluations: 0,
+                    eval_budget: budgets[i],
+                    wall_spent_ms: 0,
+                    poisoned: 0,
+                    generations_run: 0,
+                    history: Vec::new(),
+                    fission_moves: 0,
+                    retained_fissions: 0,
+                    stagnant: 0,
+                    stop: None,
+                    elite_scores: Vec::new(),
+                    elites: Vec::new(),
+                }
+            })
+            .collect()
+    });
+
+    // ---- epoch loop ----
+    let mut epochs_run = 0usize;
+    let mut checkpoints_written = 0usize;
+    let mut killed_at_epoch = None;
+    for epoch in start_epoch..total_epochs {
+        let runnable = states
+            .iter()
+            .any(|s| s.alive && s.stop.is_none());
+        if !runnable {
+            break;
+        }
+        let gens = interval.min(config.generations.saturating_sub(epoch * interval));
+
+        // Parallel supervised step: each island advances one epoch on a
+        // clone of its state; a panic or stall discards the clone, so the
+        // quarantined island keeps its coherent epoch-start state.
+        let stepped: Vec<Result<IslandState, (usize, String)>> = states
+            .par_iter()
+            .map(|s| {
+                if !s.alive || s.stop.is_some() {
+                    return Ok(s.clone());
+                }
+                let attempt = isolated(|| {
+                    let mut next = s.clone();
+                    advance_epoch(
+                        &engine,
+                        config,
+                        &eligible,
+                        &penalty,
+                        &opts.poison,
+                        &opts.faults,
+                        &mut next,
+                        gens,
+                    )
+                    .map(|()| next)
+                });
+                match attempt {
+                    Ok(Ok(next)) => Ok(next),
+                    Ok(Err(stall)) => Err((s.index, stall)),
+                    Err(panic_msg) => Err((s.index, format!("panicked: {panic_msg}"))),
+                }
+            })
+            .collect();
+        for outcome in stepped {
+            match outcome {
+                Ok(next) => {
+                    let slot = next.index;
+                    states[slot] = next;
+                }
+                Err((index, reason)) => {
+                    states[index].alive = false;
+                    degradations.push(SearchDegradation {
+                        scope: format!("island {index}"),
+                        action: "quarantined the island; its last-good elites still merge"
+                            .into(),
+                        reason,
+                    });
+                }
+            }
+        }
+
+        migrate(config, &mut states);
+        for s in states.iter_mut() {
+            if s.alive {
+                refresh_elites(config, s);
+            }
+        }
+        epochs_run += 1;
+
+        // ---- checkpoint ----
+        if let Some(path) = &opts.checkpoint_path {
+            let stats = engine.stats();
+            let snapshot = CheckpointState {
+                version: CHECKPOINT_VERSION,
+                fingerprint: fingerprint.clone(),
+                epoch,
+                prior_hits: prior_hits + stats.hits,
+                prior_misses: prior_misses + stats.misses,
+                degradations: degradations.clone(),
+                islands: states.iter().map(IslandState::to_snapshot).collect(),
+            };
+            let torn = opts.faults.torn_checkpoint_at_epoch == Some(epoch);
+            match save_checkpoint(path, &snapshot, torn) {
+                Ok(()) => checkpoints_written += 1,
+                Err(e) => degradations.push(SearchDegradation {
+                    scope: "search checkpoint".into(),
+                    action: "skipped this epoch's checkpoint; the search continues".into(),
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        if opts.faults.kill_at_epoch == Some(epoch) {
+            killed_at_epoch = Some(epoch);
+            break;
+        }
+    }
+
+    // ---- canonical merge ----
+    // Scan islands in index order; alive islands contribute their live
+    // population, quarantined ones their last-good elites. Strictly
+    // greater score wins; exact ties fall to the smaller genome.
+    let mut best: Option<(f64, Individual)> = None;
+    for s in &states {
+        let pool: Vec<(f64, &Individual)> = if s.alive {
+            s.scores.iter().copied().zip(s.population.iter()).collect()
+        } else {
+            s.elite_scores.iter().copied().zip(s.elites.iter()).collect()
+        };
+        for (score, ind) in pool {
+            let better = match &best {
+                None => true,
+                Some((bs, bi)) => score > *bs || (score == *bs && ind < bi),
+            };
+            if better {
+                best = Some((score, ind.clone()));
+            }
+        }
+    }
+    let (best_gflops, best) = match best {
+        Some((s, i)) => (s, i),
+        // Every island died before producing elites: fall back to the
+        // untransformed baseline rather than failing the stage.
+        None => (baseline_gflops, singles.clone()),
+    };
+
+    let generations_run = states.iter().map(|s| s.generations_run).max().unwrap_or(0);
+    let mut history = Vec::with_capacity(generations_run);
+    for g in 0..generations_run {
+        let gen_best = states
+            .iter()
+            .filter_map(|s| s.history.get(g).copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        history.push(gen_best);
+    }
+    let evaluations: u64 = states.iter().map(|s| s.evaluations).sum();
+    let poisoned: u64 = states.iter().map(|s| s.poisoned).sum();
+    let retained: u64 = states.iter().map(|s| s.retained_fissions).sum();
+    let moves: u64 = states.iter().map(|s| s.fission_moves).sum();
+    let total_gens: u64 = states.iter().map(|s| s.generations_run as u64).sum();
+
+    let stop_reason = if killed_at_epoch.is_some()
+        || states
+            .iter()
+            .any(|s| s.stop == Some(StopReason::BudgetExhausted))
+    {
+        StopReason::BudgetExhausted
+    } else if states
+        .iter()
+        .all(|s| !s.alive || s.stop == Some(StopReason::Converged))
+        && states.iter().any(|s| s.alive)
+    {
+        StopReason::Converged
+    } else {
+        StopReason::Plateaued
+    };
+
+    let mut plan = gga::lower_plan(&engine, &best, config.mode, config.block_tuning);
+    plan.projected_gflops = Some(best_gflops);
+    let stats = engine.stats();
+    let projection = ProjectionStats {
+        hits: stats.hits + prior_hits,
+        misses: stats.misses + prior_misses,
+        entries: stats.entries,
+    };
+    IslandSearchResult {
+        result: SearchResult {
+            best,
+            plan,
+            projection,
+            history,
+            baseline_gflops,
+            best_gflops,
+            fissions_per_generation: retained as f64 / total_gens.max(1) as f64,
+            fission_moves_per_generation: moves as f64 / total_gens.max(1) as f64,
+            generations_run,
+            evaluations,
+            stop_reason,
+            poisoned_evaluations: poisoned,
+        },
+        degradations,
+        islands: n,
+        epochs_run,
+        checkpoints_written,
+        resumed_from_epoch,
+        killed_at_epoch,
+        island_wall_ms: states.iter().map(|s| s.wall_spent_ms).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::tests::space_for;
+
+    const CHAIN4: &str = r#"
+__global__ void k1(const double* __restrict__ u, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { a[k][j][i] = u[k][j][i] * 2.0; } }
+}
+__global__ void k2(const double* __restrict__ u, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { b[k][j][i] = u[k][j][i] + 1.0; } }
+}
+__global__ void k3(const double* __restrict__ a, double* c, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { c[k][j][i] = a[k][j][i] - 3.0; } }
+}
+__global__ void k4(const double* __restrict__ b, double* d, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { for (int k = 0; k < nz; k++) { d[k][j][i] = b[k][j][i] * 0.5; } }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 16;
+  double* u = cudaAlloc3D(nz, ny, nx);
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  double* c = cudaAlloc3D(nz, ny, nx);
+  double* d = cudaAlloc3D(nz, ny, nx);
+  k1<<<dim3(4, 4), dim3(16, 8)>>>(u, a, nx, ny, nz);
+  k2<<<dim3(4, 4), dim3(16, 8)>>>(u, b, nx, ny, nz);
+  k3<<<dim3(4, 4), dim3(16, 8)>>>(a, c, nx, ny, nz);
+  k4<<<dim3(4, 4), dim3(16, 8)>>>(b, d, nx, ny, nz);
+}
+"#;
+
+    fn island_config(islands: usize) -> SearchConfig {
+        SearchConfig {
+            population: 16,
+            generations: 12,
+            migration_interval: 4,
+            migrants: 1,
+            stagnation_window: 0,
+            ..SearchConfig::default()
+        }
+        .with_islands(islands)
+    }
+
+    fn plan_bytes(r: &IslandSearchResult) -> String {
+        serde_json::to_string(&r.result.plan).unwrap()
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sf-search-islands-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn island_search_is_deterministic_and_returns_a_valid_plan() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(3);
+        let a = search_islands(&space, &cfg, &IslandOptions::default());
+        let b = search_islands(&space, &cfg, &IslandOptions::default());
+        assert_eq!(a.result.best, b.result.best);
+        assert_eq!(plan_bytes(&a), plan_bytes(&b));
+        assert!(a.result.best.feasible(&space));
+        assert!(a.degradations.is_empty());
+        assert_eq!(a.islands, 3);
+        assert_eq!(a.epochs_run, 3);
+        assert_eq!(a.result.stop_reason, StopReason::Converged);
+        assert!(a.result.best_gflops >= a.result.baseline_gflops);
+        a.result.plan.validate(4).expect("lowered plan is valid");
+    }
+
+    #[test]
+    fn budgets_split_island_local_and_sum_to_the_serial_budget() {
+        // The unit invariant: shares sum exactly, 0 stays unlimited.
+        assert_eq!(split_evenly(100, 4), vec![25, 25, 25, 25]);
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(10, 3).iter().sum::<u64>(), 10);
+        assert_eq!(split_evenly(0, 4), vec![0, 0, 0, 0]);
+
+        // Behavioral: with the same total budget, serial-shaped (1 island)
+        // and 4 islands both stop on budget, and neither overshoots by
+        // more than one generation of evaluations per island.
+        let space = space_for(CHAIN4);
+        let budget = 64u64;
+        for islands in [1usize, 4] {
+            let cfg = SearchConfig {
+                max_evaluations: budget,
+                generations: 1000,
+                ..island_config(islands)
+            };
+            let r = search_islands(&space, &cfg, &IslandOptions::default());
+            assert_eq!(r.result.stop_reason, StopReason::BudgetExhausted);
+            let shard = cfg.population.div_ceil(islands) as u64;
+            let retries = u64::from(cfg.eval_retries);
+            let slack = islands as u64 * shard * (1 + retries);
+            assert!(
+                r.result.evaluations >= budget && r.result.evaluations <= budget + slack,
+                "islands={islands}: {} evaluations for budget {budget}",
+                r.result.evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn panicked_island_is_quarantined_and_the_search_degrades() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(3);
+        let opts = IslandOptions {
+            faults: IslandFaults {
+                panic_at: BTreeMap::from([(1, 5)]),
+                ..IslandFaults::default()
+            },
+            ..IslandOptions::default()
+        };
+        let r = search_islands(&space, &cfg, &opts);
+        assert_eq!(r.degradations.len(), 1);
+        assert_eq!(r.degradations[0].scope, "island 1");
+        assert!(r.degradations[0].reason.contains("panicked"));
+        assert!(r.result.best.feasible(&space));
+        r.result.plan.validate(4).expect("degraded run still lowers");
+        // Supervision reports must never read like a miscompile.
+        assert!(!r.degradations[0].action.contains("verification failed"));
+        assert!(!r.degradations[0].reason.contains("output mismatch"));
+    }
+
+    #[test]
+    fn stalled_island_is_quarantined_with_a_stall_reason() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(2);
+        let opts = IslandOptions {
+            faults: IslandFaults {
+                stall_at: BTreeMap::from([(0, 6)]),
+                ..IslandFaults::default()
+            },
+            ..IslandOptions::default()
+        };
+        let r = search_islands(&space, &cfg, &opts);
+        assert_eq!(r.degradations.len(), 1);
+        assert_eq!(r.degradations[0].scope, "island 0");
+        assert!(r.degradations[0].reason.contains("stalled"));
+        assert!(r.result.best.feasible(&space));
+        // Island 0 froze at its epoch-start state; island 1 carried on to
+        // the full schedule.
+        assert_eq!(r.result.generations_run, cfg.generations);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_plan_at_every_epoch(
+    ) {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(3);
+        let dir = scratch("kill-resume");
+
+        let golden = search_islands(&space, &cfg, &IslandOptions::default());
+        let golden_bytes = plan_bytes(&golden);
+        assert_eq!(golden.epochs_run, 3);
+
+        for epoch in 0..golden.epochs_run {
+            let ckpt = dir.join(format!("epoch{epoch}.ckpt"));
+            let killed = search_islands(
+                &space,
+                &cfg,
+                &IslandOptions {
+                    checkpoint_path: Some(ckpt.clone()),
+                    faults: IslandFaults {
+                        kill_at_epoch: Some(epoch),
+                        ..IslandFaults::default()
+                    },
+                    ..IslandOptions::default()
+                },
+            );
+            assert_eq!(killed.killed_at_epoch, Some(epoch));
+            assert!(ckpt.exists(), "epoch {epoch}: checkpoint written");
+
+            let resumed = search_islands(
+                &space,
+                &cfg,
+                &IslandOptions {
+                    checkpoint_path: Some(ckpt.clone()),
+                    resume_path: Some(ckpt.clone()),
+                    ..IslandOptions::default()
+                },
+            );
+            assert_eq!(resumed.resumed_from_epoch, Some(epoch));
+            assert_eq!(
+                plan_bytes(&resumed),
+                golden_bytes,
+                "kill at epoch {epoch}: resumed plan diverged"
+            );
+            assert_eq!(resumed.result.best, golden.result.best);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_restarts_from_scratch_with_a_degradation() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(2);
+        let dir = scratch("torn");
+        let ckpt = dir.join("search.ckpt");
+
+        let golden = search_islands(&space, &cfg, &IslandOptions::default());
+        let killed = search_islands(
+            &space,
+            &cfg,
+            &IslandOptions {
+                checkpoint_path: Some(ckpt.clone()),
+                faults: IslandFaults {
+                    torn_checkpoint_at_epoch: Some(1),
+                    kill_at_epoch: Some(1),
+                    ..IslandFaults::default()
+                },
+                ..IslandOptions::default()
+            },
+        );
+        assert_eq!(killed.killed_at_epoch, Some(1));
+
+        let resumed = search_islands(
+            &space,
+            &cfg,
+            &IslandOptions {
+                resume_path: Some(ckpt.clone()),
+                ..IslandOptions::default()
+            },
+        );
+        // The torn file is detected, the run restarts, and the restart is
+        // the deterministic fresh trajectory.
+        assert_eq!(resumed.resumed_from_epoch, None);
+        assert_eq!(resumed.degradations.len(), 1);
+        assert_eq!(resumed.degradations[0].scope, "search checkpoint");
+        assert!(resumed.degradations[0].reason.contains("torn"));
+        assert_eq!(plan_bytes(&resumed), plan_bytes(&golden));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_against_a_different_config_is_rejected() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(2);
+        let dir = scratch("foreign");
+        let ckpt = dir.join("search.ckpt");
+        let _ = search_islands(
+            &space,
+            &cfg,
+            &IslandOptions {
+                checkpoint_path: Some(ckpt.clone()),
+                ..IslandOptions::default()
+            },
+        );
+        let other = SearchConfig {
+            seed: 777,
+            ..cfg.clone()
+        };
+        let r = search_islands(
+            &space,
+            &other,
+            &IslandOptions {
+                resume_path: Some(ckpt.clone()),
+                ..IslandOptions::default()
+            },
+        );
+        assert_eq!(r.resumed_from_epoch, None);
+        assert_eq!(r.degradations.len(), 1);
+        assert!(r.degradations[0].reason.contains("key"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_islands_dead_falls_back_to_the_baseline() {
+        let space = space_for(CHAIN4);
+        let cfg = island_config(2);
+        let opts = IslandOptions {
+            faults: IslandFaults {
+                panic_at: BTreeMap::from([(0, 0), (1, 0)]),
+                ..IslandFaults::default()
+            },
+            ..IslandOptions::default()
+        };
+        let r = search_islands(&space, &cfg, &opts);
+        assert_eq!(r.degradations.len(), 2);
+        assert_eq!(r.result.best, Individual::singletons(&space));
+        assert_eq!(r.result.best_gflops, r.result.baseline_gflops);
+        r.result.plan.validate(4).expect("baseline plan lowers");
+    }
+}

@@ -20,16 +20,29 @@
 //!   filter decisions and the unit-level order-of-execution graph; the GA
 //!   ([`gga`]) uses Falkenauer-style group-level operators with
 //!   feasibility-preserving repair.
+//!
+//! For parallel runs the population shards into supervised islands
+//! ([`islands`]): panic-isolated epochs, seeded migration, a canonical
+//! deterministic merge, and crash checkpoint/resume ([`checkpoint`]).
 
+pub mod checkpoint;
 pub mod genome;
 pub mod gga;
+pub mod islands;
 pub mod objective;
 pub mod params;
 pub mod projection;
 pub mod space;
 
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointLoad, CheckpointState, IslandSnapshot,
+    CHECKPOINT_VERSION,
+};
 pub use genome::Individual;
 pub use gga::{lower_plan, search, search_with_faults, SearchResult, StopReason};
+pub use islands::{
+    search_islands, IslandFaults, IslandOptions, IslandSearchResult, SearchDegradation,
+};
 pub use params::SearchConfig;
 pub use projection::{GroupKey, ProjectionEngine, ProjectionStats};
 pub use space::{SearchSpace, Unit};

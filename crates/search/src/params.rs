@@ -54,6 +54,17 @@ pub struct SearchConfig {
     pub mode: CodegenMode,
     /// Whether the lowered plan requests block-size tuning from codegen.
     pub block_tuning: bool,
+    /// Number of parallel islands the population is sharded into. 1 keeps
+    /// the classic serial search; >1 runs the supervised island model
+    /// (`crate::islands`) with per-island RNG streams, seeded migration,
+    /// and a canonical merge — deterministic per seed regardless of the
+    /// worker thread count.
+    pub islands: usize,
+    /// Generations per migration epoch in island mode: islands exchange
+    /// elites (and checkpoints are written) every this many generations.
+    pub migration_interval: usize,
+    /// Elites each island sends to its ring neighbor at a migration epoch.
+    pub migrants: usize,
 }
 
 impl Default for SearchConfig {
@@ -79,6 +90,9 @@ impl Default for SearchConfig {
             eval_retries: 1,
             mode: CodegenMode::Auto,
             block_tuning: false,
+            islands: 1,
+            migration_interval: 8,
+            migrants: 2,
         }
     }
 }
@@ -115,6 +129,12 @@ impl SearchConfig {
         self.p_defission = 0.0;
         self
     }
+
+    /// Shard the population across `n` supervised islands (1 = serial).
+    pub fn with_islands(mut self, n: usize) -> SearchConfig {
+        self.islands = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +169,15 @@ mod tests {
         let c = SearchConfig::default().without_fission();
         assert_eq!(c.p_fission, 0.0);
         assert_eq!(c.p_defission, 0.0);
+    }
+
+    #[test]
+    fn island_defaults_are_serial() {
+        let c = SearchConfig::default();
+        assert_eq!(c.islands, 1);
+        assert!(c.migration_interval > 0);
+        assert!(c.migrants > 0);
+        assert_eq!(SearchConfig::default().with_islands(0).islands, 1);
+        assert_eq!(SearchConfig::default().with_islands(4).islands, 4);
     }
 }

@@ -36,6 +36,14 @@ struct Xoshiro256 {
 }
 
 impl Xoshiro256 {
+    fn from_state(s: [u64; 4]) -> Self {
+        Xoshiro256 { s }
+    }
+
+    fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     fn from_u64(seed: u64) -> Self {
         let mut sm = seed;
         let s = [
@@ -82,6 +90,20 @@ pub mod rngs {
     /// shapes hold, the same way the thresholds were originally tuned
     /// against upstream `rand`'s stream.
     const SMALL_RNG_STREAM: u64 = 1;
+
+    impl SmallRng {
+        /// Snapshot of the raw generator state, for checkpointing. The
+        /// four words fully determine the stream: a generator restored via
+        /// [`SmallRng::from_state`] continues exactly where this one is.
+        pub fn state(&self) -> [u64; 4] {
+            self.0.state()
+        }
+
+        /// Rebuild a generator from a [`SmallRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> SmallRng {
+            SmallRng(Xoshiro256::from_state(s))
+        }
+    }
 
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
@@ -218,6 +240,18 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
