@@ -130,22 +130,29 @@ pub fn app_config_from_args() -> sf_apps::AppConfig {
     }
 }
 
-/// Parse an optional `--device k20x|k40` flag (default K20X).
+/// Parse an optional `--device NAME` flag (default K20X), resolved
+/// case-insensitively through the device registry. An unknown name aborts
+/// with the registry's available-device listing — the same error path the
+/// `sfc`/`sfd` binaries use — instead of silently falling back.
 pub fn device_from_args() -> DeviceSpec {
     let args: Vec<String> = std::env::args().collect();
+    let registry = sf_gpusim::DeviceRegistry::builtin();
+    let mut name: Option<String> = None;
     for (i, a) in args.iter().enumerate() {
         if a == "--device" {
-            if let Some(d) = args.get(i + 1).and_then(|n| DeviceSpec::by_name(n)) {
-                return d;
-            }
+            name = args.get(i + 1).cloned();
         }
         if let Some(n) = a.strip_prefix("--device=") {
-            if let Some(d) = DeviceSpec::by_name(n) {
-                return d;
-            }
+            name = Some(n.to_string());
         }
     }
-    DeviceSpec::k20x()
+    match name {
+        Some(n) => registry.resolve(&n).unwrap_or_else(|e| {
+            eprintln!("bench: {e}");
+            std::process::exit(2);
+        }),
+        None => DeviceSpec::k20x(),
+    }
 }
 
 /// Verify a result and panic with context if the transformed program is not

@@ -30,6 +30,7 @@ use crate::pipeline::{Interventions, Pipeline};
 use rayon::prelude::*;
 use sf_cache::{CacheKey, Lookup, PlanStore, Published, StoreOptions};
 use sf_codegen::TransformPlan;
+use sf_gpusim::device::DeviceSpec;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
@@ -42,15 +43,26 @@ pub struct BatchRequest {
     pub name: String,
     /// The program source text (canonicalized internally before hashing).
     pub source: String,
+    /// Per-request target device, overriding the driver's base config.
+    /// Cache keys are derived from the effective device's fingerprint, so
+    /// entries never cross devices within one batch.
+    pub device: Option<DeviceSpec>,
 }
 
 impl BatchRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (compiles for the driver's base device).
     pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchRequest {
         BatchRequest {
             name: name.into(),
             source: source.into(),
+            device: None,
         }
+    }
+
+    /// Target a specific device for this request only.
+    pub fn with_device(mut self, device: DeviceSpec) -> BatchRequest {
+        self.device = Some(device);
+        self
     }
 }
 
@@ -255,7 +267,7 @@ impl BatchDriver {
             },
         )?;
         let fingerprint = Arc::new(config.cache_fingerprint());
-        let device = Arc::new(format!("{:?}", config.device));
+        let device = Arc::new(config.device.fingerprint());
         let cache_enabled = config.preloaded_plan.is_none()
             && config.run_until.is_none_or(|s| s >= Stage::Codegen);
         Ok(BatchDriver {
@@ -306,11 +318,15 @@ impl BatchDriver {
     }
 
     /// The effective config for one request: the base config, plus the
-    /// request's own checkpoint file when a checkpoint directory is set.
-    /// Checkpoint placement is excluded from the cache fingerprint, so
-    /// every request still shares the driver's precomputed fingerprint.
+    /// request's device override and its own checkpoint file when a
+    /// checkpoint directory is set. Checkpoint placement is excluded from
+    /// the cache fingerprint, so requests without a device override still
+    /// share the driver's precomputed fingerprint.
     fn request_config(&self, request: &BatchRequest) -> PipelineConfig {
-        let config = self.config.clone();
+        let mut config = self.config.clone();
+        if let Some(device) = &request.device {
+            config.device = device.clone();
+        }
         match &self.options.checkpoint_dir {
             Some(dir) => {
                 let stem: String = request
@@ -345,8 +361,16 @@ impl BatchDriver {
         let (tx, rx) = mpsc::channel();
         let store = Arc::clone(&self.store);
         let config = self.request_config(request);
-        let fingerprint = Arc::clone(&self.fingerprint);
-        let device = Arc::clone(&self.device);
+        // A device override changes both key materials; re-derive them from
+        // the effective config so cache entries never cross devices.
+        let (fingerprint, device) = if request.device.is_some() {
+            (
+                Arc::new(config.cache_fingerprint()),
+                Arc::new(config.device.fingerprint()),
+            )
+        } else {
+            (Arc::clone(&self.fingerprint), Arc::clone(&self.device))
+        };
         let cache_enabled = self.cache_enabled;
         let req = request.clone();
         std::thread::spawn(move || {

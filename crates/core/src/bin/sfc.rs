@@ -26,9 +26,12 @@
 //! | 7    | output verification failed                       |
 //! | 8    | success, but cache corruption was detected and   |
 //! |      | recovered (entry quarantined / replay recompiled)|
+//! | 9    | plan/device mismatch: the replayed plan targets  |
+//! |      | a different device than this run is configured   |
+//! |      | for (re-target explicitly with --port-plan)      |
 
 use sf_cache::{CacheKey, Lookup, PlanStore, Published};
-use sf_gpusim::device::DeviceSpec;
+use sf_gpusim::DeviceRegistry;
 use stencilfuse::{ErrorKind, Interventions, Pipeline, PipelineConfig, PipelineError, Stage};
 
 const EXIT_USAGE: i32 = 2;
@@ -42,6 +45,10 @@ const EXIT_VERIFY: i32 = 7;
 /// failed to replay and the program was recompiled. Scripted callers can
 /// treat this as success while still counting cache incidents.
 const EXIT_CACHE_RECOVERED: i32 = 8;
+/// A preloaded plan (`--from-plan` or a cache entry) targets a different
+/// device than this run is configured for; replaying it would silently
+/// project with the wrong device model, so the run is rejected instead.
+const EXIT_DEVICE_MISMATCH: i32 = 9;
 
 /// Map a structured pipeline error to the exit-code taxonomy: the error
 /// kind wins when it names a failure class, the stage decides otherwise.
@@ -49,6 +56,7 @@ fn exit_code_for(e: &PipelineError) -> i32 {
     match (&e.kind, e.stage) {
         (ErrorKind::Parse(_) | ErrorKind::HostEval(_), _) => EXIT_PARSE,
         (ErrorKind::Verify(_), _) => EXIT_VERIFY,
+        (ErrorKind::DeviceMismatch { .. }, _) => EXIT_DEVICE_MISMATCH,
         (_, Stage::Metadata | Stage::Filter | Stage::Graphs) => EXIT_ANALYSIS,
         (_, Stage::Search) => EXIT_SEARCH,
         (_, Stage::NewGraphs | Stage::Codegen) => EXIT_CODEGEN,
@@ -58,7 +66,8 @@ fn exit_code_for(e: &PipelineError) -> i32 {
 struct Args {
     input: Option<String>,
     output: Option<String>,
-    device: DeviceSpec,
+    device: Option<String>,
+    device_files: Vec<String>,
     manual: bool,
     no_fission: bool,
     no_tuning: bool,
@@ -70,6 +79,7 @@ struct Args {
     load_metadata: Option<String>,
     emit_plan: Option<String>,
     from_plan: Option<String>,
+    port_plan: Option<String>,
     cache_dir: Option<String>,
     params: Option<String>,
     report: bool,
@@ -87,7 +97,11 @@ struct Args {
 const USAGE: &str = "\
 usage: sfc INPUT.cu [options]
   -o FILE             write the transformed program (default: stdout)
-  --device NAME       k20x (default) or k40
+  --device NAME       target device from the registry (default k20x);
+                      built-ins: k20x, k40, hawaii, v100
+  --device-file FILE  extend the device registry with JSON descriptors
+                      (one DeviceSpec object or an array; repeatable);
+                      a descriptor may also override a built-in by name
   --mode auto|manual  code generator flavor (default auto)
   --no-fission        disable the lazy-fission moves (fusion only)
   --no-tuning         disable thread-block-size tuning
@@ -103,7 +117,13 @@ usage: sfc INPUT.cu [options]
                       full run emits the as-executed plan, `--until search`
                       emits the search's lowered plan
   --from-plan FILE    replay a transform plan (`-` for stdin): skips the
-                      analysis/search stages and reproduces the run exactly
+                      analysis/search stages and reproduces the run exactly;
+                      the plan must target this run's --device (exit code 9
+                      otherwise — use --port-plan to re-target)
+  --port-plan FILE    port a transform plan to --device: re-runs block-size
+                      tuning and a short search seeded with the old plan's
+                      grouping (elite injection), byte-deterministic per
+                      (seed, device)
   --cache-dir DIR     consult (and populate) a persistent plan cache: a hit
                       replays the cached plan like --from-plan, a miss runs
                       the pipeline and publishes the plan; corruption is
@@ -150,7 +170,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: None,
         output: None,
-        device: DeviceSpec::k20x(),
+        device: None,
+        device_files: Vec::new(),
         manual: false,
         no_fission: false,
         no_tuning: false,
@@ -162,6 +183,7 @@ fn parse_args() -> Result<Args, String> {
         load_metadata: None,
         emit_plan: None,
         from_plan: None,
+        port_plan: None,
         cache_dir: None,
         params: None,
         report: false,
@@ -186,11 +208,8 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         match argv[i].as_str() {
             "-o" => args.output = Some(take(&mut i)?),
-            "--device" => {
-                let name = take(&mut i)?;
-                args.device =
-                    DeviceSpec::by_name(&name).ok_or_else(|| format!("unknown device `{name}`"))?;
-            }
+            "--device" => args.device = Some(take(&mut i)?),
+            "--device-file" => args.device_files.push(take(&mut i)?),
             "--mode" => {
                 let m = take(&mut i)?;
                 args.manual = match m.as_str() {
@@ -221,6 +240,7 @@ fn parse_args() -> Result<Args, String> {
             "--metadata" => args.load_metadata = Some(take(&mut i)?),
             "--emit-plan" => args.emit_plan = Some(take(&mut i)?),
             "--from-plan" => args.from_plan = Some(take(&mut i)?),
+            "--port-plan" => args.port_plan = Some(take(&mut i)?),
             "--cache-dir" => args.cache_dir = Some(take(&mut i)?),
             "--profile-reps" => {
                 let n = take(&mut i)?;
@@ -279,6 +299,26 @@ fn main() {
         eprintln!("sfc: no input file\n{USAGE}");
         std::process::exit(2);
     };
+    if args.from_plan.is_some() && args.port_plan.is_some() {
+        eprintln!("sfc: --from-plan (exact replay) and --port-plan (re-target) are exclusive");
+        std::process::exit(2);
+    }
+    // Device registry: built-ins plus any user descriptor files, resolved
+    // case-insensitively. Unknown names report the available devices.
+    let mut registry = DeviceRegistry::builtin();
+    for path in &args.device_files {
+        if let Err(e) = registry.load_file(std::path::Path::new(path)) {
+            eprintln!("sfc: {e}");
+            std::process::exit(2);
+        }
+    }
+    let device = match registry.resolve(args.device.as_deref().unwrap_or("k20x")) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sfc: {e}");
+            std::process::exit(2);
+        }
+    };
     let source = match std::fs::read_to_string(input) {
         Ok(s) => s,
         Err(e) => {
@@ -296,9 +336,9 @@ fn main() {
     };
 
     let mut config = if args.quick {
-        PipelineConfig::quick(args.device.clone())
+        PipelineConfig::quick(device.clone())
     } else {
-        PipelineConfig::automated(args.device.clone())
+        PipelineConfig::automated(device)
     };
     if args.manual {
         config = config.manual_oracle();
@@ -380,6 +420,22 @@ fn main() {
             }
         }
     }
+    if let Some(path) = &args.port_plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sfc: cannot read plan file {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match sf_codegen::TransformPlan::from_json(&text) {
+            Ok(plan) => config = config.with_port_plan(plan),
+            Err(e) => {
+                eprintln!("sfc: bad plan file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = &args.params {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -389,7 +445,14 @@ fn main() {
             }
         };
         match serde_json::from_str::<sf_search::SearchConfig>(&text) {
-            Ok(sc) => config.search = sc,
+            // A port run re-applies its reduced budget on top of the file.
+            Ok(sc) => {
+                config.search = if config.port_plan.is_some() {
+                    sc.for_port()
+                } else {
+                    sc
+                }
+            }
             Err(e) => {
                 eprintln!("sfc: bad parameter file {path}: {e}");
                 std::process::exit(2);
@@ -413,7 +476,7 @@ fn main() {
                 let canonical = sf_minicuda::printer::print_program(&program);
                 let key = CacheKey::derive(
                     &canonical,
-                    &format!("{:?}", config.device),
+                    &config.device.fingerprint(),
                     &config.cache_fingerprint(),
                 );
                 match store.lookup(&key) {

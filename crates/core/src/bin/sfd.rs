@@ -19,6 +19,7 @@
 //! SIGTERM) cancelled part of the batch — everything that started drained
 //! cleanly, the rest is reported as cancelled and safe to resubmit.
 
+use sf_gpusim::DeviceRegistry;
 use std::path::Path;
 use std::time::{Duration, Instant};
 use stencilfuse::{BatchDriver, BatchOptions, BatchRequest, BatchStatus, PipelineConfig};
@@ -29,7 +30,15 @@ const USAGE: &str = "\
 usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
   --cache-dir DIR     plan cache directory (created if missing; default .sf-cache)
   --out-dir DIR       write <stem>.fused.cu and <stem>.plan.json per input
-  --device NAME       k20x (default) or k40
+  --device NAME       registry device for the inputs that follow it (default
+                      k20x; built-ins: k20x, k40, hawaii, v100). The flag is
+                      positional: each input compiles for the most recent
+                      --device, so one batch can mix targets —
+                      `sfd a.cu --device v100 b.cu` compiles a.cu for k20x
+                      and b.cu for v100. Cache entries key on the device
+                      fingerprint and never cross devices.
+  --device-file FILE  extend the device registry with JSON descriptors
+                      (one DeviceSpec object or an array; repeatable)
   --quick             scaled-down search budget
   --jobs N            cap concurrent workers (sets RAYON_NUM_THREADS)
   --islands N         shard each request's search into N supervised islands
@@ -52,7 +61,7 @@ request's status, and exits 3.
 struct Args {
     cache_dir: String,
     out_dir: Option<String>,
-    device: sf_gpusim::device::DeviceSpec,
+    device_files: Vec<String>,
     quick: bool,
     jobs: Option<usize>,
     islands: Option<usize>,
@@ -63,14 +72,15 @@ struct Args {
     strict: bool,
     verify_store: bool,
     report: bool,
-    inputs: Vec<String>,
+    /// (input path, device name in scope at that position — None = base).
+    inputs: Vec<(String, Option<String>)>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cache_dir: ".sf-cache".into(),
         out_dir: None,
-        device: sf_gpusim::device::DeviceSpec::k20x(),
+        device_files: Vec::new(),
         quick: false,
         jobs: None,
         islands: None,
@@ -83,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         inputs: Vec::new(),
     };
+    let mut scoped_device: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let take = |i: &mut usize| -> Result<String, String> {
@@ -98,11 +109,8 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--cache-dir" => args.cache_dir = take(&mut i)?,
             "--out-dir" => args.out_dir = Some(take(&mut i)?),
-            "--device" => {
-                let name = take(&mut i)?;
-                args.device = sf_gpusim::device::DeviceSpec::by_name(&name)
-                    .ok_or_else(|| format!("unknown device `{name}`"))?;
-            }
+            "--device" => scoped_device = Some(take(&mut i)?),
+            "--device-file" => args.device_files.push(take(&mut i)?),
             "--quick" => args.quick = true,
             "--jobs" => args.jobs = Some(parse_num("job count", take(&mut i)?)? as usize),
             "--islands" => {
@@ -125,7 +133,9 @@ fn parse_args() -> Result<Args, String> {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') => args.inputs.push(other.to_string()),
+            other if !other.starts_with('-') => args
+                .inputs
+                .push((other.to_string(), scoped_device.clone())),
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -148,10 +158,28 @@ fn main() {
         std::env::set_var("RAYON_NUM_THREADS", jobs.max(1).to_string());
     }
 
+    let mut registry = DeviceRegistry::builtin();
+    for path in &args.device_files {
+        if let Err(e) = registry.load_file(Path::new(path)) {
+            eprintln!("sfd: {e}");
+            std::process::exit(2);
+        }
+    }
+    // The driver's base config always targets the default device; inputs
+    // scoped under a --device flag carry a per-request override (with its
+    // own fingerprint-derived cache key), so one batch can mix targets.
+    let base_device = match registry.resolve("k20x") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sfd: {e}");
+            std::process::exit(2);
+        }
+    };
+
     let mut config = if args.quick {
-        PipelineConfig::quick(args.device.clone())
+        PipelineConfig::quick(base_device.clone())
     } else {
-        PipelineConfig::automated(args.device.clone())
+        PipelineConfig::automated(base_device.clone())
     };
     if args.no_verify {
         config.verify = false;
@@ -214,7 +242,7 @@ fn main() {
         }
     }
 
-    for input in &args.inputs {
+    for (input, device_name) in &args.inputs {
         if stencilfuse::shutdown_requested() {
             eprintln!("sfd: shutdown requested; not admitting {input}");
             continue;
@@ -230,7 +258,22 @@ fn main() {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| input.clone());
-        if let Err(rejected) = driver.submit(BatchRequest::new(name, source)) {
+        let mut request = BatchRequest::new(name, source);
+        // Positional --device scope: only inputs whose in-scope device
+        // differs from the base carry an override (and their own key).
+        if let Some(dname) = device_name {
+            let device = match registry.resolve(dname) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("sfd: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if device.fingerprint() != base_device.fingerprint() {
+                request = request.with_device(device);
+            }
+        }
+        if let Err(rejected) = driver.submit(request) {
             eprintln!("sfd: {rejected}");
             std::process::exit(2);
         }

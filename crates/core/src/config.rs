@@ -77,7 +77,16 @@ pub struct PipelineConfig {
     /// Replay this transform plan instead of running the analysis/search
     /// stages (2–5): codegen consumes the plan directly, so a run can be
     /// reproduced byte-for-byte without re-searching (`sfc --from-plan`).
+    /// Rejected with a structured device-mismatch error when the plan's
+    /// device fingerprint differs from [`Self::device`] — porting a plan
+    /// across devices is the explicit [`Self::port_plan`] path instead.
     pub preloaded_plan: Option<TransformPlan>,
+    /// Port this plan (emitted on some *other* device) to [`Self::device`]:
+    /// the plan is raised to a genome over the new device's search space
+    /// and elite-injected into a reduced-budget search
+    /// (`SearchConfig::for_port`), re-running thread-block tuning and
+    /// re-projection on the new device (`sfc --port-plan`).
+    pub port_plan: Option<TransformPlan>,
     /// Verify the transformed program's output against the original.
     pub verify: bool,
     /// Stop after this stage (None = run to completion).
@@ -120,6 +129,7 @@ impl PipelineConfig {
             run_until: None,
             preloaded_metadata: None,
             preloaded_plan: None,
+            port_plan: None,
             degrade: DegradePolicy::Degrade,
             profile_retries: 2,
             profile_reps: 1,
@@ -176,6 +186,15 @@ impl PipelineConfig {
         self
     }
 
+    /// Port a plan emitted on another device to this configuration's
+    /// device: elite-seeded, reduced-budget re-search plus fresh
+    /// block tuning (see [`Self::port_plan`]).
+    pub fn with_port_plan(mut self, plan: TransformPlan) -> PipelineConfig {
+        self.port_plan = Some(plan);
+        self.search = self.search.for_port();
+        self
+    }
+
     /// Profile with `reps` repetitions per invocation (robust aggregation).
     pub fn with_profile_reps(mut self, reps: u32) -> PipelineConfig {
         self.profile_reps = reps.max(1);
@@ -226,11 +245,12 @@ impl PipelineConfig {
             .as_ref()
             .map(|m| serde_json::to_string(m).unwrap_or_else(|e| format!("unserializable: {e}")));
         let preloaded_plan = self.preloaded_plan.as_ref().map(|p| p.to_json());
+        let port_plan = self.port_plan.as_ref().map(|p| p.to_json());
         format!(
-            "device={:?};mode={:?};fission={};tuning={};filter={:?};search={:?};\
+            "device={};mode={:?};fission={};tuning={};filter={:?};search={:?};\
              functional={};verify={};until={:?};degrade={:?};retries={};reps={};\
-             noise={:?};faults={:?};metadata={:?};plan={:?}",
-            self.device,
+             noise={:?};faults={:?};metadata={:?};plan={:?};port={:?}",
+            self.device.fingerprint(),
             self.mode,
             self.enable_fission,
             self.block_tuning,
@@ -246,6 +266,7 @@ impl PipelineConfig {
             self.faults,
             preloaded_metadata,
             preloaded_plan,
+            port_plan,
         )
     }
 }
@@ -279,6 +300,19 @@ mod tests {
         );
         // Island count changes the plan the search converges to → included.
         assert_ne!(fp, base.clone().with_islands(4).cache_fingerprint());
+        // The device part is the registry fingerprint: editing any
+        // descriptor field (same name) invalidates cached plans.
+        let mut edited = base.clone();
+        edited.device.mem_bw_gbps += 1.0;
+        assert_ne!(fp, edited.cache_fingerprint());
+        // A port seed steers the search → included.
+        let seed = TransformPlan::new(
+            DeviceSpec::k20x(),
+            CodegenMode::Auto,
+            false,
+            vec![sf_codegen::GroupPlan::singleton(sf_codegen::MemberRef::original(0))],
+        );
+        assert_ne!(fp, base.clone().with_port_plan(seed).cache_fingerprint());
         // Checkpoint placement can never change the plan → excluded.
         assert_eq!(fp, base.clone().with_checkpoint("/tmp/x.ckpt").cache_fingerprint());
         assert_eq!(fp, base.clone().with_resume("/tmp/x.ckpt").cache_fingerprint());

@@ -58,6 +58,16 @@ pub enum ErrorKind {
     Verify(String),
     /// The configuration is inconsistent with the program.
     Config(String),
+    /// A plan replay (`--from-plan`, warm cache) targeted a device other
+    /// than the run's configured one. Carries both registry fingerprints
+    /// so the driver can say exactly what disagreed; the sanctioned
+    /// cross-device path is an explicit re-target (`--port-plan`).
+    DeviceMismatch {
+        /// Fingerprint recorded in the plan.
+        plan: String,
+        /// Fingerprint of the configured device.
+        configured: String,
+    },
     /// A plan-cache operation failed (I/O trouble, lock contention, or a
     /// simulated crash under fault injection). Boxed like `Profile`: the
     /// structured error carries key/path attribution. Note that a *bad
@@ -83,6 +93,7 @@ impl ErrorKind {
             ErrorKind::Search(_) => "search",
             ErrorKind::Verify(_) => "verify",
             ErrorKind::Config(_) => "config",
+            ErrorKind::DeviceMismatch { .. } => "device-mismatch",
             ErrorKind::Cache(_) => "cache",
             ErrorKind::Injected(_) => "injected-fault",
             ErrorKind::Panic(_) => "panic",
@@ -96,6 +107,11 @@ impl ErrorKind {
             ErrorKind::Profile(e) => e.to_string(),
             ErrorKind::Codegen(e) => e.to_string(),
             ErrorKind::Cache(e) => e.to_string(),
+            ErrorKind::DeviceMismatch { plan, configured } => format!(
+                "plan targets device `{plan}` but this run is configured for \
+                 `{configured}`; replay on the matching device, or re-target \
+                 explicitly with --port-plan"
+            ),
             ErrorKind::Graph(s)
             | ErrorKind::Search(s)
             | ErrorKind::Verify(s)
@@ -333,6 +349,22 @@ mod tests {
         // Anything else: compile without the cache (degradable).
         let e: PipelineError = CacheError::new(CacheErrorKind::Io, "disk full").into();
         assert_eq!(e.class, Recoverability::Degradable);
+    }
+
+    #[test]
+    fn device_mismatch_is_structured() {
+        let e = PipelineError::fatal(
+            Stage::NewGraphs,
+            ErrorKind::DeviceMismatch {
+                plan: "k20x-aaaaaaaaaaaaaaaa".into(),
+                configured: "v100-bbbbbbbbbbbbbbbb".into(),
+            },
+        );
+        assert_eq!(e.kind.label(), "device-mismatch");
+        let text = e.to_string();
+        assert!(text.contains("k20x-aaaaaaaaaaaaaaaa"), "{text}");
+        assert!(text.contains("v100-bbbbbbbbbbbbbbbb"), "{text}");
+        assert!(text.contains("--port-plan"), "{text}");
     }
 
     #[test]

@@ -25,7 +25,8 @@ use sf_graphs::{dot, Ddg, Oeg};
 use sf_minicuda::host::ExecutablePlan;
 use sf_minicuda::Program;
 use sf_search::{
-    search_islands, search_with_faults, IslandOptions, SearchConfig, SearchResult, SearchSpace,
+    raise_plan, search_islands, search_with_faults_seeded, Individual, IslandOptions, SearchConfig,
+    SearchResult, SearchSpace,
 };
 
 /// An intervention hook amending one stage artifact in place.
@@ -382,6 +383,19 @@ impl Pipeline {
             pplan.validate(self.plan.launches.len()).map_err(|e| {
                 PipelineError::fatal(Stage::NewGraphs, ErrorKind::Config(e.to_string()))
             })?;
+            // Replaying a plan on a different device would silently project
+            // and codegen with the wrong device model; reject it as a
+            // structured mismatch (the port path re-targets explicitly).
+            let configured = cfg.device.fingerprint();
+            if pplan.device_fingerprint != configured {
+                return Err(PipelineError::fatal(
+                    Stage::NewGraphs,
+                    ErrorKind::DeviceMismatch {
+                        plan: pplan.device_fingerprint.clone(),
+                        configured,
+                    },
+                ));
+            }
             let mut r = StageReport::new(Stage::NewGraphs);
             r.line(format!(
                 "replaying preloaded transform plan: {}",
@@ -502,6 +516,25 @@ impl Pipeline {
             if let Some(f) = &hooks.amend_search_config {
                 f(&mut search_cfg);
             }
+            // Plan-port seeding: raise the source plan's grouping onto this
+            // device's search space (repairing anything infeasible here) and
+            // inject it into the initial population as an elite.
+            let mut seeds: Vec<Individual> = Vec::new();
+            if let Some(port) = &cfg.port_plan {
+                port.validate(self.plan.launches.len()).map_err(|e| {
+                    PipelineError::fatal(Stage::Search, ErrorKind::Config(e.to_string()))
+                })?;
+                let seed = raise_plan(&space, port);
+                let mut r = StageReport::new(Stage::Search);
+                r.line(format!(
+                    "porting plan from device `{}`: seeded search with its raised genome \
+                     ({} fusion groups)",
+                    port.device_fingerprint,
+                    seed.groups().len()
+                ));
+                reports.push(r);
+                seeds.push(seed);
+            }
             // Dispatch: the supervised island search runs when the
             // population is sharded or checkpointing is requested; the
             // classic serial loop otherwise.
@@ -514,6 +547,7 @@ impl Pipeline {
                     faults: injector.island_faults().clone(),
                     checkpoint_path: cfg.checkpoint_path.clone(),
                     resume_path: cfg.resume_path.clone(),
+                    seeds: seeds.clone(),
                 };
                 let ir = search_islands(&space, &search_cfg, &opts);
                 if strict {
@@ -535,7 +569,12 @@ impl Pipeline {
                 (ir.result, Some(supervision))
             } else {
                 (
-                    search_with_faults(&space, &search_cfg, injector.poison_evaluations()),
+                    search_with_faults_seeded(
+                        &space,
+                        &search_cfg,
+                        injector.poison_evaluations(),
+                        &seeds,
+                    ),
                     None,
                 )
             };

@@ -22,13 +22,14 @@ struct Args {
     noise: bool,
     cache: bool,
     islands: bool,
+    devices: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands] [--devices]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +42,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         noise: false,
         cache: false,
         islands: false,
+        devices: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -70,6 +72,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--noise" => args.noise = true,
             "--cache" => args.cache = true,
             "--islands" => args.islands = true,
+            "--devices" => args.devices = true,
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--max-wall-secs" => {
                 let v = value("--max-wall-secs")?;
@@ -96,6 +99,7 @@ fn main() -> ExitCode {
         noise: args.noise,
         cache: args.cache,
         islands: args.islands,
+        devices: args.devices,
     };
     let start = Instant::now();
     let mut checked = 0usize;
@@ -188,6 +192,14 @@ mod tests {
         assert!(a.islands);
         let a = parse_args(&argv(&["--seed", "1"])).unwrap();
         assert!(!a.islands);
+    }
+
+    #[test]
+    fn parses_devices_flag() {
+        let a = parse_args(&argv(&["--seed", "1", "--devices"])).unwrap();
+        assert!(a.devices);
+        let a = parse_args(&argv(&["--seed", "1"])).unwrap();
+        assert!(!a.devices);
     }
 
     #[test]

@@ -46,6 +46,13 @@
 //!     island faults (panicked/stalled islands quarantined, no hidden
 //!     miscompile), and a search killed at a checkpoint epoch must resume
 //!     to the byte-identical program the uninterrupted run produces.
+//! 13. `devices-*` (opt-in via [`OracleOptions::devices`]) — cross-device
+//!     plan portability: the plan compiled on one registry device must
+//!     *refuse* to replay on every other device (a structured
+//!     device-mismatch, not a silent wrong-device projection), and
+//!     porting it (`--port-plan`) to each other device must produce a
+//!     program that passes the differential oracle and replays
+//!     byte-identically on its own device.
 
 use sf_gpusim::device::DeviceSpec;
 use sf_minicuda::ast::Program;
@@ -96,13 +103,23 @@ pub struct OracleOptions {
     /// deterministic, degrade (not fail) under seeded island faults, and
     /// resume a killed search to the byte-identical program.
     pub islands: bool,
+    /// Run the `devices-*` checks: a plan compiled on one registry device
+    /// must be rejected (structured device-mismatch) when replayed on any
+    /// other device, and porting it there must verify differentially and
+    /// replay byte-identically.
+    pub devices: bool,
 }
 
 /// The pipeline configuration the fuzzer drives: the quick automated
 /// pipeline with the fuzz search profile (small, watchdog-free, seeded
 /// per program so search trajectories vary across the corpus).
 pub fn config(seed: u64) -> PipelineConfig {
-    let mut cfg = PipelineConfig::quick(DeviceSpec::k20x());
+    config_for(seed, DeviceSpec::k20x())
+}
+
+/// [`config`] for an arbitrary registry device (the `devices-*` checks).
+pub fn config_for(seed: u64, device: DeviceSpec) -> PipelineConfig {
+    let mut cfg = PipelineConfig::quick(device);
     cfg.search = SearchConfig::fuzz(seed);
     cfg
 }
@@ -132,6 +149,9 @@ pub fn check_program_with(
     }
     if opts.islands {
         check_islands(program, seed)?;
+    }
+    if opts.devices {
+        check_devices(program, seed)?;
     }
     Ok(())
 }
@@ -650,4 +670,112 @@ fn check_islands(program: &Program, seed: u64) -> Result<(), OracleFailure> {
         )));
     }
     finish(Ok(()))
+}
+
+/// Opt-in cross-device check: compile the program on the first registry
+/// device, then for every other device require (a) the source plan is
+/// *rejected* when replayed there — the structured device-mismatch, never
+/// a silent wrong-device projection; (b) porting it there (`--port-plan`
+/// semantics: elite-seeded reduced search) succeeds, passes an independent
+/// differential verification, and the ported plan replays byte-identically
+/// on its own device.
+fn check_devices(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    let registry = sf_gpusim::DeviceRegistry::builtin();
+    let devices = registry.devices();
+    let source_device = devices[0].clone();
+    let source = Pipeline::new(program.clone(), config_for(seed, source_device.clone()))
+        .and_then(|p| p.run())
+        .map_err(|e| {
+            OracleFailure::new("devices-source", format!("source-device run failed: {e}"))
+        })?;
+    let Some(plan) = source.executed_plan().or_else(|| source.planned()) else {
+        return Ok(()); // nothing portable: the program had no fusible groups
+    };
+
+    for target in &devices[1..] {
+        // (a) Cross-device replay must be a structured rejection.
+        let replay_cfg = config_for(seed, target.clone()).with_plan(plan.clone());
+        match Pipeline::new(program.clone(), replay_cfg).and_then(|p| p.run()) {
+            Ok(_) => {
+                return Err(OracleFailure::new(
+                    "devices-mismatch",
+                    format!(
+                        "plan for {} replayed on {} instead of being rejected",
+                        source_device.name, target.name
+                    ),
+                )
+                .with_plan(Some(plan)))
+            }
+            Err(e) if e.kind.label() == "device-mismatch" => {}
+            Err(e) => {
+                return Err(OracleFailure::new(
+                    "devices-mismatch",
+                    format!(
+                        "cross-device replay on {} failed, but not as a device mismatch: {e}",
+                        target.name
+                    ),
+                )
+                .with_plan(Some(plan)))
+            }
+        }
+
+        // (b) The port path re-targets explicitly and must hold the full
+        // contract on the target device.
+        let port_cfg = config_for(seed, target.clone()).with_port_plan(plan.clone());
+        let ported = Pipeline::new(program.clone(), port_cfg)
+            .and_then(|p| p.run())
+            .map_err(|e| {
+                OracleFailure::new(
+                    "devices-port",
+                    format!("port to {} failed: {e}", target.name),
+                )
+                .with_plan(Some(plan))
+            })?;
+        match verify_equivalence(program, &ported.program, seed ^ 0xDE5) {
+            Err(e) => {
+                return Err(OracleFailure::new(
+                    "devices-differential",
+                    format!("ported program on {} does not interpret: {e}", target.name),
+                )
+                .with_plan(ported.executed_plan()))
+            }
+            Ok(v) if !v.passed() => {
+                return Err(OracleFailure::new(
+                    "devices-differential",
+                    format!(
+                        "ported program on {} diverges from the original: {}",
+                        target.name,
+                        v.failure().unwrap_or_else(|| "unknown".into())
+                    ),
+                )
+                .with_plan(ported.executed_plan()))
+            }
+            Ok(_) => {}
+        }
+        if let Some(ported_plan) = ported.executed_plan().or_else(|| ported.planned()) {
+            let replay = Pipeline::new(
+                program.clone(),
+                config_for(seed, target.clone()).with_plan(ported_plan.clone()),
+            )
+            .and_then(|p| p.run())
+            .map_err(|e| {
+                OracleFailure::new(
+                    "devices-replay",
+                    format!("ported plan did not replay on {}: {e}", target.name),
+                )
+                .with_plan(Some(ported_plan))
+            })?;
+            if print_program(&replay.program) != print_program(&ported.program) {
+                return Err(OracleFailure::new(
+                    "devices-replay",
+                    format!(
+                        "ported plan replay on {} diverged from the ported program",
+                        target.name
+                    ),
+                )
+                .with_plan(Some(ported_plan)));
+            }
+        }
+    }
+    Ok(())
 }

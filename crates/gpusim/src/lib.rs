@@ -4,9 +4,12 @@
 //! A GPU execution substrate standing in for the Kepler K20X / K40 boards
 //! the paper evaluates on. Three cooperating pieces:
 //!
-//! - [`device`] — device descriptors with the published Kepler parameters
-//!   (the `deviceQuery` analog) and [`occupancy`] — a clone of the CUDA
-//!   occupancy calculator used by the paper's thread-block tuner (§4.2).
+//! - [`device`] + [`registry`] — data-driven device descriptors (the
+//!   `deviceQuery` analog): built-ins for the published Kepler parameters
+//!   plus wavefront-64 AMD and Volta classes, user descriptor files, and
+//!   stable per-descriptor fingerprints; [`occupancy`] — a clone of the
+//!   CUDA occupancy calculator used by the paper's thread-block tuner
+//!   (§4.2), parametric in the descriptor's granularities and caps.
 //! - [`interp`] — a *functional* SIMT interpreter: executes minicuda
 //!   kernels block-by-block with warp-level lockstep semantics, shared
 //!   memory tiles, `__syncthreads()` barriers, divergence accounting, and
@@ -34,10 +37,12 @@ pub mod memory;
 pub mod noise;
 pub mod occupancy;
 pub mod profiler;
+pub mod registry;
 pub mod robust;
 pub mod timing;
 
 pub use device::DeviceSpec;
+pub use registry::DeviceRegistry;
 pub use interp::{ExecError, Interpreter, LaunchStats};
 pub use memory::GlobalMemory;
 pub use noise::NoiseModel;

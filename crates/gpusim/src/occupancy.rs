@@ -113,7 +113,9 @@ pub fn candidate_blocks(device: &DeviceSpec) -> Vec<Dim3> {
     for &by in &[8u32, 4, 16, 2, 32, 1] {
         for &bx in &[32u32, 64, 128, 256, 16, 8] {
             let t = bx * by;
-            if t >= 32 && t <= device.max_threads_per_block {
+            // Anything below one warp/wavefront wastes lanes outright —
+            // on a wavefront-64 part a 32-thread block is half idle.
+            if t >= device.warp_size && t <= device.max_threads_per_block {
                 out.push(Dim3::new(bx, by, 1));
             }
         }
@@ -224,6 +226,141 @@ mod tests {
             let o = occupancy(&d, 256, regs, 0).unwrap();
             assert!(o.occupancy <= last + 1e-12);
             last = o.occupancy;
+        }
+    }
+
+    #[test]
+    fn wavefront64_candidates_never_go_sub_wavefront() {
+        let hawaii = DeviceSpec::hawaii();
+        for c in candidate_blocks(&hawaii) {
+            assert!(
+                c.x * c.y >= hawaii.warp_size,
+                "{}x{} is below one wavefront",
+                c.x,
+                c.y
+            );
+        }
+        // Kepler still enumerates its 32-thread shapes.
+        let k = DeviceSpec::k20x();
+        assert!(candidate_blocks(&k).iter().any(|c| c.x * c.y == 32));
+    }
+}
+
+/// Occupancy-calculator invariants over *every* registry device — the
+/// wavefront-64 and Volta entries exercise granularities and caps the
+/// Kepler-only unit tests never reach.
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::registry::DeviceRegistry;
+    use proptest::prelude::*;
+    use sf_minicuda::host::Dim3;
+
+    fn registry_device() -> impl Strategy<Value = DeviceSpec> {
+        let n = DeviceRegistry::builtin().devices().len();
+        (0..n).prop_map(|i| DeviceRegistry::builtin().devices()[i].clone())
+    }
+
+    proptest! {
+        /// Active warps never exceed the device maximum, occupancy stays in
+        /// (0, 1], and the reported limiter really is binding: granting one
+        /// more block would overflow at least the limiting resource.
+        #[test]
+        fn occupancy_within_device_limits(
+            d in registry_device(),
+            threads in 1u32..=1024,
+            regs in 0u32..=255,
+            smem in 0usize..=96 * 1024,
+        ) {
+            let Some(o) = occupancy(&d, threads, regs, smem) else {
+                // Unlaunchable is only legal past a hard per-block cap or
+                // when some resource admits zero blocks; re-deriving the
+                // zero-block case is the calculator itself, so just check
+                // the caps when inputs are within them all.
+                return;
+            };
+            prop_assert!(o.active_blocks_per_sm >= 1);
+            prop_assert!(o.active_warps_per_sm <= d.max_warps_per_sm());
+            prop_assert!(o.occupancy > 0.0 && o.occupancy <= 1.0 + 1e-12);
+            prop_assert!(o.active_blocks_per_sm <= d.max_blocks_per_sm);
+
+            // Limiter consistency: one more block violates the limiting
+            // resource's budget.
+            let warps_per_block = threads.div_ceil(d.warp_size);
+            let one_more = o.active_blocks_per_sm + 1;
+            match o.limiter {
+                Limiter::BlockSlots => prop_assert!(one_more > d.max_blocks_per_sm),
+                Limiter::ThreadSlots => {
+                    prop_assert!(one_more * warps_per_block > d.max_warps_per_sm())
+                }
+                Limiter::Registers => {
+                    let regs_per_warp = (regs.max(1) * d.warp_size)
+                        .div_ceil(d.reg_alloc_granularity)
+                        * d.reg_alloc_granularity;
+                    prop_assert!(
+                        u64::from(one_more) * u64::from(regs_per_warp) * u64::from(warps_per_block)
+                            > u64::from(d.regs_per_sm)
+                    );
+                }
+                Limiter::SharedMemory => {
+                    let gran = d.smem_alloc_granularity;
+                    let alloc = smem.div_ceil(gran) * gran;
+                    prop_assert!(one_more as usize * alloc > d.smem_per_sm);
+                }
+            }
+        }
+
+        /// More resource use never raises occupancy (monotone in registers
+        /// and in shared memory) on any registry device.
+        #[test]
+        fn occupancy_is_monotone_in_resources(
+            d in registry_device(),
+            threads in 1u32..=1024,
+            regs in 0u32..=254,
+            smem in 0usize..=32 * 1024 - 256,
+        ) {
+            if let (Some(a), Some(b)) = (
+                occupancy(&d, threads, regs, smem),
+                occupancy(&d, threads, regs + 1, smem),
+            ) {
+                prop_assert!(b.occupancy <= a.occupancy + 1e-12);
+            }
+            if let (Some(a), Some(b)) = (
+                occupancy(&d, threads, regs, smem),
+                occupancy(&d, threads, regs, smem + 256),
+            ) {
+                prop_assert!(b.occupancy <= a.occupancy + 1e-12);
+            }
+        }
+
+        /// The tuner's pick always fits the per-device block and
+        /// shared-memory caps, and never loses to the original shape.
+        #[test]
+        fn best_block_respects_device_caps(
+            d in registry_device(),
+            ox in 1u32..=64,
+            oy in 1u32..=16,
+            regs in 1u32..=128,
+            halo in 0u32..=4,
+            bytes_per_cell in 1usize..=24,
+        ) {
+            let smem = move |b: Dim3| {
+                ((b.x + 2 * halo) as usize) * ((b.y + 2 * halo) as usize) * bytes_per_cell
+            };
+            let original = Dim3::new(ox, oy, 1);
+            let orig_occ = occupancy(
+                &d,
+                (original.count() as u32).max(1),
+                regs,
+                smem(original),
+            );
+            let (best, occ) = best_block_size(&d, original, regs, &smem);
+            prop_assert!(best.count() as u32 <= d.max_threads_per_block);
+            prop_assert!(smem(best) <= d.smem_per_block_max);
+            prop_assert!(occ.active_warps_per_sm <= d.max_warps_per_sm());
+            if let Some(orig) = orig_occ {
+                prop_assert!(occ.occupancy + 1e-12 >= orig.occupancy);
+            }
         }
     }
 }

@@ -73,21 +73,25 @@ impl LaunchCost {
 pub struct TimingModel {
     pub device: DeviceSpec,
     /// Unhidden DRAM round-trip latency per vertical iteration at zero
-    /// occupancy, microseconds.
+    /// occupancy, microseconds. Copied from the descriptor so tests can
+    /// still override it per model instance.
     pub dram_latency_us: f64,
     /// Flop-equivalent cost charged per divergent warp-branch evaluation
     /// (the warp executes both paths: roughly one re-issued statement per
-    /// lane).
+    /// lane). Copied from the descriptor.
     pub divergence_flop_cost: f64,
 }
 
 impl TimingModel {
-    /// Standard model for a device.
+    /// Standard model for a device: every knob, including the latency and
+    /// divergence weights, comes from the descriptor.
     pub fn new(device: DeviceSpec) -> TimingModel {
+        let dram_latency_us = device.dram_latency_us;
+        let divergence_flop_cost = device.divergence_flop_cost;
         TimingModel {
             device,
-            dram_latency_us: 0.35,
-            divergence_flop_cost: 256.0,
+            dram_latency_us,
+            divergence_flop_cost,
         }
     }
 
@@ -242,6 +246,20 @@ mod tests {
         let mut p = base_profile();
         p.smem_per_block = 64 * 1024;
         assert!(m.launch_cost(&p).is_none());
+    }
+
+    #[test]
+    fn timing_knobs_come_from_the_descriptor() {
+        let mut d = DeviceSpec::k20x();
+        d.dram_latency_us = 0.7;
+        d.divergence_flop_cost = 64.0;
+        let m = TimingModel::new(d);
+        assert_eq!(m.dram_latency_us, 0.7);
+        assert_eq!(m.divergence_flop_cost, 64.0);
+        // Wavefront-64 boards charge divergence across twice the lanes.
+        let hawaii = TimingModel::new(DeviceSpec::hawaii());
+        let kepler = TimingModel::new(DeviceSpec::k20x());
+        assert!(hawaii.divergence_flop_cost > kepler.divergence_flop_cost);
     }
 
     #[test]

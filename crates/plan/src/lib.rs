@@ -30,7 +30,12 @@ use std::fmt;
 
 /// Schema version of the serialized plan. Bumped on incompatible changes;
 /// [`TransformPlan::from_json`] rejects other versions.
-pub const PLAN_VERSION: u32 = 1;
+///
+/// Version history: 1 = the original IR; 2 = the device descriptor gained
+/// timing knobs and the plan records its target device's registry
+/// fingerprint (`device_fingerprint`), so replay on a mismatched device is
+/// a structured rejection instead of a silent wrong-device projection.
+pub const PLAN_VERSION: u32 = 2;
 
 /// One member of a fusion group: an original launch, or one fission product
 /// of it.
@@ -187,6 +192,10 @@ pub struct TransformPlan {
     pub version: u32,
     /// Device the plan was searched / is generated for.
     pub device: DeviceSpec,
+    /// Registry fingerprint of that device
+    /// ([`DeviceSpec::fingerprint`]) — the identity the pipeline checks
+    /// before replaying the plan on a configured device.
+    pub device_fingerprint: String,
     /// Code generator flavor.
     pub mode: CodegenMode,
     /// Tune thread-block sizes of fused kernels (§4.2).
@@ -216,9 +225,11 @@ impl TransformPlan {
             .filter(|m| m.fission_component.is_some())
             .map(|m| m.seq)
             .collect();
+        let device_fingerprint = device.fingerprint();
         TransformPlan {
             version: PLAN_VERSION,
             device,
+            device_fingerprint,
             mode,
             block_tuning,
             fissions: fissions.into_iter().collect(),
@@ -252,6 +263,18 @@ impl TransformPlan {
             return Err(PlanError(format!(
                 "plan version {} (this build speaks {PLAN_VERSION})",
                 self.version
+            )));
+        }
+        // The recorded fingerprint must describe the embedded descriptor: a
+        // plan whose device was hand-edited after emission carries a stale
+        // identity and must not replay as if nothing changed.
+        if self.device_fingerprint != self.device.fingerprint() {
+            return Err(PlanError(format!(
+                "device fingerprint `{}` does not match the embedded `{}` descriptor \
+                 (expected `{}`)",
+                self.device_fingerprint,
+                self.device.name,
+                self.device.fingerprint()
             )));
         }
         let mut seen: BTreeSet<MemberRef> = BTreeSet::new();
@@ -503,6 +526,24 @@ mod tests {
     }
 
     #[test]
+    fn device_fingerprint_is_recorded_and_checked() {
+        let plan = demo_plan();
+        assert_eq!(plan.device_fingerprint, DeviceSpec::k20x().fingerprint());
+        assert!(plan.validate(3).is_ok());
+
+        // A stale fingerprint (descriptor edited after emission) is caught.
+        let mut stale = demo_plan();
+        stale.device.mem_bw_gbps += 1.0;
+        let err = stale.validate(3).unwrap_err();
+        assert!(err.0.contains("does not match"), "{err}");
+
+        // So is a tampered fingerprint string.
+        let mut forged = demo_plan();
+        forged.device_fingerprint = "k40-0000000000000000".into();
+        assert!(forged.validate(3).is_err());
+    }
+
+    #[test]
     fn json_rejects_unknown_and_duplicate_fields() {
         let text = demo_plan().to_json();
 
@@ -510,7 +551,7 @@ mod tests {
         let unknown = text.replacen("\"version\"", "\"extra\": 1, \"version\"", 1);
         let err = TransformPlan::from_json(&unknown).unwrap_err();
         assert!(err.0.contains("unknown field `plan.extra`"), "{err}");
-        assert!(err.0.contains("plan version 1"), "{err}");
+        assert!(err.0.contains("plan version 2"), "{err}");
 
         // Unknown field nested inside a group.
         let nested = text.replacen("\"precedence\"", "\"bogus\": 3, \"precedence\"", 1);
@@ -533,7 +574,11 @@ mod tests {
         // version message, not a missing-field message.
         let err = TransformPlan::from_json("{\"version\": 99, \"garbage\": true}").unwrap_err();
         assert!(err.0.contains("plan version 99"), "{err}");
-        assert!(err.0.contains("speaks 1"), "{err}");
+        assert!(err.0.contains("speaks 2"), "{err}");
+
+        // Version-1 plans (pre-registry, no device fingerprint) are skewed.
+        let err = TransformPlan::from_json("{\"version\": 1, \"garbage\": true}").unwrap_err();
+        assert!(err.0.contains("plan version 1"), "{err}");
 
         let err = TransformPlan::from_json("{\"groups\": []}").unwrap_err();
         assert!(err.0.contains("no `version` field"), "{err}");

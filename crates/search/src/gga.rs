@@ -95,6 +95,31 @@ pub fn search_with_faults(
     config: &SearchConfig,
     poison: &BTreeSet<u64>,
 ) -> SearchResult {
+    search_with_faults_seeded(space, config, poison, &[])
+}
+
+/// Run the search with elite seed individuals injected into the initial
+/// population — the plan-port path: a plan lowered on one device is raised
+/// to a genome and planted here, so the search starts from a known-good
+/// grouping instead of from scratch. Seeds that are infeasible in this
+/// space (or duplicates) are skipped; the remainder of the population is
+/// filled exactly like an unseeded run, so determinism per
+/// (seed, device, seeds) is preserved.
+pub fn search_seeded(
+    space: &SearchSpace,
+    config: &SearchConfig,
+    seeds: &[Individual],
+) -> SearchResult {
+    search_with_faults_seeded(space, config, &BTreeSet::new(), seeds)
+}
+
+/// [`search_seeded`] with fault injection (see [`search_with_faults`]).
+pub fn search_with_faults_seeded(
+    space: &SearchSpace,
+    config: &SearchConfig,
+    poison: &BTreeSet<u64>,
+    seeds: &[Individual],
+) -> SearchResult {
     let started = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let penalty = Penalty {
@@ -115,6 +140,16 @@ pub fn search_with_faults(
         isolated(|| objective::fitness_with(&engine, &singles, &penalty)).unwrap_or(0.0);
     let mut population: Vec<Individual> = Vec::with_capacity(config.population);
     population.push(singles.clone());
+    // Elite injection: feasible, non-duplicate seeds enter ahead of the
+    // random fill (never displacing the all-singletons baseline).
+    for seed in seeds {
+        if population.len() >= config.population {
+            break;
+        }
+        if seed.feasible(space) && !population.contains(seed) {
+            population.push(seed.clone());
+        }
+    }
     while population.len() < config.population {
         let mut ind = singles.clone();
         for _ in 0..config.init_merges {

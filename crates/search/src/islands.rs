@@ -101,6 +101,11 @@ pub struct IslandOptions {
     pub checkpoint_path: Option<PathBuf>,
     /// Resume from this checkpoint if it exists and verifies.
     pub resume_path: Option<PathBuf>,
+    /// Elite seed individuals injected into island 0's initial population
+    /// (the plan-port path; see [`gga::search_seeded`]). Part of the run
+    /// fingerprint, so a checkpoint from a differently-seeded run is
+    /// rejected rather than silently continued.
+    pub seeds: Vec<Individual>,
 }
 
 /// What [`search_islands`] returns: the merged [`SearchResult`] plus the
@@ -234,9 +239,9 @@ pub(crate) fn split_evenly(total: u64, n: usize) -> Vec<u64> {
 /// Binds a checkpoint to this exact run: the full search configuration
 /// plus the shape of the search space. Anything else at resume is
 /// rejected rather than silently continued.
-fn run_fingerprint(space: &SearchSpace, config: &SearchConfig) -> String {
+fn run_fingerprint(space: &SearchSpace, config: &SearchConfig, seeds: &[Individual]) -> String {
     format!(
-        "search {config:?} | units {} edges {} smem {} | device {:?}",
+        "search {config:?} | units {} edges {} smem {} | device {:?} | seeds {seeds:?}",
         space.units.len(),
         space.edges.len(),
         space.smem_limit,
@@ -453,7 +458,7 @@ pub fn search_islands(
     config: &SearchConfig,
     opts: &IslandOptions,
 ) -> IslandSearchResult {
-    let fingerprint = run_fingerprint(space, config);
+    let fingerprint = run_fingerprint(space, config, &opts.seeds);
     let penalty = Penalty {
         soft: config.penalty_soft,
         hard: config.penalty_hard,
@@ -523,6 +528,19 @@ pub fn search_islands(
                 let mut rng = SmallRng::seed_from_u64(island_seed(config.seed, i as u64));
                 let mut population = Vec::with_capacity(shard);
                 population.push(singles.clone());
+                if i == 0 {
+                    // Elite injection (plan-port path): seeds land on one
+                    // island so migration spreads them, never displacing
+                    // the all-singletons baseline.
+                    for seed in &opts.seeds {
+                        if population.len() >= shard {
+                            break;
+                        }
+                        if seed.feasible(space) && !population.contains(seed) {
+                            population.push(seed.clone());
+                        }
+                    }
+                }
                 while population.len() < shard {
                     let mut ind = singles.clone();
                     for _ in 0..config.init_merges {

@@ -31,6 +31,7 @@ pub mod gga;
 pub mod islands;
 pub mod objective;
 pub mod params;
+pub mod port;
 pub mod projection;
 pub mod space;
 
@@ -39,7 +40,11 @@ pub use checkpoint::{
     CHECKPOINT_VERSION,
 };
 pub use genome::Individual;
-pub use gga::{lower_plan, search, search_with_faults, SearchResult, StopReason};
+pub use gga::{
+    lower_plan, search, search_seeded, search_with_faults, search_with_faults_seeded,
+    SearchResult, StopReason,
+};
+pub use port::raise_plan;
 pub use islands::{
     search_islands, IslandFaults, IslandOptions, IslandSearchResult, SearchDegradation,
 };

@@ -135,6 +135,24 @@ impl SearchConfig {
         self.islands = n.max(1);
         self
     }
+
+    /// Reduced-budget preset for the plan-port path: the search starts
+    /// from a known-good elite-injected genome, so it needs a short
+    /// re-tuning pass, not a from-scratch schedule. Generations drop to a
+    /// third and a tight stagnation window lets an already-optimal seed
+    /// stop almost immediately.
+    pub fn for_port(mut self) -> SearchConfig {
+        self.generations = (self.generations / 3).max(1);
+        self.stagnation_window = if self.stagnation_window == 0 {
+            8
+        } else {
+            (self.stagnation_window / 3).max(1)
+        };
+        if self.max_evaluations > 0 {
+            self.max_evaluations = (self.max_evaluations / 3).max(1);
+        }
+        self
+    }
 }
 
 #[cfg(test)]

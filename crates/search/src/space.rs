@@ -342,9 +342,12 @@ void host() {
 "#;
 
     pub(crate) fn space_for(src: &str) -> SearchSpace {
+        space_for_device(src, DeviceSpec::k20x())
+    }
+
+    pub(crate) fn space_for_device(src: &str, device: DeviceSpec) -> SearchSpace {
         let p = parse_program(src).unwrap();
         let plan = ExecutablePlan::from_program(&p).unwrap();
-        let device = DeviceSpec::k20x();
         let profile = Profiler::analytic(device.clone()).profile(&p).unwrap();
         let decisions = identify_targets(
             &profile.metadata.perf,
