@@ -88,6 +88,11 @@ pub struct AppBuilder {
     launches: Vec<(String, Vec<String>)>,
     /// Deterministic coefficient stream (LCG).
     state: u64,
+    /// Launch-index range wrapped in a recorded host time loop, with its
+    /// trip count.
+    time_loop: Option<(usize, usize, i64)>,
+    /// Open marker set by [`AppBuilder::begin_time_loop`].
+    loop_mark: Option<usize>,
 }
 
 impl AppBuilder {
@@ -100,7 +105,24 @@ impl AppBuilder {
             kernels: Vec::new(),
             launches: Vec::new(),
             state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            time_loop: None,
+            loop_mark: None,
         }
+    }
+
+    /// Start recording a host time loop: every launch registered until the
+    /// matching [`AppBuilder::end_time_loop`] lands inside the loop body.
+    pub fn begin_time_loop(&mut self) {
+        assert!(self.loop_mark.is_none() && self.time_loop.is_none(), "one time loop per app");
+        self.loop_mark = Some(self.launches.len());
+    }
+
+    /// Close the time loop opened by [`AppBuilder::begin_time_loop`] with
+    /// the given trip count.
+    pub fn end_time_loop(&mut self, steps: i64) {
+        let start = self.loop_mark.take().expect("begin_time_loop first");
+        assert!(self.launches.len() > start, "empty time loop body");
+        self.time_loop = Some((start, self.launches.len(), steps));
     }
 
     /// Next deterministic coefficient in (0.05, 0.95).
@@ -550,13 +572,13 @@ impl AppBuilder {
         {
             host.push(HostStmt::CopyToDevice { array: a.clone() });
         }
-        for (kernel, arrays) in &self.launches {
+        let launch_stmt = |kernel: &String, arrays: &Vec<String>| {
             let mut args: Vec<LaunchArg> =
                 arrays.iter().map(|a| LaunchArg::Array(a.clone())).collect();
             for n in ["nx", "ny", "nz"] {
                 args.push(LaunchArg::Scalar(b::var(n)));
             }
-            host.push(HostStmt::Launch {
+            HostStmt::Launch {
                 kernel: kernel.clone(),
                 grid: Dim3Expr {
                     x: b::div(b::add(b::var("nx"), b::int(cfg.bx - 1)), b::int(cfg.bx)),
@@ -565,7 +587,31 @@ impl AppBuilder {
                 },
                 block: Dim3Expr::literal(cfg.bx, cfg.by, 1),
                 args,
-            });
+            }
+        };
+        assert!(self.loop_mark.is_none(), "unclosed time loop");
+        match self.time_loop {
+            None => {
+                for (kernel, arrays) in &self.launches {
+                    host.push(launch_stmt(kernel, arrays));
+                }
+            }
+            Some((start, end, steps)) => {
+                for (kernel, arrays) in &self.launches[..start] {
+                    host.push(launch_stmt(kernel, arrays));
+                }
+                host.push(HostStmt::Repeat {
+                    var: "t".into(),
+                    count: b::int(steps),
+                    body: self.launches[start..end]
+                        .iter()
+                        .map(|(k, a)| launch_stmt(k, a))
+                        .collect(),
+                });
+                for (kernel, arrays) in &self.launches[end..] {
+                    host.push(launch_stmt(kernel, arrays));
+                }
+            }
         }
         for a in self
             .arrays3

@@ -30,8 +30,11 @@ pub mod scale_les;
 
 pub use builder::{App, AppBuilder, AppConfig, PaperRow};
 
-/// Canonical names of the six applications, in the paper's order.
-pub const APP_NAMES: [&str; 6] = ["scale-les", "homme", "fluam", "mitgcm", "awp-odc", "bcalm"];
+/// Canonical names of the six applications, in the paper's order, plus
+/// the two time-stepped temporal-blocking analogs (§5.5.3).
+pub const APP_NAMES: [&str; 8] = [
+    "scale-les", "homme", "fluam", "mitgcm", "awp-odc", "bcalm", "mitgcm-ts", "scale-les-ts",
+];
 
 /// All six applications at a given configuration, in the paper's order.
 pub fn all_apps(cfg: &AppConfig) -> Vec<App> {
@@ -54,6 +57,8 @@ pub fn app_by_name(name: &str, cfg: &AppConfig) -> Option<App> {
         "mitgcm" => Some(mitgcm::build(cfg)),
         "awpodc" | "awpodcgpu" => Some(awp_odc::build(cfg)),
         "bcalm" => Some(bcalm::build(cfg)),
+        "mitgcmts" => Some(mitgcm::build_temporal(cfg)),
+        "scalelests" => Some(scale_les::build_temporal(cfg)),
         _ => None,
     }
 }

@@ -61,9 +61,66 @@ pub fn build(cfg: &AppConfig) -> App {
     })
 }
 
+/// Build the time-stepped MITgcm analog: the non-hydrostatic pressure
+/// relaxation as a recorded host time loop — a ping-pong Jacobi pair over
+/// `pres`/`pres_new` framed by a pointwise right-hand-side prologue and a
+/// diagnostic epilogue. This is the temporal-blocking target shape of
+/// §5.5.3; blocks are forced square (`by = 32`) so the folded halo
+/// (`2·T·Σr < block edge`) stays legal at degrees up to 4.
+pub fn build_temporal(cfg: &AppConfig) -> App {
+    let mut cfg = cfg.clone();
+    cfg.by = cfg.by.max(32);
+    let mut b = AppBuilder::new(&cfg, 0x318);
+
+    b.pointwise("rhs_init", &["theta", "salt"], "pres");
+    b.begin_time_loop();
+    b.lateral_stencil("relax_fwd", "pres", &["mask"], "pres_new", 1);
+    b.lateral_stencil("relax_bwd", "pres_new", &["mask"], "pres", 1);
+    b.end_time_loop(8);
+    b.pointwise("diag_norm", &["pres"], "resid");
+
+    b.build(PaperRow {
+        name: "MITgcm-ts",
+        original_kernels: 4,
+        arrays: 6,
+        target_kernels: 4,
+        new_kernels: 3,
+        speedup_low: 1.10,
+        speedup_high: 2.00,
+        fission_driven: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn temporal_analog_records_one_time_loop() {
+        let app = build_temporal(&AppConfig::full());
+        let plan =
+            sf_minicuda::host::ExecutablePlan::from_program(&app.program).unwrap();
+        assert_eq!(app.program.kernels.len(), 4);
+        let repeats: Vec<(i64, usize)> = app
+            .program
+            .host
+            .iter()
+            .filter_map(|s| match s {
+                sf_minicuda::ast::HostStmt::Repeat {
+                    count: sf_minicuda::ast::Expr::Int(n),
+                    body,
+                    ..
+                } => Some((*n, body.len())),
+                _ => None,
+            })
+            .collect();
+        // Eight iterations of a two-member body: degrees 2 and 4 both
+        // divide the trip count.
+        assert_eq!(repeats, vec![(8, 2)]);
+        // The recorder keeps loop launches un-unrolled: 1 + 2 + 1.
+        assert_eq!(plan.launches.len(), 4);
+        assert!(app.program.kernels.iter().any(|k| k.name == "relax_fwd"));
+    }
 
     #[test]
     fn full_scale_matches_paper_attributes() {

@@ -91,9 +91,68 @@ pub fn build(cfg: &AppConfig) -> App {
     })
 }
 
+/// Build the time-stepped SCALE-LES analog: one short-time-step
+/// flux→update chain for `dens` inside a recorded host time loop (the
+/// acoustic sub-stepping of the dynamical core, with the 4th-order
+/// numerical diffusion folded into the step — hence radius-2 stencils),
+/// framed by an initializer and a diagnostic. Blocks are forced square
+/// (`by = 32`): with radius-2 members the accumulated halo keeps degree 2
+/// legal but excludes degree 4 (`2·4·(2+2) ≥ 32`), so this analog pins
+/// the geometry constraint the mitgcm analog does not exercise.
+pub fn build_temporal(cfg: &AppConfig) -> App {
+    let mut cfg = cfg.clone();
+    cfg.by = cfg.by.max(32);
+    let mut b = AppBuilder::new(&cfg, 0x5CA1F);
+
+    b.pointwise("init_dens", &["dens0", "gsqrt"], "dens");
+    b.begin_time_loop();
+    b.lateral_stencil("flux_div", "dens", &["rcdx"], "dens_t", 2);
+    b.lateral_stencil("time_integ", "dens_t", &["rcdx"], "dens", 2);
+    b.end_time_loop(8);
+    b.pointwise("diagnose", &["dens"], "qv_diag");
+
+    b.build(PaperRow {
+        name: "SCALE-LES-ts",
+        original_kernels: 4,
+        arrays: 6,
+        target_kernels: 4,
+        new_kernels: 3,
+        speedup_low: 1.10,
+        speedup_high: 2.00,
+        fission_driven: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn temporal_analog_records_one_time_loop() {
+        let app = build_temporal(&AppConfig::full());
+        let plan =
+            sf_minicuda::host::ExecutablePlan::from_program(&app.program).unwrap();
+        assert_eq!(app.program.kernels.len(), 4);
+        let repeats: Vec<(i64, usize)> = app
+            .program
+            .host
+            .iter()
+            .filter_map(|s| match s {
+                sf_minicuda::ast::HostStmt::Repeat {
+                    count: sf_minicuda::ast::Expr::Int(n),
+                    body,
+                    ..
+                } => Some((*n, body.len())),
+                _ => None,
+            })
+            .collect();
+        // Eight iterations of a two-member body: degrees 2 and 4 both
+        // divide the trip count.
+        assert_eq!(repeats, vec![(8, 2)]);
+        // The recorder keeps loop launches un-unrolled: 1 + 2 + 1.
+        assert_eq!(plan.launches.len(), 4);
+        assert!(app.program.kernels.iter().any(|k| k.name == "flux_div"));
+    }
 
     #[test]
     fn full_scale_matches_paper_attributes() {

@@ -91,12 +91,12 @@ pub struct FusedKernel {
 
 /// Per-read classification of a 3-D stencil access.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ReadOffset {
-    dk: i64,
-    dj: i64,
-    di: i64,
+pub(crate) struct ReadOffset {
+    pub(crate) dk: i64,
+    pub(crate) dj: i64,
+    pub(crate) di: i64,
     /// dk is an offset from the vertical loop variable (vs const plane).
-    vert: bool,
+    pub(crate) vert: bool,
 }
 
 /// Fuse an ordered group of members into one kernel.
@@ -220,7 +220,7 @@ pub fn fuse_group(
 }
 
 /// Classify a member's reads of `array` across its sweeps.
-fn read_offsets(m: &CanonMember, array: &str) -> Result<Vec<ReadOffset>, CodegenError> {
+pub(crate) fn read_offsets(m: &CanonMember, array: &str) -> Result<Vec<ReadOffset>, CodegenError> {
     let mut out = Vec::new();
     for sweep in &m.ka.sweeps {
         for acc in &sweep.accesses {
@@ -238,7 +238,7 @@ fn read_offsets(m: &CanonMember, array: &str) -> Result<Vec<ReadOffset>, Codegen
     Ok(out)
 }
 
-fn classify_3d(pats: &[IdxPat]) -> Option<ReadOffset> {
+pub(crate) fn classify_3d(pats: &[IdxPat]) -> Option<ReadOffset> {
     // Rank 3 (k, j, i) or rank 4 with a leading inner-loop / constant axis
     // (deep-nested tracer arrays): the stencil offsets live on the last
     // three axes either way.
@@ -504,13 +504,13 @@ fn merged_fuse(
             // laterally shifted sites. If the producer reads an array that
             // some group member *writes*, the shifted read would cross into
             // sites a neighboring block has not produced yet — unfusable.
+            // That includes the staged array itself: an in-place producer
+            // (`a = f(a)`) races with neighboring blocks' global updates
+            // when its halo sites are re-evaluated.
             let written_in_group: BTreeSet<&String> = writers.keys().collect();
             for sweep in &cms[p].ka.sweeps {
                 for acc in &sweep.accesses {
-                    if !acc.is_write
-                        && acc.array != *a
-                        && written_in_group.contains(&acc.array)
-                    {
+                    if !acc.is_write && written_in_group.contains(&acc.array) {
                         return Err(CodegenError(format!(
                             "producer `{}` of staged flow array `{a}` reads                              group-written array `{}`; halo recomputation would                              cross block boundaries — unfusable",
                             cms[p].name, acc.array
@@ -690,6 +690,15 @@ fn merged_fuse(
     }
     flush_pending(&mut pending, &mut loop_body);
 
+    // Close the k-iteration with a barrier: the next iteration's staging
+    // (or producer) writes overwrite tile cells the consumer segments just
+    // read, and without this sync that is a cross-warp write-after-read
+    // race on real hardware — invisible to lockstep value comparison, but
+    // flagged by the interpreter's hazard detector.
+    if !staged.is_empty() && !matches!(loop_body.last(), Some(Stmt::SyncThreads)) {
+        loop_body.push(Stmt::SyncThreads);
+    }
+
     body.push(Stmt::For {
         var: "k".into(),
         init: b::int(k_lo),
@@ -727,11 +736,11 @@ fn merged_fuse(
     })
 }
 
-fn tile_name(array: &str) -> String {
+pub(crate) fn tile_name(array: &str) -> String {
     format!("s_{array}")
 }
 
-fn decl_int(name: &str, init: Expr) -> Stmt {
+pub(crate) fn decl_int(name: &str, init: Expr) -> Stmt {
     Stmt::VarDecl {
         name: name.into(),
         ty: ScalarType::I32,
@@ -780,7 +789,7 @@ fn build_params(
 }
 
 /// Bounds-clamped global read `(0 <= idx < cover) ? A[kk][jj][ii] : 0.0`.
-fn clamped_read(
+pub(crate) fn clamped_read(
     array: &str,
     kk: Expr,
     jj: Expr,
@@ -819,7 +828,7 @@ fn clamped_read(
 }
 
 /// Staging loads (main + halo) for one read-only shared array.
-fn stage_loads(
+pub(crate) fn stage_loads(
     st: &StagedArray,
     bx: i64,
     by: i64,
@@ -1002,7 +1011,7 @@ fn rewrite_tile_reads(stmts: &mut [Stmt], st: &StagedArray) {
 }
 
 /// `v + c` / `v - c` / `v` → offset c, for the given base variable.
-fn affine_off(e: &Expr, base: &str) -> Option<i64> {
+pub(crate) fn affine_off(e: &Expr, base: &str) -> Option<i64> {
     match e {
         Expr::Var(v) if v == base => Some(0),
         Expr::Binary { op, lhs, rhs } => {
@@ -1201,7 +1210,7 @@ fn instrument_producer(
     Ok(())
 }
 
-fn find_write(stmts: &[Stmt], array: &str, rhs: &mut Option<Expr>, count: &mut usize) {
+pub(crate) fn find_write(stmts: &[Stmt], array: &str, rhs: &mut Option<Expr>, count: &mut usize) {
     for s in stmts {
         match s {
             Stmt::Assign {
@@ -1310,7 +1319,7 @@ fn replace_write(stmts: &mut Vec<Stmt>, array: &str, tmp: &str, st: &StagedArray
 
 /// Substitute `i → i+di`, `j → j+dj` in an expression (two-phase through
 /// placeholders so the inserted `i`/`j` are not re-substituted).
-fn shift_expr(e: &Expr, di: i64, dj: i64) -> Expr {
+pub(crate) fn shift_expr(e: &Expr, di: i64, dj: i64) -> Expr {
     let mut out = e.clone();
     visit::rewrite_expr(&mut out, &mut |n| match n {
         Expr::Var(v) if v == "i" => Some(Expr::Var("__si".into())),

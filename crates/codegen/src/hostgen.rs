@@ -10,6 +10,7 @@
 
 use crate::fission::{fission_kernel, FissionProduct};
 use crate::fuse::{fuse_group, CodegenError, FusedKernel, FusionReport};
+use crate::temporal::{fuse_group_temporal, fuse_group_temporal_tuned, TemporalKernel};
 use crate::tuning::{fuse_group_tuned, TuneNote};
 use sf_gpusim::isolate::isolated;
 use sf_graphs::build::all_accesses_with_allocs;
@@ -55,9 +56,59 @@ pub struct CodegenFaults {
     pub reject_groups: BTreeSet<usize>,
     /// Group indices whose fusion attempts panic.
     pub panic_groups: BTreeSet<usize>,
-    /// Group indices whose *tuned* fusion attempt alone is rejected, so
-    /// the ladder's tuned → untuned rung fires deterministically.
+    /// Group indices whose *tuned* fusion attempts alone are rejected
+    /// (both the temporal-tuned and spatial-tuned rungs), so the ladder's
+    /// tuned → untuned descents fire deterministically.
     pub reject_tuned_groups: BTreeSet<usize>,
+}
+
+/// How an emitted launch relates to a recorded host time loop.
+#[derive(Debug, Clone, PartialEq)]
+enum LoopCtx {
+    /// The launch executes once per iteration of the recorded loop; the
+    /// host regenerator wraps the contiguous run of launches sharing a
+    /// loop id in a `Repeat` with the original trip count.
+    Plain { loop_id: usize },
+    /// The launch is the first half of a temporally folded ping-pong pair:
+    /// the regenerator emits `R / 2T` iterations of this launch followed by
+    /// the same kernel with `args_b` (shadows → originals).
+    TemporalPair {
+        loop_id: usize,
+        args_b: Vec<ResolvedArg>,
+        iterations: u64,
+    },
+}
+
+/// One launch of the transformed program, before host regeneration.
+#[derive(Debug, Clone, PartialEq)]
+struct EmittedLaunch {
+    kernel: String,
+    grid: Dim3,
+    block: Dim3,
+    args: Vec<ResolvedArg>,
+    ctx: Option<LoopCtx>,
+}
+
+/// One rung of the per-group degradation ladder, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rung {
+    TemporalTuned,
+    Temporal,
+    Tuned,
+    Plain,
+}
+
+impl Rung {
+    fn tuned(self) -> bool {
+        matches!(self, Rung::TemporalTuned | Rung::Tuned)
+    }
+}
+
+/// What a successful fusion attempt produced.
+enum Fusion {
+    Spatial(FusedKernel, Option<TuneNote>),
+    /// Temporal kernel, tuning note, and the `R / 2T` host iteration count.
+    Temporal(Box<TemporalKernel>, Option<TuneNote>, u64),
 }
 
 /// The transformed program plus reports.
@@ -109,16 +160,41 @@ pub fn transform_program_with(
     tplan
         .validate(plan.launches.len())
         .map_err(|e| CodegenError(e.to_string()))?;
+    if plan.opaque_loops {
+        return Err(CodegenError(
+            "host contains loops the transform cannot preserve \
+             (non-launch statements or nesting inside a time loop)"
+            .into(),
+        ));
+    }
+    // seq → index of the recorded host time loop containing that launch.
+    let loop_of: BTreeMap<usize, usize> = plan
+        .loops
+        .iter()
+        .enumerate()
+        .flat_map(|(li, l)| l.seqs.iter().map(move |&s| (s, li)))
+        .collect();
     // Redundant array instances (§3.2.3): the DDG's instance numbering is
     // materialized as real allocations so relaxed anti/output dependences
     // stay sound. The *last* instance keeps the base name, so host D2H
     // copies (and verification) observe the final values unchanged.
-    let accesses = all_accesses_with_allocs(original, plan).map_err(CodegenError)?;
-    let ddg = Ddg::build(&accesses);
+    //
+    // Instance renaming is a reordering enabler and is unsound under host
+    // time loops: a loop-carried anti-dependence would freeze readers onto
+    // a stale instance of the previous iteration's value. With loops
+    // present every array is pinned to its base name.
+    let ddg = if plan.loops.is_empty() {
+        let accesses = all_accesses_with_allocs(original, plan).map_err(CodegenError)?;
+        Some(Ddg::build(&accesses))
+    } else {
+        None
+    };
     let mut max_inst: BTreeMap<String, usize> = BTreeMap::new();
-    for ((_, name), &inst) in ddg.read_instance.iter().chain(ddg.write_instance.iter()) {
-        let e = max_inst.entry(name.clone()).or_insert(0);
-        *e = (*e).max(inst);
+    if let Some(ddg) = &ddg {
+        for ((_, name), &inst) in ddg.read_instance.iter().chain(ddg.write_instance.iter()) {
+            let e = max_inst.entry(name.clone()).or_insert(0);
+            *e = (*e).max(inst);
+        }
     }
     let storage = |name: &str, inst: usize| -> String {
         if max_inst.get(name).copied().unwrap_or(0) == inst {
@@ -129,6 +205,7 @@ pub fn transform_program_with(
     };
     // Rewrite a launch's array arguments to the instance storages.
     let apply_instances = |kernel: &Kernel, launch: &mut LaunchRecord| {
+        let Some(ddg) = &ddg else { return };
         let written = visit::arrays_written(&kernel.body);
         for (p, a) in kernel.params.iter().zip(launch.args.iter_mut()) {
             if let (Param::Array { name, .. }, ResolvedArg::Array(actual)) = (p, a) {
@@ -195,7 +272,8 @@ pub fn transform_program_with(
         };
 
     let mut new_kernels: Vec<Kernel> = Vec::new();
-    let mut new_launches: Vec<(String, Dim3, Dim3, Vec<ResolvedArg>)> = Vec::new();
+    let mut new_launches: Vec<EmittedLaunch> = Vec::new();
+    let mut shadow_allocs: Vec<(String, Vec<usize>)> = Vec::new();
     let mut reports = Vec::new();
     let mut tuning = Vec::new();
     let mut fallbacks = Vec::new();
@@ -216,11 +294,34 @@ pub fn transform_program_with(
         }
         if group.members.len() == 1 {
             let (k, l) = resolve(&group.members[0])?;
+            let ctx = loop_of
+                .get(&group.members[0].seq)
+                .map(|&li| LoopCtx::Plain { loop_id: li });
             push_kernel(&mut new_kernels, k);
-            new_launches.push((l.kernel.clone(), l.grid, l.block, l.args.clone()));
+            new_launches.push(EmittedLaunch {
+                kernel: l.kernel.clone(),
+                grid: l.grid,
+                block: l.block,
+                args: l.args.clone(),
+                ctx,
+            });
             continue;
         }
-        // Multi-member group: fuse.
+        // Multi-member group: fuse. A group may not straddle a host time
+        // loop boundary — either every member sits in the same recorded
+        // loop (the fused kernel launches once per iteration, or the loop
+        // is temporally folded) or none does.
+        let member_loops: BTreeSet<Option<usize>> = group
+            .members
+            .iter()
+            .map(|m| loop_of.get(&m.seq).copied())
+            .collect();
+        if member_loops.len() > 1 {
+            return Err(CodegenError(format!(
+                "group {gi} mixes launches inside and outside a host time loop"
+            )));
+        }
+        let group_loop: Option<usize> = member_loops.into_iter().next().flatten();
         let resolved: Vec<(Kernel, LaunchRecord)> = group
             .members
             .iter()
@@ -230,9 +331,40 @@ pub fn transform_program_with(
             resolved.iter().map(|(k, l)| (k, l.clone())).collect();
         let name = format!("fused_{gi}");
         let initial_block = resolved[0].1.block;
-        // One isolated fusion attempt: injected faults fire here, and a
-        // panic anywhere below poisons only this rung of this group.
-        let attempt = |tuned: bool| -> Result<(FusedKernel, Option<TuneNote>), (GroupFailure, String)> {
+        // Preconditions for temporal folding: the group must cover an
+        // entire recorded host time loop, member order must match the loop
+        // body, and the ping-pong pair must divide the trip count.
+        let fold = group.temporal.max(1);
+        let temporal_check = || -> Result<u64, CodegenError> {
+            let li = group_loop.ok_or_else(|| {
+                CodegenError(format!(
+                    "group {gi} requests temporal degree {fold} but its \
+                     members are not inside a host time loop"
+                ))
+            })?;
+            let rec = &plan.loops[li];
+            let member_seqs: Vec<usize> = group.members.iter().map(|m| m.seq).collect();
+            if member_seqs != rec.seqs {
+                return Err(CodegenError(format!(
+                    "group {gi} requests temporal degree {fold} but does not \
+                     cover host loop `{}` exactly (group seqs {member_seqs:?}, \
+                     loop seqs {:?})",
+                    rec.var, rec.seqs
+                )));
+            }
+            let pair = 2 * fold as u64;
+            if !rec.count.is_multiple_of(pair) {
+                return Err(CodegenError(format!(
+                    "temporal degree {fold} needs the ping-pong pair (2T = \
+                     {pair} steps) to divide the trip count {} of loop `{}`",
+                    rec.count, rec.var
+                )));
+            }
+            Ok(rec.count / pair)
+        };
+        // One isolated fusion attempt per rung: injected faults fire here,
+        // and a panic anywhere below poisons only this rung of this group.
+        let attempt = |rung: Rung| -> Result<Fusion, (GroupFailure, String)> {
             let run = isolated(|| {
                 if faults.panic_groups.contains(&gi) {
                     panic!("injected codegen panic in group {gi}");
@@ -242,29 +374,52 @@ pub fn transform_program_with(
                         "injected codegen rejection in group {gi}"
                     )));
                 }
-                if tuned && faults.reject_tuned_groups.contains(&gi) {
+                if rung.tuned() && faults.reject_tuned_groups.contains(&gi) {
                     return Err(CodegenError(format!(
                         "injected tuned-fusion rejection in group {gi}"
                     )));
                 }
-                if tuned {
-                    fuse_group_tuned(
+                match rung {
+                    Rung::TemporalTuned => {
+                        let iters = temporal_check()?;
+                        fuse_group_temporal_tuned(
+                            &member_refs,
+                            initial_block,
+                            &name,
+                            &tplan.device,
+                            fold,
+                            &plan.allocs,
+                        )
+                        .map(|(t, n)| Fusion::Temporal(Box::new(t), Some(n), iters))
+                    }
+                    Rung::Temporal => {
+                        let iters = temporal_check()?;
+                        fuse_group_temporal(
+                            &member_refs,
+                            initial_block,
+                            &name,
+                            tplan.device.smem_per_block_max,
+                            fold,
+                            &plan.allocs,
+                        )
+                        .map(|t| Fusion::Temporal(Box::new(t), None, iters))
+                    }
+                    Rung::Tuned => fuse_group_tuned(
                         &member_refs,
                         initial_block,
                         tplan.mode,
                         &name,
                         &tplan.device,
                     )
-                    .map(|(f, n)| (f, Some(n)))
-                } else {
-                    fuse_group(
+                    .map(|(f, n)| Fusion::Spatial(f, Some(n))),
+                    Rung::Plain => fuse_group(
                         &member_refs,
                         initial_block,
                         tplan.mode,
                         &name,
                         tplan.device.smem_per_block_max,
                     )
-                    .map(|f| (f, None))
+                    .map(|f| Fusion::Spatial(f, None)),
                 }
             });
             match run {
@@ -274,23 +429,36 @@ pub fn transform_program_with(
             }
         };
 
-        // Walk the ladder: complex (tuned) fusion → simple fusion → unfused.
-        let rungs: &[bool] = if tplan.block_tuning {
-            &[true, false]
-        } else {
-            &[false]
-        };
-        let mut fused: Option<(FusedKernel, Option<TuneNote>)> = None;
+        // Walk the ladder: temporal (tuned) fusion → temporal fusion →
+        // spatial (tuned) fusion → simple fusion → unfused.
+        let mut rungs: Vec<Rung> = Vec::new();
+        if fold > 1 {
+            if tplan.block_tuning {
+                rungs.push(Rung::TemporalTuned);
+            }
+            rungs.push(Rung::Temporal);
+        }
+        if tplan.block_tuning {
+            rungs.push(Rung::Tuned);
+        }
+        rungs.push(Rung::Plain);
+        let mut fused: Option<Fusion> = None;
         let mut first_failure: Option<(GroupFailure, String)> = None;
-        for (ri, &tuned) in rungs.iter().enumerate() {
-            match attempt(tuned) {
+        for (ri, &rung) in rungs.iter().enumerate() {
+            match attempt(rung) {
                 Ok(v) => {
                     if ri > 0 {
                         let (failure, reason) =
                             first_failure.clone().expect("a prior rung failed");
+                        let action = match rung {
+                            Rung::TemporalTuned => unreachable!("first rung"),
+                            Rung::Temporal => "fell back to untuned temporal fusion",
+                            Rung::Tuned => "fell back to spatial (tuned) fusion",
+                            Rung::Plain => "fell back to simple (untuned) fusion",
+                        };
                         degradations.push(GroupDegradation {
                             group: gi,
-                            action: "fell back to simple (untuned) fusion".into(),
+                            action: action.into(),
                             reason,
                             failure,
                         });
@@ -306,8 +474,44 @@ pub fn transform_program_with(
             }
         }
         match fused {
-            Some((fk, note)) => {
+            Some(Fusion::Temporal(tk, note, iterations)) => {
+                let li = group_loop.expect("temporal rung validated loop membership");
                 let g = &mut exec_plan.groups[gi];
+                g.staged_arrays = tk.report.staged.iter().map(|s| s.array.clone()).collect();
+                g.precedence = PrecedenceClass::PrecedenceAware;
+                g.tuned_block = Some(BlockDims {
+                    x: tk.block.x,
+                    y: tk.block.y,
+                    z: tk.block.z,
+                });
+                reports.push(tk.report.clone());
+                if let Some(n) = note {
+                    tuning.push(n);
+                }
+                for (sname, extents) in &tk.shadows {
+                    if !shadow_allocs.iter().any(|(n, _)| n == sname) {
+                        shadow_allocs.push((sname.clone(), extents.clone()));
+                    }
+                }
+                push_kernel(&mut new_kernels, tk.kernel);
+                new_launches.push(EmittedLaunch {
+                    kernel: name,
+                    grid: tk.grid,
+                    block: tk.block,
+                    args: tk.args_a,
+                    ctx: Some(LoopCtx::TemporalPair {
+                        loop_id: li,
+                        args_b: tk.args_b,
+                        iterations,
+                    }),
+                });
+            }
+            Some(Fusion::Spatial(fk, note)) => {
+                let g = &mut exec_plan.groups[gi];
+                // The as-executed plan reflects what was emitted: a group
+                // that requested temporal folding but landed on a spatial
+                // rung replays as spatial.
+                g.temporal = 1;
                 g.staged_arrays = fk.report.staged.iter().map(|s| s.array.clone()).collect();
                 g.precedence = if fk.report.complex
                     || fk.report.staged.iter().any(|s| s.flow)
@@ -326,11 +530,18 @@ pub fn transform_program_with(
                     tuning.push(n);
                 }
                 push_kernel(&mut new_kernels, fk.kernel);
-                new_launches.push((name, fk.grid, fk.block, fk.args));
+                new_launches.push(EmittedLaunch {
+                    kernel: name,
+                    grid: fk.grid,
+                    block: fk.block,
+                    args: fk.args,
+                    ctx: group_loop.map(|li| LoopCtx::Plain { loop_id: li }),
+                });
             }
             None => {
                 // Bottom rung: emit members unfused, in host (seq) order.
                 let g = &mut exec_plan.groups[gi];
+                g.temporal = 1;
                 g.staged_arrays.clear();
                 g.tuned_block = None;
                 let (failure, reason) = first_failure.expect("every rung failed");
@@ -344,15 +555,24 @@ pub fn transform_program_with(
                 let mut resolved = resolved;
                 resolved.sort_by_key(|(_, l)| l.seq);
                 for (k, l) in resolved {
+                    let ctx = loop_of
+                        .get(&l.seq)
+                        .map(|&li| LoopCtx::Plain { loop_id: li });
                     push_kernel(&mut new_kernels, k);
-                    new_launches.push((l.kernel.clone(), l.grid, l.block, l.args));
+                    new_launches.push(EmittedLaunch {
+                        kernel: l.kernel.clone(),
+                        grid: l.grid,
+                        block: l.block,
+                        args: l.args,
+                        ctx,
+                    });
                 }
             }
         }
     }
 
     let new_kernel_count = new_launches.len();
-    let host = build_host(plan, &new_launches, &max_inst);
+    let host = build_host(plan, &new_launches, &max_inst, &shadow_allocs)?;
     Ok(TransformOutput {
         program: Program {
             kernels: new_kernels,
@@ -367,15 +587,17 @@ pub fn transform_program_with(
     })
 }
 
-/// Rebuild the host section: literal allocations, H2D copies, the new
-/// launches in plan order, D2H copies. (Host time loops are not preserved;
-/// the supported transformation scope is a flat launch sequence, and
-/// iterative behavior is carried by the launch `repeat` weights.)
+/// Rebuild the host section: literal allocations (plus instance and
+/// temporal-shadow allocations), H2D copies, the new launches in plan
+/// order — with recorded host time loops reconstructed as `Repeat`
+/// statements (temporally folded loops collapse to `R / 2T` iterations of
+/// a ping-pong launch pair) — and D2H copies.
 fn build_host(
     plan: &ExecutablePlan,
-    launches: &[(String, Dim3, Dim3, Vec<ResolvedArg>)],
+    launches: &[EmittedLaunch],
     max_inst: &BTreeMap<String, usize>,
-) -> Vec<HostStmt> {
+    shadows: &[(String, Vec<usize>)],
+) -> Result<Vec<HostStmt>, CodegenError> {
     let mut host = Vec::new();
     for a in &plan.allocs {
         host.push(HostStmt::Alloc {
@@ -393,6 +615,25 @@ fn build_host(
             });
         }
     }
+    // Temporal ping-pong shadows: fully written by the first half of every
+    // folded pair before being read, so no H2D copy is needed. The element
+    // type is inherited from the shadowed base array.
+    for (sname, extents) in shadows {
+        let base = sname.strip_suffix("__tb").unwrap_or(sname);
+        let elem = plan
+            .allocs
+            .iter()
+            .find(|a| a.name == base)
+            .map(|a| a.elem)
+            .ok_or_else(|| {
+                CodegenError(format!("temporal shadow `{sname}` has no base allocation"))
+            })?;
+        host.push(HostStmt::Alloc {
+            name: sname.clone(),
+            elem,
+            extents: extents.iter().map(|&e| Expr::Int(e as i64)).collect(),
+        });
+    }
     for t in &plan.transfers {
         if let TransferRecord::ToDevice { array, .. } = t {
             // Initial data lands in the first instance (the one the first
@@ -406,22 +647,71 @@ fn build_host(
             host.push(HostStmt::CopyToDevice { array: target });
         }
     }
-    for (kernel, grid, block, args) in launches {
-        host.push(HostStmt::Launch {
-            kernel: kernel.clone(),
-            grid: dim3_expr(*grid),
-            block: dim3_expr(*block),
-            args: args
-                .iter()
-                .map(|a| match a {
-                    ResolvedArg::Array(n) => LaunchArg::Array(n.clone()),
-                    ResolvedArg::Scalar(HostValue::Int(v)) => LaunchArg::Scalar(Expr::Int(*v)),
-                    ResolvedArg::Scalar(HostValue::Float(v)) => {
-                        LaunchArg::Scalar(Expr::Float(*v))
-                    }
-                })
-                .collect(),
-        });
+    let stmt = |l: &EmittedLaunch, args: &[ResolvedArg]| HostStmt::Launch {
+        kernel: l.kernel.clone(),
+        grid: dim3_expr(l.grid),
+        block: dim3_expr(l.block),
+        args: args
+            .iter()
+            .map(|a| match a {
+                ResolvedArg::Array(n) => LaunchArg::Array(n.clone()),
+                ResolvedArg::Scalar(HostValue::Int(v)) => LaunchArg::Scalar(Expr::Int(*v)),
+                ResolvedArg::Scalar(HostValue::Float(v)) => LaunchArg::Scalar(Expr::Float(*v)),
+            })
+            .collect(),
+    };
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+    let mut i = 0;
+    while i < launches.len() {
+        let l = &launches[i];
+        match &l.ctx {
+            None => {
+                host.push(stmt(l, &l.args));
+                i += 1;
+            }
+            Some(LoopCtx::TemporalPair {
+                loop_id,
+                args_b,
+                iterations,
+            }) => {
+                if !done.insert(*loop_id) {
+                    return Err(CodegenError(format!(
+                        "launches of host loop `{}` are scattered in the \
+                         emitted order",
+                        plan.loops[*loop_id].var
+                    )));
+                }
+                host.push(HostStmt::Repeat {
+                    var: plan.loops[*loop_id].var.clone(),
+                    count: Expr::Int(*iterations as i64),
+                    body: vec![stmt(l, &l.args), stmt(l, args_b)],
+                });
+                i += 1;
+            }
+            Some(LoopCtx::Plain { loop_id }) => {
+                let li = *loop_id;
+                if !done.insert(li) {
+                    return Err(CodegenError(format!(
+                        "launches of host loop `{}` are scattered in the \
+                         emitted order",
+                        plan.loops[li].var
+                    )));
+                }
+                let mut body = Vec::new();
+                while i < launches.len()
+                    && matches!(&launches[i].ctx,
+                        Some(LoopCtx::Plain { loop_id }) if *loop_id == li)
+                {
+                    body.push(stmt(&launches[i], &launches[i].args));
+                    i += 1;
+                }
+                host.push(HostStmt::Repeat {
+                    var: plan.loops[li].var.clone(),
+                    count: Expr::Int(plan.loops[li].count as i64),
+                    body,
+                });
+            }
+        }
     }
     for t in &plan.transfers {
         if let TransferRecord::ToHost { array, .. } = t {
@@ -430,7 +720,7 @@ fn build_host(
             });
         }
     }
-    host
+    Ok(host)
 }
 
 fn dim3_expr(d: Dim3) -> Dim3Expr {

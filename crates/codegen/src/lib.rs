@@ -24,10 +24,12 @@ pub mod canon;
 pub mod fission;
 pub mod fuse;
 pub mod hostgen;
+pub mod temporal;
 pub mod tuning;
 
 pub use fission::{fission_kernel, FissionProduct};
 pub use fuse::{fuse_group, CodegenError, FusedKernel};
+pub use temporal::{fuse_group_temporal, fuse_group_temporal_tuned, TemporalKernel};
 pub use hostgen::{
     transform_program, transform_program_with, CodegenFaults, GroupDegradation, GroupFailure,
     TransformOutput,

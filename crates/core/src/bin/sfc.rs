@@ -92,6 +92,7 @@ struct Args {
     checkpoint: Option<String>,
     resume: Option<String>,
     kill_at_epoch: Option<usize>,
+    max_temporal: Option<u32>,
 }
 
 const USAGE: &str = "\
@@ -147,6 +148,10 @@ usage: sfc INPUT.cu [options]
   --kill-at-epoch N   chaos testing: abort the search right after the
                       checkpoint of migration epoch N commits, simulating
                       a crash for --resume to recover from
+  --max-temporal N    allow temporal blocking up to degree N for fusion
+                      groups covering a whole recorded host time loop
+                      (default 1 = disabled; at 1 the run makes the same
+                      decisions as a build without temporal support)
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
@@ -196,6 +201,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         resume: None,
         kill_at_epoch: None,
+        max_temporal: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -268,6 +274,16 @@ fn parse_args() -> Result<Args, String> {
                 let n = take(&mut i)?;
                 args.kill_at_epoch =
                     Some(n.parse().map_err(|_| format!("bad epoch `{n}`"))?);
+            }
+            "--max-temporal" => {
+                let n = take(&mut i)?;
+                let n: u32 = n
+                    .parse()
+                    .map_err(|_| format!("bad temporal degree `{n}`"))?;
+                if n == 0 {
+                    return Err("temporal degree must be at least 1".into());
+                }
+                args.max_temporal = Some(n);
             }
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
@@ -458,6 +474,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // After --params so the explicit flag overrides the parameter file.
+    if let Some(n) = args.max_temporal {
+        config = config.with_max_temporal(n);
     }
 
     // Plan cache: consult before running, publish after. Only runs that

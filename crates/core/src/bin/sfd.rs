@@ -42,6 +42,8 @@ usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
   --quick             scaled-down search budget
   --jobs N            cap concurrent workers (sets RAYON_NUM_THREADS)
   --islands N         shard each request's search into N supervised islands
+  --max-temporal N    allow temporal blocking up to degree N for whole-loop
+                      fusion groups (default 1 = disabled)
   --checkpoint-dir D  checkpoint every request's search to D/<stem>.ckpt at
                       each migration epoch and auto-resume from it: a killed
                       batch continues where it stopped, byte-identically
@@ -65,6 +67,7 @@ struct Args {
     quick: bool,
     jobs: Option<usize>,
     islands: Option<usize>,
+    max_temporal: Option<u32>,
     checkpoint_dir: Option<String>,
     queue_limit: Option<usize>,
     budget_secs: Option<u64>,
@@ -84,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         jobs: None,
         islands: None,
+        max_temporal: None,
         checkpoint_dir: None,
         queue_limit: None,
         budget_secs: None,
@@ -119,6 +123,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("island count must be at least 1".into());
                 }
                 args.islands = Some(n);
+            }
+            "--max-temporal" => {
+                let n = parse_num("temporal degree", take(&mut i)?)? as u32;
+                if n == 0 {
+                    return Err("temporal degree must be at least 1".into());
+                }
+                args.max_temporal = Some(n);
             }
             "--checkpoint-dir" => args.checkpoint_dir = Some(take(&mut i)?),
             "--queue-limit" => {
@@ -189,6 +200,9 @@ fn main() {
     }
     if let Some(n) = args.islands {
         config = config.with_islands(n);
+    }
+    if let Some(n) = args.max_temporal {
+        config = config.with_max_temporal(n);
     }
 
     let mut options = BatchOptions::default();

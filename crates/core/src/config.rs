@@ -208,6 +208,14 @@ impl PipelineConfig {
         self
     }
 
+    /// Allow the search to fold whole-loop fusion groups up to temporal
+    /// degree `n` (1 = the default, temporal blocking disabled; the run is
+    /// then decision-identical to a pre-temporal build).
+    pub fn with_max_temporal(mut self, n: u32) -> PipelineConfig {
+        self.search.max_temporal = n.max(1);
+        self
+    }
+
     /// Shard the search population across `n` supervised islands.
     pub fn with_islands(mut self, n: usize) -> PipelineConfig {
         self.search = self.search.with_islands(n);
@@ -300,6 +308,8 @@ mod tests {
         );
         // Island count changes the plan the search converges to → included.
         assert_ne!(fp, base.clone().with_islands(4).cache_fingerprint());
+        // So does the temporal ceiling (it rides inside the search config).
+        assert_ne!(fp, base.clone().with_max_temporal(4).cache_fingerprint());
         // The device part is the registry fingerprint: editing any
         // descriptor field (same name) invalidates cached plans.
         let mut edited = base.clone();

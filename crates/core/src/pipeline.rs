@@ -1260,3 +1260,94 @@ void host() {
         assert_eq!(err.class, crate::error::Recoverability::Transient);
     }
 }
+
+#[cfg(test)]
+mod temporal_pipeline_tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use sf_gpusim::device::DeviceSpec;
+    use sf_minicuda::parse_program;
+
+    /// The canonical temporal candidate: a radius-1 Jacobi ping-pong pair
+    /// inside an 8-iteration host time loop.
+    const PINGPONG: &str = r#"
+__global__ void step_ab(const double* __restrict__ a, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 0; k < nz; k++) {
+      b[k][j][i] = 0.2 * (a[k][j][i] + a[k][j][i+1] + a[k][j][i-1] + a[k][j+1][i] + a[k][j-1][i]);
+    }
+  }
+}
+__global__ void step_ba(const double* __restrict__ b, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 0; k < nz; k++) {
+      a[k][j][i] = 0.2 * (b[k][j][i] + b[k][j][i+1] + b[k][j][i-1] + b[k][j+1][i] + b[k][j-1][i]);
+    }
+  }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 4;
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  cudaMemcpyH2D(a);
+  cudaMemcpyH2D(b);
+  for (int t = 0; t < 8; t++) {
+    step_ab<<<dim3(2, 1), dim3(32, 32)>>>(a, b, nx, ny, nz);
+    step_ba<<<dim3(2, 1), dim3(32, 32)>>>(b, a, nx, ny, nz);
+  }
+  cudaMemcpyD2H(a);
+  cudaMemcpyD2H(b);
+}
+"#;
+
+    #[test]
+    fn temporal_pipeline_end_to_end() {
+        let p = parse_program(PINGPONG).unwrap();
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_max_temporal(4);
+        let result = Pipeline::new(p, cfg).unwrap().run().unwrap();
+        let v = result.verification.as_ref().unwrap();
+        assert!(v.passed(), "verification failed: {v:?}");
+        let plan = result.executed_plan().expect("plan emitted");
+        assert!(
+            plan.groups.iter().any(|g| g.temporal >= 2),
+            "expected a temporally folded group, got {:?}",
+            plan.groups
+        );
+        // The folded program launches one fused kernel, twice per collapsed
+        // loop iteration.
+        assert_eq!(result.program.kernels.len(), 1);
+    }
+
+    #[test]
+    fn default_config_never_folds_the_loop() {
+        let p = parse_program(PINGPONG).unwrap();
+        let result = Pipeline::new(p.clone(), PipelineConfig::quick(DeviceSpec::k20x()))
+            .unwrap()
+            .run()
+            .unwrap();
+        let plan = result.executed_plan().expect("plan emitted");
+        assert!(plan.groups.iter().all(|g| g.temporal == 1), "{:?}", plan.groups);
+        assert!(result.verification.unwrap().passed());
+        // The loop-carried hard edge forbids fusing the pair spatially, so
+        // both kernels survive untouched.
+        assert_eq!(result.program.kernels.len(), 2);
+    }
+
+    #[test]
+    fn temporal_runs_are_deterministic() {
+        let p = parse_program(PINGPONG).unwrap();
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x()).with_max_temporal(4);
+        let a = Pipeline::new(p.clone(), cfg.clone()).unwrap().run().unwrap();
+        let b = Pipeline::new(p, cfg).unwrap().run().unwrap();
+        assert_eq!(
+            sf_minicuda::printer::print_program(&a.program),
+            sf_minicuda::printer::print_program(&b.program)
+        );
+        let (pa, pb) = (a.executed_plan().unwrap(), b.executed_plan().unwrap());
+        assert_eq!(pa.to_json(), pb.to_json());
+    }
+}

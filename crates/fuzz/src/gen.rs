@@ -41,6 +41,12 @@ pub struct GenConfig {
     pub domains: Vec<(i64, i64, i64)>,
     /// Candidate `(bx, by)` thread blocks.
     pub blocks: Vec<(i64, i64)>,
+    /// Probability that the program is generated as a *time-loop* program:
+    /// a recorded host loop whose body is drawn from the temporal
+    /// archetypes (foldable ping-pong stencil pairs, pointwise ping-pong,
+    /// in-place and boundary members, three-stage rotations). 0 keeps the
+    /// classic straight-line corpus byte for byte.
+    pub p_time_loop: f64,
 }
 
 impl Default for GenConfig {
@@ -53,6 +59,22 @@ impl Default for GenConfig {
             p_chain: 0.65,
             domains: vec![(32, 16, 6), (24, 24, 8), (48, 8, 6), (16, 16, 10)],
             blocks: vec![(16, 8), (8, 8), (16, 4), (32, 4)],
+            p_time_loop: 0.0,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The `--temporal` corpus: every program carries a host time loop,
+    /// with thread blocks large enough that folded halos stay legal
+    /// (`2·T·Σr < block edge`) at degrees up to 4, and domains wide enough
+    /// that the folded interior is non-trivial.
+    pub fn temporal() -> GenConfig {
+        GenConfig {
+            p_time_loop: 1.0,
+            domains: vec![(64, 32, 6), (48, 48, 6), (96, 32, 6)],
+            blocks: vec![(32, 32), (32, 16)],
+            ..GenConfig::default()
         }
     }
 }
@@ -161,6 +183,46 @@ impl Gen<'_> {
             self.note_write(w);
         }
         (kernel, args)
+    }
+
+    /// A foldable time-loop step: lateral star stencil of `radius` that
+    /// reads only the current k-plane of `read` and writes the interior of
+    /// `write` — the shape the temporal transform can fold.
+    fn lateral_step(&mut self, name: &str, read: &str, write: &str, radius: i64) -> (Kernel, Vec<String>) {
+        let mut e = b::mul(b::flt(self.coef()), b::at3(read, 0, 0, 0));
+        for d in 1..=radius {
+            let ring = [
+                b::at3(read, 0, 0, d),
+                b::at3(read, 0, 0, -d),
+                b::at3(read, 0, d, 0),
+                b::at3(read, 0, -d, 0),
+            ]
+            .into_iter()
+            .reduce(b::add)
+            .expect("four ring points");
+            e = b::add(e, b::mul(b::flt(self.coef() / d as f64), ring));
+        }
+        self.finish(
+            name,
+            vec![read.to_string()],
+            vec![write.to_string()],
+            radius,
+            vec![b::vertical_loop(0, vec![b::store3(write, e)])],
+        )
+    }
+
+    /// A pointwise time-loop step `write = f(read)` (radius-1 guard,
+    /// offset-0 reads): foldable with no halo growth.
+    fn pointwise_step(&mut self, name: &str, read: &str, write: &str) -> (Kernel, Vec<String>) {
+        let reads = vec![read.to_string()];
+        let e = self.pointwise_expr(&reads);
+        self.finish(
+            name,
+            reads,
+            vec![write.to_string()],
+            1,
+            vec![b::vertical_loop(0, vec![b::store3(write, e)])],
+        )
     }
 
     fn kernel(&mut self, name: &str) -> (Kernel, Vec<String>) {
@@ -317,6 +379,11 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Generated {
     let n_kernels = g.rng.gen_range(cfg.min_kernels..=cfg.max_kernels.max(cfg.min_kernels));
     let domain = *cfg.domains.choose(&mut g.rng).expect("non-empty domains");
     let block = *cfg.blocks.choose(&mut g.rng).expect("non-empty blocks");
+    // Guarded so a zero probability draws nothing: the classic corpus
+    // stays byte-for-byte identical under the default configuration.
+    if cfg.p_time_loop > 0.0 && g.rng.gen_bool(cfg.p_time_loop.min(1.0)) {
+        return generate_looped(g, seed, domain, block);
+    }
 
     let mut kernels = Vec::new();
     let mut launches: Vec<(String, Vec<String>)> = Vec::new();
@@ -339,6 +406,136 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Generated {
         .map(|(k, args)| (k.as_str(), args.iter().map(String::as_str).collect()))
         .collect();
     let host = b::simple_host(&used, &launch_refs, domain, (block.0, block.1));
+    Generated {
+        seed,
+        program: Program { kernels, host },
+    }
+}
+
+/// Build a time-loop program: an optional pointwise prologue, a loop body
+/// drawn from the temporal archetypes, and an optional pointwise epilogue,
+/// assembled with [`b::looped_host`]. The body archetypes cover both the
+/// foldable shapes (ping-pong pairs, rotations) and the shapes the
+/// legality analysis must reject with a safe degradation (in-place
+/// members, boundary-plane members).
+fn generate_looped(mut g: Gen, seed: u64, domain: (i64, i64, i64), block: (i64, i64)) -> Generated {
+    // Trip counts exercise the divisibility rule (2T must divide the trip
+    // count): 8 admits degrees 2 and 4, 12 admits only 2, 4 admits only 2,
+    // and 6 admits neither even degree.
+    let steps = *[4i64, 6, 8, 12].choose(&mut g.rng).expect("non-empty steps");
+    // The loop nucleus ping-pongs between up to three arrays.
+    while g.arrays.len() < 3 {
+        let next = format!("a{}", g.arrays.len());
+        g.arrays.push(next);
+    }
+    let (p, q, r) = (g.arrays[0].clone(), g.arrays[1].clone(), g.arrays[2].clone());
+
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut body: Vec<(String, Vec<String>)> = Vec::new();
+    let emit = |kernels: &mut Vec<Kernel>, list: &mut Vec<(String, Vec<String>)>, (k, args): (Kernel, Vec<String>)| {
+        list.push((k.name.clone(), args));
+        kernels.push(k);
+    };
+    match g.rng.gen_range(0u32..100) {
+        // Foldable lateral ping-pong pair (the production time-step shape).
+        0..=44 => {
+            let radius = g.rng.gen_range(1..=g.cfg.max_radius);
+            let s0 = g.lateral_step("step_ab", &p, &q, radius);
+            let s1 = g.lateral_step("step_ba", &q, &p, radius);
+            emit(&mut kernels, &mut body, s0);
+            emit(&mut kernels, &mut body, s1);
+        }
+        // Pointwise ping-pong: folds with no halo growth at all.
+        45..=59 => {
+            let s0 = g.pointwise_step("mix_ab", &p, &q);
+            let s1 = g.pointwise_step("mix_ba", &q, &p);
+            emit(&mut kernels, &mut body, s0);
+            emit(&mut kernels, &mut body, s1);
+        }
+        // In-place member rides in the loop: the fold must be rejected
+        // (loop-carried self dependence) and the ladder must degrade.
+        60..=74 => {
+            let e = b::add(b::mul(b::flt(g.coef()), b::at3(&p, 0, 0, 0)), b::flt(g.coef()));
+            let decay = g.finish(
+                "decay",
+                vec![p.clone()],
+                vec![p.clone()],
+                0,
+                vec![b::vertical_loop(0, vec![b::store3(&p, e)])],
+            );
+            let s1 = g.lateral_step("smooth", &p, &q, 1);
+            emit(&mut kernels, &mut body, decay);
+            emit(&mut kernels, &mut body, s1);
+        }
+        // Boundary-plane member inside the loop: off-plane self dependence,
+        // also rejected by the fold legality rules.
+        75..=87 => {
+            let s0 = g.lateral_step("step_ab", &p, &q, 1);
+            let c = g.coef();
+            let stmt = b::store3_plane(&q, 0, b::mul(b::flt(c), b::at3_plane(&q, 1, 0, 0)));
+            let bc = g.finish("bc", vec![q.clone()], vec![q.clone()], 0, vec![stmt]);
+            let s2 = g.lateral_step("step_ba", &q, &p, 1);
+            emit(&mut kernels, &mut body, s0);
+            emit(&mut kernels, &mut body, bc);
+            emit(&mut kernels, &mut body, s2);
+        }
+        // Three-stage rotation p→q→r→p: a longer foldable cycle.
+        _ => {
+            let s0 = g.lateral_step("rot_pq", &p, &q, 1);
+            let s1 = g.lateral_step("rot_qr", &q, &r, 1);
+            let s2 = g.lateral_step("rot_rp", &r, &p, 1);
+            emit(&mut kernels, &mut body, s0);
+            emit(&mut kernels, &mut body, s1);
+            emit(&mut kernels, &mut body, s2);
+        }
+    }
+
+    let mut prologue: Vec<(String, Vec<String>)> = Vec::new();
+    if g.rng.gen_bool(0.5) {
+        let read = g.pick_read(&[&p]);
+        let warm = g.pointwise_step("warm", &read, &p);
+        emit(&mut kernels, &mut prologue, warm);
+    }
+    let mut epilogue: Vec<(String, Vec<String>)> = Vec::new();
+    if g.rng.gen_bool(0.5) {
+        let write = g.pick_write(&[&p]);
+        let tail = g.pointwise_step("tail", &p, &write);
+        emit(&mut kernels, &mut epilogue, tail);
+    }
+
+    let used: Vec<&str> = g
+        .arrays
+        .iter()
+        .filter(|a| {
+            prologue
+                .iter()
+                .chain(&body)
+                .chain(&epilogue)
+                .any(|(_, args)| args.contains(a))
+        })
+        .map(String::as_str)
+        .collect();
+    let pro_refs: Vec<(&str, Vec<&str>)> = prologue
+        .iter()
+        .map(|(k, a)| (k.as_str(), a.iter().map(String::as_str).collect()))
+        .collect();
+    let body_refs: Vec<(&str, Vec<&str>)> = body
+        .iter()
+        .map(|(k, a)| (k.as_str(), a.iter().map(String::as_str).collect()))
+        .collect();
+    let epi_refs: Vec<(&str, Vec<&str>)> = epilogue
+        .iter()
+        .map(|(k, a)| (k.as_str(), a.iter().map(String::as_str).collect()))
+        .collect();
+    let host = b::looped_host(
+        &used,
+        &pro_refs,
+        steps,
+        &body_refs,
+        &epi_refs,
+        domain,
+        (block.0, block.1),
+    );
     Generated {
         seed,
         program: Program { kernels, host },
@@ -370,6 +567,72 @@ mod tests {
         printed.sort();
         printed.dedup();
         assert!(printed.len() > 10, "only {} distinct programs in 20 seeds", printed.len());
+    }
+
+    #[test]
+    fn default_corpus_has_no_time_loops() {
+        let cfg = GenConfig::default();
+        for seed in 0..20u64 {
+            let g = generate(seed, &cfg);
+            assert!(
+                !g.program
+                    .host
+                    .iter()
+                    .any(|s| matches!(s, sf_minicuda::ast::HostStmt::Repeat { .. })),
+                "seed {seed}: default corpus grew a time loop"
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_corpus_is_deterministic_and_looped() {
+        let cfg = GenConfig::temporal();
+        for seed in 0..20u64 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a.program, b.program, "seed {seed}");
+            let repeats = a
+                .program
+                .host
+                .iter()
+                .filter(|s| matches!(s, sf_minicuda::ast::HostStmt::Repeat { .. }))
+                .count();
+            assert_eq!(repeats, 1, "seed {seed}: expected exactly one time loop");
+        }
+    }
+
+    #[test]
+    fn temporal_corpus_is_executable_and_round_trips() {
+        let cfg = GenConfig::temporal();
+        for seed in 0..40u64 {
+            let g = generate(seed, &cfg);
+            let plan = ExecutablePlan::from_program(&g.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: not executable: {e}"));
+            assert!(!plan.launches.is_empty(), "seed {seed}: no launches");
+            let p2 = reparse(&g.program).unwrap_or_else(|e| panic!("seed {seed}: reparse: {e}"));
+            assert_eq!(g.program, p2, "seed {seed}: printer→parser round trip");
+        }
+    }
+
+    #[test]
+    fn temporal_corpus_covers_the_archetypes() {
+        let cfg = GenConfig::temporal();
+        let mut saw_pingpong = false;
+        let mut saw_inplace = false;
+        let mut saw_boundary = false;
+        let mut saw_rotation = false;
+        for seed in 0..60u64 {
+            let g = generate(seed, &cfg);
+            let names: Vec<&str> = g.program.kernels.iter().map(|k| k.name.as_str()).collect();
+            saw_pingpong |= names.contains(&"step_ab") && names.contains(&"step_ba") && !names.contains(&"bc");
+            saw_inplace |= names.contains(&"decay");
+            saw_boundary |= names.contains(&"bc");
+            saw_rotation |= names.contains(&"rot_pq");
+        }
+        assert!(saw_pingpong, "no ping-pong pair in 60 seeds");
+        assert!(saw_inplace, "no in-place member in 60 seeds");
+        assert!(saw_boundary, "no boundary member in 60 seeds");
+        assert!(saw_rotation, "no rotation in 60 seeds");
     }
 
     #[test]

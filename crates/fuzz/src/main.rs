@@ -23,13 +23,14 @@ struct Args {
     cache: bool,
     islands: bool,
     devices: bool,
+    temporal: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands] [--devices]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands] [--devices] [--temporal]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +44,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache: false,
         islands: false,
         devices: false,
+        temporal: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -73,6 +75,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache" => args.cache = true,
             "--islands" => args.islands = true,
             "--devices" => args.devices = true,
+            "--temporal" => args.temporal = true,
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--max-wall-secs" => {
                 let v = value("--max-wall-secs")?;
@@ -94,12 +97,19 @@ fn main() -> ExitCode {
         Err(e) => return usage(&e),
     };
 
-    let cfg = GenConfig::default();
+    // `--temporal` switches both the corpus (every program carries a host
+    // time loop) and the oracle (the `temporal-*` checks).
+    let cfg = if args.temporal {
+        GenConfig::temporal()
+    } else {
+        GenConfig::default()
+    };
     let opts = OracleOptions {
         noise: args.noise,
         cache: args.cache,
         islands: args.islands,
         devices: args.devices,
+        temporal: args.temporal,
     };
     let start = Instant::now();
     let mut checked = 0usize;
@@ -200,6 +210,14 @@ mod tests {
         assert!(a.devices);
         let a = parse_args(&argv(&["--seed", "1"])).unwrap();
         assert!(!a.devices);
+    }
+
+    #[test]
+    fn parses_temporal_flag() {
+        let a = parse_args(&argv(&["--seed", "1", "--temporal"])).unwrap();
+        assert!(a.temporal);
+        let a = parse_args(&argv(&["--seed", "1"])).unwrap();
+        assert!(!a.temporal);
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct OracleOptions {
     /// other device, and porting it there must verify differentially and
     /// replay byte-identically.
     pub devices: bool,
+    /// Run the `temporal-*` checks: with the temporal dimension enabled
+    /// (degree caps 2 and 4) the pipeline must verify, agree with the
+    /// interpreter differentially, replay and re-run byte-identically,
+    /// never stamp a degree above the cap, and degrade (not miscompile)
+    /// under the fault ladder; a cap of 1 must reproduce the pre-temporal
+    /// schedule deterministically.
+    pub temporal: bool,
 }
 
 /// The pipeline configuration the fuzzer drives: the quick automated
@@ -152,6 +159,9 @@ pub fn check_program_with(
     }
     if opts.devices {
         check_devices(program, seed)?;
+    }
+    if opts.temporal {
+        check_temporal(program, seed)?;
     }
     Ok(())
 }
@@ -310,24 +320,36 @@ fn check_replay(
 /// verified transformed program or the untouched original — never a
 /// silently wrong one.
 fn check_ladder(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    check_ladder_at(program, seed, 1)
+}
+
+/// [`check_ladder`] with the temporal dimension capped at `max_temporal`
+/// (1 = the classic spatial-only ladder; above 1 the temporal rungs
+/// `TemporalTuned → Temporal → Tuned → Plain → unfused` are in play).
+fn check_ladder_at(program: &Program, seed: u64, max_temporal: u32) -> Result<(), OracleFailure> {
     let all: std::collections::BTreeSet<usize> = (0..8).collect();
+    let names: [&'static str; 3] = if max_temporal > 1 {
+        ["temporal-ladder-tuned-reject", "temporal-ladder-reject", "temporal-ladder-panic"]
+    } else {
+        ["ladder-tuned-reject", "ladder-reject", "ladder-panic"]
+    };
     let rungs: [(&'static str, FaultPlan); 3] = [
         (
-            "ladder-tuned-reject",
+            names[0],
             FaultPlan {
                 reject_tuned_groups: all.clone(),
                 ..FaultPlan::default()
             },
         ),
         (
-            "ladder-reject",
+            names[1],
             FaultPlan {
                 reject_groups: all.clone(),
                 ..FaultPlan::default()
             },
         ),
         (
-            "ladder-panic",
+            names[2],
             FaultPlan {
                 panic_groups: all,
                 ..FaultPlan::default()
@@ -335,7 +357,7 @@ fn check_ladder(program: &Program, seed: u64) -> Result<(), OracleFailure> {
         ),
     ];
     for (check, faults) in rungs {
-        let mut cfg = config(seed).with_faults(faults);
+        let mut cfg = config(seed).with_faults(faults).with_max_temporal(max_temporal);
         // Exercise the tuned rung even on the tuned-reject pass.
         cfg.block_tuning = true;
         let result = Pipeline::new(program.clone(), cfg)
@@ -361,6 +383,149 @@ fn check_ladder(program: &Program, seed: u64) -> Result<(), OracleFailure> {
         }
     }
     Ok(())
+}
+
+/// Opt-in temporal check (`--temporal`): the pipeline contract must hold
+/// with the temporal-blocking dimension live. A degree cap of 1 must
+/// reproduce the pre-temporal schedule deterministically and never stamp
+/// a degree above 1; for caps 2 and 4 the Degrade-policy run must
+/// succeed, hide no miscompile, verify (or keep the original), agree
+/// with an independent interpretation, stay within the cap, round-trip
+/// and replay its plan byte-for-byte, and re-run byte-identically
+/// (plans are byte-deterministic per seed). Finally the fault ladder is
+/// walked with the temporal rungs in play.
+fn check_temporal(program: &Program, seed: u64) -> Result<(), OracleFailure> {
+    let run = |check: &'static str, cap: u32| -> Result<TransformResult, OracleFailure> {
+        Pipeline::new(program.clone(), config(seed).with_max_temporal(cap))
+            .and_then(|p| p.run())
+            .map_err(|e| {
+                OracleFailure::new(check, format!("temporal run (cap {cap}) failed: {e}"))
+            })
+    };
+
+    // Cap 1: the pre-temporal schedule, byte-deterministic, degree-free.
+    let base_a = run("temporal-identity", 1)?;
+    let base_b = run("temporal-identity", 1)?;
+    if print_program(&base_a.program) != print_program(&base_b.program) {
+        return Err(OracleFailure::new(
+            "temporal-identity",
+            "two cap-1 runs disagree byte for byte".to_string(),
+        )
+        .with_plan(base_a.executed_plan().or_else(|| base_a.planned())));
+    }
+    if let Some(plan) = base_a.executed_plan().or_else(|| base_a.planned()) {
+        if plan.groups.iter().any(|g| g.temporal != 1) {
+            return Err(OracleFailure::new(
+                "temporal-identity",
+                "cap-1 run stamped a temporal degree above 1".to_string(),
+            )
+            .with_plan(Some(plan)));
+        }
+    }
+
+    for cap in [2u32, 4] {
+        let result = run("temporal-run", cap)?;
+        for d in result.degradations() {
+            if degradation_smells_like_miscompile(&d.action, &d.reason) {
+                return Err(OracleFailure::new(
+                    "temporal-miscompile",
+                    format!(
+                        "temporal run (cap {cap}) hid a verification failure: {} ({})",
+                        d.action, d.reason
+                    ),
+                )
+                .with_plan(result.executed_plan().or_else(|| result.planned())));
+            }
+        }
+        let verified = result.verification.as_ref().is_some_and(|v| v.passed());
+        let kept_original = result.program == *program;
+        if !verified && !kept_original {
+            return Err(OracleFailure::new(
+                "temporal-verification",
+                format!("cap-{cap} run produced an unverified program that is not the original"),
+            )
+            .with_plan(result.executed_plan().or_else(|| result.planned())));
+        }
+        match verify_equivalence(program, &result.program, seed ^ 0x7e30 ^ u64::from(cap)) {
+            Err(e) => {
+                return Err(OracleFailure::new(
+                    "temporal-differential",
+                    format!("could not interpret the cap-{cap} program: {e}"),
+                )
+                .with_plan(result.executed_plan()))
+            }
+            Ok(v) if !v.passed() => {
+                return Err(OracleFailure::new(
+                    "temporal-differential",
+                    format!(
+                        "cap-{cap} program diverges from the original: {}",
+                        v.failure().unwrap_or_else(|| "unknown".into())
+                    ),
+                )
+                .with_plan(result.executed_plan()))
+            }
+            Ok(_) => {}
+        }
+        if let Some(plan) = result.executed_plan().or_else(|| result.planned()) {
+            if plan.groups.iter().any(|g| g.temporal < 1 || g.temporal > cap) {
+                return Err(OracleFailure::new(
+                    "temporal-cap",
+                    format!("plan stamped a degree outside 1..={cap}"),
+                )
+                .with_plan(Some(plan)));
+            }
+            match TransformPlan::from_json(&plan.to_json()) {
+                Err(e) => {
+                    return Err(OracleFailure::new(
+                        "temporal-plan-roundtrip",
+                        format!("temporal plan JSON does not parse back: {e}"),
+                    )
+                    .with_plan(Some(plan)))
+                }
+                Ok(back) if &back != plan => {
+                    return Err(OracleFailure::new(
+                        "temporal-plan-roundtrip",
+                        "temporal plan JSON round trip changed the plan".to_string(),
+                    )
+                    .with_plan(Some(plan)))
+                }
+                Ok(_) => {}
+            }
+            let replay_cfg = config(seed).with_max_temporal(cap).with_plan(plan.clone());
+            let replay = Pipeline::new(program.clone(), replay_cfg)
+                .and_then(|p| p.run())
+                .map_err(|e| {
+                    OracleFailure::new("temporal-replay", format!("temporal plan replay failed: {e}"))
+                        .with_plan(Some(plan))
+                })?;
+            if print_program(&result.program) != print_program(&replay.program) {
+                return Err(OracleFailure::new(
+                    "temporal-replay",
+                    format!("cap-{cap} plan replay produced a different program"),
+                )
+                .with_plan(Some(plan)));
+            }
+        }
+        let again = run("temporal-determinism", cap)?;
+        let plans_agree = match (
+            result.executed_plan().or_else(|| result.planned()),
+            again.executed_plan().or_else(|| again.planned()),
+        ) {
+            (Some(a), Some(b)) => a.to_json() == b.to_json(),
+            (None, None) => true,
+            _ => false,
+        };
+        if print_program(&result.program) != print_program(&again.program) || !plans_agree {
+            return Err(OracleFailure::new(
+                "temporal-determinism",
+                format!("two cap-{cap} runs disagree (program or plan bytes)"),
+            )
+            .with_plan(result.executed_plan().or_else(|| result.planned())));
+        }
+    }
+
+    // The fault ladder with the temporal rungs in play.
+    check_ladder_at(program, seed, 2)
 }
 
 /// Opt-in noise check: run the pipeline under the standard seeded noise

@@ -269,6 +269,7 @@ impl<'p> Interpreter<'p> {
             tiles: Vec::new(),
             epoch: 0,
             shared_writes: HashMap::new(),
+            shared_reads_log: HashMap::new(),
             fp_read: HashSet::new(),
             fp_write: HashSet::new(),
             track_footprint: self.track_footprint,
@@ -333,6 +334,7 @@ struct Machine<'a> {
     tiles: Vec<Vec<f64>>,
     epoch: u64,
     shared_writes: HashMap<(u16, usize), (u64, usize)>,
+    shared_reads_log: HashMap<(u16, usize), (u64, usize)>,
     fp_read: HashSet<(u16, usize)>,
     fp_write: HashSet<(u16, usize)>,
     track_footprint: bool,
@@ -364,6 +366,7 @@ impl Machine<'_> {
         }
         self.epoch = 0;
         self.shared_writes.clear();
+        self.shared_reads_log.clear();
     }
 
     #[inline]
@@ -677,6 +680,21 @@ impl Machine<'_> {
                     ));
                 }
             }
+            // Same-epoch *read* by a different warp → write-after-read race.
+            // This is the cross-step direction of the hazard: a folded or
+            // multi-phase kernel that overwrites a tile cell some other
+            // warp consumed since the last barrier is racing on real
+            // hardware even though lockstep execution sees the old value.
+            if self.detect_hazards {
+                if let Some(&(epoch, w)) = self.shared_reads_log.get(&(tile, off)) {
+                    if epoch == self.epoch && w != warp {
+                        self.stats.add_hazard(format!(
+                            "shared write-after-read without barrier on tile {tile}[{off}] in `{}`",
+                            self.kernel_name
+                        ));
+                    }
+                }
+            }
             self.shared_writes.insert((tile, off), (self.epoch, warp));
             scratch.push((t, off, v));
         }
@@ -705,6 +723,7 @@ impl Machine<'_> {
                 ));
             }
         }
+        self.shared_reads_log.insert((tile, off), (self.epoch, t / 32));
     }
 
     fn note_global_read(&mut self, array: u16, off: usize) {
@@ -1147,6 +1166,57 @@ void host() {
 
         // The same kernel with the barrier in place is hazard-free.
         let fixed = broken.replace("s[threadIdx.x] = a[i];", "s[threadIdx.x] = a[i];\n  __syncthreads();");
+        let p = parse_program(&fixed).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.detect_hazards = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        assert!(stats[0].hazards.is_empty(), "hazards: {:?}", stats[0].hazards);
+    }
+
+    /// The converse direction: a folded multi-step kernel that *overwrites*
+    /// a tile cell another warp consumed since the last barrier. Lockstep
+    /// execution reads the old value everywhere, so the miscompile is again
+    /// invisible to value comparison — the dropped inter-step barrier must
+    /// surface as a write-after-read hazard.
+    #[test]
+    fn detects_shared_war_across_folded_steps() {
+        let broken = r#"
+__global__ void fold2(const double* __restrict__ a, double* b, int n) {
+  __shared__ double s[64];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  s[threadIdx.x] = a[i];
+  __syncthreads();
+  double t = s[63 - threadIdx.x];
+  s[threadIdx.x] = t + 1.0;
+  __syncthreads();
+  b[i] = s[threadIdx.x];
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  double* b = cudaAlloc1D(n);
+  fold2<<<1, 64>>>(a, b, n);
+}
+"#;
+        let p = parse_program(broken).unwrap();
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        let mut mem = GlobalMemory::from_plan(&plan);
+        let mut interp = Interpreter::new(&p);
+        interp.detect_hazards = true;
+        let stats = interp.run_plan(&plan, &mut mem).unwrap();
+        assert!(
+            stats[0].hazards.iter().any(|h| h.contains("write-after-read without barrier")),
+            "hazards: {:?}",
+            stats[0].hazards
+        );
+
+        // Restoring the inter-step barrier makes the kernel hazard-free.
+        let fixed = broken.replace(
+            "s[threadIdx.x] = t + 1.0;",
+            "__syncthreads();\n  s[threadIdx.x] = t + 1.0;",
+        );
         let p = parse_program(&fixed).unwrap();
         let plan = ExecutablePlan::from_program(&p).unwrap();
         let mut mem = GlobalMemory::from_plan(&plan);

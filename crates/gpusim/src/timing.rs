@@ -67,6 +67,46 @@ impl LaunchCost {
     }
 }
 
+/// Cost geometry of one temporal fold: how a kernel that folds `fold` host
+/// time-loop iterations into a single launch trades DRAM traffic against
+/// redundant halo recompute and shared-memory pressure (AN5D-style
+/// temporal blocking; DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalFold {
+    /// Degree `T`: host iterations folded per launch (≥ 1).
+    pub fold: u32,
+    /// Staged-read traffic multiplier `(bx+2Dx)(by+2Dy) / (bx·by)` — the
+    /// tile-halo area ratio at the full grown halo `D = T·Σr`. Always ≥ 1.
+    pub halo_read_ratio: f64,
+    /// Flop multiplier from redundant halo recompute, averaged over the
+    /// fold's steps (each step s computes a region widened by the halo
+    /// still to be consumed by later steps). Always ≥ 1.
+    pub recompute_ratio: f64,
+    /// Shared-memory bytes per block of the folded kernel (tiles for every
+    /// touched array at the grown halo).
+    pub smem_per_block: usize,
+}
+
+impl LaunchProfile {
+    /// The per-**invocation** profile of temporally folding `fold`
+    /// iterations of this per-iteration profile: staged reads are paid once
+    /// (inflated by the halo area), writes land once, useful flops multiply
+    /// by the degree and the redundant-recompute ratio, and the folded
+    /// kernel's shared-memory footprint replaces the original one (which is
+    /// how the fold's occupancy pressure reaches the cost model). The
+    /// read/write byte split is passed explicitly because the profile only
+    /// stores the sum.
+    pub fn folded(&self, read_bytes: u64, write_bytes: u64, f: &TemporalFold) -> LaunchProfile {
+        LaunchProfile {
+            dram_bytes: (read_bytes as f64 * f.halo_read_ratio).ceil() as u64 + write_bytes,
+            flops: (self.flops as f64 * f.fold as f64 * f.recompute_ratio).ceil() as u64,
+            divergent_evals: self.divergent_evals * u64::from(f.fold),
+            smem_per_block: f.smem_per_block,
+            ..self.clone()
+        }
+    }
+}
+
 /// The timing model bound to a device.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
@@ -260,6 +300,57 @@ mod tests {
         let hawaii = TimingModel::new(DeviceSpec::hawaii());
         let kepler = TimingModel::new(DeviceSpec::k20x());
         assert!(hawaii.divergence_flop_cost > kepler.divergence_flop_cost);
+    }
+
+    #[test]
+    fn temporal_fold_amortizes_traffic_on_memory_bound_launches() {
+        let m = model();
+        let p = base_profile(); // memory-bound: mem_us >> comp_us
+        let spatial = m.launch_cost(&p).unwrap().total_us();
+        // Fold 4 iterations: reads staged once with a 30% halo inflation,
+        // writes once, 40% redundant recompute, 24 KB of tiles.
+        let fold = TemporalFold {
+            fold: 4,
+            halo_read_ratio: 1.3,
+            recompute_ratio: 1.4,
+            smem_per_block: 24 * 1024,
+        };
+        let folded = p.folded(60_000_000, 40_000_000, &fold);
+        let per_iter = m.launch_cost(&folded).unwrap().total_us() / 4.0;
+        assert!(
+            per_iter < spatial,
+            "folded per-iteration {per_iter} vs spatial {spatial}"
+        );
+        // Useful work is unchanged; the saved DRAM traffic is where the
+        // speedup comes from.
+        assert!(folded.dram_bytes < 2 * p.dram_bytes);
+        assert_eq!(folded.flops, (p.flops as f64 * 4.0 * 1.4).ceil() as u64);
+    }
+
+    #[test]
+    fn temporal_fold_smem_pressure_reaches_occupancy() {
+        let m = model();
+        let p = base_profile();
+        let occ0 = m.launch_cost(&p).unwrap().occupancy;
+        let fold = TemporalFold {
+            fold: 2,
+            halo_read_ratio: 1.2,
+            recompute_ratio: 1.1,
+            smem_per_block: 40 * 1024,
+        };
+        let folded = p.folded(60_000_000, 40_000_000, &fold);
+        let occ1 = m.launch_cost(&folded).unwrap().occupancy;
+        assert!(occ1 < occ0, "{occ1} !< {occ0}");
+        // Tiles past the per-block capacity cannot launch at all.
+        let too_big = p.folded(
+            60_000_000,
+            40_000_000,
+            &TemporalFold {
+                smem_per_block: 64 * 1024,
+                ..fold
+            },
+        );
+        assert!(m.launch_cost(&too_big).is_none());
     }
 
     #[test]

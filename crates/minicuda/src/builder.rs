@@ -304,21 +304,83 @@ pub fn simple_host(
         host.push(HostStmt::CopyToDevice { array: (*a).into() });
     }
     for (kernel, args) in launches {
-        let mut launch_args: Vec<LaunchArg> =
-            args.iter().map(|a| LaunchArg::Array((*a).into())).collect();
-        for n in ["nx", "ny", "nz"] {
-            launch_args.push(LaunchArg::Scalar(var(n)));
-        }
-        host.push(HostStmt::Launch {
-            kernel: (*kernel).into(),
-            grid: Dim3Expr {
-                x: div(add(var("nx"), int(bx - 1)), int(bx)),
-                y: div(add(var("ny"), int(by - 1)), int(by)),
-                z: int(1),
-            },
-            block: Dim3Expr::literal(bx, by, 1),
-            args: launch_args,
+        host.push(launch_3d(kernel, args, (bx, by)));
+    }
+    for a in arrays {
+        host.push(HostStmt::CopyToHost { array: (*a).into() });
+    }
+    host
+}
+
+/// One `kernel<<<ceil(nx/bx) x ceil(ny/by), (bx, by)>>>(args..., nx, ny, nz)`
+/// host statement in the [`params_3d`] calling convention.
+pub fn launch_3d(kernel: &str, args: &[&str], (bx, by): (i64, i64)) -> HostStmt {
+    let mut launch_args: Vec<LaunchArg> =
+        args.iter().map(|a| LaunchArg::Array((*a).into())).collect();
+    for n in ["nx", "ny", "nz"] {
+        launch_args.push(LaunchArg::Scalar(var(n)));
+    }
+    HostStmt::Launch {
+        kernel: kernel.into(),
+        grid: Dim3Expr {
+            x: div(add(var("nx"), int(bx - 1)), int(bx)),
+            y: div(add(var("ny"), int(by - 1)), int(by)),
+            z: int(1),
+        },
+        block: Dim3Expr::literal(bx, by, 1),
+        args: launch_args,
+    }
+}
+
+/// Host boilerplate with a time loop: like [`simple_host`] but the launches
+/// split into a prologue (run once), a `for (t = 0; t < steps; t++)` body,
+/// and an epilogue (run once), in that order.
+pub fn looped_host(
+    arrays: &[&str],
+    prologue: &[(&str, Vec<&str>)],
+    steps: i64,
+    body: &[(&str, Vec<&str>)],
+    epilogue: &[(&str, Vec<&str>)],
+    (nx, ny, nz): (i64, i64, i64),
+    (bx, by): (i64, i64),
+) -> Vec<HostStmt> {
+    let mut host = vec![
+        HostStmt::LetInt {
+            name: "nx".into(),
+            value: int(nx),
+        },
+        HostStmt::LetInt {
+            name: "ny".into(),
+            value: int(ny),
+        },
+        HostStmt::LetInt {
+            name: "nz".into(),
+            value: int(nz),
+        },
+    ];
+    for a in arrays {
+        host.push(HostStmt::Alloc {
+            name: (*a).into(),
+            elem: ScalarType::F64,
+            extents: vec![var("nz"), var("ny"), var("nx")],
         });
+    }
+    for a in arrays {
+        host.push(HostStmt::CopyToDevice { array: (*a).into() });
+    }
+    for (kernel, args) in prologue {
+        host.push(launch_3d(kernel, args, (bx, by)));
+    }
+    host.push(HostStmt::Repeat {
+        var: "t".into(),
+        count: int(steps),
+        body: body
+            .iter()
+            .map(|(kernel, args)| launch_3d(kernel, args, (bx, by)))
+            .collect(),
+    });
+    for (kernel, args) in epilogue {
+        host.push(launch_3d(kernel, args, (bx, by)));
     }
     for a in arrays {
         host.push(HostStmt::CopyToHost { array: (*a).into() });
@@ -389,6 +451,32 @@ mod tests {
             host: simple_host(&["a"], &[("bc", vec!["a"])], (32, 16, 4), (16, 8)),
         };
         assert_eq!(p, reparse(&p).unwrap());
+    }
+
+    #[test]
+    fn looped_host_round_trips_and_records_loop() {
+        let p = Program {
+            kernels: vec![
+                jacobi3d_kernel("fwd", "u", "v"),
+                jacobi3d_kernel("bwd", "v", "u"),
+            ],
+            host: looped_host(
+                &["u", "v"],
+                &[],
+                6,
+                &[("fwd", vec!["u", "v"]), ("bwd", vec!["v", "u"])],
+                &[],
+                (64, 32, 16),
+                (16, 8),
+            ),
+        };
+        assert_eq!(p, reparse(&p).unwrap());
+        let plan = ExecutablePlan::from_program(&p).unwrap();
+        assert!(!plan.opaque_loops);
+        assert_eq!(plan.loops.len(), 1);
+        assert_eq!(plan.loops[0].count, 6);
+        assert_eq!(plan.loops[0].seqs, vec![0, 1]);
+        assert_eq!(plan.trace.len(), 12);
     }
 
     #[test]

@@ -152,6 +152,20 @@ pub enum TransferRecord {
     ToHost { array: String, after_seq: usize },
 }
 
+/// One host time loop recorded structurally: a top-level `Repeat` whose
+/// body is launches only. Transform passes use these records to preserve
+/// (or temporally fold) the loop instead of flattening it.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
+pub struct LoopRecord {
+    /// Loop variable name (for regenerating host code).
+    pub var: String,
+    /// Evaluated iteration count.
+    pub count: u64,
+    /// Static launch seqs of the loop body, in body order.
+    pub seqs: Vec<usize>,
+}
+
 /// The host section resolved to concrete numbers: what the paper's metadata
 /// gatherer extracts by "scanning host code".
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -166,6 +180,14 @@ pub struct ExecutablePlan {
     /// order they execute, with host `Repeat` loops unrolled. Functional
     /// simulation follows this trace; timing uses `repeat` weights instead.
     pub trace: Vec<usize>,
+    /// Structural records of top-level, launch-only host `Repeat` loops
+    /// (the supported time-loop shape). One entry per such loop with a
+    /// nonzero count, in host order.
+    pub loops: Vec<LoopRecord>,
+    /// True when the host contains a `Repeat` the structural records do
+    /// not capture (nested loops, or loops carrying allocs/transfers).
+    /// Transform passes must reject such programs rather than flatten them.
+    pub opaque_loops: bool,
 }
 
 impl ExecutablePlan {
@@ -173,7 +195,7 @@ impl ExecutablePlan {
     pub fn from_program(p: &Program) -> Result<ExecutablePlan, HostEvalError> {
         let mut plan = ExecutablePlan::default();
         let mut env: HashMap<String, HostValue> = HashMap::new();
-        let trace = eval_host_stmts(&p.host, &mut env, &mut plan, 1)?;
+        let trace = eval_host_stmts(&p.host, &mut env, &mut plan, 1, 0)?;
         plan.trace = trace;
         plan.scalars = env;
         Ok(plan)
@@ -195,6 +217,7 @@ fn eval_host_stmts(
     env: &mut HashMap<String, HostValue>,
     plan: &mut ExecutablePlan,
     repeat: u64,
+    depth: u32,
 ) -> Result<Vec<usize>, HostEvalError> {
     let mut trace = Vec::new();
     for s in stmts {
@@ -284,14 +307,25 @@ fn eval_host_stmts(
                     repeat,
                 });
             }
-            HostStmt::Repeat { count, body, .. } => {
+            HostStmt::Repeat { var, count, body } => {
                 let n = eval_host_expr(count, env)?.as_i64()?;
                 if n < 0 {
                     return Err(HostEvalError(format!("negative repeat count {n}")));
                 }
-                let sub = eval_host_stmts(body, env, plan, repeat * n as u64)?;
+                let launch_only = body.iter().all(|s| matches!(s, HostStmt::Launch { .. }));
+                let first_seq = plan.launches.len();
+                let sub = eval_host_stmts(body, env, plan, repeat * n as u64, depth + 1)?;
                 for _ in 0..n {
                     trace.extend_from_slice(&sub);
+                }
+                if depth == 0 && launch_only && n > 0 {
+                    plan.loops.push(LoopRecord {
+                        var: var.clone(),
+                        count: n as u64,
+                        seqs: (first_seq..plan.launches.len()).collect(),
+                    });
+                } else {
+                    plan.opaque_loops = true;
                 }
             }
         }
@@ -507,6 +541,67 @@ void host() {
 "#;
         let p = plan(src);
         assert_eq!(p.trace, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn records_top_level_launch_only_loops() {
+        let p = plan(&format!(
+            "{BASE}
+void host() {{
+  int n = 8;
+  double* a = cudaAlloc1D(n);
+  double* b = cudaAlloc1D(n);
+  k1<<<1, 8>>>(a, n);
+  for (int t = 0; t < 4; t++) {{
+    k2<<<1, 8>>>(a, b, n);
+    k1<<<1, 8>>>(b, n);
+  }}
+}}"
+        ));
+        assert!(!p.opaque_loops);
+        assert_eq!(
+            p.loops,
+            vec![LoopRecord {
+                var: "t".into(),
+                count: 4,
+                seqs: vec![1, 2],
+            }]
+        );
+        assert_eq!(p.launches[1].repeat, 4);
+    }
+
+    #[test]
+    fn nested_or_mixed_loops_are_opaque() {
+        let p = plan(&format!(
+            "{BASE}
+void host() {{
+  int n = 8;
+  double* a = cudaAlloc1D(n);
+  for (int t = 0; t < 2; t++) {{
+    for (int s = 0; s < 3; s++) {{
+      k1<<<1, 8>>>(a, n);
+    }}
+  }}
+}}"
+        ));
+        assert!(p.opaque_loops);
+        // The inner loop is not top-level; nothing is recorded structurally.
+        assert!(p.loops.is_empty());
+        assert_eq!(p.launches[0].repeat, 6);
+
+        let p = plan(&format!(
+            "{BASE}
+void host() {{
+  int n = 8;
+  double* a = cudaAlloc1D(n);
+  for (int t = 0; t < 2; t++) {{
+    int m = 4;
+    k1<<<1, 8>>>(a, m);
+  }}
+}}"
+        ));
+        assert!(p.opaque_loops);
+        assert!(p.loops.is_empty());
     }
 
     #[test]

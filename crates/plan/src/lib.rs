@@ -34,8 +34,15 @@ use std::fmt;
 /// Version history: 1 = the original IR; 2 = the device descriptor gained
 /// timing knobs and the plan records its target device's registry
 /// fingerprint (`device_fingerprint`), so replay on a mismatched device is
-/// a structured rejection instead of a silent wrong-device projection.
-pub const PLAN_VERSION: u32 = 2;
+/// a structured rejection instead of a silent wrong-device projection;
+/// 3 = groups gained a temporal-blocking degree (`GroupPlan::temporal`).
+/// Version-2 plans still decode: [`TransformPlan::from_json`] upgrades them
+/// by stamping every group with the identity degree `temporal = 1`.
+pub const PLAN_VERSION: u32 = 3;
+
+/// The previous schema version, still accepted by
+/// [`TransformPlan::from_json`] through the in-place v2 → v3 upgrade.
+pub const PLAN_VERSION_COMPAT: u32 = 2;
 
 /// One member of a fusion group: an original launch, or one fission product
 /// of it.
@@ -136,10 +143,15 @@ impl fmt::Display for BlockDims {
 /// One group of the plan: members to fuse into one kernel (singletons pass
 /// through unchanged), plus everything the pipeline knows or learned about
 /// the group.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupPlan {
     /// Members in execution order within the group.
     pub members: Vec<MemberRef>,
+    /// Temporal-blocking degree `T`: how many host time-loop iterations the
+    /// fused kernel folds into one launch. `1` (the identity) everywhere a
+    /// group is not temporally blocked; degrees above 1 are only legal for
+    /// fusion groups that cover an entire recorded host time loop.
+    pub temporal: u32,
     /// Simple vs precedence-aware fusion (meaningful for multi-member
     /// groups; singletons are trivially [`PrecedenceClass::Simple`]).
     pub precedence: PrecedenceClass,
@@ -151,6 +163,19 @@ pub struct GroupPlan {
     /// The search's projected cost (filled by genome → plan lowering;
     /// `None` for hand-written plans).
     pub projection: Option<GroupProjection>,
+}
+
+impl Default for GroupPlan {
+    fn default() -> GroupPlan {
+        GroupPlan {
+            members: Vec::new(),
+            temporal: 1,
+            precedence: PrecedenceClass::default(),
+            staged_arrays: Vec::new(),
+            tuned_block: None,
+            projection: None,
+        }
+    }
 }
 
 impl GroupPlan {
@@ -284,6 +309,17 @@ impl TransformPlan {
             if g.members.is_empty() {
                 return Err(PlanError(format!("group {gi} is empty")));
             }
+            if g.temporal == 0 {
+                return Err(PlanError(format!(
+                    "group {gi} has temporal degree 0 (the identity is 1)"
+                )));
+            }
+            if g.temporal > 1 && !g.is_fusion() {
+                return Err(PlanError(format!(
+                    "group {gi} is a singleton but has temporal degree {}",
+                    g.temporal
+                )));
+            }
             for m in &g.members {
                 if m.seq >= launch_count {
                     return Err(PlanError(format!(
@@ -331,12 +367,15 @@ impl TransformPlan {
     /// 2. the `version` field is read **before** anything else is
     ///    interpreted — a version-skewed plan always fails with a version
     ///    message, never with a confusing deep-deserialization error,
-    /// 3. the full plan is deserialized (errors carry the plan version),
-    /// 4. unknown and duplicate fields are rejected with their path — a
+    /// 3. version-2 plans are upgraded in place (every group gains the
+    ///    identity temporal degree, the version is restamped to 3) before
+    ///    any deep deserialization,
+    /// 4. the full plan is deserialized (errors carry the plan version),
+    /// 5. unknown and duplicate fields are rejected with their path — a
     ///    plan that silently dropped a field on parse is a plan that
     ///    replays differently from what its author wrote.
     pub fn from_json(text: &str) -> Result<TransformPlan, PlanError> {
-        let content =
+        let mut content =
             serde_json::from_str_content(text).map_err(|e| PlanError(e.to_string()))?;
         let entries = content
             .as_entries()
@@ -367,10 +406,15 @@ impl TransformPlan {
         if versions.next().is_some() {
             return Err(PlanError("duplicate field `version`".into()));
         }
-        if version != u64::from(PLAN_VERSION) {
+        if version != u64::from(PLAN_VERSION) && version != u64::from(PLAN_VERSION_COMPAT) {
             return Err(PlanError(format!(
-                "plan version {version} (this build speaks {PLAN_VERSION})"
+                "plan version {version} (this build speaks {PLAN_VERSION}, \
+                 accepts {PLAN_VERSION_COMPAT})"
             )));
+        }
+        if version == u64::from(PLAN_VERSION_COMPAT) {
+            upgrade_v2(&mut content)
+                .map_err(|e| PlanError(format!("plan version {version}: {e}")))?;
         }
 
         let plan = TransformPlan::deserialize(&content)
@@ -402,6 +446,39 @@ impl TransformPlan {
             if self.block_tuning { "on" } else { "off" },
         )
     }
+}
+
+/// In-place v2 → v3 upgrade of the raw parse tree: restamp `version` to 3
+/// and give every entry of `groups` the identity `temporal` degree. Runs
+/// before deep deserialization so a valid v2 plan decodes exactly as the
+/// equivalent v3 plan would — and the strict-fields pass still sees (and
+/// rejects) anything else the v2 author wrote that v3 does not know.
+/// A v2 group that already spells a `temporal` field is rejected here: no
+/// such field existed in v2, and silently preferring either copy would make
+/// the upgrade ambiguous.
+fn upgrade_v2(content: &mut Content) -> Result<(), String> {
+    let Content::Map(entries) = content else {
+        return Err("plan JSON is not an object".into());
+    };
+    for (k, v) in entries.iter_mut() {
+        match (k.as_str(), v) {
+            (Some("version"), v) => *v = Content::U64(u64::from(PLAN_VERSION)),
+            (Some("groups"), Content::Seq(groups)) => {
+                for (gi, g) in groups.iter_mut().enumerate() {
+                    let Content::Map(fields) = g else { continue };
+                    if fields.iter().any(|(k, _)| k.as_str() == Some("temporal")) {
+                        return Err(format!(
+                            "unknown field `plan.groups[{gi}].temporal` \
+                             (`temporal` appears in plan version 3, not 2)"
+                        ));
+                    }
+                    fields.push((Content::Str("temporal".into()), Content::U64(1)));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Walk `input` (the raw parse tree, duplicate keys preserved) against
@@ -551,7 +628,7 @@ mod tests {
         let unknown = text.replacen("\"version\"", "\"extra\": 1, \"version\"", 1);
         let err = TransformPlan::from_json(&unknown).unwrap_err();
         assert!(err.0.contains("unknown field `plan.extra`"), "{err}");
-        assert!(err.0.contains("plan version 2"), "{err}");
+        assert!(err.0.contains("plan version 3"), "{err}");
 
         // Unknown field nested inside a group.
         let nested = text.replacen("\"precedence\"", "\"bogus\": 3, \"precedence\"", 1);
@@ -574,7 +651,8 @@ mod tests {
         // version message, not a missing-field message.
         let err = TransformPlan::from_json("{\"version\": 99, \"garbage\": true}").unwrap_err();
         assert!(err.0.contains("plan version 99"), "{err}");
-        assert!(err.0.contains("speaks 2"), "{err}");
+        assert!(err.0.contains("speaks 3"), "{err}");
+        assert!(err.0.contains("accepts 2"), "{err}");
 
         // Version-1 plans (pre-registry, no device fingerprint) are skewed.
         let err = TransformPlan::from_json("{\"version\": 1, \"garbage\": true}").unwrap_err();
@@ -591,6 +669,65 @@ mod tests {
 
         let err = TransformPlan::from_json("[1, 2]").unwrap_err();
         assert!(err.0.contains("not an object"), "{err}");
+    }
+
+    /// Rewrite a serialized v3 plan into the v2 spelling: restamp the
+    /// version and drop every `temporal` field (v2 had none).
+    fn as_v2_json(plan: &TransformPlan) -> String {
+        plan.to_json()
+            .replacen("\"version\": 3", "\"version\": 2", 1)
+            .lines()
+            .filter(|l| !l.contains("\"temporal\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn v2_plans_upgrade_to_the_identity_degree() {
+        let plan = demo_plan();
+        let back = TransformPlan::from_json(&as_v2_json(&plan)).unwrap();
+        // The upgrade is exactly "temporal = 1 everywhere, version = 3":
+        // demo_plan never sets a degree, so the round trip is lossless.
+        assert_eq!(back, plan);
+        assert_eq!(back.version, PLAN_VERSION);
+        assert!(back.groups.iter().all(|g| g.temporal == 1));
+        assert!(back.validate(3).is_ok());
+        // Re-emission speaks v3: the upgrade happens on read, once.
+        assert!(back.to_json().contains("\"version\": 3"));
+    }
+
+    #[test]
+    fn v2_upgrade_still_rejects_unknown_fields() {
+        let text = as_v2_json(&demo_plan())
+            .replacen("\"precedence\"", "\"bogus\": 3, \"precedence\"", 1);
+        let err = TransformPlan::from_json(&text).unwrap_err();
+        assert!(err.0.contains("unknown field `plan.groups[0].bogus`"), "{err}");
+
+        // A v2 plan spelling `temporal` is a contradiction, not an upgrade.
+        let text = as_v2_json(&demo_plan()).replacen(
+            "\"precedence\"",
+            "\"temporal\": 4, \"precedence\"",
+            1,
+        );
+        let err = TransformPlan::from_json(&text).unwrap_err();
+        assert!(err.0.contains("plan.groups[0].temporal"), "{err}");
+    }
+
+    #[test]
+    fn temporal_degrees_round_trip_and_validate() {
+        let mut plan = demo_plan();
+        plan.groups[0].temporal = 4;
+        let back = TransformPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back.groups[0].temporal, 4);
+        assert!(plan.validate(3).is_ok());
+
+        // Degree 0 is malformed; a temporally-blocked singleton is too.
+        let mut zero = demo_plan();
+        zero.groups[0].temporal = 0;
+        assert!(zero.validate(3).unwrap_err().0.contains("degree 0"));
+        let mut single = demo_plan();
+        single.groups[1].temporal = 2;
+        assert!(single.validate(3).unwrap_err().0.contains("singleton"));
     }
 
     #[test]

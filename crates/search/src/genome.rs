@@ -93,15 +93,35 @@ impl Individual {
 
     /// OEG feasibility: no hard edge inside a group, and the quotient of
     /// the precedence subgraph over active units is acyclic.
+    ///
+    /// Exception: a group that exactly covers one recorded host time loop
+    /// (a temporal-fold candidate, see [`SearchSpace::temporal_group`])
+    /// may carry intra-group hard edges — the loop-carried anti
+    /// dependences of a ping-pong chain are exactly what temporal folding
+    /// legalizes with shadow arrays. With the temporal dimension disabled
+    /// (`max_temporal == 1`) no exemption applies.
     pub fn feasible(&self, space: &SearchSpace) -> bool {
         // Hard edges within a group.
+        let mut exempt: BTreeMap<usize, bool> = BTreeMap::new();
         for (&(a, b), e) in &space.edges {
             if !e.hard {
                 continue;
             }
-            if let (Some(ga), Some(gb)) = (self.group_of.get(&a), self.group_of.get(&b)) {
+            if let (Some(&ga), Some(&gb)) = (self.group_of.get(&a), self.group_of.get(&b)) {
                 if ga == gb {
-                    return false;
+                    let groups_cache = &mut exempt;
+                    let ok = *groups_cache.entry(ga).or_insert_with(|| {
+                        let members: Vec<usize> = self
+                            .group_of
+                            .iter()
+                            .filter(|(_, &g)| g == ga)
+                            .map(|(&u, _)| u)
+                            .collect();
+                        space.temporal_group(&members).is_some()
+                    });
+                    if !ok {
+                        return false;
+                    }
                 }
             }
         }

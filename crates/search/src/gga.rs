@@ -121,6 +121,20 @@ pub fn search_with_faults_seeded(
     seeds: &[Individual],
 ) -> SearchResult {
     let started = Instant::now();
+    // The temporal ceiling lives on the space (feasibility and projection
+    // both consult it); stamp the configured value before anything reads
+    // it. At the default of 1 the space is untouched — the temporal
+    // dimension vanishes and the run is identical to a pre-temporal one.
+    let stamped;
+    let space = if space.max_temporal == config.max_temporal {
+        space
+    } else {
+        stamped = SearchSpace {
+            max_temporal: config.max_temporal,
+            ..space.clone()
+        };
+        &stamped
+    };
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let penalty = Penalty {
         soft: config.penalty_soft,
@@ -274,16 +288,22 @@ pub fn lower_plan(
         .iter()
         .map(|g| {
             let members = &groups_by_id[g];
-            let cost = engine.group_cost(members);
+            // The best temporal degree for this group (1 = no folding) and
+            // the cost projected at that degree — the same argmin the
+            // fitness function saw, so the plan records the decision the
+            // search actually optimized for.
+            let (fold, cost) = engine.best_fold(members);
             // Members must be in *execution* order: products carry their
             // parent's seq (unit ids do not reflect host order).
             let mut mrefs: Vec<_> = members.iter().map(|&u| space.units[u].mref).collect();
             mrefs.sort_by_key(|m| (m.seq, m.fission_component));
             let mut gp = GroupPlan::of(mrefs);
+            gp.temporal = fold;
             // Any dependence between two members means the fused segments
-            // must execute in order. (A *hard* edge can never be
-            // intra-group — feasibility forbids it — so every such edge is
-            // a soft flow/anti dependence codegen handles with staging.)
+            // must execute in order. (A hard edge is intra-group only for
+            // whole-loop temporal candidates, whose ping-pong anti
+            // dependences codegen legalizes with shadow arrays; every other
+            // edge is a soft flow/anti dependence handled with staging.)
             gp.precedence = if members.iter().any(|&a| {
                 members
                     .iter()
@@ -889,5 +909,118 @@ void host() {
             mutate_split(&space, &mut ind, &mut rng);
             assert!(ind.feasible(&space));
         }
+    }
+}
+
+#[cfg(test)]
+mod temporal_tests {
+    use super::*;
+    use crate::space::tests::space_for;
+
+    /// A radius-1 Jacobi ping-pong pair inside an 8-iteration host time
+    /// loop — the canonical temporal-blocking candidate: loop-carried anti
+    /// dependences forbid spatial fusion, shadow-array folding legalizes it.
+    const PINGPONG: &str = r#"
+__global__ void step_ab(const double* __restrict__ a, double* b, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 0; k < nz; k++) {
+      b[k][j][i] = 0.2 * (a[k][j][i] + a[k][j][i+1] + a[k][j][i-1] + a[k][j+1][i] + a[k][j-1][i]);
+    }
+  }
+}
+__global__ void step_ba(const double* __restrict__ b, double* a, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 0; k < nz; k++) {
+      a[k][j][i] = 0.2 * (b[k][j][i] + b[k][j][i+1] + b[k][j][i-1] + b[k][j+1][i] + b[k][j-1][i]);
+    }
+  }
+}
+void host() {
+  int nx = 64; int ny = 32; int nz = 4;
+  double* a = cudaAlloc3D(nz, ny, nx);
+  double* b = cudaAlloc3D(nz, ny, nx);
+  cudaMemcpyH2D(a);
+  cudaMemcpyH2D(b);
+  for (int t = 0; t < 8; t++) {
+    step_ab<<<dim3(2, 1), dim3(32, 32)>>>(a, b, nx, ny, nz);
+    step_ba<<<dim3(2, 1), dim3(32, 32)>>>(b, a, nx, ny, nz);
+  }
+  cudaMemcpyD2H(a);
+  cudaMemcpyD2H(b);
+}
+"#;
+
+    #[test]
+    fn search_discovers_the_temporal_fold() {
+        let space = space_for(PINGPONG);
+        let config = SearchConfig {
+            max_temporal: 4,
+            ..SearchConfig::quick()
+        };
+        let result = search(&space, &config);
+        // The ping-pong pair must end up in one whole-loop group with a
+        // temporal degree above the identity: the folded projection saves
+        // the intermediate round-trip, so the argmin picks it.
+        let fused: Vec<_> = result.plan.groups.iter().filter(|g| g.is_fusion()).collect();
+        assert_eq!(fused.len(), 1, "groups: {:?}", result.plan.groups);
+        assert_eq!(fused[0].members.len(), 2);
+        assert!(
+            fused[0].temporal >= 2,
+            "expected a temporal degree above 1, got {}",
+            fused[0].temporal
+        );
+        // Only ping-pong-divisible degrees are legal for the 8-iteration loop.
+        assert!(8 % (2 * fused[0].temporal as u64) == 0);
+        result.plan.validate(2).expect("lowered plan validates");
+        assert!(result.best_gflops > result.baseline_gflops);
+    }
+
+    #[test]
+    fn temporal_search_is_deterministic_per_seed() {
+        let space = space_for(PINGPONG);
+        let config = SearchConfig {
+            max_temporal: 4,
+            ..SearchConfig::quick()
+        };
+        let a = search(&space, &config);
+        let b = search(&space, &config);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.best_gflops, b.best_gflops);
+    }
+
+    #[test]
+    fn max_temporal_one_keeps_the_pretemporal_schedule() {
+        let space = space_for(PINGPONG);
+        // With the temporal dimension disabled, the loop-carried hard edge
+        // has no exemption: the pair can never fuse, every group stays at
+        // the identity degree, and repeated runs agree exactly.
+        let a = search(&space, &SearchConfig::quick());
+        let b = search(&space, &SearchConfig::quick());
+        assert_eq!(a.plan, b.plan);
+        assert!(a.plan.groups.iter().all(|g| g.temporal == 1));
+        assert!(a.best.fusion_groups().is_empty());
+    }
+
+    #[test]
+    fn best_fold_prefers_folding_and_respects_geometry() {
+        let mut space = space_for(PINGPONG);
+        space.max_temporal = 4;
+        let engine = ProjectionEngine::new(&space);
+        let (fold, cost) = engine.best_fold(&[0, 1]);
+        let spatial = engine.group_cost_at(&[0, 1], 1);
+        assert!(fold >= 2, "folding must beat the spatial projection");
+        assert!(cost.time_us < spatial.time_us);
+        // A degree whose accumulated halo exceeds the block projects to
+        // infinite time: per-member radius 1, two members, so degree 8
+        // would need a 2×(8×2) = 32-wide halo in a 32-wide block.
+        space.max_temporal = 16;
+        let engine = ProjectionEngine::new(&space);
+        let wide = engine.group_cost_at(&[0, 1], 8);
+        assert!(wide.time_us.is_infinite());
     }
 }

@@ -458,6 +458,19 @@ pub fn search_islands(
     config: &SearchConfig,
     opts: &IslandOptions,
 ) -> IslandSearchResult {
+    // Stamp the configured temporal ceiling onto the space before anything
+    // consults it (feasibility, projection, fingerprint) — mirrors
+    // [`gga::search_with_faults_seeded`].
+    let stamped;
+    let space = if space.max_temporal == config.max_temporal {
+        space
+    } else {
+        stamped = SearchSpace {
+            max_temporal: config.max_temporal,
+            ..space.clone()
+        };
+        &stamped
+    };
     let fingerprint = run_fingerprint(space, config, &opts.seeds);
     let penalty = Penalty {
         soft: config.penalty_soft,

@@ -67,8 +67,23 @@ pub struct GroupCost {
     pub max_dispersion: f64,
 }
 
-/// Project the cost of executing `members` as one fused kernel.
-pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -> GroupCost {
+/// Project the cost of executing `members` as one fused kernel at temporal
+/// degree `fold`.
+///
+/// At `fold == 1` this is the plain spatial projection. At higher degrees
+/// the group is costed as one temporally folded launch covering `fold`
+/// host loop iterations — staged reads are paid once (inflated by the
+/// grown halo), writes land once, flops multiply by the degree and the
+/// redundant-recompute ratio — and the resulting time is amortized back to
+/// *per loop iteration*, so it compares directly against the spatial cost
+/// under the same host repeat weight. A degree whose accumulated halo no
+/// longer fits the block projects to infinite time (never selected).
+pub fn group_cost(
+    space: &SearchSpace,
+    members: &[usize],
+    model: &TimingModel,
+    fold: u32,
+) -> GroupCost {
     use std::collections::BTreeMap;
     let units: Vec<&crate::space::Unit> = members.iter().map(|&m| &space.units[m]).collect();
 
@@ -92,7 +107,8 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         }
     }
 
-    let mut dram_bytes: u64 = 0;
+    let mut read_dram: u64 = 0;
+    let mut write_dram: u64 = 0;
     let mut smem_bytes: usize = 0;
     let bx = units
         .first()
@@ -107,9 +123,9 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         let flow = written_in_group.contains_key(a);
         let shared_read = read_count[a] >= 2 || flow;
         if flow {
-            dram_bytes += (r as f64 * FLOW_HALO_FRACTION) as u64;
+            read_dram += (r as f64 * FLOW_HALO_FRACTION) as u64;
         } else {
-            dram_bytes += r;
+            read_dram += r;
         }
         // Tile estimate for staged arrays (3-D shapes only).
         if shared_read && units.len() > 1 {
@@ -124,8 +140,9 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         }
     }
     for &w in writes.values() {
-        dram_bytes += w;
+        write_dram += w;
     }
+    let dram_bytes = read_dram + write_dram;
 
     let flops: u64 = units.iter().map(|u| u.perf.flops).sum();
     let divergent: u64 = units.iter().map(|u| u.perf.divergent_evals).sum();
@@ -146,7 +163,7 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         .max()
         .unwrap_or(128);
 
-    let smem_violation = smem_bytes > space.smem_limit;
+    let mut smem_violation = smem_bytes > space.smem_limit;
     let fission_escape = units.iter().any(|u| {
         let original = u.parent.map_or(u.id, |p| p);
         space.units[original].fissionable() && u.mref.fission_component.is_none()
@@ -165,10 +182,78 @@ pub fn group_cost(space: &SearchSpace, members: &[usize], model: &TimingModel) -
         divergent_evals: divergent,
         depth,
     };
-    let time_us = model
+    let mut time_us = model
         .launch_cost(&profile)
         .map(|c| c.total_us())
         .unwrap_or(f64::INFINITY);
+
+    if fold > 1 {
+        // Execution order of the folded steps: member unit ids ascend with
+        // host sequence order (temporal groups never contain fission
+        // products, see `SearchSpace::temporal_group`).
+        let mut ordered = units.clone();
+        ordered.sort_by_key(|u| u.id);
+        let radii: Vec<(i64, i64)> = ordered
+            .iter()
+            .map(|u| {
+                u.ops
+                    .shapes
+                    .iter()
+                    .filter(|s| s.rank == 3 && s.read)
+                    .map(|s| (s.radius[1], s.radius[2]))
+                    .fold((0i64, 0i64), |acc, (ry, rx)| (acc.0.max(ry), acc.1.max(rx)))
+            })
+            .collect();
+        let (sum_ry, sum_rx) = radii.iter().fold((0i64, 0i64), |a, r| (a.0 + r.0, a.1 + r.1));
+        let (dy, dx) = (i64::from(fold) * sum_ry, i64::from(fold) * sum_rx);
+        if 2 * dx >= bx.0 || 2 * dy >= bx.1 {
+            // The accumulated halo no longer fits the block: the code
+            // generator rejects this geometry, so the degree must never
+            // win the argmin.
+            time_us = f64::INFINITY;
+        } else {
+            let base_area = (bx.0 * bx.1) as f64;
+            let halo_area = ((bx.0 + 2 * dx) * (bx.1 + 2 * dy)) as f64;
+            // Step `s` computes the region every later step still needs:
+            // the region widths are suffix sums of the per-step radii.
+            let steps = fold as usize * radii.len();
+            let mut recompute_sum = 0.0;
+            let (mut wy, mut wx) = (0i64, 0i64);
+            for s in (0..steps).rev() {
+                recompute_sum += ((bx.0 + 2 * wx) * (bx.1 + 2 * wy)) as f64;
+                let (ry, rx) = radii[s % radii.len()];
+                wy += ry;
+                wx += rx;
+            }
+            // Only the arrays written inside the group are staged through
+            // shared tiles sized to the full accumulated halo.
+            let t_smem = writes.len() * (((bx.0 + 2 * dx) * (bx.1 + 2 * dy)) as usize) * 8;
+            smem_bytes = t_smem;
+            smem_violation = t_smem > space.smem_limit;
+            if smem_violation {
+                // Unlike spatial staging (a soft penalty the code generator
+                // can still launch), an over-limit temporal tile is a hard
+                // structural reject in codegen — the degree must never win
+                // the argmin.
+                time_us = f64::INFINITY;
+            } else {
+                let tf = sf_gpusim::timing::TemporalFold {
+                    fold,
+                    halo_read_ratio: halo_area / base_area,
+                    recompute_ratio: recompute_sum / (steps as f64 * base_area),
+                    smem_per_block: t_smem,
+                };
+                let folded = profile.folded(read_dram, write_dram, &tf);
+                // One folded launch covers `fold` host iterations: amortize
+                // so the cost compares per-iteration against the spatial
+                // rung.
+                time_us = model
+                    .launch_cost(&folded)
+                    .map(|c| c.total_us() / f64::from(fold))
+                    .unwrap_or(f64::INFINITY);
+            }
+        }
+    }
 
     let max_dispersion = units
         .iter()

@@ -65,6 +65,11 @@ pub struct SearchConfig {
     pub migration_interval: usize,
     /// Elites each island sends to its ring neighbor at a migration epoch.
     pub migrants: usize,
+    /// Highest temporal-blocking degree the search may assign to a fusion
+    /// group that covers an entire recorded host time loop. 1 disables the
+    /// temporal dimension entirely and reproduces the pre-temporal search
+    /// byte for byte.
+    pub max_temporal: u32,
 }
 
 impl Default for SearchConfig {
@@ -93,6 +98,7 @@ impl Default for SearchConfig {
             islands: 1,
             migration_interval: 8,
             migrants: 2,
+            max_temporal: 1,
         }
     }
 }

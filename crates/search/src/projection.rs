@@ -21,21 +21,27 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Content-addressed cache key of one group: its member unit ids, sorted.
+/// Content-addressed cache key of one group: its member unit ids, sorted,
+/// plus the temporal-blocking degree the cost was projected at.
 ///
 /// Unit ids already encode the fission state (an original launch and each
 /// of its fission products are distinct units), and the projected cost of
-/// a group is a pure function of its member set, so nothing else belongs
-/// in the key.
+/// a group is a pure function of its member set and degree, so nothing
+/// else belongs in the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct GroupKey(Vec<usize>);
+pub struct GroupKey(Vec<usize>, u32);
 
 impl GroupKey {
-    /// Canonical key for `members` (sorted copy).
+    /// Canonical key for `members` at the identity degree (sorted copy).
     pub fn of(members: &[usize]) -> GroupKey {
+        GroupKey::at(members, 1)
+    }
+
+    /// Canonical key for `members` at temporal degree `fold`.
+    pub fn at(members: &[usize], fold: u32) -> GroupKey {
         let mut k = members.to_vec();
         k.sort_unstable();
-        GroupKey(k)
+        GroupKey(k, fold)
     }
 }
 
@@ -93,10 +99,17 @@ impl<'a> ProjectionEngine<'a> {
         &self.model
     }
 
-    /// Memoized [`group_cost`]: served from the cache when the (sorted)
-    /// member set has been projected before, computed and cached otherwise.
+    /// The cost of the group at its best temporal degree — the projection
+    /// the fitness function sees. For ordinary groups this is the plain
+    /// spatial cost; for a whole-loop temporal candidate every eligible
+    /// degree is projected (memoized per degree) and the cheapest wins.
     pub fn group_cost(&self, members: &[usize]) -> GroupCost {
-        let key = GroupKey::of(members);
+        self.best_fold(members).1
+    }
+
+    /// Memoized [`group_cost`] at one explicit temporal degree.
+    pub fn group_cost_at(&self, members: &[usize], fold: u32) -> GroupCost {
+        let key = GroupKey::at(members, fold);
         if let Some(cost) = self.cache.lock().expect("projection cache").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *cost;
@@ -104,13 +117,44 @@ impl<'a> ProjectionEngine<'a> {
         // Compute outside the lock: a miss is the expensive path, and two
         // threads racing on the same key write the same (deterministic)
         // value.
-        let cost = group_cost(self.space, &key.0, &self.model);
+        let cost = group_cost(self.space, &key.0, &self.model, fold);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cache
             .lock()
             .expect("projection cache")
             .insert(key, cost);
         cost
+    }
+
+    /// Scan the identity degree plus every eligible temporal degree for
+    /// this group and return the winner — deterministic argmin on projected
+    /// time, ties broken toward the *smallest* degree (so the identity is
+    /// never displaced without a strict improvement).
+    pub fn best_fold(&self, members: &[usize]) -> (u32, GroupCost) {
+        let mut best = (1u32, self.group_cost_at(members, 1));
+        if let Some(li) = self.space.temporal_group(members) {
+            // A candidate held together only by the temporal exemption —
+            // it carries an intra-group hard edge — has no legal spatial
+            // identity: at degree 1 codegen would be asked to fuse across
+            // a loop-carried anti dependence and reject. Price the
+            // identity as infinite so a group whose every eligible degree
+            // is also illegal (geometry or shared memory) never wins.
+            let hard_inside = members.iter().any(|&a| {
+                members
+                    .iter()
+                    .any(|&b| self.space.edges.get(&(a, b)).is_some_and(|e| e.hard))
+            });
+            if hard_inside {
+                best.1.time_us = f64::INFINITY;
+            }
+            for t in self.space.temporal_degrees(li) {
+                let cost = self.group_cost_at(members, t);
+                if cost.time_us < best.1.time_us {
+                    best = (t, cost);
+                }
+            }
+        }
+        best
     }
 
     /// Current cache counters.
@@ -160,7 +204,7 @@ void host() {
     fn cache_hits_repeat_lookups_and_matches_direct_costs() {
         let space = space_for(TRIO);
         let engine = ProjectionEngine::new(&space);
-        let direct = group_cost(&space, &[0, 1], engine.model());
+        let direct = group_cost(&space, &[0, 1], engine.model(), 1);
         let first = engine.group_cost(&[0, 1]);
         let second = engine.group_cost(&[0, 1]);
         assert_eq!(first, direct);
@@ -190,7 +234,7 @@ void host() {
         // direct uncached computation exactly.
         for members in [vec![0], vec![1], vec![0, 2], vec![0, 1, 2]] {
             let got = engine.group_cost(&members);
-            let want = group_cost(&space, &members, engine.model());
+            let want = group_cost(&space, &members, engine.model(), 1);
             assert_eq!(got, want, "members {members:?}");
         }
         let s = engine.stats();

@@ -46,6 +46,9 @@ pub struct Unit {
     pub threads_per_block: u32,
     /// Times this launch executes (host repeat weight).
     pub repeat: u64,
+    /// Recorded host time loop containing this launch, if any (products
+    /// inherit their parent's loop).
+    pub loop_id: Option<usize>,
 }
 
 impl Unit {
@@ -74,6 +77,15 @@ pub struct UnitEdge {
     pub hard: bool,
 }
 
+/// One recorded host time loop, at unit granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpan {
+    /// Evaluated trip count.
+    pub count: u64,
+    /// Original unit ids of the loop body, in body order.
+    pub units: Vec<usize>,
+}
+
 /// The complete search space.
 #[derive(Debug, Clone)]
 #[allow(missing_docs)] // fields/variants carry descriptive names; see the type doc
@@ -84,6 +96,11 @@ pub struct SearchSpace {
     pub device: DeviceSpec,
     /// Shared-memory capacity per block, bytes.
     pub smem_limit: usize,
+    /// Recorded host time loops (unit granularity); empty for flat programs.
+    pub loops: Vec<LoopSpan>,
+    /// Highest temporal-blocking degree the search may assign to a
+    /// whole-loop group (1 disables the dimension entirely).
+    pub max_temporal: u32,
 }
 
 impl SearchSpace {
@@ -94,6 +111,37 @@ impl SearchSpace {
             .iter()
             .filter(|u| u.parent.is_none() && u.eligible)
             .map(|u| u.id)
+            .collect()
+    }
+
+    /// If `members` is a temporal-fold candidate — at least two original
+    /// units that exactly cover one recorded host time loop, with the
+    /// temporal dimension enabled — return the loop index.
+    pub fn temporal_group(&self, members: &[usize]) -> Option<usize> {
+        if self.max_temporal < 2 || members.len() < 2 {
+            return None;
+        }
+        if members
+            .iter()
+            .any(|&m| self.units[m].mref.fission_component.is_some())
+        {
+            return None;
+        }
+        let li = self.units[members[0]].loop_id?;
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        let mut loop_units = self.loops[li].units.clone();
+        loop_units.sort_unstable();
+        (sorted == loop_units).then_some(li)
+    }
+
+    /// Temporal degrees worth projecting for loop `li`: each `T` in
+    /// `2..=max_temporal` whose ping-pong pair divides the trip count.
+    /// (Geometry — halo growth vs block size — is the cost model's job.)
+    pub fn temporal_degrees(&self, li: usize) -> Vec<u32> {
+        let count = self.loops[li].count;
+        (2..=self.max_temporal)
+            .filter(|&t| count.is_multiple_of(2 * u64::from(t)))
             .collect()
     }
 
@@ -109,6 +157,12 @@ impl SearchSpace {
     ) -> Result<SearchSpace, ProfileError> {
         assert_eq!(decisions.len(), plan.launches.len());
         let accesses = all_accesses_with_allocs(program, plan).map_err(ProfileError::msg)?;
+        let loop_of: BTreeMap<usize, usize> = plan
+            .loops
+            .iter()
+            .enumerate()
+            .flat_map(|(li, l)| l.seqs.iter().map(move |&s| (s, li)))
+            .collect();
 
         let mut units: Vec<Unit> = Vec::new();
         for launch in &plan.launches {
@@ -126,6 +180,7 @@ impl SearchSpace {
                 blocks: launch.grid.count(),
                 threads_per_block: launch.block.count() as u32,
                 repeat: launch.repeat,
+                loop_id: loop_of.get(&seq).copied(),
             });
         }
 
@@ -205,6 +260,7 @@ impl SearchSpace {
                     blocks: launch.grid.count(),
                     threads_per_block: launch.block.count() as u32,
                     repeat: units[*parent_seq].repeat,
+                    loop_id: units[*parent_seq].loop_id,
                 });
             }
         }
@@ -292,12 +348,37 @@ impl SearchSpace {
             }
         }
 
+        // A fusion group may not straddle a host time loop boundary: pin a
+        // hard edge between every pair of units with different loop
+        // membership (in seq order, matching the dependence edges above).
+        for a in 0..units.len() {
+            for b in 0..units.len() {
+                let (ua, ub) = (&units[a], &units[b]);
+                let (sa, sb) = (seq_of(ua), seq_of(ub));
+                if sa >= sb || ua.loop_id == ub.loop_id {
+                    continue;
+                }
+                edges.insert((a, b), UnitEdge { hard: true });
+            }
+        }
+
+        let loops = plan
+            .loops
+            .iter()
+            .map(|l| LoopSpan {
+                count: l.count,
+                units: l.seqs.clone(),
+            })
+            .collect();
+
         let smem_limit = device.smem_per_block_max;
         Ok(SearchSpace {
             units,
             edges,
             device,
             smem_limit,
+            loops,
+            max_temporal: 1,
         })
     }
 }

@@ -1,0 +1,169 @@
+__global__ void fused_0(const double* __restrict__ a, const double* __restrict__ b, double* __restrict__ b__out, double* __restrict__ a__out, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  __shared__ double s_b[40][40];
+  __shared__ double s_a[40][40];
+  for (int k = 0; k < 4; k++) {
+    s_b[ty + 4][tx + 4] = (i < 64 && j < 32) ? (b[k][j][i]) : (0.0);
+    if (tx < 4) {
+      s_b[ty + 4][tx] = (i - 4 >= 0 && j < 32) ? (b[k][j][i - 4]) : (0.0);
+    }
+    if (tx >= 28) {
+      s_b[ty + 4][tx + 8] = (i + 4 < 64 && j < 32) ? (b[k][j][i + 4]) : (0.0);
+    }
+    if (ty < 4) {
+      s_b[ty][tx + 4] = (i < 64 && j - 4 >= 0) ? (b[k][j - 4][i]) : (0.0);
+    }
+    if (ty >= 28) {
+      s_b[ty + 8][tx + 4] = (i < 64 && j + 4 < 32) ? (b[k][j + 4][i]) : (0.0);
+    }
+    if (tx < 4 && ty < 4) {
+      s_b[ty][tx] = (i - 4 >= 0 && i - 4 < 64 && j - 4 >= 0 && j - 4 < 32) ? (b[k][j - 4][i - 4]) : (0.0);
+    }
+    if (tx < 4 && ty >= 28) {
+      s_b[ty + 8][tx] = (i - 4 >= 0 && i - 4 < 64 && j + 4 >= 0 && j + 4 < 32) ? (b[k][j + 4][i - 4]) : (0.0);
+    }
+    if (tx >= 28 && ty < 4) {
+      s_b[ty][tx + 8] = (i + 4 >= 0 && i + 4 < 64 && j - 4 >= 0 && j - 4 < 32) ? (b[k][j - 4][i + 4]) : (0.0);
+    }
+    if (tx >= 28 && ty >= 28) {
+      s_b[ty + 8][tx + 8] = (i + 4 >= 0 && i + 4 < 64 && j + 4 >= 0 && j + 4 < 32) ? (b[k][j + 4][i + 4]) : (0.0);
+    }
+    s_a[ty + 4][tx + 4] = (i < 64 && j < 32) ? (a[k][j][i]) : (0.0);
+    if (tx < 4) {
+      s_a[ty + 4][tx] = (i - 4 >= 0 && j < 32) ? (a[k][j][i - 4]) : (0.0);
+    }
+    if (tx >= 28) {
+      s_a[ty + 4][tx + 8] = (i + 4 < 64 && j < 32) ? (a[k][j][i + 4]) : (0.0);
+    }
+    if (ty < 4) {
+      s_a[ty][tx + 4] = (i < 64 && j - 4 >= 0) ? (a[k][j - 4][i]) : (0.0);
+    }
+    if (ty >= 28) {
+      s_a[ty + 8][tx + 4] = (i < 64 && j + 4 < 32) ? (a[k][j + 4][i]) : (0.0);
+    }
+    if (tx < 4 && ty < 4) {
+      s_a[ty][tx] = (i - 4 >= 0 && i - 4 < 64 && j - 4 >= 0 && j - 4 < 32) ? (a[k][j - 4][i - 4]) : (0.0);
+    }
+    if (tx < 4 && ty >= 28) {
+      s_a[ty + 8][tx] = (i - 4 >= 0 && i - 4 < 64 && j + 4 >= 0 && j + 4 < 32) ? (a[k][j + 4][i - 4]) : (0.0);
+    }
+    if (tx >= 28 && ty < 4) {
+      s_a[ty][tx + 8] = (i + 4 >= 0 && i + 4 < 64 && j - 4 >= 0 && j - 4 < 32) ? (a[k][j - 4][i + 4]) : (0.0);
+    }
+    if (tx >= 28 && ty >= 28) {
+      s_a[ty + 8][tx + 8] = (i + 4 >= 0 && i + 4 < 64 && j + 4 >= 0 && j + 4 < 32) ? (a[k][j + 4][i + 4]) : (0.0);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 4] = 0.2 * (s_a[ty + 4][tx + 4] + s_a[ty + 4][tx + 5] + s_a[ty + 4][tx + 3] + s_a[ty + 5][tx + 4] + s_a[ty + 3][tx + 4]);
+    }
+    if (tx < 3 && i - 3 >= 1 && i - 3 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 1] = 0.2 * (s_a[ty + 4][tx + 1] + s_a[ty + 4][tx + 2] + s_a[ty + 4][tx] + s_a[ty + 5][tx + 1] + s_a[ty + 3][tx + 1]);
+    }
+    if (tx >= 29 && i + 3 >= 1 && i + 3 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 7] = 0.2 * (s_a[ty + 4][tx + 7] + s_a[ty + 4][tx + 8] + s_a[ty + 4][tx + 6] + s_a[ty + 5][tx + 7] + s_a[ty + 3][tx + 7]);
+    }
+    if (ty < 3 && i >= 1 && i < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 1][tx + 4] = 0.2 * (s_a[ty + 1][tx + 4] + s_a[ty + 1][tx + 5] + s_a[ty + 1][tx + 3] + s_a[ty + 2][tx + 4] + s_a[ty][tx + 4]);
+    }
+    if (ty >= 29 && i >= 1 && i < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 7][tx + 4] = 0.2 * (s_a[ty + 7][tx + 4] + s_a[ty + 7][tx + 5] + s_a[ty + 7][tx + 3] + s_a[ty + 8][tx + 4] + s_a[ty + 6][tx + 4]);
+    }
+    if (tx < 3 && ty < 3 && i - 3 >= 1 && i - 3 < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 1][tx + 1] = 0.2 * (s_a[ty + 1][tx + 1] + s_a[ty + 1][tx + 2] + s_a[ty + 1][tx] + s_a[ty + 2][tx + 1] + s_a[ty][tx + 1]);
+    }
+    if (tx < 3 && ty >= 29 && i - 3 >= 1 && i - 3 < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 7][tx + 1] = 0.2 * (s_a[ty + 7][tx + 1] + s_a[ty + 7][tx + 2] + s_a[ty + 7][tx] + s_a[ty + 8][tx + 1] + s_a[ty + 6][tx + 1]);
+    }
+    if (tx >= 29 && ty < 3 && i + 3 >= 1 && i + 3 < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 1][tx + 7] = 0.2 * (s_a[ty + 1][tx + 7] + s_a[ty + 1][tx + 8] + s_a[ty + 1][tx + 6] + s_a[ty + 2][tx + 7] + s_a[ty][tx + 7]);
+    }
+    if (tx >= 29 && ty >= 29 && i + 3 >= 1 && i + 3 < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 7][tx + 7] = 0.2 * (s_a[ty + 7][tx + 7] + s_a[ty + 7][tx + 8] + s_a[ty + 7][tx + 6] + s_a[ty + 8][tx + 7] + s_a[ty + 6][tx + 7]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 4][tx + 4] = 0.2 * (s_b[ty + 4][tx + 4] + s_b[ty + 4][tx + 5] + s_b[ty + 4][tx + 3] + s_b[ty + 5][tx + 4] + s_b[ty + 3][tx + 4]);
+    }
+    if (tx < 2 && i - 2 >= 1 && i - 2 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 4][tx + 2] = 0.2 * (s_b[ty + 4][tx + 2] + s_b[ty + 4][tx + 3] + s_b[ty + 4][tx + 1] + s_b[ty + 5][tx + 2] + s_b[ty + 3][tx + 2]);
+    }
+    if (tx >= 30 && i + 2 >= 1 && i + 2 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 4][tx + 6] = 0.2 * (s_b[ty + 4][tx + 6] + s_b[ty + 4][tx + 7] + s_b[ty + 4][tx + 5] + s_b[ty + 5][tx + 6] + s_b[ty + 3][tx + 6]);
+    }
+    if (ty < 2 && i >= 1 && i < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 2][tx + 4] = 0.2 * (s_b[ty + 2][tx + 4] + s_b[ty + 2][tx + 5] + s_b[ty + 2][tx + 3] + s_b[ty + 3][tx + 4] + s_b[ty + 1][tx + 4]);
+    }
+    if (ty >= 30 && i >= 1 && i < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 6][tx + 4] = 0.2 * (s_b[ty + 6][tx + 4] + s_b[ty + 6][tx + 5] + s_b[ty + 6][tx + 3] + s_b[ty + 7][tx + 4] + s_b[ty + 5][tx + 4]);
+    }
+    if (tx < 2 && ty < 2 && i - 2 >= 1 && i - 2 < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 2][tx + 2] = 0.2 * (s_b[ty + 2][tx + 2] + s_b[ty + 2][tx + 3] + s_b[ty + 2][tx + 1] + s_b[ty + 3][tx + 2] + s_b[ty + 1][tx + 2]);
+    }
+    if (tx < 2 && ty >= 30 && i - 2 >= 1 && i - 2 < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 6][tx + 2] = 0.2 * (s_b[ty + 6][tx + 2] + s_b[ty + 6][tx + 3] + s_b[ty + 6][tx + 1] + s_b[ty + 7][tx + 2] + s_b[ty + 5][tx + 2]);
+    }
+    if (tx >= 30 && ty < 2 && i + 2 >= 1 && i + 2 < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 2][tx + 6] = 0.2 * (s_b[ty + 2][tx + 6] + s_b[ty + 2][tx + 7] + s_b[ty + 2][tx + 5] + s_b[ty + 3][tx + 6] + s_b[ty + 1][tx + 6]);
+    }
+    if (tx >= 30 && ty >= 30 && i + 2 >= 1 && i + 2 < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 6][tx + 6] = 0.2 * (s_b[ty + 6][tx + 6] + s_b[ty + 6][tx + 7] + s_b[ty + 6][tx + 5] + s_b[ty + 7][tx + 6] + s_b[ty + 5][tx + 6]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 4] = 0.2 * (s_a[ty + 4][tx + 4] + s_a[ty + 4][tx + 5] + s_a[ty + 4][tx + 3] + s_a[ty + 5][tx + 4] + s_a[ty + 3][tx + 4]);
+    }
+    if (tx < 1 && i - 1 >= 1 && i - 1 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 3] = 0.2 * (s_a[ty + 4][tx + 3] + s_a[ty + 4][tx + 4] + s_a[ty + 4][tx + 2] + s_a[ty + 5][tx + 3] + s_a[ty + 3][tx + 3]);
+    }
+    if (tx >= 31 && i + 1 >= 1 && i + 1 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 4][tx + 5] = 0.2 * (s_a[ty + 4][tx + 5] + s_a[ty + 4][tx + 6] + s_a[ty + 4][tx + 4] + s_a[ty + 5][tx + 5] + s_a[ty + 3][tx + 5]);
+    }
+    if (ty < 1 && i >= 1 && i < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 3][tx + 4] = 0.2 * (s_a[ty + 3][tx + 4] + s_a[ty + 3][tx + 5] + s_a[ty + 3][tx + 3] + s_a[ty + 4][tx + 4] + s_a[ty + 2][tx + 4]);
+    }
+    if (ty >= 31 && i >= 1 && i < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 5][tx + 4] = 0.2 * (s_a[ty + 5][tx + 4] + s_a[ty + 5][tx + 5] + s_a[ty + 5][tx + 3] + s_a[ty + 6][tx + 4] + s_a[ty + 4][tx + 4]);
+    }
+    if (tx < 1 && ty < 1 && i - 1 >= 1 && i - 1 < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 3][tx + 3] = 0.2 * (s_a[ty + 3][tx + 3] + s_a[ty + 3][tx + 4] + s_a[ty + 3][tx + 2] + s_a[ty + 4][tx + 3] + s_a[ty + 2][tx + 3]);
+    }
+    if (tx < 1 && ty >= 31 && i - 1 >= 1 && i - 1 < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 5][tx + 3] = 0.2 * (s_a[ty + 5][tx + 3] + s_a[ty + 5][tx + 4] + s_a[ty + 5][tx + 2] + s_a[ty + 6][tx + 3] + s_a[ty + 4][tx + 3]);
+    }
+    if (tx >= 31 && ty < 1 && i + 1 >= 1 && i + 1 < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 3][tx + 5] = 0.2 * (s_a[ty + 3][tx + 5] + s_a[ty + 3][tx + 6] + s_a[ty + 3][tx + 4] + s_a[ty + 4][tx + 5] + s_a[ty + 2][tx + 5]);
+    }
+    if (tx >= 31 && ty >= 31 && i + 1 >= 1 && i + 1 < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 5][tx + 5] = 0.2 * (s_a[ty + 5][tx + 5] + s_a[ty + 5][tx + 6] + s_a[ty + 5][tx + 4] + s_a[ty + 6][tx + 5] + s_a[ty + 4][tx + 5]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 4][tx + 4] = 0.2 * (s_b[ty + 4][tx + 4] + s_b[ty + 4][tx + 5] + s_b[ty + 4][tx + 3] + s_b[ty + 5][tx + 4] + s_b[ty + 3][tx + 4]);
+    }
+    __syncthreads();
+    if (i < 64 && j < 32) {
+      b__out[k][j][i] = s_b[ty + 4][tx + 4];
+      a__out[k][j][i] = s_a[ty + 4][tx + 4];
+    }
+    __syncthreads();
+  }
+}
+
+void host() {
+  double* a = cudaAlloc3D(4, 32, 64);
+  double* b = cudaAlloc3D(4, 32, 64);
+  double* b__tb = cudaAlloc3D(4, 32, 64);
+  double* a__tb = cudaAlloc3D(4, 32, 64);
+  cudaMemcpyH2D(a);
+  cudaMemcpyH2D(b);
+  for (int t = 0; t < 2; t++) {
+    fused_0<<<dim3(2, 1, 1), dim3(32, 32, 1)>>>(a, b, b__tb, a__tb, 64, 32, 4);
+    fused_0<<<dim3(2, 1, 1), dim3(32, 32, 1)>>>(a__tb, b__tb, b, a, 64, 32, 4);
+  }
+  cudaMemcpyD2H(a);
+  cudaMemcpyD2H(b);
+}

@@ -1,0 +1,281 @@
+__global__ void fused_0(const double* __restrict__ a, const double* __restrict__ b, double* __restrict__ b__out, double* __restrict__ a__out, int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  __shared__ double s_b[48][48];
+  __shared__ double s_a[48][48];
+  for (int k = 0; k < 4; k++) {
+    s_b[ty + 8][tx + 8] = (i < 64 && j < 32) ? (b[k][j][i]) : (0.0);
+    if (tx < 8) {
+      s_b[ty + 8][tx] = (i - 8 >= 0 && j < 32) ? (b[k][j][i - 8]) : (0.0);
+    }
+    if (tx >= 24) {
+      s_b[ty + 8][tx + 16] = (i + 8 < 64 && j < 32) ? (b[k][j][i + 8]) : (0.0);
+    }
+    if (ty < 8) {
+      s_b[ty][tx + 8] = (i < 64 && j - 8 >= 0) ? (b[k][j - 8][i]) : (0.0);
+    }
+    if (ty >= 24) {
+      s_b[ty + 16][tx + 8] = (i < 64 && j + 8 < 32) ? (b[k][j + 8][i]) : (0.0);
+    }
+    if (tx < 8 && ty < 8) {
+      s_b[ty][tx] = (i - 8 >= 0 && i - 8 < 64 && j - 8 >= 0 && j - 8 < 32) ? (b[k][j - 8][i - 8]) : (0.0);
+    }
+    if (tx < 8 && ty >= 24) {
+      s_b[ty + 16][tx] = (i - 8 >= 0 && i - 8 < 64 && j + 8 >= 0 && j + 8 < 32) ? (b[k][j + 8][i - 8]) : (0.0);
+    }
+    if (tx >= 24 && ty < 8) {
+      s_b[ty][tx + 16] = (i + 8 >= 0 && i + 8 < 64 && j - 8 >= 0 && j - 8 < 32) ? (b[k][j - 8][i + 8]) : (0.0);
+    }
+    if (tx >= 24 && ty >= 24) {
+      s_b[ty + 16][tx + 16] = (i + 8 >= 0 && i + 8 < 64 && j + 8 >= 0 && j + 8 < 32) ? (b[k][j + 8][i + 8]) : (0.0);
+    }
+    s_a[ty + 8][tx + 8] = (i < 64 && j < 32) ? (a[k][j][i]) : (0.0);
+    if (tx < 8) {
+      s_a[ty + 8][tx] = (i - 8 >= 0 && j < 32) ? (a[k][j][i - 8]) : (0.0);
+    }
+    if (tx >= 24) {
+      s_a[ty + 8][tx + 16] = (i + 8 < 64 && j < 32) ? (a[k][j][i + 8]) : (0.0);
+    }
+    if (ty < 8) {
+      s_a[ty][tx + 8] = (i < 64 && j - 8 >= 0) ? (a[k][j - 8][i]) : (0.0);
+    }
+    if (ty >= 24) {
+      s_a[ty + 16][tx + 8] = (i < 64 && j + 8 < 32) ? (a[k][j + 8][i]) : (0.0);
+    }
+    if (tx < 8 && ty < 8) {
+      s_a[ty][tx] = (i - 8 >= 0 && i - 8 < 64 && j - 8 >= 0 && j - 8 < 32) ? (a[k][j - 8][i - 8]) : (0.0);
+    }
+    if (tx < 8 && ty >= 24) {
+      s_a[ty + 16][tx] = (i - 8 >= 0 && i - 8 < 64 && j + 8 >= 0 && j + 8 < 32) ? (a[k][j + 8][i - 8]) : (0.0);
+    }
+    if (tx >= 24 && ty < 8) {
+      s_a[ty][tx + 16] = (i + 8 >= 0 && i + 8 < 64 && j - 8 >= 0 && j - 8 < 32) ? (a[k][j - 8][i + 8]) : (0.0);
+    }
+    if (tx >= 24 && ty >= 24) {
+      s_a[ty + 16][tx + 16] = (i + 8 >= 0 && i + 8 < 64 && j + 8 >= 0 && j + 8 < 32) ? (a[k][j + 8][i + 8]) : (0.0);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 8] = 0.2 * (s_a[ty + 8][tx + 8] + s_a[ty + 8][tx + 9] + s_a[ty + 8][tx + 7] + s_a[ty + 9][tx + 8] + s_a[ty + 7][tx + 8]);
+    }
+    if (tx < 7 && i - 7 >= 1 && i - 7 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 1] = 0.2 * (s_a[ty + 8][tx + 1] + s_a[ty + 8][tx + 2] + s_a[ty + 8][tx] + s_a[ty + 9][tx + 1] + s_a[ty + 7][tx + 1]);
+    }
+    if (tx >= 25 && i + 7 >= 1 && i + 7 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 15] = 0.2 * (s_a[ty + 8][tx + 15] + s_a[ty + 8][tx + 16] + s_a[ty + 8][tx + 14] + s_a[ty + 9][tx + 15] + s_a[ty + 7][tx + 15]);
+    }
+    if (ty < 7 && i >= 1 && i < 63 && j - 7 >= 1 && j - 7 < 31) {
+      s_b[ty + 1][tx + 8] = 0.2 * (s_a[ty + 1][tx + 8] + s_a[ty + 1][tx + 9] + s_a[ty + 1][tx + 7] + s_a[ty + 2][tx + 8] + s_a[ty][tx + 8]);
+    }
+    if (ty >= 25 && i >= 1 && i < 63 && j + 7 >= 1 && j + 7 < 31) {
+      s_b[ty + 15][tx + 8] = 0.2 * (s_a[ty + 15][tx + 8] + s_a[ty + 15][tx + 9] + s_a[ty + 15][tx + 7] + s_a[ty + 16][tx + 8] + s_a[ty + 14][tx + 8]);
+    }
+    if (tx < 7 && ty < 7 && i - 7 >= 1 && i - 7 < 63 && j - 7 >= 1 && j - 7 < 31) {
+      s_b[ty + 1][tx + 1] = 0.2 * (s_a[ty + 1][tx + 1] + s_a[ty + 1][tx + 2] + s_a[ty + 1][tx] + s_a[ty + 2][tx + 1] + s_a[ty][tx + 1]);
+    }
+    if (tx < 7 && ty >= 25 && i - 7 >= 1 && i - 7 < 63 && j + 7 >= 1 && j + 7 < 31) {
+      s_b[ty + 15][tx + 1] = 0.2 * (s_a[ty + 15][tx + 1] + s_a[ty + 15][tx + 2] + s_a[ty + 15][tx] + s_a[ty + 16][tx + 1] + s_a[ty + 14][tx + 1]);
+    }
+    if (tx >= 25 && ty < 7 && i + 7 >= 1 && i + 7 < 63 && j - 7 >= 1 && j - 7 < 31) {
+      s_b[ty + 1][tx + 15] = 0.2 * (s_a[ty + 1][tx + 15] + s_a[ty + 1][tx + 16] + s_a[ty + 1][tx + 14] + s_a[ty + 2][tx + 15] + s_a[ty][tx + 15]);
+    }
+    if (tx >= 25 && ty >= 25 && i + 7 >= 1 && i + 7 < 63 && j + 7 >= 1 && j + 7 < 31) {
+      s_b[ty + 15][tx + 15] = 0.2 * (s_a[ty + 15][tx + 15] + s_a[ty + 15][tx + 16] + s_a[ty + 15][tx + 14] + s_a[ty + 16][tx + 15] + s_a[ty + 14][tx + 15]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 8] = 0.2 * (s_b[ty + 8][tx + 8] + s_b[ty + 8][tx + 9] + s_b[ty + 8][tx + 7] + s_b[ty + 9][tx + 8] + s_b[ty + 7][tx + 8]);
+    }
+    if (tx < 6 && i - 6 >= 1 && i - 6 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 2] = 0.2 * (s_b[ty + 8][tx + 2] + s_b[ty + 8][tx + 3] + s_b[ty + 8][tx + 1] + s_b[ty + 9][tx + 2] + s_b[ty + 7][tx + 2]);
+    }
+    if (tx >= 26 && i + 6 >= 1 && i + 6 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 14] = 0.2 * (s_b[ty + 8][tx + 14] + s_b[ty + 8][tx + 15] + s_b[ty + 8][tx + 13] + s_b[ty + 9][tx + 14] + s_b[ty + 7][tx + 14]);
+    }
+    if (ty < 6 && i >= 1 && i < 63 && j - 6 >= 1 && j - 6 < 31) {
+      s_a[ty + 2][tx + 8] = 0.2 * (s_b[ty + 2][tx + 8] + s_b[ty + 2][tx + 9] + s_b[ty + 2][tx + 7] + s_b[ty + 3][tx + 8] + s_b[ty + 1][tx + 8]);
+    }
+    if (ty >= 26 && i >= 1 && i < 63 && j + 6 >= 1 && j + 6 < 31) {
+      s_a[ty + 14][tx + 8] = 0.2 * (s_b[ty + 14][tx + 8] + s_b[ty + 14][tx + 9] + s_b[ty + 14][tx + 7] + s_b[ty + 15][tx + 8] + s_b[ty + 13][tx + 8]);
+    }
+    if (tx < 6 && ty < 6 && i - 6 >= 1 && i - 6 < 63 && j - 6 >= 1 && j - 6 < 31) {
+      s_a[ty + 2][tx + 2] = 0.2 * (s_b[ty + 2][tx + 2] + s_b[ty + 2][tx + 3] + s_b[ty + 2][tx + 1] + s_b[ty + 3][tx + 2] + s_b[ty + 1][tx + 2]);
+    }
+    if (tx < 6 && ty >= 26 && i - 6 >= 1 && i - 6 < 63 && j + 6 >= 1 && j + 6 < 31) {
+      s_a[ty + 14][tx + 2] = 0.2 * (s_b[ty + 14][tx + 2] + s_b[ty + 14][tx + 3] + s_b[ty + 14][tx + 1] + s_b[ty + 15][tx + 2] + s_b[ty + 13][tx + 2]);
+    }
+    if (tx >= 26 && ty < 6 && i + 6 >= 1 && i + 6 < 63 && j - 6 >= 1 && j - 6 < 31) {
+      s_a[ty + 2][tx + 14] = 0.2 * (s_b[ty + 2][tx + 14] + s_b[ty + 2][tx + 15] + s_b[ty + 2][tx + 13] + s_b[ty + 3][tx + 14] + s_b[ty + 1][tx + 14]);
+    }
+    if (tx >= 26 && ty >= 26 && i + 6 >= 1 && i + 6 < 63 && j + 6 >= 1 && j + 6 < 31) {
+      s_a[ty + 14][tx + 14] = 0.2 * (s_b[ty + 14][tx + 14] + s_b[ty + 14][tx + 15] + s_b[ty + 14][tx + 13] + s_b[ty + 15][tx + 14] + s_b[ty + 13][tx + 14]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 8] = 0.2 * (s_a[ty + 8][tx + 8] + s_a[ty + 8][tx + 9] + s_a[ty + 8][tx + 7] + s_a[ty + 9][tx + 8] + s_a[ty + 7][tx + 8]);
+    }
+    if (tx < 5 && i - 5 >= 1 && i - 5 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 3] = 0.2 * (s_a[ty + 8][tx + 3] + s_a[ty + 8][tx + 4] + s_a[ty + 8][tx + 2] + s_a[ty + 9][tx + 3] + s_a[ty + 7][tx + 3]);
+    }
+    if (tx >= 27 && i + 5 >= 1 && i + 5 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 13] = 0.2 * (s_a[ty + 8][tx + 13] + s_a[ty + 8][tx + 14] + s_a[ty + 8][tx + 12] + s_a[ty + 9][tx + 13] + s_a[ty + 7][tx + 13]);
+    }
+    if (ty < 5 && i >= 1 && i < 63 && j - 5 >= 1 && j - 5 < 31) {
+      s_b[ty + 3][tx + 8] = 0.2 * (s_a[ty + 3][tx + 8] + s_a[ty + 3][tx + 9] + s_a[ty + 3][tx + 7] + s_a[ty + 4][tx + 8] + s_a[ty + 2][tx + 8]);
+    }
+    if (ty >= 27 && i >= 1 && i < 63 && j + 5 >= 1 && j + 5 < 31) {
+      s_b[ty + 13][tx + 8] = 0.2 * (s_a[ty + 13][tx + 8] + s_a[ty + 13][tx + 9] + s_a[ty + 13][tx + 7] + s_a[ty + 14][tx + 8] + s_a[ty + 12][tx + 8]);
+    }
+    if (tx < 5 && ty < 5 && i - 5 >= 1 && i - 5 < 63 && j - 5 >= 1 && j - 5 < 31) {
+      s_b[ty + 3][tx + 3] = 0.2 * (s_a[ty + 3][tx + 3] + s_a[ty + 3][tx + 4] + s_a[ty + 3][tx + 2] + s_a[ty + 4][tx + 3] + s_a[ty + 2][tx + 3]);
+    }
+    if (tx < 5 && ty >= 27 && i - 5 >= 1 && i - 5 < 63 && j + 5 >= 1 && j + 5 < 31) {
+      s_b[ty + 13][tx + 3] = 0.2 * (s_a[ty + 13][tx + 3] + s_a[ty + 13][tx + 4] + s_a[ty + 13][tx + 2] + s_a[ty + 14][tx + 3] + s_a[ty + 12][tx + 3]);
+    }
+    if (tx >= 27 && ty < 5 && i + 5 >= 1 && i + 5 < 63 && j - 5 >= 1 && j - 5 < 31) {
+      s_b[ty + 3][tx + 13] = 0.2 * (s_a[ty + 3][tx + 13] + s_a[ty + 3][tx + 14] + s_a[ty + 3][tx + 12] + s_a[ty + 4][tx + 13] + s_a[ty + 2][tx + 13]);
+    }
+    if (tx >= 27 && ty >= 27 && i + 5 >= 1 && i + 5 < 63 && j + 5 >= 1 && j + 5 < 31) {
+      s_b[ty + 13][tx + 13] = 0.2 * (s_a[ty + 13][tx + 13] + s_a[ty + 13][tx + 14] + s_a[ty + 13][tx + 12] + s_a[ty + 14][tx + 13] + s_a[ty + 12][tx + 13]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 8] = 0.2 * (s_b[ty + 8][tx + 8] + s_b[ty + 8][tx + 9] + s_b[ty + 8][tx + 7] + s_b[ty + 9][tx + 8] + s_b[ty + 7][tx + 8]);
+    }
+    if (tx < 4 && i - 4 >= 1 && i - 4 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 4] = 0.2 * (s_b[ty + 8][tx + 4] + s_b[ty + 8][tx + 5] + s_b[ty + 8][tx + 3] + s_b[ty + 9][tx + 4] + s_b[ty + 7][tx + 4]);
+    }
+    if (tx >= 28 && i + 4 >= 1 && i + 4 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 12] = 0.2 * (s_b[ty + 8][tx + 12] + s_b[ty + 8][tx + 13] + s_b[ty + 8][tx + 11] + s_b[ty + 9][tx + 12] + s_b[ty + 7][tx + 12]);
+    }
+    if (ty < 4 && i >= 1 && i < 63 && j - 4 >= 1 && j - 4 < 31) {
+      s_a[ty + 4][tx + 8] = 0.2 * (s_b[ty + 4][tx + 8] + s_b[ty + 4][tx + 9] + s_b[ty + 4][tx + 7] + s_b[ty + 5][tx + 8] + s_b[ty + 3][tx + 8]);
+    }
+    if (ty >= 28 && i >= 1 && i < 63 && j + 4 >= 1 && j + 4 < 31) {
+      s_a[ty + 12][tx + 8] = 0.2 * (s_b[ty + 12][tx + 8] + s_b[ty + 12][tx + 9] + s_b[ty + 12][tx + 7] + s_b[ty + 13][tx + 8] + s_b[ty + 11][tx + 8]);
+    }
+    if (tx < 4 && ty < 4 && i - 4 >= 1 && i - 4 < 63 && j - 4 >= 1 && j - 4 < 31) {
+      s_a[ty + 4][tx + 4] = 0.2 * (s_b[ty + 4][tx + 4] + s_b[ty + 4][tx + 5] + s_b[ty + 4][tx + 3] + s_b[ty + 5][tx + 4] + s_b[ty + 3][tx + 4]);
+    }
+    if (tx < 4 && ty >= 28 && i - 4 >= 1 && i - 4 < 63 && j + 4 >= 1 && j + 4 < 31) {
+      s_a[ty + 12][tx + 4] = 0.2 * (s_b[ty + 12][tx + 4] + s_b[ty + 12][tx + 5] + s_b[ty + 12][tx + 3] + s_b[ty + 13][tx + 4] + s_b[ty + 11][tx + 4]);
+    }
+    if (tx >= 28 && ty < 4 && i + 4 >= 1 && i + 4 < 63 && j - 4 >= 1 && j - 4 < 31) {
+      s_a[ty + 4][tx + 12] = 0.2 * (s_b[ty + 4][tx + 12] + s_b[ty + 4][tx + 13] + s_b[ty + 4][tx + 11] + s_b[ty + 5][tx + 12] + s_b[ty + 3][tx + 12]);
+    }
+    if (tx >= 28 && ty >= 28 && i + 4 >= 1 && i + 4 < 63 && j + 4 >= 1 && j + 4 < 31) {
+      s_a[ty + 12][tx + 12] = 0.2 * (s_b[ty + 12][tx + 12] + s_b[ty + 12][tx + 13] + s_b[ty + 12][tx + 11] + s_b[ty + 13][tx + 12] + s_b[ty + 11][tx + 12]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 8] = 0.2 * (s_a[ty + 8][tx + 8] + s_a[ty + 8][tx + 9] + s_a[ty + 8][tx + 7] + s_a[ty + 9][tx + 8] + s_a[ty + 7][tx + 8]);
+    }
+    if (tx < 3 && i - 3 >= 1 && i - 3 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 5] = 0.2 * (s_a[ty + 8][tx + 5] + s_a[ty + 8][tx + 6] + s_a[ty + 8][tx + 4] + s_a[ty + 9][tx + 5] + s_a[ty + 7][tx + 5]);
+    }
+    if (tx >= 29 && i + 3 >= 1 && i + 3 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 11] = 0.2 * (s_a[ty + 8][tx + 11] + s_a[ty + 8][tx + 12] + s_a[ty + 8][tx + 10] + s_a[ty + 9][tx + 11] + s_a[ty + 7][tx + 11]);
+    }
+    if (ty < 3 && i >= 1 && i < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 5][tx + 8] = 0.2 * (s_a[ty + 5][tx + 8] + s_a[ty + 5][tx + 9] + s_a[ty + 5][tx + 7] + s_a[ty + 6][tx + 8] + s_a[ty + 4][tx + 8]);
+    }
+    if (ty >= 29 && i >= 1 && i < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 11][tx + 8] = 0.2 * (s_a[ty + 11][tx + 8] + s_a[ty + 11][tx + 9] + s_a[ty + 11][tx + 7] + s_a[ty + 12][tx + 8] + s_a[ty + 10][tx + 8]);
+    }
+    if (tx < 3 && ty < 3 && i - 3 >= 1 && i - 3 < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 5][tx + 5] = 0.2 * (s_a[ty + 5][tx + 5] + s_a[ty + 5][tx + 6] + s_a[ty + 5][tx + 4] + s_a[ty + 6][tx + 5] + s_a[ty + 4][tx + 5]);
+    }
+    if (tx < 3 && ty >= 29 && i - 3 >= 1 && i - 3 < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 11][tx + 5] = 0.2 * (s_a[ty + 11][tx + 5] + s_a[ty + 11][tx + 6] + s_a[ty + 11][tx + 4] + s_a[ty + 12][tx + 5] + s_a[ty + 10][tx + 5]);
+    }
+    if (tx >= 29 && ty < 3 && i + 3 >= 1 && i + 3 < 63 && j - 3 >= 1 && j - 3 < 31) {
+      s_b[ty + 5][tx + 11] = 0.2 * (s_a[ty + 5][tx + 11] + s_a[ty + 5][tx + 12] + s_a[ty + 5][tx + 10] + s_a[ty + 6][tx + 11] + s_a[ty + 4][tx + 11]);
+    }
+    if (tx >= 29 && ty >= 29 && i + 3 >= 1 && i + 3 < 63 && j + 3 >= 1 && j + 3 < 31) {
+      s_b[ty + 11][tx + 11] = 0.2 * (s_a[ty + 11][tx + 11] + s_a[ty + 11][tx + 12] + s_a[ty + 11][tx + 10] + s_a[ty + 12][tx + 11] + s_a[ty + 10][tx + 11]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 8] = 0.2 * (s_b[ty + 8][tx + 8] + s_b[ty + 8][tx + 9] + s_b[ty + 8][tx + 7] + s_b[ty + 9][tx + 8] + s_b[ty + 7][tx + 8]);
+    }
+    if (tx < 2 && i - 2 >= 1 && i - 2 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 6] = 0.2 * (s_b[ty + 8][tx + 6] + s_b[ty + 8][tx + 7] + s_b[ty + 8][tx + 5] + s_b[ty + 9][tx + 6] + s_b[ty + 7][tx + 6]);
+    }
+    if (tx >= 30 && i + 2 >= 1 && i + 2 < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 10] = 0.2 * (s_b[ty + 8][tx + 10] + s_b[ty + 8][tx + 11] + s_b[ty + 8][tx + 9] + s_b[ty + 9][tx + 10] + s_b[ty + 7][tx + 10]);
+    }
+    if (ty < 2 && i >= 1 && i < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 6][tx + 8] = 0.2 * (s_b[ty + 6][tx + 8] + s_b[ty + 6][tx + 9] + s_b[ty + 6][tx + 7] + s_b[ty + 7][tx + 8] + s_b[ty + 5][tx + 8]);
+    }
+    if (ty >= 30 && i >= 1 && i < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 10][tx + 8] = 0.2 * (s_b[ty + 10][tx + 8] + s_b[ty + 10][tx + 9] + s_b[ty + 10][tx + 7] + s_b[ty + 11][tx + 8] + s_b[ty + 9][tx + 8]);
+    }
+    if (tx < 2 && ty < 2 && i - 2 >= 1 && i - 2 < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 6][tx + 6] = 0.2 * (s_b[ty + 6][tx + 6] + s_b[ty + 6][tx + 7] + s_b[ty + 6][tx + 5] + s_b[ty + 7][tx + 6] + s_b[ty + 5][tx + 6]);
+    }
+    if (tx < 2 && ty >= 30 && i - 2 >= 1 && i - 2 < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 10][tx + 6] = 0.2 * (s_b[ty + 10][tx + 6] + s_b[ty + 10][tx + 7] + s_b[ty + 10][tx + 5] + s_b[ty + 11][tx + 6] + s_b[ty + 9][tx + 6]);
+    }
+    if (tx >= 30 && ty < 2 && i + 2 >= 1 && i + 2 < 63 && j - 2 >= 1 && j - 2 < 31) {
+      s_a[ty + 6][tx + 10] = 0.2 * (s_b[ty + 6][tx + 10] + s_b[ty + 6][tx + 11] + s_b[ty + 6][tx + 9] + s_b[ty + 7][tx + 10] + s_b[ty + 5][tx + 10]);
+    }
+    if (tx >= 30 && ty >= 30 && i + 2 >= 1 && i + 2 < 63 && j + 2 >= 1 && j + 2 < 31) {
+      s_a[ty + 10][tx + 10] = 0.2 * (s_b[ty + 10][tx + 10] + s_b[ty + 10][tx + 11] + s_b[ty + 10][tx + 9] + s_b[ty + 11][tx + 10] + s_b[ty + 9][tx + 10]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 8] = 0.2 * (s_a[ty + 8][tx + 8] + s_a[ty + 8][tx + 9] + s_a[ty + 8][tx + 7] + s_a[ty + 9][tx + 8] + s_a[ty + 7][tx + 8]);
+    }
+    if (tx < 1 && i - 1 >= 1 && i - 1 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 7] = 0.2 * (s_a[ty + 8][tx + 7] + s_a[ty + 8][tx + 8] + s_a[ty + 8][tx + 6] + s_a[ty + 9][tx + 7] + s_a[ty + 7][tx + 7]);
+    }
+    if (tx >= 31 && i + 1 >= 1 && i + 1 < 63 && j >= 1 && j < 31) {
+      s_b[ty + 8][tx + 9] = 0.2 * (s_a[ty + 8][tx + 9] + s_a[ty + 8][tx + 10] + s_a[ty + 8][tx + 8] + s_a[ty + 9][tx + 9] + s_a[ty + 7][tx + 9]);
+    }
+    if (ty < 1 && i >= 1 && i < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 7][tx + 8] = 0.2 * (s_a[ty + 7][tx + 8] + s_a[ty + 7][tx + 9] + s_a[ty + 7][tx + 7] + s_a[ty + 8][tx + 8] + s_a[ty + 6][tx + 8]);
+    }
+    if (ty >= 31 && i >= 1 && i < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 9][tx + 8] = 0.2 * (s_a[ty + 9][tx + 8] + s_a[ty + 9][tx + 9] + s_a[ty + 9][tx + 7] + s_a[ty + 10][tx + 8] + s_a[ty + 8][tx + 8]);
+    }
+    if (tx < 1 && ty < 1 && i - 1 >= 1 && i - 1 < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 7][tx + 7] = 0.2 * (s_a[ty + 7][tx + 7] + s_a[ty + 7][tx + 8] + s_a[ty + 7][tx + 6] + s_a[ty + 8][tx + 7] + s_a[ty + 6][tx + 7]);
+    }
+    if (tx < 1 && ty >= 31 && i - 1 >= 1 && i - 1 < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 9][tx + 7] = 0.2 * (s_a[ty + 9][tx + 7] + s_a[ty + 9][tx + 8] + s_a[ty + 9][tx + 6] + s_a[ty + 10][tx + 7] + s_a[ty + 8][tx + 7]);
+    }
+    if (tx >= 31 && ty < 1 && i + 1 >= 1 && i + 1 < 63 && j - 1 >= 1 && j - 1 < 31) {
+      s_b[ty + 7][tx + 9] = 0.2 * (s_a[ty + 7][tx + 9] + s_a[ty + 7][tx + 10] + s_a[ty + 7][tx + 8] + s_a[ty + 8][tx + 9] + s_a[ty + 6][tx + 9]);
+    }
+    if (tx >= 31 && ty >= 31 && i + 1 >= 1 && i + 1 < 63 && j + 1 >= 1 && j + 1 < 31) {
+      s_b[ty + 9][tx + 9] = 0.2 * (s_a[ty + 9][tx + 9] + s_a[ty + 9][tx + 10] + s_a[ty + 9][tx + 8] + s_a[ty + 10][tx + 9] + s_a[ty + 8][tx + 9]);
+    }
+    __syncthreads();
+    if (i >= 1 && i < 63 && j >= 1 && j < 31) {
+      s_a[ty + 8][tx + 8] = 0.2 * (s_b[ty + 8][tx + 8] + s_b[ty + 8][tx + 9] + s_b[ty + 8][tx + 7] + s_b[ty + 9][tx + 8] + s_b[ty + 7][tx + 8]);
+    }
+    __syncthreads();
+    if (i < 64 && j < 32) {
+      b__out[k][j][i] = s_b[ty + 8][tx + 8];
+      a__out[k][j][i] = s_a[ty + 8][tx + 8];
+    }
+    __syncthreads();
+  }
+}
+
+void host() {
+  double* a = cudaAlloc3D(4, 32, 64);
+  double* b = cudaAlloc3D(4, 32, 64);
+  double* b__tb = cudaAlloc3D(4, 32, 64);
+  double* a__tb = cudaAlloc3D(4, 32, 64);
+  cudaMemcpyH2D(a);
+  cudaMemcpyH2D(b);
+  for (int t = 0; t < 1; t++) {
+    fused_0<<<dim3(2, 1, 1), dim3(32, 32, 1)>>>(a, b, b__tb, a__tb, 64, 32, 4);
+    fused_0<<<dim3(2, 1, 1), dim3(32, 32, 1)>>>(a__tb, b__tb, b, a, 64, 32, 4);
+  }
+  cudaMemcpyD2H(a);
+  cudaMemcpyD2H(b);
+}

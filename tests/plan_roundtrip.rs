@@ -103,6 +103,52 @@ proptest! {
     }
 }
 
+/// Version-2 plans (the schema before the temporal degree existed) must
+/// keep replaying: a v2 file is a v3 file minus every `temporal` field
+/// with the version restamped, and decoding one upgrades every group to
+/// the identity degree and reproduces the exact program the v3 plan does.
+#[test]
+fn v2_plan_upgrades_and_replays_identically() {
+    let app = sf_apps::app_by_name("mitgcm", &AppConfig::test()).expect("known app");
+    let first = Pipeline::new(
+        app.program.clone(),
+        PipelineConfig::quick(DeviceSpec::k20x()),
+    )
+    .expect("valid")
+    .run()
+    .expect("pipeline runs");
+    let executed = first.executed_plan().expect("codegen ran").clone();
+    assert!(executed.groups.iter().all(|g| g.temporal == 1));
+
+    // Regress the serialized plan to schema v2 the way an old build wrote
+    // it: no group carries a `temporal` field and the version says 2.
+    let v3 = executed.to_json();
+    let v2: String = v3
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"temporal\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+        .replacen("\"version\": 3", "\"version\": 2", 1);
+    assert_ne!(v2, v3, "the regression surgery must change the text");
+
+    let upgraded = TransformPlan::from_json(&v2).expect("v2 plan decodes");
+    assert!(upgraded.groups.iter().all(|g| g.temporal == 1));
+    assert_eq!(upgraded, executed, "upgrade must yield the identity degrees");
+
+    let second = Pipeline::new(
+        app.program.clone(),
+        PipelineConfig::quick(DeviceSpec::k20x()).with_plan(upgraded),
+    )
+    .expect("valid")
+    .run()
+    .expect("v2 replay runs");
+    assert_eq!(
+        print_program(&first.program),
+        print_program(&second.program),
+        "v2-upgraded replay diverges from the original run"
+    );
+}
+
 /// Full-pipeline replay: the as-executed plan from a complete run, fed
 /// back through `PipelineConfig::with_plan` (the `--from-plan` path),
 /// must reproduce the transformed program byte for byte on multiple apps.
