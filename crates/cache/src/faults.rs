@@ -29,6 +29,15 @@ pub struct CacheFaults {
     /// `PlanStore` for the step list). The store stops dead — leaving temp
     /// files and locks behind exactly as a real crash would.
     pub kill_at_step: Option<u32>,
+    /// Fail the next publish with an injected `ENOSPC` before a single
+    /// byte reaches the temp file — the disk is full. Committed entries
+    /// are untouched; the caller sees an `Io` error and falls back to an
+    /// uncached compile.
+    pub enospc_write: bool,
+    /// Write only a prefix of the entry to the temp file and then fail, as
+    /// a disk that fills mid-write does. The partial temp file leaks (and
+    /// is swept at the next open); the entry namespace never sees it.
+    pub short_write: bool,
 }
 
 impl CacheFaults {
@@ -59,12 +68,19 @@ impl CacheFaults {
         let skew_draw = next();
         let stale_draw = next();
         let kill_draw = next();
+        // New draws are only ever appended, so adding a fault never shifts
+        // the draws of the faults before it — a seed keeps meaning the same
+        // torn/flip/skew/stale/kill mix across releases.
+        let enospc_draw = next();
+        let short_draw = next();
         CacheFaults {
             torn_write: (torn_draw % 4 == 0).then_some((torn_draw >> 8) as u32),
             bit_flip: (flip_draw % 4 == 1).then_some((flip_draw >> 8) as u32),
             version_skew: skew_draw % 5 == 0,
             stale_lock: stale_draw % 4 == 2,
             kill_at_step: (kill_draw % 5 == 3).then_some(((kill_draw >> 8) % 8) as u32),
+            enospc_write: enospc_draw % 5 == 1,
+            short_write: short_draw % 6 == 2,
         }
     }
 
@@ -123,12 +139,16 @@ mod tests {
         assert!(mixes.iter().any(|f| f.version_skew), "version_skew never drawn");
         assert!(mixes.iter().any(|f| f.stale_lock), "stale_lock never drawn");
         assert!(mixes.iter().any(|f| f.kill_at_step.is_some()), "kill_at_step never drawn");
+        assert!(mixes.iter().any(|f| f.enospc_write), "enospc_write never drawn");
+        assert!(mixes.iter().any(|f| f.short_write), "short_write never drawn");
         // And each is also absent for some seeds.
         assert!(mixes.iter().any(|f| f.torn_write.is_none()));
         assert!(mixes.iter().any(|f| f.bit_flip.is_none()));
         assert!(mixes.iter().any(|f| !f.version_skew));
         assert!(mixes.iter().any(|f| !f.stale_lock));
         assert!(mixes.iter().any(|f| f.kill_at_step.is_none()));
+        assert!(mixes.iter().any(|f| !f.enospc_write));
+        assert!(mixes.iter().any(|f| !f.short_write));
         assert!(mixes.iter().any(|f| f.is_empty()), "no fault-free seed");
     }
 

@@ -8,6 +8,7 @@
 //!   tmp/<key-hex>.<token>.tmp     in-flight writes (swept on open)
 //!   locks/<key-hex>.lock          single-writer locks (token + liveness)
 //!   quarantine/<key-hex>.<why>.<n>  entries that failed to decode
+//!   journal                       recency log driving LRU quota eviction
 //! ```
 //!
 //! ## Atomicity protocol
@@ -33,16 +34,27 @@
 //! or belonging to another key) is *moved* to `quarantine/` — never
 //! silently deleted — and the lookup reports [`Lookup::Recovered`] so the
 //! caller can recompile and observe the degradation.
+//!
+//! ## Disk governance
+//!
+//! With [`StoreOptions::quota_bytes`] set, every hit and store appends the
+//! key to an append-only recency `journal`, and a publish that pushes the
+//! committed set past the quota evicts least-recently-used entries (last
+//! journal mention wins; never-journaled entries fall back to file mtime)
+//! until the store fits. Eviction only ever unlinks *committed* entries:
+//! the entry just written, in-flight temp files, locks, and quarantined
+//! evidence are never victims.
 
 use crate::entry::{decode, encode, DecodeFailure, Entry};
 use crate::error::{CacheError, CacheErrorKind};
 use crate::faults::CacheFaults;
 use crate::key::CacheKey;
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// Result of a cache read.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +106,7 @@ pub struct StoreStats {
     pub stored: u64,
     pub already_present: u64,
     pub lost_races: u64,
+    pub evicted: u64,
 }
 
 /// Tuning + fault knobs for [`PlanStore::open_with`].
@@ -105,6 +118,11 @@ pub struct StoreOptions {
     pub lock_timeout: Duration,
     /// Seeded faults to inject into this store instance's operations.
     pub faults: CacheFaults,
+    /// Byte quota over the committed entry set. A publish that pushes the
+    /// store past the quota evicts least-recently-used entries until it
+    /// fits (the just-written entry is never a victim). `None` disables
+    /// eviction entirely.
+    pub quota_bytes: Option<u64>,
 }
 
 impl Default for StoreOptions {
@@ -112,6 +130,7 @@ impl Default for StoreOptions {
         StoreOptions {
             lock_timeout: Duration::from_secs(10),
             faults: CacheFaults::none(),
+            quota_bytes: None,
         }
     }
 }
@@ -123,6 +142,7 @@ pub struct PlanStore {
     root: PathBuf,
     lock_timeout: Duration,
     faults: CacheFaults,
+    quota_bytes: Option<u64>,
     /// Write-protocol step counter; the kill fault fires when it reaches
     /// `faults.kill_at_step`.
     write_step: AtomicU32,
@@ -130,6 +150,8 @@ pub struct PlanStore {
     kill_armed: AtomicBool,
     corruption_armed: AtomicBool,
     stale_lock_armed: AtomicBool,
+    enospc_armed: AtomicBool,
+    short_write_armed: AtomicBool,
     /// Distinguishes quarantine filenames and lock tokens within a process.
     op_counter: AtomicU64,
     hits: AtomicU64,
@@ -138,6 +160,7 @@ pub struct PlanStore {
     stored: AtomicU64,
     already_present: AtomicU64,
     lost_races: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl PlanStore {
@@ -171,12 +194,15 @@ impl PlanStore {
             root,
             lock_timeout: options.lock_timeout,
             faults: options.faults,
+            quota_bytes: options.quota_bytes,
             write_step: AtomicU32::new(0),
             kill_armed: AtomicBool::new(options.faults.kill_at_step.is_some()),
             corruption_armed: AtomicBool::new(
                 options.faults.corrupt_entry(b"probe\n").is_some(),
             ),
             stale_lock_armed: AtomicBool::new(options.faults.stale_lock),
+            enospc_armed: AtomicBool::new(options.faults.enospc_write),
+            short_write_armed: AtomicBool::new(options.faults.short_write),
             op_counter: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -184,6 +210,7 @@ impl PlanStore {
             stored: AtomicU64::new(0),
             already_present: AtomicU64::new(0),
             lost_races: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         })
     }
 
@@ -201,6 +228,10 @@ impl PlanStore {
         self.root.join("locks").join(format!("{}.lock", key.hex()))
     }
 
+    fn journal_path(&self) -> PathBuf {
+        self.root.join("journal")
+    }
+
     /// Operation counters so far.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -210,7 +241,16 @@ impl PlanStore {
             stored: self.stored.load(Ordering::Relaxed),
             already_present: self.already_present.load(Ordering::Relaxed),
             lost_races: self.lost_races.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total bytes of committed entries — the set the quota governs.
+    pub fn disk_usage(&self) -> u64 {
+        self.committed_entries()
+            .iter()
+            .map(|e| e.len)
+            .sum()
     }
 
     /// Read the entry for `key`. Never fails on a bad entry — bad entries
@@ -233,6 +273,7 @@ impl PlanStore {
         match decode(&bytes, Some(key)) {
             Ok(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
                 Ok(Lookup::Hit(entry))
             }
             Err(reason) => {
@@ -346,6 +387,29 @@ impl PlanStore {
             .join("tmp")
             .join(format!("{}.{}.tmp", key.hex(), token));
 
+        // Injected disk-exhaustion faults. Both strike before the entry
+        // namespace is touched, so a full disk can lose only the entry
+        // being written — never a committed one. The caller sees a plain
+        // `Io` error (the lock is released on the way out) and falls back
+        // to an uncached compile.
+        if self.enospc_armed.swap(false, Ordering::Relaxed) {
+            return Err(CacheError::io("injected ENOSPC: no space left on device")
+                .for_key(*key)
+                .at_path(tmp_path));
+        }
+        if self.short_write_armed.swap(false, Ordering::Relaxed) {
+            // The disk filled mid-write: a strict prefix reaches the temp
+            // file, which then leaks like a crash would (swept next open).
+            let keep = bytes.len() / 2;
+            let _ = fs::write(&tmp_path, &bytes[..keep]);
+            return Err(CacheError::io(format!(
+                "injected short write: {keep} of {} bytes before the disk filled",
+                bytes.len()
+            ))
+            .for_key(*key)
+            .at_path(tmp_path));
+        }
+
         // Steps 2–6 of the protocol are the shared atomic-commit primitive;
         // the step hook keeps the kill-at-step fault injection working at
         // every protocol point.
@@ -366,7 +430,119 @@ impl PlanStore {
             }
         }
 
+        self.touch(key);
+        self.enforce_quota(key);
+
         Ok(Published::Stored)
+    }
+
+    /// Append a recency record for `key` to the LRU journal. Best-effort:
+    /// a failed or torn append only degrades eviction ordering toward the
+    /// mtime fallback, never correctness. Only quota-governed stores pay
+    /// the journal write.
+    fn touch(&self, key: &CacheKey) {
+        if self.quota_bytes.is_none() {
+            return;
+        }
+        if let Ok(mut file) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())
+        {
+            let _ = writeln!(file, "{}", key.hex());
+        }
+    }
+
+    /// Every committed entry the store owns: `(hex stem, path, len, mtime)`.
+    /// Foreign files under `entries/` are not included — they are not the
+    /// store's to count or evict.
+    fn committed_entries(&self) -> Vec<CommittedEntry> {
+        let entries_dir = self.root.join("entries");
+        let Ok(listing) = fs::read_dir(&entries_dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for file in listing.flatten() {
+            let path = file.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if u64::from_str_radix(stem, 16).is_err() {
+                continue;
+            }
+            let Ok(meta) = file.metadata() else { continue };
+            out.push(CommittedEntry {
+                hex: stem.to_string(),
+                path,
+                len: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        out
+    }
+
+    /// Evict least-recently-used committed entries until the store fits
+    /// the quota again. Runs under the publishing key's lock; `protect`
+    /// (the entry this publish just wrote) is never a victim, nor are temp
+    /// files, locks, or quarantined evidence. Failures are swallowed: the
+    /// quota is a hygiene property, and a failed unlink only leaves the
+    /// store temporarily over budget until the next publish retries.
+    fn enforce_quota(&self, protect: &CacheKey) {
+        let Some(quota) = self.quota_bytes else { return };
+        let mut entries = self.committed_entries();
+        let mut total: u64 = entries.iter().map(|e| e.len).sum();
+
+        // LRU rank: the *last* journal mention wins; entries that were
+        // never journaled sort before any journaled entry, oldest mtime
+        // first (they predate quota governance, so they are the coldest).
+        let mut last_seen: HashMap<String, usize> = HashMap::new();
+        let mut journal_lines = 0usize;
+        if let Ok(journal) = fs::read_to_string(self.journal_path()) {
+            for (i, line) in journal.lines().enumerate() {
+                journal_lines += 1;
+                let line = line.trim();
+                if !line.is_empty() {
+                    last_seen.insert(line.to_string(), i);
+                }
+            }
+        }
+        entries.sort_by(|a, b| match (last_seen.get(&a.hex), last_seen.get(&b.hex)) {
+            (Some(x), Some(y)) => x.cmp(y),
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, None) => a.modified.cmp(&b.modified),
+        });
+
+        let protect_hex = protect.hex();
+        for entry in &entries {
+            if total <= quota {
+                break;
+            }
+            if entry.hex == protect_hex {
+                continue;
+            }
+            if fs::remove_file(&entry.path).is_ok() {
+                total = total.saturating_sub(entry.len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Keep the journal bounded: once it is much longer than the live
+        // entry set, rewrite it as one line per survivor in LRU order,
+        // through the same atomic-commit primitive as entries so a reader
+        // never sees a torn journal.
+        if journal_lines > entries.len().saturating_mul(8) + 64 {
+            let body: String = entries
+                .iter()
+                .filter(|e| e.path.exists())
+                .map(|e| format!("{}\n", e.hex))
+                .collect();
+            let tmp = self.root.join("tmp").join(format!(
+                "journal.{}.tmp",
+                self.op_counter.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = crate::atomic::atomic_write(&tmp, &self.journal_path(), body.as_bytes());
+        }
     }
 
     /// Create-exclusive lock acquisition with stale-lock breaking. Returns
@@ -380,8 +556,16 @@ impl PlanStore {
                 .open(&path)
             {
                 Ok(mut file) => {
-                    let token =
-                        format!("live {}", self.op_counter.fetch_add(1, Ordering::Relaxed));
+                    // The token carries pid + process start time so a
+                    // reader can tell a slow-but-alive holder (never
+                    // preempted) from a dead one (broken immediately, even
+                    // if the pid was recycled).
+                    let pid = std::process::id();
+                    let token = format!(
+                        "live {pid} {} {}",
+                        process_start_time(pid).unwrap_or(0),
+                        self.op_counter.fetch_add(1, Ordering::Relaxed)
+                    );
                     file.write_all(token.as_bytes()).map_err(|e| {
                         CacheError::new(CacheErrorKind::Lock, format!("writing lock: {e}"))
                             .for_key(*key)
@@ -411,14 +595,28 @@ impl PlanStore {
         Ok(false)
     }
 
-    /// A lock is stale when its writer declared itself dead or when it has
-    /// outlived the timeout (a crashed writer never removes its lock).
+    /// A lock is stale when its writer declared itself dead, when its
+    /// holder (pid + start time from the token) is no longer running, or —
+    /// for tokens without liveness info — when it has outlived the timeout.
+    ///
+    /// A parseable token whose holder is verifiably alive is *never*
+    /// stale: a writer that is merely slow is not preempted no matter how
+    /// far past the timeout its lock is, and the start-time check defeats
+    /// pid recycling (a new process under the old pid has a different
+    /// start time, so the dead writer's lock still breaks immediately).
     fn lock_is_stale(&self, path: &Path) -> bool {
-        if fs::read_to_string(path).is_ok_and(|token| token.trim() == "dead") {
+        let token = fs::read_to_string(path).unwrap_or_default();
+        if token.trim() == "dead" {
             return true;
         }
         if self.lock_timeout.is_zero() {
             return true;
+        }
+        if let Some((pid, start)) = parse_live_token(token.trim()) {
+            if let Some(alive) = holder_alive(pid, start) {
+                return !alive;
+            }
+            // No procfs on this platform: fall through to the age check.
         }
         match fs::metadata(path).and_then(|m| m.modified()) {
             Ok(modified) => modified
@@ -472,6 +670,50 @@ impl PlanStore {
         }
         Ok((valid, quarantined))
     }
+}
+
+/// One committed entry file, as seen by quota accounting.
+#[derive(Debug)]
+struct CommittedEntry {
+    hex: String,
+    path: PathBuf,
+    len: u64,
+    modified: SystemTime,
+}
+
+/// Parse a `"live <pid> <starttime> <op>"` lock token. Legacy two-field
+/// tokens (`"live <op>"`) return `None` and fall back to the age check, so
+/// locks written by older builds still break on timeout.
+fn parse_live_token(token: &str) -> Option<(u32, u64)> {
+    let mut parts = token.split_whitespace();
+    if parts.next() != Some("live") {
+        return None;
+    }
+    let pid = parts.next()?.parse().ok()?;
+    let start = parts.next()?.parse().ok()?;
+    Some((pid, start))
+}
+
+/// The process's start time from `/proc/<pid>/stat` (field 22), parsed
+/// from after the parenthesised comm field so hostile process names with
+/// spaces or digits cannot confuse the split. `None` when the process
+/// does not exist (or procfs is absent).
+fn process_start_time(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let (_, rest) = stat.rsplit_once(')')?;
+    // After the comm field, `state` is field 3, so starttime (field 22)
+    // is the 20th whitespace-separated value.
+    rest.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// Whether the process that wrote a lock token is still the same process
+/// running under that pid. `None` when liveness cannot be determined at
+/// all (no procfs), in which case callers fall back to lock age.
+fn holder_alive(pid: u32, start: u64) -> Option<bool> {
+    if !Path::new("/proc/self").exists() {
+        return None;
+    }
+    Some(process_start_time(pid) == Some(start))
 }
 
 #[cfg(test)]
@@ -599,6 +841,158 @@ mod tests {
         )
         .unwrap();
         assert_eq!(zero.publish(&k2, "y").unwrap(), Published::Stored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_writer_is_never_preempted_dead_writer_breaks_immediately() {
+        let dir = scratch_dir("liveness");
+        // Timeout of 1ms: under the old age-only rule every lock below
+        // would be breakable after the sleep.
+        let store = PlanStore::open_with(
+            &dir,
+            StoreOptions { lock_timeout: Duration::from_millis(1), ..StoreOptions::default() },
+        )
+        .unwrap();
+
+        // A slow-but-alive writer (this process, correct start time) far
+        // past the timeout: must NOT be preempted.
+        let k = key();
+        let pid = std::process::id();
+        let start = super::process_start_time(pid).expect("procfs start time");
+        fs::write(store.lock_path(&k), format!("live {pid} {start} 0")).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(store.publish(&k, "x").unwrap(), Published::LostRace);
+
+        // A dead writer: same pid but a start time no process has (pid
+        // recycling), broken immediately with no timeout wait.
+        let k2 = CacheKey::derive("recycled", "dev", "cfg");
+        fs::write(store.lock_path(&k2), format!("live {pid} {} 0", start + 1)).unwrap();
+        assert_eq!(store.publish(&k2, "y").unwrap(), Published::Stored);
+
+        // A pid that does not exist at all: also broken immediately.
+        let k3 = CacheKey::derive("gone", "dev", "cfg");
+        fs::write(store.lock_path(&k3), "live 4194000 12345 0").unwrap();
+        assert_eq!(store.publish(&k3, "z").unwrap(), Published::Stored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_concurrent_writers_first_wins_second_loses_then_reads() {
+        let dir = scratch_dir("two-writers");
+        let k = key();
+        // Writer A (a separate store handle, as sfd worker threads have)
+        // takes the lock and goes slow.
+        let a = PlanStore::open(&dir).unwrap();
+        assert!(a.try_lock(&k).unwrap());
+
+        // Writer B arrives with a timeout far smaller than A's hold time.
+        // Regression: the age-only staleness rule would break A's lock
+        // here and let both writers race the rename.
+        let b = PlanStore::open_with(
+            &dir,
+            StoreOptions { lock_timeout: Duration::from_millis(1), ..StoreOptions::default() },
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.publish(&k, "from b").unwrap(), Published::LostRace);
+
+        // A finishes and releases; B re-reads the winner's entry.
+        assert_eq!(a.publish_locked(&k, "from a").unwrap(), Published::Stored);
+        fs::remove_file(a.lock_path(&k)).unwrap();
+        assert_eq!(b.lookup(&k).unwrap().payload(), Some("from a"));
+
+        // And a genuinely concurrent pile-up settles to one winner with
+        // everyone observing the same committed payload.
+        let store = std::sync::Arc::new(b);
+        let k2 = CacheKey::derive("pileup", "dev", "cfg");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || s.publish(&k2, "same payload").unwrap())
+            })
+            .collect();
+        let outcomes: Vec<Published> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(outcomes.contains(&Published::Stored) || outcomes.contains(&Published::AlreadyPresent));
+        assert_eq!(store.lookup(&k2).unwrap().payload(), Some("same payload"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_evicts_least_recently_used_entries_only() {
+        let dir = scratch_dir("quota");
+        let keys: Vec<CacheKey> =
+            (0..4).map(|i| CacheKey::derive(&format!("src {i}"), "dev", "cfg")).collect();
+        let payload = "p".repeat(64); // same length => same entry size
+
+        // Measure one entry's on-disk size, then reopen with room for 3.
+        let probe = PlanStore::open(&dir).unwrap();
+        probe.publish(&keys[0], &payload).unwrap();
+        let entry_len = fs::metadata(probe.entry_path(&keys[0])).unwrap().len();
+        drop(probe);
+        let store = PlanStore::open_with(
+            &dir,
+            StoreOptions { quota_bytes: Some(3 * entry_len), ..StoreOptions::default() },
+        )
+        .unwrap();
+
+        store.publish(&keys[1], &payload).unwrap();
+        store.publish(&keys[2], &payload).unwrap();
+        assert_eq!(store.stats().evicted, 0, "under quota: nothing evicted");
+
+        // Touch keys[0] (the oldest by mtime) so recency outranks age.
+        assert!(matches!(store.lookup(&keys[0]).unwrap(), Lookup::Hit(_)));
+
+        // A fourth entry busts the quota: the LRU victim is keys[1], not
+        // the freshly-touched keys[0] and never the just-written keys[3].
+        store.publish(&keys[3], &payload).unwrap();
+        assert_eq!(store.stats().evicted, 1);
+        assert!(store.disk_usage() <= 3 * entry_len);
+        assert_eq!(store.lookup(&keys[1]).unwrap(), Lookup::Miss, "LRU entry evicted");
+        for k in [&keys[0], &keys[2], &keys[3]] {
+            assert_eq!(store.lookup(k).unwrap().payload(), Some(payload.as_str()));
+        }
+        // Survivors are pristine, nothing was quarantined by eviction.
+        let (valid, quarantined) = store.verify_integrity().unwrap();
+        assert_eq!((valid, quarantined), (3, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_full_faults_never_touch_committed_entries() {
+        let dir = scratch_dir("enospc");
+        let committed = key();
+        PlanStore::open(&dir).unwrap().publish(&committed, "committed").unwrap();
+
+        for (tag, faults) in [
+            ("enospc", CacheFaults { enospc_write: true, ..CacheFaults::default() }),
+            ("short", CacheFaults { short_write: true, ..CacheFaults::default() }),
+        ] {
+            let store = PlanStore::open_with(
+                &dir,
+                StoreOptions { faults, ..StoreOptions::default() },
+            )
+            .unwrap();
+            let victim = CacheKey::derive(tag, "dev", "cfg");
+            let err = store.publish(&victim, "doomed").unwrap_err();
+            assert_eq!(err.kind, CacheErrorKind::Io, "{tag}: {err}");
+
+            // The failed entry never became visible; the committed entry
+            // is intact; the store as a whole is clean.
+            assert_eq!(store.lookup(&victim).unwrap(), Lookup::Miss, "{tag}");
+            assert_eq!(store.lookup(&committed).unwrap().payload(), Some("committed"));
+            let (_, quarantined) = store.verify_integrity().unwrap();
+            assert_eq!(quarantined, 0, "{tag}: disk-full tore an entry");
+
+            // The fault is one-shot and the lock was released: a retry
+            // (disk freed) succeeds.
+            assert_eq!(store.publish(&victim, "doomed").unwrap(), Published::Stored);
+        }
+
+        // The short write's partial temp file is swept at the next open.
+        let _ = PlanStore::open(&dir).unwrap();
+        let leftovers = fs::read_dir(dir.join("tmp")).unwrap().count();
+        assert_eq!(leftovers, 0, "partial temp files must be swept");
         let _ = fs::remove_dir_all(&dir);
     }
 

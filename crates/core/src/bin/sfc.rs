@@ -49,6 +49,11 @@ const EXIT_CACHE_RECOVERED: i32 = 8;
 /// device than this run is configured for; replaying it would silently
 /// project with the wrong device model, so the run is rejected instead.
 const EXIT_DEVICE_MISMATCH: i32 = 9;
+/// A resource budget (`--mem-budget`) was exhausted: the program is a
+/// compile bomb for the configured limits, or the limits are too tight.
+/// The error on stderr names the exact budget (`launches`, `domain-cells`,
+/// `heap-bytes`, ...) with its used/limit pair.
+const EXIT_RESOURCE: i32 = 10;
 
 /// Map a structured pipeline error to the exit-code taxonomy: the error
 /// kind wins when it names a failure class, the stage decides otherwise.
@@ -57,6 +62,7 @@ fn exit_code_for(e: &PipelineError) -> i32 {
         (ErrorKind::Parse(_) | ErrorKind::HostEval(_), _) => EXIT_PARSE,
         (ErrorKind::Verify(_), _) => EXIT_VERIFY,
         (ErrorKind::DeviceMismatch { .. }, _) => EXIT_DEVICE_MISMATCH,
+        (ErrorKind::ResourceExhausted { .. }, _) => EXIT_RESOURCE,
         (_, Stage::Metadata | Stage::Filter | Stage::Graphs) => EXIT_ANALYSIS,
         (_, Stage::Search) => EXIT_SEARCH,
         (_, Stage::NewGraphs | Stage::Codegen) => EXIT_CODEGEN,
@@ -93,6 +99,7 @@ struct Args {
     resume: Option<String>,
     kill_at_epoch: Option<usize>,
     max_temporal: Option<u32>,
+    mem_budget: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -152,6 +159,14 @@ usage: sfc INPUT.cu [options]
                       groups covering a whole recorded host time loop
                       (default 1 = disabled; at 1 the run makes the same
                       decisions as a build without temporal support)
+  --mem-budget SIZE   enforce resource budgets: the service limits (IR
+                      size, launch count, precedence depth, domain cells,
+                      search-space caps, interpreter steps) with the
+                      accounted-heap cap set to SIZE (digits with an
+                      optional K/M/G suffix). A program that exceeds a
+                      budget is rejected with exit code 10 and a
+                      structured `resource-exhausted` error naming the
+                      budget — never an OOM or a hang
   --report            print per-stage reports to stderr
   --no-verify         skip output verification
   --quick             scaled-down search budget (for quick experiments)
@@ -202,6 +217,7 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         kill_at_epoch: None,
         max_temporal: None,
+        mem_budget: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -284,6 +300,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("temporal degree must be at least 1".into());
                 }
                 args.max_temporal = Some(n);
+            }
+            "--mem-budget" => {
+                let n = take(&mut i)?;
+                args.mem_budget = Some(
+                    sf_core::parse_bytes(&n)
+                        .ok_or_else(|| format!("bad size `{n}` (digits with optional K/M/G)"))?,
+                );
             }
             "--report" => args.report = true,
             "--no-verify" => args.no_verify = true,
@@ -478,6 +501,11 @@ fn main() {
     // After --params so the explicit flag overrides the parameter file.
     if let Some(n) = args.max_temporal {
         config = config.with_max_temporal(n);
+    }
+    if let Some(bytes) = args.mem_budget {
+        config = config.with_budget(
+            sf_core::Limits::service().cap(sf_core::ResourceKind::HeapBytes, bytes),
+        );
     }
 
     // Plan cache: consult before running, publish after. Only runs that

@@ -49,6 +49,20 @@ usage: sfd --cache-dir DIR [options] INPUT.cu [INPUT.cu ...]
                       batch continues where it stopped, byte-identically
   --queue-limit N     bounded admission: reject submissions past N pending
   --budget-secs N     per-request wall-clock budget (default 120)
+  --mem-budget SIZE   run every request under the service resource budget
+                      with its heap allowance capped at SIZE (K/M/G
+                      suffixes). Hostile inputs are rejected with a
+                      structured resource-exhausted error, never an OOM or
+                      a hang
+  --cache-quota SIZE  bound the plan store at SIZE bytes (K/M/G suffixes):
+                      past it, least-recently-used entries are evicted on
+                      publish; committed entries are never corrupted
+  --breaker N         trip a failure class's circuit breaker after N
+                      failures in a minute; tripped classes reject new
+                      submissions with a retry-after hint until the
+                      cooldown and a half-open probe pass
+  --breaker-cooldown-ms MS
+                      how long a tripped class stays open (default 10000)
   --no-verify         skip output verification
   --strict            fail on the first degradable error
   --verify-store      integrity-scan the cache (quarantining bad entries),
@@ -71,6 +85,10 @@ struct Args {
     checkpoint_dir: Option<String>,
     queue_limit: Option<usize>,
     budget_secs: Option<u64>,
+    mem_budget: Option<u64>,
+    cache_quota: Option<u64>,
+    breaker: Option<u32>,
+    breaker_cooldown_ms: Option<u64>,
     no_verify: bool,
     strict: bool,
     verify_store: bool,
@@ -91,6 +109,10 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         queue_limit: None,
         budget_secs: None,
+        mem_budget: None,
+        cache_quota: None,
+        breaker: None,
+        breaker_cooldown_ms: None,
         no_verify: false,
         strict: false,
         verify_store: false,
@@ -136,6 +158,28 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_limit = Some(parse_num("queue limit", take(&mut i)?)? as usize)
             }
             "--budget-secs" => args.budget_secs = Some(parse_num("budget", take(&mut i)?)?),
+            "--mem-budget" => {
+                let v = take(&mut i)?;
+                args.mem_budget = Some(
+                    sf_core::parse_bytes(&v).ok_or_else(|| format!("bad memory budget `{v}`"))?,
+                );
+            }
+            "--cache-quota" => {
+                let v = take(&mut i)?;
+                args.cache_quota = Some(
+                    sf_core::parse_bytes(&v).ok_or_else(|| format!("bad cache quota `{v}`"))?,
+                );
+            }
+            "--breaker" => {
+                let n = parse_num("breaker threshold", take(&mut i)?)? as u32;
+                if n == 0 {
+                    return Err("breaker threshold must be at least 1".into());
+                }
+                args.breaker = Some(n);
+            }
+            "--breaker-cooldown-ms" => {
+                args.breaker_cooldown_ms = Some(parse_num("breaker cooldown", take(&mut i)?)?)
+            }
             "--no-verify" => args.no_verify = true,
             "--strict" => args.strict = true,
             "--verify-store" => args.verify_store = true,
@@ -204,6 +248,11 @@ fn main() {
     if let Some(n) = args.max_temporal {
         config = config.with_max_temporal(n);
     }
+    if let Some(bytes) = args.mem_budget {
+        config = config.with_budget(
+            sf_core::Limits::service().cap(sf_core::ResourceKind::HeapBytes, bytes),
+        );
+    }
 
     let mut options = BatchOptions::default();
     if let Some(limit) = args.queue_limit {
@@ -218,6 +267,17 @@ fn main() {
             std::process::exit(2);
         }
         options.checkpoint_dir = Some(dir.into());
+    }
+    options.cache_quota = args.cache_quota;
+    if args.breaker.is_some() || args.breaker_cooldown_ms.is_some() {
+        let mut breaker = sf_core::BreakerConfig::default();
+        if let Some(threshold) = args.breaker {
+            breaker.threshold = threshold;
+        }
+        if let Some(cooldown) = args.breaker_cooldown_ms {
+            breaker.cooldown_ms = cooldown;
+        }
+        options.breaker = Some(breaker);
     }
     // Graceful shutdown: SIGINT/SIGTERM stop admission, drain in-flight
     // work, and report everything (exit code 3).
@@ -347,7 +407,7 @@ fn main() {
     }
 
     println!(
-        "sfd: {} in {:.2}s ({} store: {} hits, {} misses, {} recovered, {} stored)",
+        "sfd: {} in {:.2}s ({} store: {} hits, {} misses, {} recovered, {} stored, {} evicted)",
         report.summary(),
         elapsed.as_secs_f64(),
         args.cache_dir,
@@ -355,6 +415,7 @@ fn main() {
         report.stats.misses,
         report.stats.recovered,
         report.stats.stored,
+        report.stats.evicted,
     );
     if stencilfuse::shutdown_requested() {
         cancelled = true;

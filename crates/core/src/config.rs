@@ -112,6 +112,14 @@ pub struct PipelineConfig {
     /// (`sfc --resume`). Also excluded from the cache fingerprint: a
     /// resumed run converges to the byte-identical plan.
     pub resume_path: Option<std::path::PathBuf>,
+    /// Resource budgets enforced by the per-request governor: heap bytes,
+    /// IR size, interpreter steps, search-space caps. The default is
+    /// [`sf_core::Limits::unlimited`] (no admission checks, identical
+    /// behavior to a pre-governor build); services pass
+    /// [`sf_core::Limits::service`] or explicit caps (`sfc --mem-budget`,
+    /// `sfd --mem-budget`). Part of the cache fingerprint: budgets steer
+    /// the degradation ladder and therefore the plan.
+    pub budget: sf_core::Limits,
 }
 
 impl PipelineConfig {
@@ -137,6 +145,7 @@ impl PipelineConfig {
             faults: None,
             checkpoint_path: None,
             resume_path: None,
+            budget: sf_core::Limits::unlimited(),
         }
     }
 
@@ -236,6 +245,12 @@ impl PipelineConfig {
         self
     }
 
+    /// Enforce these resource budgets (see [`Self::budget`]).
+    pub fn with_budget(mut self, budget: sf_core::Limits) -> PipelineConfig {
+        self.budget = budget;
+        self
+    }
+
     /// A stable fingerprint of every configuration field that can change
     /// the compiled plan — part of the material the plan cache hashes into
     /// its content-addressed key (together with the canonical source text
@@ -257,7 +272,7 @@ impl PipelineConfig {
         format!(
             "device={};mode={:?};fission={};tuning={};filter={:?};search={:?};\
              functional={};verify={};until={:?};degrade={:?};retries={};reps={};\
-             noise={:?};faults={:?};metadata={:?};plan={:?};port={:?}",
+             noise={:?};faults={:?};budget={:?};metadata={:?};plan={:?};port={:?}",
             self.device.fingerprint(),
             self.mode,
             self.enable_fission,
@@ -272,6 +287,7 @@ impl PipelineConfig {
             self.profile_reps,
             self.noise,
             self.faults,
+            self.budget,
             preloaded_metadata,
             preloaded_plan,
             port_plan,
@@ -323,6 +339,13 @@ mod tests {
             vec![sf_codegen::GroupPlan::singleton(sf_codegen::MemberRef::original(0))],
         );
         assert_ne!(fp, base.clone().with_port_plan(seed).cache_fingerprint());
+        // Budgets steer the degradation ladder → included.
+        assert_ne!(
+            fp,
+            base.clone()
+                .with_budget(sf_core::Limits::service())
+                .cache_fingerprint()
+        );
         // Checkpoint placement can never change the plan → excluded.
         assert_eq!(fp, base.clone().with_checkpoint("/tmp/x.ckpt").cache_fingerprint());
         assert_eq!(fp, base.clone().with_resume("/tmp/x.ckpt").cache_fingerprint());

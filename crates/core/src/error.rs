@@ -74,6 +74,19 @@ pub enum ErrorKind {
     /// cache entry* is never an error — the store quarantines it and the
     /// driver recompiles (the cache rung of the degradation ladder).
     Cache(Box<sf_cache::CacheError>),
+    /// A resource governor budget was exhausted (heap bytes, IR size,
+    /// interpreter steps, search-space size, ...). Carries the kebab-case
+    /// resource name plus the used/limit pair so the driver and `sfc` can
+    /// attribute exactly which budget a compile bomb tripped. Maps to its
+    /// own degradation rung and its own exit code — never an abort or OOM.
+    ResourceExhausted {
+        /// Kebab-case resource name (see [`sf_core::ResourceKind::name`]).
+        resource: String,
+        /// Units needed (including the rejected request).
+        used: u64,
+        /// The configured cap.
+        limit: u64,
+    },
     /// Injected by a [`crate::faults::FaultPlan`] at a stage boundary.
     Injected(String),
     /// A panic caught at an isolation boundary (per-group codegen,
@@ -95,6 +108,7 @@ impl ErrorKind {
             ErrorKind::Config(_) => "config",
             ErrorKind::DeviceMismatch { .. } => "device-mismatch",
             ErrorKind::Cache(_) => "cache",
+            ErrorKind::ResourceExhausted { .. } => "resource-exhausted",
             ErrorKind::Injected(_) => "injected-fault",
             ErrorKind::Panic(_) => "panic",
         }
@@ -111,6 +125,14 @@ impl ErrorKind {
                 "plan targets device `{plan}` but this run is configured for \
                  `{configured}`; replay on the matching device, or re-target \
                  explicitly with --port-plan"
+            ),
+            ErrorKind::ResourceExhausted {
+                resource,
+                used,
+                limit,
+            } => format!(
+                "`{resource}` budget exhausted: {used} needed, limit {limit}; \
+                 raise the budget or shrink the program"
             ),
             ErrorKind::Graph(s)
             | ErrorKind::Search(s)
@@ -274,6 +296,25 @@ impl From<sf_codegen::CodegenError> for PipelineError {
     }
 }
 
+/// Budget exhaustion defaults to degradable: the driver walks the resource
+/// rung of the degradation ladder (shrink the search budget → serial
+/// fallback → unfused copies) instead of failing. Admission checks that run
+/// before any fallback exists (a compile bomb caught at the front door)
+/// re-class with [`PipelineError::fatal`]; both keep the structured
+/// used/limit attribution.
+impl From<sf_core::ResourceError> for PipelineError {
+    fn from(e: sf_core::ResourceError) -> Self {
+        PipelineError::degradable(
+            Stage::Metadata,
+            ErrorKind::ResourceExhausted {
+                resource: e.resource.name().to_string(),
+                used: e.used,
+                limit: e.limit,
+            },
+        )
+    }
+}
+
 /// Cache errors attach to the `NewGraphs` stage — the point where a cached
 /// plan substitutes for the search artifacts on the replay path. Lock
 /// contention is transient (another writer may finish; re-reading works);
@@ -365,6 +406,22 @@ mod tests {
         assert!(text.contains("k20x-aaaaaaaaaaaaaaaa"), "{text}");
         assert!(text.contains("v100-bbbbbbbbbbbbbbbb"), "{text}");
         assert!(text.contains("--port-plan"), "{text}");
+    }
+
+    #[test]
+    fn resource_exhaustion_is_structured_and_degradable_by_default() {
+        use sf_core::{ResourceError, ResourceKind};
+        let e: PipelineError = ResourceError {
+            resource: ResourceKind::Launches,
+            used: 1600,
+            limit: 512,
+        }
+        .into();
+        assert_eq!(e.class, Recoverability::Degradable);
+        assert_eq!(e.kind.label(), "resource-exhausted");
+        let text = e.to_string();
+        assert!(text.contains("`launches` budget exhausted"), "{text}");
+        assert!(text.contains("1600 needed, limit 512"), "{text}");
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub use report::{Degradation, StageReport};
 pub use shutdown::{
     install_signal_handlers, request_shutdown, reset_shutdown_request, shutdown_requested,
 };
-pub use verify::{verify_equivalence, Verification};
+pub use verify::{verify_equivalence, verify_equivalence_governed, Verification, VerifyFailure};

@@ -11,7 +11,8 @@ use crate::config::{DegradePolicy, PipelineConfig, Stage};
 use crate::error::{ErrorKind, PipelineError};
 use crate::faults::FaultInjector;
 use crate::report::StageReport;
-use crate::verify::{verify_equivalence, Verification};
+use crate::verify::{verify_equivalence_governed, Verification, VerifyFailure};
+use sf_core::{ResourceGovernor, ResourceKind};
 use sf_analysis::filter::{identify_targets, FilterDecision};
 use sf_analysis::metadata::MetadataBundle;
 use sf_codegen::{
@@ -158,31 +159,31 @@ fn profile_with_retry<T>(
     retries: u32,
     stage: Stage,
 ) -> Result<(T, u32), PipelineError> {
-    let mut last: Option<PipelineError> = None;
-    for attempt in 0..=retries {
-        let injected = injector.take_profiler_failure();
-        let outcome = if injected {
-            Err(ProfileError::transient("injected transient profiler failure"))
-        } else {
-            profile()
-        };
-        match outcome {
-            Ok(p) => return Ok((p, attempt)),
-            Err(e) => {
-                let err = if injected {
+    // The shared retry ladder (sf_core::retry) — the same policy the
+    // robust profiler and the batch driver's publish path run on.
+    let policy = sf_core::RetryPolicy {
+        max_retries: retries,
+        ..sf_core::RetryPolicy::default()
+    };
+    let outcome = policy.run(
+        |_| {
+            let injected = injector.take_profiler_failure();
+            let result = if injected {
+                Err(ProfileError::transient("injected transient profiler failure"))
+            } else {
+                profile()
+            };
+            result.map_err(|e| {
+                if injected {
                     PipelineError::transient(stage, ErrorKind::Injected(e.to_string()))
                 } else {
                     PipelineError::from(e).at(stage)
-                };
-                let retryable = err.class == crate::error::Recoverability::Transient;
-                last = Some(err);
-                if !retryable {
-                    break;
                 }
-            }
-        }
-    }
-    Err(last.expect("at least one attempt was made"))
+            })
+        },
+        |err| err.class == crate::error::Recoverability::Transient,
+    );
+    outcome.result.map(|p| (p, outcome.attempts - 1))
 }
 
 impl Pipeline {
@@ -217,6 +218,33 @@ impl Pipeline {
         };
         let mut reports = Vec::new();
         let stop_after = |s: Stage| cfg.run_until.is_some_and(|u| u <= s);
+
+        // ---------------- admission: the resource governor ----------------
+        // One request-scoped child of the process-wide governor per run.
+        // Every size this run is about to commit to is checked *before* the
+        // corresponding stage allocates or recurses, so a compile bomb
+        // (thousand-launch loop, near-u32::MAX domain, pathologically deep
+        // chain) is rejected with structured attribution instead of
+        // exhausting the process. With the default unlimited budget every
+        // check below is a no-op.
+        let governor = ResourceGovernor::process().child(cfg.budget);
+        let exhausted = |e: sf_core::ResourceError| ErrorKind::ResourceExhausted {
+            resource: e.resource.name().to_string(),
+            used: e.used,
+            limit: e.limit,
+        };
+        governor
+            .record_peak(ResourceKind::Launches, self.plan.trace.len() as u64)
+            .map_err(|e| PipelineError::fatal(Stage::Metadata, exhausted(e)))?;
+        governor
+            .record_peak(ResourceKind::IrStatements, self.program.statement_count())
+            .map_err(|e| PipelineError::fatal(Stage::Metadata, exhausted(e)))?;
+        governor
+            .record_peak(
+                ResourceKind::DomainCells,
+                sf_gpusim::GlobalMemory::plan_cells(&self.plan),
+            )
+            .map_err(|e| PipelineError::fatal(Stage::Metadata, exhausted(e)))?;
 
         // ---------------- stage 1: metadata ----------------
         let profiler = if cfg.functional_profile {
@@ -464,8 +492,25 @@ impl Pipeline {
             let name_of = |seq: usize| kernel_names[seq].clone();
             let ddg_dot = dot::ddg_to_dot(&ddg, &name_of);
             let oeg_dot = dot::oeg_to_dot(&oeg.transitive_reduction(), None);
+            // Longest precedence chain in the OEG (in launches). Edges run
+            // i < j, so ascending key order is already topological for the
+            // DP; a hostile deep-chain program trips the budget here,
+            // before the search builds a space over it.
+            let precedence_depth = {
+                let mut depth = vec![1u64; oeg.len()];
+                for &(i, j) in oeg.edges.keys() {
+                    depth[j] = depth[j].max(depth[i] + 1);
+                }
+                depth.into_iter().max().unwrap_or(0)
+            };
+            governor
+                .record_peak(ResourceKind::PrecedenceDepth, precedence_depth)
+                .map_err(|e| PipelineError::fatal(Stage::Graphs, exhausted(e)))?;
             {
                 let mut r = StageReport::new(Stage::Graphs);
+                r.line(format!(
+                    "longest precedence chain: {precedence_depth} launch(es)"
+                ));
                 r.line(format!(
                     "DDG: {} kernel nodes, {} array nodes, {} edges; OEG: {} edges",
                     ddg.kernel_count(),
@@ -515,6 +560,107 @@ impl Pipeline {
             }
             if let Some(f) = &hooks.amend_search_config {
                 f(&mut search_cfg);
+            }
+            // Governed search admission: exhaustion here walks its own
+            // rungs of the degradation ladder instead of failing — rung 1
+            // shrinks the GA budget, rung 2 drops island parallelism and
+            // halves the population, rung 3 skips the search entirely and
+            // keeps the original program. Strict mode surfaces the first
+            // tripped rung as a structured error.
+            let mut gov_report = StageReport::new(Stage::Search);
+            let targets = decisions.iter().filter(|d| d.is_target()).count() as u64;
+            // 2^(t-1) ordered chains is a cheap lower bound on the grouping
+            // space over t fusion targets — when even the bound blows the
+            // cap, the configured GA budget is oversized for this scope.
+            let candidate_estimate = 1u64 << targets.saturating_sub(1).min(63);
+            if let Some(e) = governor.would_exceed(ResourceKind::CandidateSet, candidate_estimate)
+            {
+                if strict {
+                    return Err(PipelineError::degradable(Stage::Search, exhausted(e)));
+                }
+                let before = (
+                    search_cfg.population,
+                    search_cfg.generations,
+                    search_cfg.max_evaluations,
+                );
+                search_cfg.population = search_cfg.population.min(16);
+                search_cfg.generations = search_cfg.generations.min(8);
+                search_cfg.max_evaluations = search_cfg.max_evaluations.min(256);
+                gov_report.degrade(
+                    "search budget",
+                    format!(
+                        "shrank the GA budget: population {} → {}, generations {} → {}, \
+                         max evaluations {} → {}",
+                        before.0,
+                        search_cfg.population,
+                        before.1,
+                        search_cfg.generations,
+                        before.2,
+                        search_cfg.max_evaluations
+                    ),
+                    e.to_string(),
+                );
+            } else {
+                let _ = governor.record_peak(ResourceKind::CandidateSet, candidate_estimate);
+            }
+            // Rung 2: estimated resident population bytes across islands.
+            let genome_bytes = 48u64 * self.plan.launches.len() as u64;
+            let pop_bytes =
+                |pop: usize, islands: usize| pop as u64 * genome_bytes * islands.max(1) as u64;
+            if let Some(e) = governor.would_exceed(
+                ResourceKind::PopulationBytes,
+                pop_bytes(search_cfg.population, search_cfg.islands),
+            ) {
+                if strict {
+                    return Err(PipelineError::degradable(Stage::Search, exhausted(e)));
+                }
+                if search_cfg.islands > 1 {
+                    gov_report.degrade(
+                        "search budget",
+                        format!(
+                            "fell back to a serial search ({} islands → 1)",
+                            search_cfg.islands
+                        ),
+                        e.to_string(),
+                    );
+                    search_cfg.islands = 1;
+                }
+                while search_cfg.population > 8
+                    && governor
+                        .would_exceed(
+                            ResourceKind::PopulationBytes,
+                            pop_bytes(search_cfg.population, search_cfg.islands),
+                        )
+                        .is_some()
+                {
+                    search_cfg.population /= 2;
+                }
+            }
+            // Rung 3: even the minimum viable search exceeds the budget —
+            // skip the search; the original program is the valid result.
+            let search_population_bytes = pop_bytes(search_cfg.population, search_cfg.islands);
+            if let Some(e) =
+                governor.would_exceed(ResourceKind::PopulationBytes, search_population_bytes)
+            {
+                if strict {
+                    return Err(PipelineError::degradable(Stage::Search, exhausted(e)));
+                }
+                gov_report.degrade(
+                    "pipeline",
+                    "kept the original program (search budget exhausted)",
+                    e.to_string(),
+                );
+                reports.push(gov_report);
+                let mut out = self.partial(reports, Some(metadata), decisions, original_profile);
+                out.ddg_dot = ddg_dot;
+                out.oeg_dot = oeg_dot;
+                return Ok(out);
+            }
+            governor
+                .charge(ResourceKind::PopulationBytes, search_population_bytes)
+                .map_err(|e| PipelineError::degradable(Stage::Search, exhausted(e)))?;
+            if !gov_report.degradations.is_empty() || !gov_report.lines.is_empty() {
+                reports.push(gov_report);
             }
             // Plan-port seeding: raise the source plan's grouping onto this
             // device's search space (repairing anything infeasible here) and
@@ -578,6 +724,8 @@ impl Pipeline {
                     None,
                 )
             };
+            // The population is resident only while the search runs.
+            governor.credit(ResourceKind::PopulationBytes, search_population_bytes);
             if strict && result.poisoned_evaluations > 0 {
                 return Err(PipelineError::degradable(
                     Stage::Search,
@@ -827,10 +975,16 @@ impl Pipeline {
         }
 
         let verification = if cfg.verify {
+            // The governed verifier charges both memory images as accounted
+            // heap bytes before materializing either, and both interpreter
+            // runs draw from the scope's step budget — a hostile program
+            // can neither OOM nor hang the verification.
             let outcome = if injector.interpreter_trap() {
-                Err("injected interpreter trap during verification".to_string())
+                Err(VerifyFailure::Failed(
+                    "injected interpreter trap during verification".to_string(),
+                ))
             } else {
-                verify_equivalence(&self.program, &transform.program, 99)
+                verify_equivalence_governed(&self.program, &transform.program, 99, &governor)
             };
             match outcome {
                 Ok(v) if v.passed() => Some(v),
@@ -854,7 +1008,20 @@ impl Pipeline {
                         why,
                     ));
                 }
-                Err(msg) => {
+                Err(VerifyFailure::Exhausted(e)) => {
+                    if strict {
+                        return Err(PipelineError::degradable(Stage::Codegen, exhausted(e)));
+                    }
+                    return Ok(keep_original(
+                        cg_report,
+                        reports,
+                        search_result,
+                        "pipeline",
+                        "kept the original program (verification budget exhausted)",
+                        e.to_string(),
+                    ));
+                }
+                Err(VerifyFailure::Failed(msg)) => {
                     let kind = if injector.interpreter_trap() {
                         ErrorKind::Injected(msg.clone())
                     } else {
@@ -1218,6 +1385,85 @@ void host() {
             "resume must converge to the uninterrupted plan"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resource_budget_rejects_compile_bombs_with_attribution() {
+        use sf_core::{Limits, ResourceKind};
+        let p = parse_program(APP).unwrap();
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_budget(Limits::unlimited().cap(ResourceKind::Launches, 2));
+        let err = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.kind.label(), "resource-exhausted");
+        assert_eq!(err.class, crate::error::Recoverability::Fatal);
+        assert!(err.to_string().contains("`launches`"), "{err}");
+
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_budget(Limits::unlimited().cap(ResourceKind::DomainCells, 100));
+        let err = Pipeline::new(p, cfg).unwrap().run().unwrap_err();
+        assert!(err.to_string().contains("`domain-cells`"), "{err}");
+    }
+
+    #[test]
+    fn search_budget_rungs_degrade_instead_of_failing() {
+        use sf_core::{Limits, ResourceKind};
+        let p = parse_program(APP).unwrap();
+        // Rung 1: a tiny candidate-set cap shrinks the GA budget, but the
+        // run still transforms and verifies.
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_budget(Limits::unlimited().cap(ResourceKind::CandidateSet, 1));
+        let r = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert!(
+            r.degradations().iter().any(|d| d.scope == "search budget"),
+            "{:?}",
+            r.degradations()
+        );
+        if let Some(v) = &r.verification {
+            assert!(v.passed());
+        }
+
+        // Rung 3: a population budget below the minimum viable search
+        // keeps the original program (still a valid result).
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_budget(Limits::unlimited().cap(ResourceKind::PopulationBytes, 10));
+        let r = Pipeline::new(p.clone(), cfg).unwrap().run().unwrap();
+        assert_eq!(r.program, p);
+        assert_eq!(r.speedup, 1.0);
+        assert!(r
+            .degradations()
+            .iter()
+            .any(|d| d.reason.contains("population-bytes")));
+
+        // Strict mode surfaces the rung as a structured error instead.
+        let cfg = PipelineConfig::quick(DeviceSpec::k20x())
+            .with_budget(Limits::unlimited().cap(ResourceKind::PopulationBytes, 10))
+            .strict();
+        let err = Pipeline::new(p, cfg).unwrap().run().unwrap_err();
+        assert_eq!(err.kind.label(), "resource-exhausted");
+        assert_eq!(err.stage, Stage::Search);
+    }
+
+    #[test]
+    fn service_budget_leaves_a_typical_transform_unchanged() {
+        use sf_minicuda::printer::print_program;
+        let p = parse_program(APP).unwrap();
+        let base = Pipeline::new(p.clone(), PipelineConfig::quick(DeviceSpec::k20x()))
+            .unwrap()
+            .run()
+            .unwrap();
+        let governed = Pipeline::new(
+            p,
+            PipelineConfig::quick(DeviceSpec::k20x()).with_budget(sf_core::Limits::service()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(governed.degradations().is_empty(), "{:?}", governed.degradations());
+        assert_eq!(
+            print_program(&base.program),
+            print_program(&governed.program),
+            "service limits must not change a legitimate transform"
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! execute functionally on the simulator from identical seeded inputs and
 //! every device array is compared.
 
+use sf_core::{Accounted, ResourceError, ResourceGovernor, ResourceKind};
 use sf_gpusim::{GlobalMemory, Interpreter};
 use sf_minicuda::host::ExecutablePlan;
 use sf_minicuda::Program;
+use std::sync::Arc;
 
 /// The verification verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +53,102 @@ impl Verification {
     }
 }
 
+/// Why a governed verification could not produce a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyFailure {
+    /// A resource budget (memory images, interpreter steps) was exhausted
+    /// before or during the runs; the structured error attributes which.
+    Exhausted(ResourceError),
+    /// The interpreter itself failed (trap, invalid plan, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyFailure::Exhausted(e) => write!(f, "{e}"),
+            VerifyFailure::Failed(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Run one side of a governed verification: the interpreter's step limit
+/// is set to whatever step budget remains, and the steps it actually
+/// executed are charged afterwards so the second side sees the remainder.
+fn run_governed(
+    program: &Program,
+    plan: &ExecutablePlan,
+    mem: &mut GlobalMemory,
+    label: &str,
+    governor: &Arc<ResourceGovernor>,
+) -> Result<Vec<String>, VerifyFailure> {
+    let mut interp = Interpreter::new(program);
+    interp.detect_hazards = true;
+    interp.step_limit = governor.remaining(ResourceKind::InterpreterSteps);
+    let outcome = interp.run_plan(plan, mem);
+    let used = interp.steps_used();
+    match outcome {
+        Ok(stats) => {
+            governor
+                .charge(ResourceKind::InterpreterSteps, used)
+                .map_err(VerifyFailure::Exhausted)?;
+            Ok(stats.into_iter().flat_map(|s| s.hazards).collect())
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            if msg.contains("interpreter step budget exhausted") {
+                Err(VerifyFailure::Exhausted(ResourceError {
+                    resource: ResourceKind::InterpreterSteps,
+                    used: governor.used(ResourceKind::InterpreterSteps).saturating_add(used),
+                    limit: governor
+                        .limits()
+                        .limit(ResourceKind::InterpreterSteps)
+                        .unwrap_or(u64::MAX),
+                }))
+            } else {
+                Err(VerifyFailure::Failed(format!("{label}: {msg}")))
+            }
+        }
+    }
+}
+
+/// [`verify_equivalence`] under a resource governor: both memory images
+/// are charged as accounted heap bytes *before* either is materialized,
+/// and both interpreter runs draw from the scope's step budget.
+/// Exhaustion is a structured [`VerifyFailure::Exhausted`], never an OOM
+/// or a hang. With an unlimited governor this is behavior-identical to
+/// the ungoverned verifier.
+pub fn verify_equivalence_governed(
+    original: &Program,
+    transformed: &Program,
+    seed: u64,
+    governor: &Arc<ResourceGovernor>,
+) -> Result<Verification, VerifyFailure> {
+    let plan_a =
+        ExecutablePlan::from_program(original).map_err(|e| VerifyFailure::Failed(e.to_string()))?;
+    let plan_b = ExecutablePlan::from_program(transformed)
+        .map_err(|e| VerifyFailure::Failed(e.to_string()))?;
+    // Charge both images up front; the builder only runs when admitted.
+    let image_bytes = GlobalMemory::plan_bytes(&plan_a) + GlobalMemory::plan_bytes(&plan_b);
+    let mut images = Accounted::build(governor, ResourceKind::HeapBytes, image_bytes, || {
+        (GlobalMemory::from_plan(&plan_a), GlobalMemory::from_plan(&plan_b))
+    })
+    .map_err(VerifyFailure::Exhausted)?;
+    let (mem_a, mem_b) = &mut *images;
+    mem_a.seed_all(seed);
+    mem_b.seed_all(seed);
+
+    let mut hazards = run_governed(original, &plan_a, mem_a, "original", governor)?;
+    hazards.extend(run_governed(
+        transformed,
+        &plan_b,
+        mem_b,
+        "transformed",
+        governor,
+    )?);
+    Ok(compare_images(mem_a, mem_b, hazards))
+}
+
 /// Run both programs with identical seeded inputs and compare all arrays.
 pub fn verify_equivalence(
     original: &Program,
@@ -81,11 +179,15 @@ pub fn verify_equivalence(
     {
         hazards.extend(s.hazards);
     }
+    Ok(compare_images(&mem_a, &mem_b, hazards))
+}
 
+/// Fold two finished memory images into a [`Verification`] verdict.
+fn compare_images(mem_a: &GlobalMemory, mem_b: &GlobalMemory, hazards: Vec<String>) -> Verification {
     let mut max_abs_diff = 0.0f64;
     let mut worst_array = None;
     let mut nan_arrays = Vec::new();
-    let mut diffs: Vec<_> = mem_a.compare(&mem_b).into_iter().collect();
+    let mut diffs: Vec<_> = mem_a.compare(mem_b).into_iter().collect();
     diffs.sort_by(|a, b| a.0.cmp(&b.0));
     for (name, d) in diffs {
         if d.has_nan {
@@ -96,12 +198,12 @@ pub fn verify_equivalence(
             worst_array = Some(name);
         }
     }
-    Ok(Verification {
+    Verification {
         max_abs_diff,
         worst_array,
         nan_arrays,
         hazards,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +345,49 @@ void host() {
         assert_eq!(v.nan_arrays, vec!["a".to_string()]);
         assert!(v.failure().unwrap().contains("NaN"));
         assert!(v.failure().unwrap().contains('a'));
+    }
+
+    #[test]
+    fn governed_verification_matches_ungoverned_and_enforces_budgets() {
+        use sf_core::{Limits, ResourceGovernor, ResourceKind};
+        let src = r#"
+__global__ void k(double* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = a[i] * 2.0; }
+}
+void host() {
+  int n = 64;
+  double* a = cudaAlloc1D(n);
+  k<<<2, 32>>>(a, n);
+}
+"#;
+        let p = parse_program(src).unwrap();
+
+        // Unlimited governor: identical verdict, but usage is accounted.
+        let g = ResourceGovernor::new(Limits::unlimited());
+        let v = verify_equivalence_governed(&p, &p, 3, &g).unwrap();
+        assert!(v.passed());
+        // Two 64-element f64 images were charged and credited back.
+        assert_eq!(g.high_water(ResourceKind::HeapBytes), 2 * 64 * 8);
+        assert_eq!(g.used(ResourceKind::HeapBytes), 0, "images credited on drop");
+        assert_eq!(g.used(ResourceKind::InterpreterSteps), 2 * 64);
+
+        // A heap budget below two images rejects before materialization.
+        let g = ResourceGovernor::new(Limits::unlimited().cap(ResourceKind::HeapBytes, 1000));
+        let err = verify_equivalence_governed(&p, &p, 3, &g).unwrap_err();
+        let VerifyFailure::Exhausted(e) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(e.resource, ResourceKind::HeapBytes);
+
+        // A step budget below one run stops the interpreter mid-flight.
+        let g =
+            ResourceGovernor::new(Limits::unlimited().cap(ResourceKind::InterpreterSteps, 50));
+        let err = verify_equivalence_governed(&p, &p, 3, &g).unwrap_err();
+        let VerifyFailure::Exhausted(e) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(e.resource, ResourceKind::InterpreterSteps);
     }
 
     /// Mutation test: swap the array bindings of one launch and assert the

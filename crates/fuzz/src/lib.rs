@@ -19,17 +19,27 @@
 //!    minimal self-contained `.sfir` reproducer plus the offending
 //!    `TransformPlan` JSON.
 //!
+//! Beyond the per-seed oracle, two robustness harnesses ride in the same
+//! binary: [`hostile`] (compile-bomb archetypes the resource governor must
+//! reject with structured attribution — `sf-fuzz --hostile`) and [`soak`]
+//! (the long-running seeded chaos soak over the batch driver —
+//! `sf-fuzz --soak`).
+//!
 //! Replay a failure with `cargo run -p sf-fuzz -- --seed N`.
 
 pub mod gen;
+pub mod hostile;
 pub mod oracle;
 pub mod repro;
 pub mod shrink;
+pub mod soak;
 
 pub use gen::{generate, GenConfig, Generated};
+pub use hostile::{Archetype, ARCHETYPES};
 pub use oracle::{check_program, check_program_with, OracleFailure, OracleOptions};
 pub use repro::write_repro;
 pub use shrink::{shrink, shrink_with};
+pub use soak::{run_soak, SoakConfig, SoakReport, SoakViolation};
 
 /// Fuzz one seed end-to-end: generate, check, and on failure shrink down
 /// to a minimal program that still fails the same check. Returns the

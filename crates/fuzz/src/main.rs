@@ -5,12 +5,15 @@
 //! sf-fuzz --seed 1 --seed 2              # several seeds
 //! sf-fuzz --seed-range 0..300            # a corpus
 //! sf-fuzz --seed-range 0..300 --repro-dir tests/repros --max-wall-secs 240
+//! sf-fuzz --hostile                      # compile-bomb contract checks
+//! sf-fuzz --emit-hostile deep-chain      # print one bomb's source (for sfc)
+//! sf-fuzz --soak --seed 1 --max-wall-secs 300   # seeded chaos soak
 //! ```
 //!
 //! Exit codes: 0 = all seeds clean, 1 = at least one failure (reproducers
-//! written), 2 = usage error.
+//! written / soak violation / hostile contract broken), 2 = usage error.
 
-use sf_fuzz::{fuzz_seed_with, GenConfig, OracleOptions};
+use sf_fuzz::{fuzz_seed_with, Archetype, GenConfig, OracleOptions, SoakConfig, ARCHETYPES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -24,13 +27,21 @@ struct Args {
     islands: bool,
     devices: bool,
     temporal: bool,
+    hostile: bool,
+    emit_hostile: Option<Archetype>,
+    soak: bool,
+    soak_rounds: usize,
+    soak_dir: Option<PathBuf>,
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: sf-fuzz [--seed N]... [--seed-range A..B] \
-         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands] [--devices] [--temporal]"
+         [--repro-dir DIR] [--max-wall-secs S] [--noise] [--cache] [--islands] [--devices] [--temporal]\n\
+       | sf-fuzz --hostile\n\
+       | sf-fuzz --emit-hostile ARCHETYPE   (one of: deep-chain, thousand-launches, huge-domain, one-cell-domain)\n\
+       | sf-fuzz --soak [--seed N] [--soak-rounds R] [--soak-dir DIR] [--max-wall-secs S]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +56,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         islands: false,
         devices: false,
         temporal: false,
+        hostile: false,
+        emit_hostile: None,
+        soak: false,
+        soak_rounds: 0,
+        soak_dir: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -81,13 +97,89 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = value("--max-wall-secs")?;
                 args.max_wall_secs = v.parse().map_err(|_| format!("bad duration `{v}`"))?;
             }
+            "--hostile" => args.hostile = true,
+            "--emit-hostile" => {
+                let v = value("--emit-hostile")?;
+                args.emit_hostile = Some(
+                    Archetype::from_name(&v).ok_or_else(|| format!("unknown archetype `{v}`"))?,
+                );
+            }
+            "--soak" => args.soak = true,
+            "--soak-rounds" => {
+                let v = value("--soak-rounds")?;
+                args.soak_rounds = v.parse().map_err(|_| format!("bad round count `{v}`"))?;
+            }
+            "--soak-dir" => args.soak_dir = Some(PathBuf::from(value("--soak-dir")?)),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.seeds.is_empty() {
+    if args.seeds.is_empty() && !args.hostile && args.emit_hostile.is_none() && !args.soak {
         return Err("no seeds given (use --seed or --seed-range)".into());
     }
     Ok(args)
+}
+
+/// `--hostile`: run every archetype's contract check under the service
+/// budget and report pass/fail per archetype.
+fn run_hostile() -> ExitCode {
+    let mut failures = 0usize;
+    for archetype in ARCHETYPES {
+        match sf_fuzz::hostile::check(archetype) {
+            Ok(detail) => println!("sf-fuzz: PASS {detail}"),
+            Err(detail) => {
+                failures += 1;
+                eprintln!("sf-fuzz: FAIL {detail}");
+            }
+        }
+    }
+    println!(
+        "sf-fuzz: {} archetype(s) checked, {failures} failure(s)",
+        ARCHETYPES.len()
+    );
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--soak`: run the seeded chaos soak and report the outcome. The soak
+/// directory is kept on failure (CI uploads it as the evidence artifact).
+fn run_soak_cli(args: &Args) -> ExitCode {
+    let seed = args.seeds.first().copied().unwrap_or(1);
+    // An explicit --soak-dir is kept even on success (CI verifies the
+    // store afterwards and uploads it on failure); the temp-dir default
+    // is cleaned up on success.
+    let explicit_dir = args.soak_dir.is_some();
+    let dir = args.soak_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sf-soak-{}", std::process::id()))
+    });
+    let mut cfg = SoakConfig::new(seed, dir.clone());
+    cfg.rounds = args.soak_rounds;
+    cfg.max_wall_secs = args.max_wall_secs;
+    match sf_fuzz::run_soak(&cfg) {
+        Ok(report) => {
+            println!("sf-fuzz: soak clean (seed {seed}): {}", report.summary());
+            for (kind, used, cap) in &report.high_water {
+                println!(
+                    "sf-fuzz: high-water {kind}: {used}{}",
+                    cap.map(|c| format!(" / {c}")).unwrap_or_default()
+                );
+            }
+            if !explicit_dir {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("sf-fuzz: SOAK VIOLATION (seed {seed}): {violation}");
+            eprintln!(
+                "sf-fuzz: store state preserved at {} for inspection",
+                dir.display()
+            );
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,6 +188,17 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return usage(&e),
     };
+
+    if let Some(archetype) = args.emit_hostile {
+        print!("{}", sf_fuzz::hostile::source(archetype));
+        return ExitCode::SUCCESS;
+    }
+    if args.hostile {
+        return run_hostile();
+    }
+    if args.soak {
+        return run_soak_cli(&args);
+    }
 
     // `--temporal` switches both the corpus (every program carries a host
     // time loop) and the oracle (the `temporal-*` checks).
@@ -218,6 +321,32 @@ mod tests {
         assert!(a.temporal);
         let a = parse_args(&argv(&["--seed", "1"])).unwrap();
         assert!(!a.temporal);
+    }
+
+    #[test]
+    fn parses_hostile_and_soak_modes() {
+        let a = parse_args(&argv(&["--hostile"])).unwrap();
+        assert!(a.hostile);
+        let a = parse_args(&argv(&["--emit-hostile", "deep-chain"])).unwrap();
+        assert_eq!(a.emit_hostile, Some(sf_fuzz::Archetype::DeepChain));
+        assert!(parse_args(&argv(&["--emit-hostile", "nope"])).is_err());
+        let a = parse_args(&argv(&[
+            "--soak",
+            "--seed",
+            "9",
+            "--soak-rounds",
+            "4",
+            "--soak-dir",
+            "/tmp/soak",
+            "--max-wall-secs",
+            "300",
+        ]))
+        .unwrap();
+        assert!(a.soak);
+        assert_eq!(a.soak_rounds, 4);
+        assert_eq!(a.soak_dir, Some(std::path::PathBuf::from("/tmp/soak")));
+        // The soak/hostile modes do not require seeds.
+        assert!(parse_args(&argv(&["--soak"])).is_ok());
     }
 
     #[test]

@@ -628,6 +628,7 @@ fn check_plan_cache(program: &Program, seed: u64) -> Result<(), OracleFailure> {
     let zero_timeout = |faults: CacheFaults| StoreOptions {
         lock_timeout: Duration::ZERO,
         faults,
+        ..StoreOptions::default()
     };
     let fail = |check: &'static str, detail: String| {
         let _ = std::fs::remove_dir_all(&dir);

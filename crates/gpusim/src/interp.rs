@@ -127,6 +127,14 @@ pub struct Interpreter<'p> {
     pub track_footprint: bool,
     /// Detect cross-block read-after-write hazards (slower).
     pub detect_hazards: bool,
+    /// Step budget across every launch this interpreter runs: one step
+    /// per (block × thread) unit of work, charged before the block
+    /// executes. `None` = unbounded. Exhaustion is a structured
+    /// [`ExecError`] (message contains `step budget exhausted`), never a
+    /// hang — the resource governor's defense-in-depth against
+    /// compile-bomb domains that slip past the static admission checks.
+    pub step_limit: Option<u64>,
+    steps_used: std::cell::Cell<u64>,
     compiled: RefCell<HashMap<String, Rc<CompiledKernel>>>,
 }
 
@@ -137,7 +145,25 @@ impl<'p> Interpreter<'p> {
             program,
             track_footprint: false,
             detect_hazards: false,
+            step_limit: None,
+            steps_used: std::cell::Cell::new(0),
             compiled: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Steps consumed so far (against [`Self::step_limit`]).
+    pub fn steps_used(&self) -> u64 {
+        self.steps_used.get()
+    }
+
+    fn charge_steps(&self, amount: u64) -> Result<(), ExecError> {
+        let used = self.steps_used.get().saturating_add(amount);
+        self.steps_used.set(used);
+        match self.step_limit {
+            Some(limit) if used > limit => Err(ExecError(format!(
+                "interpreter step budget exhausted: {used} steps needed, limit {limit}"
+            ))),
+            _ => Ok(()),
         }
     }
 
@@ -281,6 +307,7 @@ impl<'p> Interpreter<'p> {
         for bz in 0..launch.grid.z {
             for by in 0..launch.grid.y {
                 for bx in 0..launch.grid.x {
+                    self.charge_steps(nthreads as u64)?;
                     machine.reset_block(
                         Dim3::new(bx, by, bz),
                         block_linear,

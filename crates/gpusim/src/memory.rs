@@ -58,6 +58,30 @@ pub struct GlobalMemory {
 }
 
 impl GlobalMemory {
+    /// Heap bytes a memory image for this plan would occupy, computed
+    /// *without* allocating — the resource governor charges this before
+    /// [`GlobalMemory::from_plan`] materializes anything.
+    pub fn plan_bytes(plan: &ExecutablePlan) -> u64 {
+        plan.allocs
+            .iter()
+            .map(|a| a.len() as u64 * std::mem::size_of::<f64>() as u64)
+            .sum()
+    }
+
+    /// Total allocated domain cells across a plan's arrays (also
+    /// computed without allocating).
+    pub fn plan_cells(plan: &ExecutablePlan) -> u64 {
+        plan.allocs.iter().map(|a| a.len() as u64).sum()
+    }
+
+    /// Heap bytes this image currently holds.
+    pub fn total_bytes(&self) -> u64 {
+        self.arrays
+            .values()
+            .map(|a| a.data.len() as u64 * std::mem::size_of::<f64>() as u64)
+            .sum()
+    }
+
     /// Allocate every array in a plan (zero-initialized).
     pub fn from_plan(plan: &ExecutablePlan) -> GlobalMemory {
         let mut m = GlobalMemory::default();

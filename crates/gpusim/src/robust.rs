@@ -26,36 +26,10 @@ use sf_analysis::metadata::{Confidence, MeasureQuality, Provenance};
 use sf_minicuda::ast::Program;
 use sf_minicuda::host::ExecutablePlan;
 
-/// Deterministic retry policy for transient repetition failures. Backoff is
-/// accounted on a virtual clock (µs) and never sleeps.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RetryPolicy {
-    /// Retries allowed per repetition beyond the first attempt.
-    pub max_retries: u32,
-    /// Virtual backoff before the first retry, µs.
-    pub base_backoff_us: u64,
-    /// Ceiling on a single virtual backoff, µs.
-    pub max_backoff_us: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: 3,
-            base_backoff_us: 100,
-            max_backoff_us: 10_000,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Exponential backoff before retry number `attempt` (0-based), µs.
-    pub fn backoff_us(&self, attempt: u32) -> u64 {
-        self.base_backoff_us
-            .saturating_mul(1u64 << attempt.min(20))
-            .min(self.max_backoff_us)
-    }
-}
+/// The shared retry policy, re-exported from [`sf_core::retry`] — the
+/// robust profiler and the batch driver run the same bounded exponential
+/// backoff constants on the same virtual clock.
+pub use sf_core::retry::RetryPolicy;
 
 /// Knobs for median/MAD aggregation and confidence classification.
 #[derive(Debug, Clone, PartialEq)]

@@ -552,6 +552,40 @@ impl Program {
         self.kernels.iter_mut().find(|k| k.name == name)
     }
 
+    /// Total IR statement count: every kernel-body statement (recursing
+    /// through `if`/`for` bodies) plus every host statement (recursing
+    /// through `Repeat` bodies). This is the program's IR-size measure for
+    /// resource governance — a compile bomb is rejected on this number
+    /// before any analysis walks the tree.
+    pub fn statement_count(&self) -> u64 {
+        fn device(body: &[Stmt]) -> u64 {
+            body.iter()
+                .map(|s| {
+                    1 + match s {
+                        Stmt::If {
+                            then_body,
+                            else_body,
+                            ..
+                        } => device(then_body) + device(else_body),
+                        Stmt::For { body, .. } => device(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        fn host(body: &[HostStmt]) -> u64 {
+            body.iter()
+                .map(|s| {
+                    1 + match s {
+                        HostStmt::Repeat { body, .. } => host(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        self.kernels.iter().map(|k| device(&k.body)).sum::<u64>() + host(&self.host)
+    }
+
     /// All launches in host order, flattening `Repeat` bodies once (i.e. the
     /// static launch sequence, not the dynamic trace).
     pub fn static_launches(&self) -> Vec<&HostStmt> {

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # sf-core
+//!
+//! Dependency-free primitives shared by every stencilfuse crate that has
+//! to survive hostile inputs and resource pressure:
+//!
+//! - [`budget`] — a hierarchical, thread-safe [`ResourceGovernor`] with
+//!   per-request and process-wide accounting, high-water marks, and the
+//!   [`Accounted`] RAII wrapper for big allocations.
+//! - [`retry`] — the one [`RetryPolicy`] (bounded exponential backoff on a
+//!   virtual clock) previously duplicated between the robust profiler and
+//!   the batch driver.
+//! - [`breaker`] — a per-failure-class [`CircuitBreaker`] with a sliding
+//!   failure window, cooldown, and half-open probes, driven by an
+//!   injectable millisecond clock so every transition is unit-testable.
+//!
+//! This crate sits below `sf-gpusim`, `sf-search`, `sf-cache`, and
+//! `stencilfuse` in the dependency graph and has no dependencies of its
+//! own (not even the vendored stand-ins), so any crate can use it without
+//! creating a cycle.
+
+pub mod breaker;
+pub mod budget;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::{
+    parse_bytes, Accounted, Limits, ResourceError, ResourceGovernor, ResourceKind, RESOURCE_KINDS,
+};
+pub use retry::{RetryOutcome, RetryPolicy};

@@ -39,6 +39,7 @@ fn crash_options(faults: CacheFaults) -> StoreOptions {
     StoreOptions {
         lock_timeout: Duration::ZERO,
         faults,
+        ..StoreOptions::default()
     }
 }
 
@@ -485,4 +486,95 @@ fn injected_cache_faults_never_abort_the_batch() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Self-protection: circuit breaker and cache quota.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_trips_on_repeated_failures_and_rejects_with_retry_after() {
+    let dir = scratch_dir("breaker");
+    let mut driver = BatchDriver::new(
+        &dir,
+        quick_config(),
+        BatchOptions {
+            breaker: Some(sf_core::BreakerConfig {
+                threshold: 2,
+                window_ms: 60_000,
+                cooldown_ms: 10_000,
+                half_open_probes: 1,
+            }),
+            ..BatchOptions::default()
+        },
+    )
+    .expect("driver");
+
+    // Two structurally-bad requests: both fail under the `parse` class.
+    driver
+        .submit(BatchRequest::new("bad1", "__global__ void oops("))
+        .expect("admitted while closed");
+    driver
+        .submit(BatchRequest::new("bad2", "__global__ void argh{"))
+        .expect("admitted while closed");
+    let report = driver.run();
+    assert_eq!(report.failures(), 2);
+    assert_eq!(
+        driver.breaker_state("parse"),
+        Some(sf_core::BreakerState::Open)
+    );
+
+    // The class tripped: new submissions get backpressure with a retry
+    // hint and the tripped class's name, instead of feeding the failure.
+    let rejected = driver
+        .submit(BatchRequest::new("next", SMALL_APP))
+        .expect_err("breaker must reject while open");
+    assert_eq!(rejected.breaker_class.as_deref(), Some("parse"));
+    assert!(rejected.retry_after_ms.is_some());
+    let text = rejected.to_string();
+    assert!(text.contains("retry after"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_quota_evicts_old_plans_but_requests_always_succeed() {
+    let dir = scratch_dir("driver-quota");
+    // Quota of one byte: after every publish, all *other* entries are
+    // evicted (the entry just written is never a victim).
+    let run = |name: &str, source: &str| {
+        let mut driver = BatchDriver::new(
+            &dir,
+            quick_config(),
+            BatchOptions {
+                cache_quota: Some(1),
+                ..BatchOptions::default()
+            },
+        )
+        .expect("driver");
+        driver
+            .submit(BatchRequest::new(name, source))
+            .expect("admitted");
+        let report = driver.run();
+        assert!(
+            matches!(
+                report.outcomes[0].status,
+                BatchStatus::Compiled | BatchStatus::Hit
+            ),
+            "{name}: {:?}",
+            report.outcomes[0].status
+        );
+        report
+    };
+
+    run("first", SMALL_APP);
+    // A different program (different constant => different key) busts the
+    // quota: the first plan is evicted, but the request itself succeeds.
+    let variant = SMALL_APP.replace("* 0.5", "* 0.25");
+    let report = run("second", &variant);
+    assert!(report.stats.evicted >= 1, "quota must evict: {:?}", report.stats);
+    // The evicted program compiles cold again — an eviction is a miss,
+    // never an error or a torn entry.
+    let again = run("first-again", SMALL_APP);
+    assert!(again.stats.misses >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }

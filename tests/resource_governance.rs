@@ -1,0 +1,222 @@
+//! Suite-level contract of the resource-governance arc (`DESIGN.md` §14):
+//!
+//! - every compile-bomb archetype is rejected under the service budget
+//!   with structured attribution naming the exact budget it tripped,
+//!   while the degenerate-but-legal 1-cell domain survives;
+//! - the service budget is *calibrated*: every paper application analog
+//!   runs through the full pipeline under it without a single
+//!   resource-driven degradation — the budgets catch bombs, not apps;
+//! - the chaos soak holds all of its invariants in-process (the CI job
+//!   runs the long wall-capped version through the binary);
+//! - budget exhaustion surfaces through the batch driver as a structured
+//!   failure that feeds the `resource-exhausted` breaker class.
+
+use sf_apps::{all_apps, AppConfig};
+use sf_core::{BreakerConfig, Limits, ResourceKind};
+use sf_fuzz::{hostile, Archetype, SoakConfig, ARCHETYPES};
+use sf_gpusim::device::DeviceSpec;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use stencilfuse::{
+    BatchDriver, BatchOptions, BatchRequest, BatchStatus, ErrorKind, Pipeline, PipelineConfig,
+};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sf-govern-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_hostile_archetype_keeps_its_contract() {
+    for archetype in ARCHETYPES {
+        hostile::check(archetype).unwrap_or_else(|detail| panic!("{detail}"));
+    }
+}
+
+#[test]
+fn service_budget_admits_every_application_analog() {
+    // Calibration: the budgets must reject bombs, not legitimate apps.
+    // Every analog runs to completion under `Limits::service()` — never
+    // an admission rejection. The only budget allowed to bite at all is
+    // the search rung (the GA shrinks gracefully and says so); when it
+    // does not, the governed run must be byte-for-byte the unbudgeted
+    // outcome.
+    for app in all_apps(&AppConfig::test()) {
+        let run = |budget: Limits| {
+            let config = PipelineConfig::quick(DeviceSpec::k20x()).with_budget(budget);
+            Pipeline::new(app.program.clone(), config)
+                .expect("valid program")
+                .run()
+                .unwrap_or_else(|e| {
+                    panic!("{}: failed under the service budget: {e}", app.paper.name)
+                })
+        };
+        let governed = run(Limits::service());
+        assert!(
+            governed.speedup >= 1.0,
+            "{}: governed run regressed below 1.0x",
+            app.paper.name
+        );
+        let search_rungs: Vec<_> = governed
+            .degradations()
+            .iter()
+            .filter(|d| d.scope == "search budget")
+            .map(|d| d.action.clone())
+            .collect();
+        for d in governed.degradations() {
+            assert!(
+                d.scope == "search budget" || !d.reason.contains("budget exhausted"),
+                "{}: non-search resource degradation under the service budget: {} ({})",
+                app.paper.name,
+                d.action,
+                d.reason
+            );
+        }
+        if search_rungs.is_empty() {
+            let free = run(Limits::unlimited());
+            assert_eq!(
+                governed.speedup, free.speedup,
+                "{}: the service budget changed the outcome without reporting a rung",
+                app.paper.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bombs_through_the_batch_driver_feed_the_resource_breaker_class() {
+    // A fleet of compile bombs must not only fail with attribution — the
+    // repeated structured failures must trip the `resource-exhausted`
+    // breaker class so further submissions are rejected with backpressure
+    // instead of burning admission checks forever.
+    let dir = scratch_dir("breaker");
+    let mut driver = BatchDriver::new(
+        &dir,
+        PipelineConfig::quick(DeviceSpec::k20x()).with_budget(Limits::service()),
+        BatchOptions {
+            breaker: Some(BreakerConfig {
+                threshold: 2,
+                ..BreakerConfig::default()
+            }),
+            ..BatchOptions::default()
+        },
+    )
+    .expect("driver");
+    let source = hostile::source(Archetype::ThousandLaunches);
+    for i in 0..2 {
+        driver
+            .submit(BatchRequest::new(format!("bomb-{i}"), source.clone()))
+            .expect("admitted while the breaker is closed");
+    }
+    let report = driver.run();
+    assert_eq!(report.failures(), 2);
+    for o in &report.outcomes {
+        let err = o.error.as_ref().expect("structured failure");
+        assert!(
+            matches!(
+                &err.kind,
+                ErrorKind::ResourceExhausted { resource, .. } if resource == ResourceKind::Launches.name()
+            ),
+            "bomb failed without launches attribution: {err}"
+        );
+    }
+    let rejected = driver
+        .submit(BatchRequest::new("bomb-3", source))
+        .expect_err("breaker must be open after repeated resource failures");
+    assert_eq!(rejected.breaker_class.as_deref(), Some("resource-exhausted"));
+    assert!(rejected.retry_after_ms.is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn soak_holds_its_invariants_in_process() {
+    let dir = scratch_dir("soak");
+    let cfg = SoakConfig {
+        seed: 42,
+        rounds: 2,
+        max_wall_secs: 0,
+        dir: dir.clone(),
+        // Shared test process: other tests charge the same root governor
+        // under non-service budgets, so the global high-water assertion
+        // belongs to the binary run (CI soak job), not here.
+        strict_high_water: false,
+    };
+    let report = sf_fuzz::run_soak(&cfg).unwrap_or_else(|v| panic!("soak violation: {v}"));
+    assert_eq!(report.rounds, 2);
+    assert!(report.hostile_rejected >= 2, "the chaos round carries bombs");
+    assert!(
+        report.benign_identical >= 6,
+        "reference round, benign round, and the final reconciliation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_lock_liveness_survives_two_governed_drivers() {
+    // Two drivers over one store directory (the two-concurrent-services
+    // shape): both batches complete, the winner publishes, the loser
+    // reads — the pid+start-time liveness rule never lets one service
+    // steal a live peer's lock, and the quota holds across both.
+    let dir = scratch_dir("two-drivers");
+    let source = r#"
+__global__ void heat(const double* __restrict__ u, double* v, int nx, int ny) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { v[j][i] = u[j][i] * 0.5; }
+}
+__global__ void scale(const double* __restrict__ v, double* w, int nx, int ny) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) { w[j][i] = v[j][i] + 3.0; }
+}
+void host() {
+  int nx = 64; int ny = 32;
+  double* u = cudaAlloc2D(ny, nx);
+  double* v = cudaAlloc2D(ny, nx);
+  double* w = cudaAlloc2D(ny, nx);
+  cudaMemcpyH2D(u);
+  heat<<<dim3(4, 4), dim3(16, 8)>>>(u, v, nx, ny);
+  scale<<<dim3(4, 4), dim3(16, 8)>>>(v, w, nx, ny);
+  cudaMemcpyD2H(w);
+}
+"#;
+    let mk = || {
+        BatchDriver::new(
+            &dir,
+            PipelineConfig::quick(DeviceSpec::k20x()).with_budget(Limits::service()),
+            BatchOptions {
+                cache_quota: Some(64 * 1024),
+                lock_timeout: Duration::from_millis(50),
+                ..BatchOptions::default()
+            },
+        )
+        .expect("driver")
+    };
+    let (mut a, mut b) = (mk(), mk());
+    a.submit(BatchRequest::new("a", source)).unwrap();
+    b.submit(BatchRequest::new("b", source)).unwrap();
+    let (ra, rb) = (a.run(), b.run());
+    for (tag, rep) in [("a", &ra), ("b", &rb)] {
+        assert_eq!(rep.failures(), 0, "driver {tag} failed: {:?}", rep.summary());
+    }
+    // Whichever ran second was served from (or raced cleanly with) the
+    // first's publish; both plans must agree byte for byte.
+    assert_eq!(ra.outcomes[0].plan_json, rb.outcomes[0].plan_json);
+    let statuses: Vec<&str> = [&ra, &rb]
+        .iter()
+        .map(|r| r.outcomes[0].status.label())
+        .collect();
+    assert!(
+        statuses
+            .iter()
+            .all(|s| matches!(*s, "hit" | "compiled" | "recovered")),
+        "unexpected statuses: {statuses:?}"
+    );
+    assert!(!matches!(ra.outcomes[0].status, BatchStatus::Failed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
